@@ -1,0 +1,11 @@
+# Tcl-like graft script.
+# Run: dune exec bin/graftkit.exe -- script examples/grafts/fizzbuzz.tcl
+proc classify {n} {
+  if {$n % 15 == 0} { return fizzbuzz }
+  if {$n % 3 == 0} { return fizz }
+  if {$n % 5 == 0} { return buzz }
+  return $n
+}
+for {set i 1} {$i <= 15} {incr i} {
+  puts [classify $i]
+}
