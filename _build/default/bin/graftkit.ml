@@ -1,0 +1,284 @@
+(* graftkit command-line interface.
+
+   Subcommands:
+     tables    regenerate the paper's tables/figure and the ablations
+     gel       compile and run a GEL graft from a file
+     script    run a Tcl-like graft script from a file
+     tech      list extension technologies and trust models
+     measure   run the host measurements (signal / disk / fault)
+*)
+
+open Cmdliner
+open Graft_core
+
+(* ---------- tables ---------- *)
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok Graft_report.Experiments.Quick
+    | "full" -> Ok Graft_report.Experiments.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|full)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | Graft_report.Experiments.Quick -> "quick"
+      | Graft_report.Experiments.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let known_tables scale =
+  let open Graft_report.Experiments in
+  [
+    ("table1", fun () -> table1 ());
+    ("table2", fun () -> table2 scale);
+    ("table3", fun () -> table3 ());
+    ("table4", fun () -> table4 ());
+    ("table5", fun () -> table5 scale);
+    ("table6", fun () -> table6 scale);
+    ("figure1", fun () -> figure1 scale);
+    ("a1", fun () -> ablation_nil scale);
+    ("a2", fun () -> ablation_sfi scale);
+    ("a3", fun () -> ablation_interp scale);
+    ("a4", fun () -> ablation_regvm ());
+    ("a5", fun () -> ablation_upcall ());
+    ("a6", fun () -> ablation_pfvm scale);
+    ("a7", fun () -> ablation_hipec scale);
+  ]
+
+let tables_cmd =
+  let scale =
+    Arg.(value & opt scale_conv Graft_report.Experiments.Quick
+         & info [ "s"; "scale" ] ~doc:"Experiment scale: quick or full.")
+  in
+  let only =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"TABLE"
+             ~doc:"Tables to run (table1..table6, figure1, a1..a5); all when omitted.")
+  in
+  let run scale only =
+    let available = known_tables scale in
+    let selected =
+      if only = [] then List.map snd available
+      else
+        List.map
+          (fun name ->
+            match List.assoc_opt (String.lowercase_ascii name) available with
+            | Some f -> f
+            | None ->
+                prerr_endline ("unknown table: " ^ name);
+                exit 2)
+          only
+    in
+    List.iter
+      (fun f -> print_string (Graft_report.Experiments.render (f ())))
+      selected
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables, figure, and ablations")
+    Term.(const run $ scale $ only)
+
+(* ---------- gel ---------- *)
+
+let tech_conv =
+  let parse s =
+    match Technology.of_name s with
+    | Some t -> Ok t
+    | None -> Error (`Msg ("unknown technology " ^ s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Technology.name t))
+
+let gel_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.gel")
+  in
+  let entry =
+    Arg.(value & opt string "main" & info [ "e"; "entry" ] ~doc:"Entry function.")
+  in
+  let args =
+    Arg.(value & opt_all int [] & info [ "a"; "arg" ] ~doc:"Integer argument (repeatable).")
+  in
+  let tech =
+    Arg.(value & opt tech_conv Technology.Ast_interp
+         & info [ "t"; "tech" ]
+             ~doc:"Execution technology: ast-interp, bytecode-vm, sfi-wj, sfi-full.")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"CPU quantum (abstract units).")
+  in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Dump IR and VM code, do not run.") in
+  let optimize =
+    Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the IR optimizer.")
+  in
+  let run file entry args tech fuel dump optimize =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Graft_gel.Gel.compile ~optimize src with
+    | Error e ->
+        prerr_endline ("compile error: " ^ Graft_gel.Srcloc.to_string e);
+        exit 1
+    | Ok prog -> (
+        let mem =
+          Graft_mem.Memory.create
+            (max 1024
+               (Graft_core.Runners.next_pow2 (Graft_gel.Link.footprint prog + 64)))
+        in
+        match Graft_gel.Link.link prog ~mem ~shared:[] ~hosts:[] with
+        | Error msg ->
+            prerr_endline ("link error: " ^ msg);
+            exit 1
+        | Ok image ->
+            if dump then begin
+              print_endline "-- IR --";
+              print_string (Graft_gel.Pretty.program prog);
+              print_endline "-- stack VM --";
+              print_string
+                (Graft_stackvm.Disasm.program
+                   (Graft_stackvm.Stackvm.load_exn image));
+              print_endline "-- register VM (SFI write+jump) --";
+              print_string
+                (Graft_regvm.Disasm.program (Graft_regvm.Regvm.load_exn image))
+            end
+            else begin
+              let argv = Array.of_list args in
+              let show = function
+                | Ok v -> Printf.printf "%d\n" v
+                | Error (`Fault f) ->
+                    Printf.printf "fault: %s\n" (Graft_mem.Fault.to_string f);
+                    exit 1
+                | Error (`Bad_entry m) ->
+                    prerr_endline m;
+                    exit 2
+              in
+              match tech with
+              | Technology.Ast_interp ->
+                  show (Graft_gel.Interp.run image ~entry ~args:argv ~fuel)
+              | Technology.Bytecode_vm ->
+                  show
+                    (Graft_stackvm.Vm.run
+                       (Graft_stackvm.Stackvm.load_exn image)
+                       ~entry ~args:argv ~fuel)
+              | Technology.Sfi_write_jump | Technology.Sfi_full ->
+                  let protection =
+                    if tech = Technology.Sfi_full then Graft_regvm.Program.Full
+                    else Graft_regvm.Program.Write_jump
+                  in
+                  let p = Graft_regvm.Regvm.load_exn ~protection image in
+                  (match Graft_regvm.Machine.run p ~entry ~args:argv ~fuel with
+                  | Ok o -> Printf.printf "%d\n" o.Graft_regvm.Machine.value
+                  | Error (`Fault f) ->
+                      Printf.printf "fault: %s\n" (Graft_mem.Fault.to_string f);
+                      exit 1
+                  | Error (`Bad_entry m) ->
+                      prerr_endline m;
+                      exit 2)
+              | t ->
+                  prerr_endline
+                    ("technology " ^ Technology.name t
+                   ^ " does not execute GEL files");
+                  exit 2
+            end)
+  in
+  Cmd.v
+    (Cmd.info "gel" ~doc:"Compile and run a GEL graft")
+    Term.(const run $ file $ entry $ args $ tech $ fuel $ dump $ optimize)
+
+(* ---------- script ---------- *)
+
+let script_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.tcl") in
+  let fuel =
+    Arg.(value & opt int 50_000_000 & info [ "fuel" ] ~doc:"CPU quantum.")
+  in
+  let run file fuel =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let mem = Graft_mem.Memory.create 65536 in
+    let t = Graft_script.Script.create ~fuel mem in
+    Graft_script.Script.bind_command t ~name:"puts" (fun _ args ->
+        print_endline (String.concat " " args);
+        "");
+    match Graft_script.Script.eval t src with
+    | Ok v ->
+        if v <> "" then print_endline v
+    | Error f ->
+        prerr_endline ("fault: " ^ Graft_mem.Fault.to_string f);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "script" ~doc:"Run a Tcl-like graft script")
+    Term.(const run $ file $ fuel)
+
+(* ---------- tech ---------- *)
+
+let tech_cmd =
+  let run () =
+    let t =
+      Graft_util.Tablefmt.create
+        [| "Name"; "Paper column"; "Trust model"; "Can crash kernel" |]
+    in
+    List.iter
+      (fun tech ->
+        Graft_util.Tablefmt.add_row t
+          [|
+            Technology.name tech;
+            Technology.paper_name tech;
+            Technology.trust_name (Technology.trust tech);
+            (if Technology.can_crash_kernel tech then "YES" else "no");
+          |])
+      Technology.all;
+    Graft_util.Tablefmt.print t
+  in
+  Cmd.v (Cmd.info "tech" ~doc:"List extension technologies") Term.(const run $ const ())
+
+(* ---------- measure ---------- *)
+
+let measure_cmd =
+  let what =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc:"signal | disk | fault | all")
+  in
+  let run what =
+    let signal () =
+      let r = Graft_measure.Signalbench.measure () in
+      Printf.printf "signal handling: %s (post-only baseline %s, %d rounds of %d signals)\n"
+        (Graft_util.Timer.pp_percall r.Graft_measure.Signalbench.per_signal_s)
+        (Graft_util.Timer.pp_seconds r.Graft_measure.Signalbench.post_only_s)
+        r.Graft_measure.Signalbench.rounds r.Graft_measure.Signalbench.group_size;
+      Printf.printf "upcall estimate: %s\n"
+        (Graft_util.Timer.pp_seconds (Graft_measure.Signalbench.upcall_estimate_s r))
+    in
+    let disk () =
+      let r = Graft_measure.Diskbench.measure () in
+      Printf.printf "disk write bandwidth: %.1f MB/s (1MB in %s)\n"
+        (r.Graft_measure.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean /. 1048576.0)
+        (Graft_util.Timer.pp_seconds
+           (Graft_measure.Diskbench.access_time_s r (1024 * 1024)))
+    in
+    let fault () =
+      let r = Graft_measure.Faultbench.measure () in
+      Printf.printf "page fault (mmap touch): %s over %d pages\n"
+        (Graft_util.Timer.pp_percall r.Graft_measure.Faultbench.per_fault_s)
+        r.Graft_measure.Faultbench.pages
+    in
+    match what with
+    | "signal" -> signal ()
+    | "disk" -> disk ()
+    | "fault" -> fault ()
+    | "all" ->
+        signal ();
+        disk ();
+        fault ()
+    | s ->
+        prerr_endline ("unknown measurement " ^ s);
+        exit 2
+  in
+  Cmd.v (Cmd.info "measure" ~doc:"Host measurements") Term.(const run $ what)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "graftkit" ~version:"1.0.0"
+      ~doc:"A comparison of OS extension technologies (USENIX '96 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ tables_cmd; gel_cmd; script_cmd; tech_cmd; measure_cmd ]))

@@ -1,0 +1,1 @@
+examples/app_policies.ml: Array Bufcache Graft_kernel Graft_util Printf Sched Simclock

@@ -1,0 +1,1 @@
+examples/db_datablade.ml: Array Fault Gel Graft_gel Graft_mem Graft_stackvm Graft_util Link Memory Printf

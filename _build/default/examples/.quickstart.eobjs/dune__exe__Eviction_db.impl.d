@@ -1,0 +1,1 @@
+examples/eviction_db.ml: Array Diskmodel Graft_core Graft_kernel Graft_util Graft_workload Manager Printf Runners Simclock Taxonomy Technology Tpcb Vmsys

@@ -1,0 +1,1 @@
+examples/logdisk_replay.ml: Graft_core Graft_kernel Graft_util Graft_workload List Logdisk Manager Printf Runners Taxonomy Technology

@@ -1,0 +1,1 @@
+examples/logdisk_replay.mli:

@@ -1,0 +1,1 @@
+examples/md5_stream.ml: Bytes Diskmodel Graft_core Graft_kernel Graft_md5 Graft_util Graft_workload List Manager Printf Runners Streams Taxonomy Technology

@@ -1,0 +1,1 @@
+examples/packet_demux.ml: Graft_core Graft_kernel Graft_util List Netpkt Printf Queue Runners Technology

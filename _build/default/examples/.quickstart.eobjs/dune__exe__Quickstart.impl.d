@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fault Gel Graft_gel Graft_mem Graft_regvm Graft_stackvm Interp Link Memory Printf

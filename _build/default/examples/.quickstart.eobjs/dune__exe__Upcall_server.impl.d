@@ -1,0 +1,1 @@
+examples/upcall_server.ml: Array Diskmodel Graft_core Graft_kernel Graft_util Graft_workload List Manager Printf Runners Simclock Taxonomy Technology Tpcb Upcall Vmsys

@@ -1,0 +1,1 @@
+examples/upcall_server.mli:

@@ -1,0 +1,77 @@
+(* The paper's motivating scenario (section 3.1): a TPC-B-style
+   database server publishes a hot list — the data pages it is about to
+   scan — and a Prioritization graft keeps those pages resident.
+
+   A subtree scan alternates with unrelated traffic. Pure LRU evicts
+   the subtree's pages just before they are rescanned; the hot-list
+   graft redirects each eviction to a page the application does not
+   need. We run the same trace with and without the graft and compare
+   fault counts and simulated I/O time.
+
+   Run with: dune exec examples/eviction_db.exe *)
+
+open Graft_kernel
+open Graft_core
+open Graft_workload
+
+let nframes = 200
+let noise_pages = 150
+
+let run_trace ~with_graft =
+  let db = Tpcb.create () in
+  let clock = Simclock.create () in
+  let disk = Diskmodel.create (Diskmodel.paper_params "Solaris") in
+  let vm =
+    Vmsys.create ~clock ~disk
+      { Vmsys.nframes; npages = db.Tpcb.npages; pages_per_fault = 1 }
+  in
+  let refs, hot = Tpcb.scan_subtree db ~l3_index:7 in
+  (if with_graft then begin
+     let manager = Manager.create () in
+     ignore
+       (Manager.register manager ~name:"hotlist" ~tech:Technology.Safe_lang
+          ~structure:Taxonomy.Prioritization ~motivation:Taxonomy.Policy ());
+     let runner =
+       Runners.evict Technology.Safe_lang ~capacity_nodes:(2 * nframes) ()
+     in
+     Manager.attach_evict manager ~graft_name:"hotlist" vm runner
+       ~hot_pages:(fun () -> hot)
+   end);
+  let rng = Graft_util.Prng.create 0xDBL in
+  (* Scan the subtree, interleave unrelated lookups, scan it again. *)
+  let touch page = ignore (Vmsys.access vm page) in
+  Array.iter touch refs;
+  let faults_before = (Vmsys.stats vm).Vmsys.faults in
+  for _ = 1 to noise_pages do
+    let path, _ = Tpcb.random_lookup rng db in
+    Array.iter touch path
+  done;
+  let rescan_start_faults = (Vmsys.stats vm).Vmsys.faults in
+  Array.iter touch refs;
+  let stats = Vmsys.stats vm in
+  let rescan_faults = stats.Vmsys.faults - rescan_start_faults in
+  (faults_before, rescan_faults, stats, Simclock.now clock)
+
+let () =
+  let _, rescan_lru, stats_lru, time_lru = run_trace ~with_graft:false in
+  let _, rescan_graft, stats_graft, time_graft = run_trace ~with_graft:true in
+  Printf.printf "TPC-B subtree scan under memory pressure (%d frames)\n\n"
+    nframes;
+  Printf.printf "%-28s %12s %12s\n" "" "pure LRU" "hot-list graft";
+  Printf.printf "%-28s %12d %12d\n" "rescan faults (of 129 pages)" rescan_lru
+    rescan_graft;
+  Printf.printf "%-28s %12d %12d\n" "total faults" stats_lru.Vmsys.faults
+    stats_graft.Vmsys.faults;
+  Printf.printf "%-28s %12s %12s\n" "simulated I/O time"
+    (Graft_util.Timer.pp_seconds time_lru)
+    (Graft_util.Timer.pp_seconds time_graft);
+  Printf.printf "%-28s %12s %12d\n" "graft overrides" "-"
+    stats_graft.Vmsys.hook_overrides;
+  Printf.printf "%-28s %12s %12d\n" "invalid proposals" "-"
+    stats_graft.Vmsys.hook_invalid;
+  let saved = time_lru -. time_graft in
+  Printf.printf "\nThe graft saved %s of simulated I/O (%d avoided faults).\n"
+    (Graft_util.Timer.pp_seconds saved)
+    (stats_lru.Vmsys.faults - stats_graft.Vmsys.faults);
+  if rescan_graft < rescan_lru then
+    print_endline "Hot pages stayed resident, as the paper's model predicts."

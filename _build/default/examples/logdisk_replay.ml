@@ -1,0 +1,50 @@
+(* The paper's Black Box graft (section 3.3): a Logical Disk layer that
+   turns random writes into sequential segment writes. The mapping
+   bookkeeping runs as a graft; the kernel engine batches, charges the
+   1995 Solaris disk model for both layouts, and shadow-verifies every
+   mapping the graft reports.
+
+   Run with: dune exec examples/logdisk_replay.exe *)
+
+open Graft_kernel
+open Graft_core
+
+let nblocks = 16384
+let writes = 8192
+
+let () =
+  let rng = Graft_util.Prng.create 0x1D15CL in
+  let gen = Graft_workload.Skew.eighty_twenty rng ~n:nblocks in
+  let workload = Graft_workload.Skew.workload gen writes in
+  let config = { Logdisk.nblocks; segment_blocks = 16 } in
+  Printf.printf
+    "replaying %d skewed writes (80%%/20%%) over a %d-block disk\n\n" writes
+    nblocks;
+  Printf.printf "%-22s %12s %12s %12s %8s\n" "technology" "bookkeeping"
+    "LSD I/O" "in-place I/O" "correct";
+  List.iter
+    (fun tech ->
+      let manager = Manager.create () in
+      ignore
+        (Manager.register manager ~name:"lsd" ~tech
+           ~structure:Taxonomy.Black_box ~motivation:Taxonomy.Performance ());
+      let policy =
+        Manager.attach_logdisk manager ~graft_name:"lsd"
+          (Runners.logdisk_policy tech ~nblocks)
+      in
+      let elapsed, result =
+        Graft_util.Timer.time_it (fun () -> Logdisk.run config policy workload)
+      in
+      Printf.printf "%-22s %12s %12s %12s %8s\n" (Technology.name tech)
+        (Graft_util.Timer.pp_seconds elapsed)
+        (Graft_util.Timer.pp_seconds result.Logdisk.lsd_io_s)
+        (Graft_util.Timer.pp_seconds result.Logdisk.inplace_io_s)
+        (if result.Logdisk.mapping_errors = 0 then "yes" else "NO"))
+    [
+      Technology.Unsafe_c; Technology.Safe_lang; Technology.Sfi_write_jump;
+      Technology.Bytecode_vm; Technology.Ast_interp;
+    ];
+  print_endline
+    "\nBatching into 64KB segments beats in-place writes by an order of\n\
+     magnitude on a seek-bound disk; even interpreted bookkeeping is\n\
+     cheap next to the saved seeks (the paper's Table 6 conclusion)."

@@ -1,0 +1,85 @@
+(* Quickstart: write a kernel extension ("graft") in GEL once, run it
+   under several extension technologies, and watch the safety story —
+   out-of-bounds grafts fault cleanly and runaway grafts are preempted.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Graft_gel
+open Graft_mem
+
+(* A tiny Prioritization-style graft: score candidates and return the
+   index of the best one. *)
+let source =
+  {|
+shared array scores[16];
+
+fn best(n : int) : int {
+  var best_i = 0;
+  var best_v = scores[0];
+  for (var i = 1; i < n; i = i + 1) {
+    if (scores[i] > best_v) { best_v = scores[i]; best_i = i; }
+  }
+  return best_i;
+}
+
+fn spin() : int {
+  while (true) { }
+  return 0;
+}
+
+fn wild(i : int) : int {
+  return scores[i];
+}
+|}
+
+let () =
+  (* 1. Compile and link the graft into a fresh power-of-two memory,
+     with the kernel-shared window mapped read-only. *)
+  let prog = Gel.compile_exn source in
+  let mem = Memory.create 1024 in
+  let window = Memory.alloc mem ~name:"scores" ~len:16 ~perm:Memory.perm_ro in
+  Memory.blit_in mem window [| 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8 |];
+  let image =
+    match Link.link prog ~mem ~shared:[ ("scores", window) ] ~hosts:[] with
+    | Ok image -> image
+    | Error msg -> failwith msg
+  in
+
+  (* 2. The same graft, three execution technologies. *)
+  print_endline "-- best(12) under three technologies --";
+  let fuel = 100_000 in
+
+  (match Interp.run image ~entry:"best" ~args:[| 12 |] ~fuel with
+  | Ok v -> Printf.printf "  AST interpreter      : index %d\n" v
+  | Error _ -> assert false);
+
+  let bytecode = Graft_stackvm.Stackvm.load_exn image in
+  (match Graft_stackvm.Vm.run bytecode ~entry:"best" ~args:[| 12 |] ~fuel with
+  | Ok v -> Printf.printf "  bytecode VM (Java)   : index %d\n" v
+  | Error _ -> assert false);
+
+  let sfi = Graft_regvm.Regvm.load_exn image in
+  (match Graft_regvm.Machine.run sfi ~entry:"best" ~args:[| 12 |] ~fuel with
+  | Ok o ->
+      Printf.printf "  register VM + SFI    : index %d (%d instructions)\n"
+        o.Graft_regvm.Machine.value o.Graft_regvm.Machine.instructions
+  | Error _ -> assert false);
+
+  (* 3. Safety: a wild access faults instead of corrupting the kernel. *)
+  print_endline "-- wild(9999): out-of-bounds access --";
+  (match Interp.run image ~entry:"wild" ~args:[| 9999 |] ~fuel with
+  | Error (`Fault f) ->
+      Printf.printf "  contained: %s\n" (Fault.to_string f)
+  | _ -> assert false);
+
+  (* 4. Safety: an infinite loop is preempted when its fuel runs out. *)
+  print_endline "-- spin(): runaway graft --";
+  (match Graft_stackvm.Vm.run bytecode ~entry:"spin" ~args:[||] ~fuel:5000 with
+  | Error (`Fault Fault.Fuel_exhausted) ->
+      print_endline "  preempted: CPU quantum exhausted"
+  | _ -> assert false);
+
+  (* 5. The kernel carries on: the healthy entry point still works. *)
+  (match Interp.run image ~entry:"best" ~args:[| 12 |] ~fuel with
+  | Ok v -> Printf.printf "-- kernel survived; best(12) is still %d --\n" v
+  | Error _ -> assert false)

@@ -1,0 +1,1 @@
+lib/core/manager.ml: Buffer Bytes Fault Graft_kernel Graft_mem Hashtbl Printf Runners Taxonomy Technology

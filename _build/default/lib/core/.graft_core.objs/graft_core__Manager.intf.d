@@ -1,0 +1,1 @@
+lib/core/manager.mli: Graft_kernel Graft_mem Runners Taxonomy Technology

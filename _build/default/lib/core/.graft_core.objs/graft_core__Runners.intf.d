@@ -1,0 +1,1 @@
+lib/core/runners.mli: Graft_kernel Graft_regvm Graft_util Technology

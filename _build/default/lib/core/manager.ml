@@ -1,0 +1,174 @@
+(** The graft manager: the kernel-side registry that loads grafts,
+    attaches them to hook points, meters their faults, and disables
+    misbehaving ones — the machinery that makes every technology except
+    unsafe C survivable (paper sections 1 and 4).
+
+    A graft that faults more than its budget is detached and the kernel
+    reverts to its default policy. If an {e unsafe} graft faults, the
+    manager raises {!Kernel_panic}: with no protection there is nothing
+    to contain the failure, which is precisely the reliability argument
+    the paper opens with. *)
+
+open Graft_mem
+
+exception Kernel_panic of string
+
+type state = Loaded | Attached | Disabled of Fault.t
+
+type graft = {
+  g_name : string;
+  tech : Technology.t;
+  structure : Taxonomy.structure;
+  motivation : Taxonomy.motivation;
+  max_faults : int;
+  mutable state : state;
+  mutable invocations : int;
+  mutable faults : int;
+}
+
+type t = { grafts : (string, graft) Hashtbl.t }
+
+let create () = { grafts = Hashtbl.create 8 }
+
+let register t ~name ~tech ~structure ~motivation ?(max_faults = 3) () =
+  if Hashtbl.mem t.grafts name then
+    invalid_arg (Printf.sprintf "Manager.register: graft %s already exists" name);
+  let g =
+    {
+      g_name = name;
+      tech;
+      structure;
+      motivation;
+      max_faults;
+      state = Loaded;
+      invocations = 0;
+      faults = 0;
+    }
+  in
+  Hashtbl.replace t.grafts name g;
+  g
+
+let find t name = Hashtbl.find_opt t.grafts name
+let grafts t = Hashtbl.fold (fun _ g acc -> g :: acc) t.grafts []
+
+let state_name = function
+  | Loaded -> "loaded"
+  | Attached -> "attached"
+  | Disabled f -> "disabled: " ^ Fault.to_string f
+
+(* Record a fault against [g]; disable it when over budget; panic when
+   the technology offers no protection. *)
+let record_fault g fault =
+  g.faults <- g.faults + 1;
+  if Technology.can_crash_kernel g.tech then
+    raise
+      (Kernel_panic
+         (Printf.sprintf
+            "unprotected graft %s corrupted the kernel: %s" g.g_name
+            (Fault.to_string fault)));
+  if g.faults >= g.max_faults then g.state <- Disabled fault
+
+(* Run one graft invocation, catching faults per the graft's trust
+   model. Returns [None] when the graft is not in a runnable state or
+   faulted. *)
+let invoke g f =
+  match g.state with
+  | Loaded | Disabled _ -> None
+  | Attached -> (
+      g.invocations <- g.invocations + 1;
+      match f () with
+      | v -> Some v
+      | exception Fault.Fault fault ->
+          record_fault g fault;
+          None
+      | exception Failure msg ->
+          (* Runner wrappers turn faults into Failure. *)
+          record_fault g (Fault.Host_error msg);
+          None)
+
+(** Attach an eviction graft to a VM subsystem. [hot_pages] supplies
+    the application's current hot list at each eviction; the kernel
+    exports it and its LRU chain into the graft's window, asks the
+    graft to choose, and falls back to its own candidate whenever the
+    graft is disabled or faults. *)
+let attach_evict t ~graft_name vm (runner : Runners.evict)
+    ~(hot_pages : unit -> int array) =
+  let g =
+    match find t graft_name with
+    | Some g -> g
+    | None -> invalid_arg "Manager.attach_evict: unknown graft"
+  in
+  g.state <- Attached;
+  Graft_kernel.Vmsys.set_hook vm
+    (Some
+       (fun ~candidate ~lru_pages ->
+         let choice =
+           invoke g (fun () ->
+               runner.Runners.refresh ~hot:(hot_pages ()) ~lru:lru_pages;
+               runner.Runners.choose ())
+         in
+         match choice with Some page -> page | None -> candidate))
+
+(** Attach an MD5 runner as a stream filter: data flowing through is
+    copied into the graft and fingerprinted per chunk boundary at
+    [finish]. Returns the filter and a digest query. *)
+let attach_md5_filter t ~graft_name (runner : Runners.md5) ~capacity =
+  let g =
+    match find t graft_name with
+    | Some g -> g
+    | None -> invalid_arg "Manager.attach_md5_filter: unknown graft"
+  in
+  g.state <- Attached;
+  let staged = Buffer.create capacity in
+  let digest = ref None in
+  let filter =
+    {
+      Graft_kernel.Streams.name = "md5:" ^ Technology.name runner.Runners.m_tech;
+      push =
+        (fun chunk ->
+          if Buffer.length staged + Bytes.length chunk > capacity then
+            Fault.raise_fault
+              (Fault.Host_error "md5 graft buffer capacity exceeded");
+          Buffer.add_bytes staged chunk;
+          chunk);
+      flush =
+        (fun () ->
+          let data = Buffer.to_bytes staged in
+          let result =
+            invoke g (fun () ->
+                runner.Runners.load data;
+                runner.Runners.compute (Bytes.length data);
+                runner.Runners.digest_hex ())
+          in
+          digest := result;
+          Bytes.create 0);
+    }
+  in
+  (filter, fun () -> !digest)
+
+(** Wrap a logical-disk policy so its faults are metered; a disabled
+    policy degrades to identity mapping (writes in place). *)
+let attach_logdisk t ~graft_name (policy : Graft_kernel.Logdisk.policy) =
+  let g =
+    match find t graft_name with
+    | Some g -> g
+    | None -> invalid_arg "Manager.attach_logdisk: unknown graft"
+  in
+  g.state <- Attached;
+  {
+    Graft_kernel.Logdisk.pname = policy.Graft_kernel.Logdisk.pname;
+    map_write =
+      (fun logical ->
+        match
+          invoke g (fun () -> policy.Graft_kernel.Logdisk.map_write logical)
+        with
+        | Some phys -> phys
+        | None -> logical);
+    lookup =
+      (fun logical ->
+        match
+          invoke g (fun () -> policy.Graft_kernel.Logdisk.lookup logical)
+        with
+        | Some phys -> phys
+        | None -> logical);
+  }

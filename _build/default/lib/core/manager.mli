@@ -1,0 +1,75 @@
+(** The graft manager: the kernel-side registry that loads grafts,
+    attaches them to hook points, meters their faults, and disables
+    misbehaving ones — the machinery that makes every technology except
+    unsafe C survivable (paper sections 1 and 4).
+
+    A graft that faults more than its budget is detached and the kernel
+    reverts to its default policy. If an {e unsafe} graft faults, the
+    manager raises {!Kernel_panic}: with no protection there is nothing
+    to contain the failure, which is the reliability argument the paper
+    opens with. *)
+
+exception Kernel_panic of string
+
+type state = Loaded | Attached | Disabled of Graft_mem.Fault.t
+
+type graft = {
+  g_name : string;
+  tech : Technology.t;
+  structure : Taxonomy.structure;
+  motivation : Taxonomy.motivation;
+  max_faults : int;
+  mutable state : state;
+  mutable invocations : int;
+  mutable faults : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** Register a graft. Raises [Invalid_argument] on duplicate names. *)
+val register :
+  t ->
+  name:string ->
+  tech:Technology.t ->
+  structure:Taxonomy.structure ->
+  motivation:Taxonomy.motivation ->
+  ?max_faults:int ->
+  unit ->
+  graft
+
+val find : t -> string -> graft option
+val grafts : t -> graft list
+val state_name : state -> string
+
+(** Attach an eviction graft to a VM subsystem. [hot_pages] supplies
+    the application's current hot list at each eviction; the kernel
+    exports it and its LRU chain into the graft's window, asks the
+    graft to choose, and falls back to its own candidate whenever the
+    graft is disabled or faults. *)
+val attach_evict :
+  t ->
+  graft_name:string ->
+  Graft_kernel.Vmsys.t ->
+  Runners.evict ->
+  hot_pages:(unit -> int array) ->
+  unit
+
+(** Attach an MD5 runner as a stream filter; data is staged and
+    fingerprinted at [finish]. Returns the filter and a digest query
+    ([None] until finished or when the graft was disabled). *)
+val attach_md5_filter :
+  t ->
+  graft_name:string ->
+  Runners.md5 ->
+  capacity:int ->
+  Graft_kernel.Streams.filter * (unit -> string option)
+
+(** Wrap a logical-disk policy so its faults are metered; a disabled
+    policy degrades to identity (in-place) mapping. *)
+val attach_logdisk :
+  t ->
+  graft_name:string ->
+  Graft_kernel.Logdisk.policy ->
+  Graft_kernel.Logdisk.policy

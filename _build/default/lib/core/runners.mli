@@ -1,0 +1,108 @@
+(** Per-technology runners for the paper's grafts.
+
+    A runner packages "the same graft, written for technology T" behind
+    a uniform closure interface, so the benchmark harness and the graft
+    manager treat all technologies identically:
+
+    - native regimes (C / Modula-3 / SFI analogues) close over the
+      functor instances from {!Graft_grafts};
+    - VM technologies compile the GEL source from
+      {!Graft_grafts.Gel_sources} once (including verification) and
+      enter it per call through a resident session;
+    - the source interpreter evaluates the Tcl source from
+      {!Graft_grafts.Script_sources} once and invokes its procs;
+    - the specialized filter VM runs only packet filters (asking it for
+      any other graft raises — the paper's expressiveness limit);
+    - [Upcall_server] is not a wall-clock runner: its boundary cost is
+      simulated ({!Graft_kernel.Upcall}) and analysed by {!Breakeven};
+      the one exception is {!evict_upcall}, which runs the native graft
+      behind a simulated upcall for end-to-end experiments. *)
+
+val huge_fuel : int
+
+(** Smallest power of two >= n (at least 1024). *)
+val next_pow2 : int -> int
+
+(* ------------------------------------------------------------------ *)
+(** {1 Page eviction (Prioritization)} *)
+
+type evict = {
+  e_tech : Technology.t;
+  refresh : hot:int array -> lru:int array -> unit;
+      (** lay the application hot list and kernel LRU chain into the
+          graft's shared window (node placement shuffled when the
+          runner was created with [rng]) *)
+  contains : int -> bool;  (** hot-list membership — the timed op *)
+  choose : unit -> int;  (** full victim selection over the LRU chain *)
+}
+
+(** Cells needed for [capacity_nodes] list nodes. *)
+val evict_cells : int -> int
+
+(** [evict tech ~capacity_nodes ()] builds a runner able to hold up to
+    [capacity_nodes] nodes across both lists; call [refresh] to install
+    them. Raises [Invalid_argument] for [Upcall_server] and
+    [Specialized_vm]. *)
+val evict :
+  ?rng:Graft_util.Prng.t -> Technology.t -> capacity_nodes:int -> unit -> evict
+
+(** The hardware-protection path: the native unsafe graft behind a
+    simulated upcall per invocation (plus marshalling for the exported
+    lists), charged to the domain's clock. *)
+val evict_upcall :
+  ?rng:Graft_util.Prng.t ->
+  domain:Graft_kernel.Upcall.domain ->
+  capacity_nodes:int ->
+  unit ->
+  evict
+
+(** Register-VM variant for the A4 ablation: returns [refresh] and a
+    [contains] reporting (membership, dynamic instruction count). *)
+val evict_regvm :
+  ?rng:Graft_util.Prng.t ->
+  protection:Graft_regvm.Program.protection ->
+  capacity_nodes:int ->
+  unit ->
+  (hot:int array -> lru:int array -> unit) * (int -> bool * int)
+
+(* ------------------------------------------------------------------ *)
+(** {1 MD5 fingerprinting (Stream)} *)
+
+type md5 = {
+  m_tech : Technology.t;
+  load : bytes -> unit;  (** kernel-side copy into the graft's space *)
+  compute : int -> unit;  (** fingerprint the first n bytes — timed *)
+  digest_hex : unit -> string;
+}
+
+(** [md5 tech ~capacity] builds a fingerprinting runner over a buffer
+    of [capacity] bytes (a power of two for the SFI regimes). The
+    digest is verified against RFC 1321 by callers before timing. *)
+val md5 : Technology.t -> capacity:int -> md5
+
+(* ------------------------------------------------------------------ *)
+(** {1 Logical disk (Black Box)} *)
+
+(** [logdisk_policy tech ~nblocks] builds a mapping-policy graft for
+    {!Graft_kernel.Logdisk.run}. [nblocks] must be a power of two for
+    the SFI regimes. *)
+val logdisk_policy :
+  Technology.t -> nblocks:int -> Graft_kernel.Logdisk.policy
+
+(** Dynamic instruction count of [writes] mapped writes on the register
+    VM at the given protection level (A4's store-heavy case). *)
+val logdisk_regvm_instructions :
+  protection:Graft_regvm.Program.protection -> nblocks:int -> writes:int -> int
+
+(* ------------------------------------------------------------------ *)
+(** {1 Packet filter} *)
+
+val pkt_window_cells : int
+
+(** [packet_filter tech ~protocol ~port] builds the canonical demux
+    predicate ("ip and protocol and dst port"). Native regimes and the
+    specialized filter VM read packets in place; VM technologies pay a
+    copy into their window (a graft address space cannot alias kernel
+    mbufs). *)
+val packet_filter :
+  Technology.t -> protocol:int -> port:int -> Graft_kernel.Netpkt.t -> bool

@@ -1,0 +1,1 @@
+lib/gel/ast.ml: Srcloc

@@ -1,0 +1,1 @@
+lib/gel/gel.ml: Ast Interp Ir Lexer Link Optimize Parser Pretty Srcloc Token Typecheck Wordops

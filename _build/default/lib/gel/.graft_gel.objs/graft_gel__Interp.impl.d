@@ -1,0 +1,1 @@
+lib/gel/interp.ml: Array Fault Graft_mem Ir Link List Memory Printf Wordops

@@ -1,0 +1,1 @@
+lib/gel/interp.mli: Graft_mem Ir Link

@@ -1,0 +1,1 @@
+lib/gel/ir.ml: Array Ast List

@@ -1,0 +1,1 @@
+lib/gel/lexer.ml: List Srcloc String Token

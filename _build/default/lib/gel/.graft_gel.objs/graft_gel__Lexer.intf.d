@@ -1,0 +1,1 @@
+lib/gel/lexer.mli: Srcloc Token

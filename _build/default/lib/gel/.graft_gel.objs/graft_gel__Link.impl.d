@@ -1,0 +1,1 @@
+lib/gel/link.ml: Array Graft_mem Ir List Memory Printf

@@ -1,0 +1,1 @@
+lib/gel/optimize.ml: Array Graft_mem Interp Ir List Option Wordops

@@ -1,0 +1,1 @@
+lib/gel/parser.ml: Ast Lexer List Srcloc Token

@@ -1,0 +1,1 @@
+lib/gel/pretty.ml: Array Ast Buffer Ir List Printf String

@@ -1,0 +1,1 @@
+lib/gel/srcloc.ml: Printf

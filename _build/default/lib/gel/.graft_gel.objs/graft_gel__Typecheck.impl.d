@@ -1,0 +1,1 @@
+lib/gel/typecheck.ml: Array Ast Hashtbl Ir List Srcloc Wordops

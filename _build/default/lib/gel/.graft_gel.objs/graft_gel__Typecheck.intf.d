@@ -1,0 +1,1 @@
+lib/gel/typecheck.mli: Ast Ir

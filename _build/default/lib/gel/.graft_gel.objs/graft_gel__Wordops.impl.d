@@ -1,0 +1,1 @@
+lib/gel/wordops.ml:

@@ -1,0 +1,32 @@
+(** Front door for the GEL extension language.
+
+    {[
+      let prog = Gel.compile_exn source in
+      let image = Gel.Link.link_fresh prog |> Result.get_ok in
+      Gel.Interp.run image ~entry:"main" ~args:[||] ~fuel:1_000_000
+    ]} *)
+
+module Srcloc = Srcloc
+module Token = Token
+module Lexer = Lexer
+module Ast = Ast
+module Parser = Parser
+module Wordops = Wordops
+module Ir = Ir
+module Typecheck = Typecheck
+module Link = Link
+module Interp = Interp
+module Optimize = Optimize
+module Pretty = Pretty
+
+(** Parse and typecheck GEL source; [optimize] additionally runs the
+    {!Optimize} pass over the IR. *)
+let compile ?(optimize = false) (src : string) : (Ir.program, Srcloc.error) result =
+  match Typecheck.check_program (Parser.parse_program src) with
+  | prog -> Ok (if optimize then Optimize.program prog else prog)
+  | exception Srcloc.Error e -> Error e
+
+(** Like [compile] but raises [Srcloc.Error]. *)
+let compile_exn ?(optimize = false) src =
+  let prog = Typecheck.check_program (Parser.parse_program src) in
+  if optimize then Optimize.program prog else prog

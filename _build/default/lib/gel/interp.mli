@@ -1,0 +1,27 @@
+(** Reference interpreter for GEL IR: a direct AST walk.
+
+    This is the semantic oracle the VM backends are differentially
+    tested against, and it doubles as a measured technology in its own
+    right (an AST-walking interpreter sits between a bytecode VM and a
+    source-level interpreter in the paper's taxonomy). Every access is
+    checked; fuel is decremented per evaluated node so runaway grafts
+    are preempted. *)
+
+(** [run image ~entry ~args ~fuel] invokes [entry] with integer
+    [args]. Returns the result, the fault that stopped the graft, or an
+    error for a bad entry point. *)
+val run :
+  Link.image ->
+  entry:string ->
+  args:int array ->
+  fuel:int ->
+  (int, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result
+
+(** Shared operator semantics, reused by the register VM's evaluator so
+    arithmetic cannot drift between engines. Both raise
+    [Graft_mem.Fault.Fault] on division by zero. *)
+
+val arith : Ir.kind -> Ir.arith -> int -> int -> int
+
+(** 0/1 result of a comparison. *)
+val compare_vals : Ir.cmp -> int -> int -> int

@@ -1,0 +1,195 @@
+(** Hand-written lexer for GEL. Supports decimal and 0x hex literals,
+    line comments [//] and block comments [/* ... */]. *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create src = { src; pos = 0; line = 1; col = 1 }
+
+let location lx = { Srcloc.line = lx.line; col = lx.col }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when peek_char2 lx = Some '/' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some '/' when peek_char2 lx = Some '*' ->
+      let start = location lx in
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match (peek_char lx, peek_char2 lx) with
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | None, _ -> Srcloc.error start "unterminated block comment"
+        | Some _, _ ->
+            advance lx;
+            to_close ()
+      in
+      to_close ();
+      skip_ws lx
+  | _ -> ()
+
+let keyword_of_ident = function
+  | "fn" -> Some Token.KW_FN
+  | "var" -> Some Token.KW_VAR
+  | "array" -> Some Token.KW_ARRAY
+  | "shared" -> Some Token.KW_SHARED
+  | "extern" -> Some Token.KW_EXTERN
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "true" -> Some Token.KW_TRUE
+  | "false" -> Some Token.KW_FALSE
+  | "int" -> Some Token.KW_INT
+  | "word" -> Some Token.KW_WORD
+  | "bool" -> Some Token.KW_BOOL
+  | _ -> None
+
+let lex_number lx =
+  let start = lx.pos in
+  let loc = location lx in
+  let hex =
+    peek_char lx = Some '0'
+    && (peek_char2 lx = Some 'x' || peek_char2 lx = Some 'X')
+  in
+  if hex then begin
+    advance lx;
+    advance lx;
+    let digits_start = lx.pos in
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done;
+    if lx.pos = digits_start then Srcloc.error loc "empty hex literal";
+    let text = String.sub lx.src start (lx.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> Token.INT n
+    | None -> Srcloc.error loc "hex literal out of range: %s" text
+  end
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let text = String.sub lx.src start (lx.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> Token.INT n
+    | None -> Srcloc.error loc "integer literal out of range: %s" text
+  end
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match keyword_of_ident text with Some kw -> kw | None -> Token.IDENT text
+
+(** Next token and its starting position. *)
+let next lx : Token.t * Srcloc.pos =
+  skip_ws lx;
+  let loc = location lx in
+  let tok =
+    match peek_char lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> lex_ident lx
+    | Some c ->
+        let two t =
+          advance lx;
+          advance lx;
+          t
+        in
+        let one t =
+          advance lx;
+          t
+        in
+        (match (c, peek_char2 lx) with
+        | '<', Some '<' -> two Token.SHL
+        | '<', Some '=' -> two Token.LE
+        | '<', _ -> one Token.LT
+        | '>', Some '>' ->
+            advance lx;
+            advance lx;
+            if peek_char lx = Some '>' then begin
+              advance lx;
+              Token.LSHR
+            end
+            else Token.SHR
+        | '>', Some '=' -> two Token.GE
+        | '>', _ -> one Token.GT
+        | '=', Some '=' -> two Token.EQEQ
+        | '=', _ -> one Token.ASSIGN
+        | '!', Some '=' -> two Token.NE
+        | '!', _ -> one Token.BANG
+        | '&', Some '&' -> two Token.AMPAMP
+        | '&', _ -> one Token.AMP
+        | '|', Some '|' -> two Token.PIPEPIPE
+        | '|', _ -> one Token.PIPE
+        | '+', _ -> one Token.PLUS
+        | '-', _ -> one Token.MINUS
+        | '*', _ -> one Token.STAR
+        | '/', _ -> one Token.SLASH
+        | '%', _ -> one Token.PERCENT
+        | '^', _ -> one Token.CARET
+        | '~', _ -> one Token.TILDE
+        | '(', _ -> one Token.LPAREN
+        | ')', _ -> one Token.RPAREN
+        | '{', _ -> one Token.LBRACE
+        | '}', _ -> one Token.RBRACE
+        | '[', _ -> one Token.LBRACKET
+        | ']', _ -> one Token.RBRACKET
+        | ';', _ -> one Token.SEMI
+        | ':', _ -> one Token.COLON
+        | ',', _ -> one Token.COMMA
+        | _ -> Srcloc.error loc "unexpected character %C" c)
+  in
+  (tok, loc)
+
+(** Tokenize a whole source string (for tests). *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let tok, pos = next lx in
+    if tok = Token.EOF then List.rev ((tok, pos) :: acc)
+    else go ((tok, pos) :: acc)
+  in
+  go []

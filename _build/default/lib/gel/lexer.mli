@@ -1,0 +1,15 @@
+(** Hand-written lexer for GEL: decimal and [0x] hex literals, line
+    ([//]) and block ([/* ... */]) comments, and the full operator set
+    including the logical shift [>>>]. *)
+
+type t
+
+val create : string -> t
+
+(** Next token and its starting position. Raises [Srcloc.Error] on
+    malformed input (bad character, unterminated comment, literal out
+    of range). *)
+val next : t -> Token.t * Srcloc.pos
+
+(** Tokenize a whole source string, ending with [EOF] (for tests). *)
+val tokenize : string -> (Token.t * Srcloc.pos) list

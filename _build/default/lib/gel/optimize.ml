@@ -1,0 +1,135 @@
+(** IR-level optimizer: constant folding, algebraic identities, branch
+    pruning, and dead-code elimination.
+
+    Every rewrite is fault-preserving: expressions that can fault at
+    runtime (division/modulo with a non-constant or zero divisor, array
+    loads, calls) are never deleted or folded past. Fuel consumption is
+    an execution budget, not observable semantics, so optimized
+    programs may run on less fuel.
+
+    The cross-engine fuzzer (test/test_fuzz.ml) checks optimized
+    programs against unoptimized ones on all engines. *)
+
+(* An expression is pure when evaluating it can neither fault nor have
+   effects — only those may be deleted or duplicated. *)
+let rec pure (e : Ir.expr) =
+  match e with
+  | Ir.Const _ | Ir.Local _ | Ir.Global _ -> true
+  | Ir.Arith (_, (Ir.Div | Ir.Mod), a, b) -> (
+      pure a && match b with Ir.Const n -> n <> 0 | _ -> false)
+  | Ir.Arith (_, _, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      pure a && pure b
+  | Ir.Not a | Ir.Bnot (_, a) | Ir.Neg (_, a) | Ir.ToWord a | Ir.ToBool a ->
+      pure a
+  | Ir.Load _ (* may fault *) | Ir.Call _ | Ir.CallExt _ -> false
+
+let rec expr (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Const _ | Ir.Local _ | Ir.Global _ -> e
+  | Ir.Load (a, i) -> Ir.Load (a, expr i)
+  | Ir.Arith (kind, op, a, b) -> arith kind op (expr a) (expr b)
+  | Ir.Cmp (c, a, b) -> (
+      let a = expr a and b = expr b in
+      match (a, b) with
+      | Ir.Const x, Ir.Const y -> Ir.Const (Interp.compare_vals c x y)
+      | _ -> Ir.Cmp (c, a, b))
+  | Ir.Not a -> (
+      match expr a with
+      | Ir.Const n -> Ir.Const (if n = 0 then 1 else 0)
+      | Ir.Not b -> b (* operands of Not are bool-typed: 0/1 *)
+      | a -> Ir.Not a)
+  | Ir.Bnot (k, a) -> (
+      match expr a with
+      | Ir.Const n ->
+          Ir.Const (if k = Ir.Kword then Wordops.bnot n else lnot n)
+      | a -> Ir.Bnot (k, a))
+  | Ir.Neg (k, a) -> (
+      match expr a with
+      | Ir.Const n -> Ir.Const (if k = Ir.Kword then Wordops.neg n else -n)
+      | a -> Ir.Neg (k, a))
+  | Ir.And (a, b) -> (
+      match expr a with
+      | Ir.Const 0 -> Ir.Const 0
+      | Ir.Const _ -> expr b (* b is bool-typed *)
+      | a -> Ir.And (a, expr b))
+  | Ir.Or (a, b) -> (
+      match expr a with
+      | Ir.Const 0 -> expr b
+      | Ir.Const _ -> Ir.Const 1
+      | a -> Ir.Or (a, expr b))
+  | Ir.Call (f, args) -> Ir.Call (f, Array.map expr args)
+  | Ir.CallExt (f, args) -> Ir.CallExt (f, Array.map expr args)
+  | Ir.ToWord a -> (
+      match expr a with
+      | Ir.Const n -> Ir.Const (Wordops.of_int n)
+      | a -> Ir.ToWord a)
+  | Ir.ToBool a -> (
+      match expr a with
+      | Ir.Const n -> Ir.Const (if n = 0 then 0 else 1)
+      | (Ir.Cmp _ | Ir.Not _ | Ir.And _ | Ir.Or _ | Ir.ToBool _) as b ->
+          b (* already 0/1 *)
+      | a -> Ir.ToBool a)
+
+and arith kind op a b =
+  match (a, b) with
+  | Ir.Const x, Ir.Const y -> (
+      (* Fold through the interpreter's own semantics so engines and
+         optimizer cannot drift; never fold a faulting division. *)
+      match Interp.arith kind op x y with
+      | v -> Ir.Const v
+      | exception Graft_mem.Fault.Fault _ -> Ir.Arith (kind, op, a, b))
+  | _ -> (
+      (* Algebraic identities. Forms that would delete a subexpression
+         require it to be pure. *)
+      match (op, a, b) with
+      | Ir.Add, Ir.Const 0, e | Ir.Add, e, Ir.Const 0 -> e
+      | Ir.Sub, e, Ir.Const 0 -> e
+      | Ir.Mul, Ir.Const 1, e | Ir.Mul, e, Ir.Const 1 -> e
+      | Ir.Mul, Ir.Const 0, e when pure e -> Ir.Const 0
+      | Ir.Mul, e, Ir.Const 0 when pure e -> Ir.Const 0
+      | Ir.Bor, Ir.Const 0, e | Ir.Bor, e, Ir.Const 0 -> e
+      | Ir.Bxor, Ir.Const 0, e | Ir.Bxor, e, Ir.Const 0 -> e
+      | Ir.Band, Ir.Const 0, e when pure e -> Ir.Const 0
+      | Ir.Band, e, Ir.Const 0 when pure e -> Ir.Const 0
+      | (Ir.Shl | Ir.Shr | Ir.Lshr), e, Ir.Const 0 -> e
+      | Ir.Div, e, Ir.Const 1 -> e
+      | _ -> Ir.Arith (kind, op, a, b))
+
+let rec stmt (s : Ir.stmt) : Ir.stmt list =
+  match s with
+  | Ir.Set_local (slot, e) -> [ Ir.Set_local (slot, expr e) ]
+  | Ir.Set_global (slot, e) -> [ Ir.Set_global (slot, expr e) ]
+  | Ir.Store (a, i, v) -> [ Ir.Store (a, expr i, expr v) ]
+  | Ir.If (c, t, f) -> (
+      match expr c with
+      | Ir.Const 0 -> block f
+      | Ir.Const _ -> block t
+      | c -> [ Ir.If (c, block t, block f) ])
+  | Ir.While (c, body, step) -> (
+      match expr c with
+      | Ir.Const 0 -> []
+      | c -> [ Ir.While (c, block body, block step) ])
+  | Ir.Return e -> [ Ir.Return (Option.map expr e) ]
+  | Ir.Break | Ir.Continue -> [ s ]
+  | Ir.Eval e ->
+      let e = expr e in
+      if pure e then [] else [ Ir.Eval e ]
+
+and block stmts =
+  (* Statements after an always-taken Return/Break/Continue are dead. *)
+  let rec go = function
+    | [] -> []
+    | s :: rest -> (
+        let out = stmt s in
+        match List.rev out with
+        | (Ir.Return _ | Ir.Break | Ir.Continue) :: _ -> out
+        | _ -> out @ go rest)
+  in
+  go stmts
+
+let func (f : Ir.func) = { f with Ir.body = block f.Ir.body }
+
+(** Optimize every function of a program. The layout (globals, arrays,
+    externs) is untouched, so an optimized program links and runs
+    against the same memory image. *)
+let program (p : Ir.program) = { p with Ir.funcs = Array.map func p.Ir.funcs }

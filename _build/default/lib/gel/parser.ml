@@ -1,0 +1,475 @@
+(** Recursive-descent parser for GEL with precedence climbing. *)
+
+type t = {
+  lexer : Lexer.t;
+  mutable tok : Token.t;
+  mutable pos : Srcloc.pos;
+}
+
+let advance p =
+  let tok, pos = Lexer.next p.lexer in
+  p.tok <- tok;
+  p.pos <- pos
+
+let create src =
+  let lexer = Lexer.create src in
+  let tok, pos = Lexer.next lexer in
+  { lexer; tok; pos }
+
+
+let expect p tok =
+  if p.tok = tok then advance p
+  else
+    Srcloc.error p.pos "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string p.tok)
+
+let expect_ident p =
+  match p.tok with
+  | Token.IDENT name ->
+      advance p;
+      name
+  | t -> Srcloc.error p.pos "expected identifier, found %s" (Token.to_string t)
+
+let parse_ty p =
+  match p.tok with
+  | Token.KW_INT ->
+      advance p;
+      Ast.Tint
+  | Token.KW_WORD ->
+      advance p;
+      Ast.Tword
+  | Token.KW_BOOL ->
+      advance p;
+      Ast.Tbool
+  | t -> Srcloc.error p.pos "expected a type, found %s" (Token.to_string t)
+
+(* Binary operator precedence; higher binds tighter. Mirrors C except
+   that bitwise ops bind tighter than comparisons (avoiding C's famous
+   precedence trap). *)
+let binop_of_token = function
+  | Token.PIPEPIPE -> Some (Ast.Or, 1)
+  | Token.AMPAMP -> Some (Ast.And, 2)
+  | Token.EQEQ -> Some (Ast.Eq, 3)
+  | Token.NE -> Some (Ast.Ne, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PIPE -> Some (Ast.Bor, 5)
+  | Token.CARET -> Some (Ast.Bxor, 6)
+  | Token.AMP -> Some (Ast.Band, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.LSHR -> Some (Ast.Lshr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let mk pos desc = { Ast.desc; pos }
+
+let rec parse_expr p = parse_binary p 1
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match binop_of_token p.tok with
+    | Some (op, prec) when prec >= min_prec ->
+        let pos = p.pos in
+        advance p;
+        let rhs = parse_binary p (prec + 1) in
+        loop (mk pos (Ast.Binary (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  let pos = p.pos in
+  match p.tok with
+  | Token.MINUS ->
+      advance p;
+      mk pos (Ast.Unary (Ast.Neg, parse_unary p))
+  | Token.BANG ->
+      advance p;
+      mk pos (Ast.Unary (Ast.Not, parse_unary p))
+  | Token.TILDE ->
+      advance p;
+      mk pos (Ast.Unary (Ast.Bnot, parse_unary p))
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let pos = p.pos in
+  match p.tok with
+  | Token.INT n ->
+      advance p;
+      mk pos (Ast.Int_lit n)
+  | Token.KW_TRUE ->
+      advance p;
+      mk pos (Ast.Bool_lit true)
+  | Token.KW_FALSE ->
+      advance p;
+      mk pos (Ast.Bool_lit false)
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | (Token.KW_INT | Token.KW_WORD | Token.KW_BOOL) as t ->
+      (* Cast syntax: int(e), word(e), bool(e). *)
+      let ty =
+        match t with
+        | Token.KW_INT -> Ast.Tint
+        | Token.KW_WORD -> Ast.Tword
+        | _ -> Ast.Tbool
+      in
+      advance p;
+      expect p Token.LPAREN;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      mk pos (Ast.Cast (ty, e))
+  | Token.IDENT name -> begin
+      advance p;
+      match p.tok with
+      | Token.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          mk pos (Ast.Call (name, args))
+      | Token.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          mk pos (Ast.Index (name, idx))
+      | _ -> mk pos (Ast.Var name)
+    end
+  | t -> Srcloc.error pos "expected an expression, found %s" (Token.to_string t)
+
+and parse_args p =
+  if p.tok = Token.RPAREN then begin
+    advance p;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr p in
+      match p.tok with
+      | Token.COMMA ->
+          advance p;
+          go (e :: acc)
+      | Token.RPAREN ->
+          advance p;
+          List.rev (e :: acc)
+      | t ->
+          Srcloc.error p.pos "expected ',' or ')', found %s" (Token.to_string t)
+    in
+    go []
+  end
+
+let mks pos sdesc = { Ast.sdesc; spos = pos }
+
+(* A "simple statement" (no trailing semicolon): declaration, assignment,
+   array store, or expression. Used in for-headers and as the core of
+   expression statements. *)
+let rec parse_simple_stmt p =
+  let pos = p.pos in
+  match p.tok with
+  | Token.KW_VAR ->
+      advance p;
+      let name = expect_ident p in
+      let ty =
+        if p.tok = Token.COLON then begin
+          advance p;
+          Some (parse_ty p)
+        end
+        else None
+      in
+      expect p Token.ASSIGN;
+      let e = parse_expr p in
+      mks pos (Ast.Decl (name, ty, e))
+  | Token.IDENT name -> begin
+      advance p;
+      match p.tok with
+      | Token.ASSIGN ->
+          advance p;
+          let e = parse_expr p in
+          mks pos (Ast.Assign (name, e))
+      | Token.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Token.RBRACKET;
+          if p.tok = Token.ASSIGN then begin
+            advance p;
+            let e = parse_expr p in
+            mks pos (Ast.Store (name, idx, e))
+          end
+          else
+            (* It was an expression beginning with an index; indexes are
+               pure so a bare "a[i];" is allowed as an expression stmt. *)
+            let idx_expr = mk pos (Ast.Index (name, idx)) in
+            let full = parse_binary_continue p idx_expr in
+            mks pos (Ast.Expr_stmt full)
+      | Token.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          let call = mk pos (Ast.Call (name, args)) in
+          let full = parse_binary_continue p call in
+          mks pos (Ast.Expr_stmt full)
+      | _ ->
+          let var = mk pos (Ast.Var name) in
+          let full = parse_binary_continue p var in
+          mks pos (Ast.Expr_stmt full)
+    end
+  | _ ->
+      let e = parse_expr p in
+      mks pos (Ast.Expr_stmt e)
+
+(* Continue a binary expression whose left operand was already parsed
+   (needed because statement parsing consumes the leading identifier). *)
+and parse_binary_continue p lhs =
+  let rec loop lhs =
+    match binop_of_token p.tok with
+    | Some (op, _prec) ->
+        let pos = p.pos in
+        advance p;
+        let rhs = parse_binary p 1 in
+        loop (mk pos (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+let rec parse_stmt p =
+  let pos = p.pos in
+  match p.tok with
+  | Token.KW_IF ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let then_blk = parse_block p in
+      let else_blk =
+        if p.tok = Token.KW_ELSE then begin
+          advance p;
+          if p.tok = Token.KW_IF then [ parse_stmt p ] else parse_block p
+        end
+        else []
+      in
+      mks pos (Ast.If (cond, then_blk, else_blk))
+  | Token.KW_WHILE ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let body = parse_block p in
+      mks pos (Ast.While (cond, body))
+  | Token.KW_FOR ->
+      advance p;
+      expect p Token.LPAREN;
+      let init =
+        if p.tok = Token.SEMI then None else Some (parse_simple_stmt p)
+      in
+      expect p Token.SEMI;
+      let cond = if p.tok = Token.SEMI then None else Some (parse_expr p) in
+      expect p Token.SEMI;
+      let step =
+        if p.tok = Token.RPAREN then None else Some (parse_simple_stmt p)
+      in
+      expect p Token.RPAREN;
+      let body = parse_block p in
+      mks pos (Ast.For (init, cond, step, body))
+  | Token.KW_RETURN ->
+      advance p;
+      if p.tok = Token.SEMI then begin
+        advance p;
+        mks pos (Ast.Return None)
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        mks pos (Ast.Return (Some e))
+      end
+  | Token.KW_BREAK ->
+      advance p;
+      expect p Token.SEMI;
+      mks pos Ast.Break
+  | Token.KW_CONTINUE ->
+      advance p;
+      expect p Token.SEMI;
+      mks pos Ast.Continue
+  | _ ->
+      let s = parse_simple_stmt p in
+      expect p Token.SEMI;
+      s
+
+and parse_block p =
+  expect p Token.LBRACE;
+  let rec go acc =
+    if p.tok = Token.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else go (parse_stmt p :: acc)
+  in
+  go []
+
+let parse_params p =
+  expect p Token.LPAREN;
+  if p.tok = Token.RPAREN then begin
+    advance p;
+    []
+  end
+  else begin
+    let rec go acc =
+      let pname = expect_ident p in
+      expect p Token.COLON;
+      let pty = parse_ty p in
+      let param = { Ast.pname; pty } in
+      match p.tok with
+      | Token.COMMA ->
+          advance p;
+          go (param :: acc)
+      | Token.RPAREN ->
+          advance p;
+          List.rev (param :: acc)
+      | t ->
+          Srcloc.error p.pos "expected ',' or ')', found %s" (Token.to_string t)
+    in
+    go []
+  end
+
+let parse_global p =
+  let pos = p.pos in
+  match p.tok with
+  | Token.KW_VAR ->
+      advance p;
+      let name = expect_ident p in
+      expect p Token.COLON;
+      let gty = parse_ty p in
+      let init =
+        if p.tok = Token.ASSIGN then begin
+          advance p;
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect p Token.SEMI;
+      Ast.Gvar { name; gty; init; gpos = pos }
+  | Token.KW_ARRAY | Token.KW_SHARED ->
+      let shared = p.tok = Token.KW_SHARED in
+      advance p;
+      if shared then expect p Token.KW_ARRAY;
+      let name = expect_ident p in
+      expect p Token.LBRACKET;
+      let size =
+        match p.tok with
+        | Token.INT n ->
+            advance p;
+            n
+        | t ->
+            Srcloc.error p.pos "expected array size, found %s"
+              (Token.to_string t)
+      in
+      expect p Token.RBRACKET;
+      let elem =
+        if p.tok = Token.COLON then begin
+          advance p;
+          parse_ty p
+        end
+        else Ast.Tint
+      in
+      let init =
+        if p.tok = Token.ASSIGN then begin
+          advance p;
+          expect p Token.LBRACE;
+          let rec go acc =
+            let e = parse_expr p in
+            match p.tok with
+            | Token.COMMA ->
+                advance p;
+                (* allow trailing comma before '}' *)
+                if p.tok = Token.RBRACE then begin
+                  advance p;
+                  List.rev (e :: acc)
+                end
+                else go (e :: acc)
+            | Token.RBRACE ->
+                advance p;
+                List.rev (e :: acc)
+            | t ->
+                Srcloc.error p.pos "expected ',' or '}', found %s"
+                  (Token.to_string t)
+          in
+          Some (go [])
+        end
+        else None
+      in
+      expect p Token.SEMI;
+      if size <= 0 then Srcloc.error pos "array %s has non-positive size" name;
+      if shared && init <> None then
+        Srcloc.error pos "shared array %s cannot have an initializer" name;
+      (match init with
+      | Some elems when List.length elems > size ->
+          Srcloc.error pos "array %s: %d initializers for %d elements" name
+            (List.length elems) size
+      | _ -> ());
+      Ast.Garray { name; size; elem; shared; init; gpos = pos }
+  | Token.KW_EXTERN ->
+      advance p;
+      expect p Token.KW_FN;
+      let name = expect_ident p in
+      expect p Token.LPAREN;
+      let params =
+        if p.tok = Token.RPAREN then begin
+          advance p;
+          []
+        end
+        else begin
+          let rec go acc =
+            let ty = parse_ty p in
+            match p.tok with
+            | Token.COMMA ->
+                advance p;
+                go (ty :: acc)
+            | Token.RPAREN ->
+                advance p;
+                List.rev (ty :: acc)
+            | t ->
+                Srcloc.error p.pos "expected ',' or ')', found %s"
+                  (Token.to_string t)
+          in
+          go []
+        end
+      in
+      let ret =
+        if p.tok = Token.COLON then begin
+          advance p;
+          Some (parse_ty p)
+        end
+        else None
+      in
+      expect p Token.SEMI;
+      Ast.Gextern { name; params; ret; gpos = pos }
+  | Token.KW_FN ->
+      advance p;
+      let name = expect_ident p in
+      let params = parse_params p in
+      let ret =
+        if p.tok = Token.COLON then begin
+          advance p;
+          Some (parse_ty p)
+        end
+        else None
+      in
+      let body = parse_block p in
+      Ast.Gfn { name; params; ret; body; gpos = pos }
+  | t ->
+      Srcloc.error pos "expected a declaration, found %s" (Token.to_string t)
+
+(** Parse a whole program. Raises [Srcloc.Error] on syntax errors. *)
+let parse_program src =
+  let p = create src in
+  let rec go acc =
+    if p.tok = Token.EOF then List.rev acc else go (parse_global p :: acc)
+  in
+  go []
+

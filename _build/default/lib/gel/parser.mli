@@ -1,0 +1,8 @@
+(** Recursive-descent parser for GEL with precedence climbing.
+
+    Precedence, tightest first: unary; [* / %]; [+ -]; shifts; [&];
+    [^]; [|]; comparisons; [&&]; [||]. Note that unlike C, the bitwise
+    operators bind tighter than comparisons. *)
+
+(** Parse a whole program. Raises [Srcloc.Error] on syntax errors. *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,158 @@
+(** Pretty-printer for GEL IR, used by the CLI's dump command and by
+    golden tests of the lowering. *)
+
+let kind_tag = function Ir.Kint -> "" | Ir.Kword -> "w"
+
+let arith_op = function
+  | Ir.Add -> "+" | Ir.Sub -> "-" | Ir.Mul -> "*" | Ir.Div -> "/"
+  | Ir.Mod -> "%" | Ir.Shl -> "<<" | Ir.Shr -> ">>" | Ir.Lshr -> ">>>"
+  | Ir.Band -> "&" | Ir.Bor -> "|" | Ir.Bxor -> "^"
+
+let cmp_op = function
+  | Ir.Lt -> "<" | Ir.Le -> "<=" | Ir.Gt -> ">" | Ir.Ge -> ">="
+  | Ir.Eq -> "==" | Ir.Ne -> "!="
+
+let rec expr prog buf (e : Ir.expr) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match e with
+  | Ir.Const n -> p "%d" n
+  | Ir.Local slot -> p "l%d" slot
+  | Ir.Global slot -> p "%s" prog.Ir.globals.(slot).Ir.gname
+  | Ir.Load (arr, idx) ->
+      p "%s[" prog.Ir.arrays.(arr).Ir.aname;
+      expr prog buf idx;
+      p "]"
+  | Ir.Arith (k, op, a, b) ->
+      p "(";
+      expr prog buf a;
+      p " %s%s " (arith_op op) (kind_tag k);
+      expr prog buf b;
+      p ")"
+  | Ir.Cmp (c, a, b) ->
+      p "(";
+      expr prog buf a;
+      p " %s " (cmp_op c);
+      expr prog buf b;
+      p ")"
+  | Ir.Not a ->
+      p "!";
+      expr prog buf a
+  | Ir.Bnot (k, a) ->
+      p "~%s" (kind_tag k);
+      expr prog buf a
+  | Ir.Neg (k, a) ->
+      p "-%s" (kind_tag k);
+      expr prog buf a
+  | Ir.And (a, b) ->
+      p "(";
+      expr prog buf a;
+      p " && ";
+      expr prog buf b;
+      p ")"
+  | Ir.Or (a, b) ->
+      p "(";
+      expr prog buf a;
+      p " || ";
+      expr prog buf b;
+      p ")"
+  | Ir.Call (fidx, args) ->
+      p "%s(" prog.Ir.funcs.(fidx).Ir.fname;
+      Array.iteri
+        (fun i a ->
+          if i > 0 then p ", ";
+          expr prog buf a)
+        args;
+      p ")"
+  | Ir.CallExt (eidx, args) ->
+      p "%s(" prog.Ir.externs.(eidx).Ir.ename;
+      Array.iteri
+        (fun i a ->
+          if i > 0 then p ", ";
+          expr prog buf a)
+        args;
+      p ")"
+  | Ir.ToWord a ->
+      p "word(";
+      expr prog buf a;
+      p ")"
+  | Ir.ToBool a ->
+      p "bool(";
+      expr prog buf a;
+      p ")"
+
+let rec stmt prog buf indent (s : Ir.stmt) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  pad ();
+  match s with
+  | Ir.Set_local (slot, e) ->
+      p "l%d = " slot;
+      expr prog buf e;
+      p "\n"
+  | Ir.Set_global (slot, e) ->
+      p "%s = " prog.Ir.globals.(slot).Ir.gname;
+      expr prog buf e;
+      p "\n"
+  | Ir.Store (arr, idx, v) ->
+      p "%s[" prog.Ir.arrays.(arr).Ir.aname;
+      expr prog buf idx;
+      p "] = ";
+      expr prog buf v;
+      p "\n"
+  | Ir.If (c, t, f) ->
+      p "if ";
+      expr prog buf c;
+      p "\n";
+      List.iter (stmt prog buf (indent + 2)) t;
+      if f <> [] then begin
+        pad ();
+        p "else\n";
+        List.iter (stmt prog buf (indent + 2)) f
+      end
+  | Ir.While (c, body, step) ->
+      p "while ";
+      expr prog buf c;
+      p "\n";
+      List.iter (stmt prog buf (indent + 2)) body;
+      if step <> [] then begin
+        pad ();
+        p "step\n";
+        List.iter (stmt prog buf (indent + 2)) step
+      end
+  | Ir.Return None -> p "return\n"
+  | Ir.Return (Some e) ->
+      p "return ";
+      expr prog buf e;
+      p "\n"
+  | Ir.Break -> p "break\n"
+  | Ir.Continue -> p "continue\n"
+  | Ir.Eval e ->
+      expr prog buf e;
+      p "\n"
+
+let program (prog : Ir.program) =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Array.iter
+    (fun g -> p "var %s : %s = %d\n" g.Ir.gname (Ast.ty_to_string g.Ir.gty) g.Ir.ginit)
+    prog.Ir.globals;
+  Array.iter
+    (fun a ->
+      p "%sarray %s[%d] : %s\n"
+        (if a.Ir.ashared then "shared " else "")
+        a.Ir.aname a.Ir.asize
+        (Ast.ty_to_string a.Ir.aelem))
+    prog.Ir.arrays;
+  Array.iter
+    (fun e -> p "extern fn %s/%d\n" e.Ir.ename (List.length e.Ir.eparams))
+    prog.Ir.externs;
+  Array.iter
+    (fun f ->
+      p "fn %s(%d params, %d locals)%s\n" f.Ir.fname
+        (List.length f.Ir.fparams) f.Ir.nlocals
+        (match f.Ir.fret with
+        | None -> ""
+        | Some t -> " : " ^ Ast.ty_to_string t);
+      List.iter (stmt prog buf 2) f.Ir.body)
+    prog.Ir.funcs;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Source positions and compile-time errors for GEL. *)
+
+type pos = { line : int; col : int }
+
+let pos0 = { line = 1; col = 1 }
+
+type error = { pos : pos; msg : string }
+
+exception Error of error
+
+let error pos fmt =
+  Printf.ksprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let to_string { pos; msg } =
+  Printf.sprintf "line %d, col %d: %s" pos.line pos.col msg

@@ -1,0 +1,41 @@
+(** Lexical tokens of GEL. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  (* keywords *)
+  | KW_FN | KW_VAR | KW_ARRAY | KW_SHARED | KW_EXTERN
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_TRUE | KW_FALSE
+  | KW_INT | KW_WORD | KW_BOOL
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COLON | COMMA
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | LSHR
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE
+  | AMPAMP | PIPEPIPE
+  | ASSIGN
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_FN -> "fn" | KW_VAR -> "var" | KW_ARRAY -> "array"
+  | KW_SHARED -> "shared" | KW_EXTERN -> "extern"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_TRUE -> "true" | KW_FALSE -> "false"
+  | KW_INT -> "int" | KW_WORD -> "word" | KW_BOOL -> "bool"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COLON -> ":" | COMMA -> ","
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | SHL -> "<<" | SHR -> ">>" | LSHR -> ">>>"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||"
+  | ASSIGN -> "="
+  | EOF -> "<eof>"

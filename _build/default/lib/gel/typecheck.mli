@@ -1,0 +1,16 @@
+(** Name resolution, type checking, and lowering of GEL ASTs to
+    {!Ir}.
+
+    GEL is strict about types (the Modula-3-like discipline the paper
+    leans on): [int], [word], and [bool] never mix implicitly, with the
+    single ergonomic exception that an integer literal adopts the type
+    its context demands. Non-void functions must return on every path;
+    [break]/[continue] are rejected outside loops; global and array
+    initializers must be compile-time constants. *)
+
+(** Raises [Srcloc.Error] with a position and message on any
+    violation. *)
+val check_program : Ast.program -> Ir.program
+
+(** Compile-time constant evaluation, exposed for tests. *)
+val const_eval : Ast.expr -> int

@@ -1,0 +1,40 @@
+(** Semantics of GEL's [word] type: unsigned 32-bit arithmetic with
+    silent wrap-around, the behaviour MD5 depends on (paper section 5.5,
+    "computation modulo 2^32"). Word values are represented as OCaml
+    ints maintained in [0, 2^32); every operation re-establishes that
+    invariant. Shift amounts are taken modulo 32, like hardware. *)
+
+let mask = 0xFFFFFFFF
+
+let of_int v = v land mask
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = a * b land mask
+let band a b = a land b
+let bor a b = a lor b
+let bxor a b = a lxor b
+let bnot a = lnot a land mask
+let neg a = -a land mask
+let shl a n = (a lsl (n land 31)) land mask
+let shr a n = a lsr (n land 31) (* word >> is logical: no sign bit *)
+let rotl a n =
+  let n = n land 31 in
+  if n = 0 then a else ((a lsl n) lor (a lsr (32 - n))) land mask
+
+(** Division and modulus; callers must reject zero divisors first. *)
+let div a b = a / b
+let rem a b = a mod b
+
+(** Semantics of [int] shifts: amounts taken modulo 64 on the 63-bit
+    host int (63 saturates), arithmetic right shift for [>>]. *)
+let int_shl a n =
+  let n = n land 63 in
+  if n > 62 then 0 else a lsl n
+
+let int_shr a n =
+  let n = n land 63 in
+  if n > 62 then a asr 62 else a asr n
+
+let int_lshr a n =
+  let n = n land 63 in
+  if n > 62 then 0 else (a land max_int) lsr n

@@ -1,0 +1,1 @@
+lib/grafts/access.ml: Array Bytes Char Fault Graft_mem

@@ -1,0 +1,1 @@
+lib/grafts/evict.ml: Access

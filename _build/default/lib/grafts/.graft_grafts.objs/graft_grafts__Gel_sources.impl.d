@@ -1,0 +1,1 @@
+lib/grafts/gel_sources.ml: Array List Md5_graft Printf String

@@ -1,0 +1,1 @@
+lib/grafts/listlayout.ml: Array Graft_util List

@@ -1,0 +1,1 @@
+lib/grafts/logdisk_graft.ml: Access Array Graft_kernel Logdisk

@@ -1,0 +1,1 @@
+lib/grafts/md5_graft.ml: Access Array Bytes Char Float Graft_md5

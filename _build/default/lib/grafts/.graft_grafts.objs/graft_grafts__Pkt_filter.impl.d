@@ -1,0 +1,1 @@
+lib/grafts/pkt_filter.ml: Access Graft_kernel

@@ -1,0 +1,1 @@
+lib/grafts/script_sources.ml: Printf

@@ -1,0 +1,139 @@
+(** Memory-access regimes for the compiled extension technologies.
+
+    The paper's C, Modula-3 and Omniware grafts are all native machine
+    code that differs only in the checks surrounding each memory
+    access. We reproduce that by writing each graft once as a functor
+    over this signature and instantiating it per technology:
+
+    - [Unsafe]       — the C regime: no checks at all.
+    - [Checked]      — the Modula-3 regime on Solaris/Alpha: array
+      bounds checked in software, NIL dereference caught by the
+      hardware trap (so no per-access NIL test is emitted).
+    - [Checked_nil]  — the Modula-3 regime on 1995 Linux: the compiler
+      additionally emits an explicit NIL test on every access (the
+      paper's Table 2 anomaly — 2.5x instead of 1.1x).
+    - [Sfi_wj]       — the Omniware beta: stores masked into a
+      power-of-two sandbox, loads unchecked (write+jump protection).
+    - [Sfi_full]     — the "near future" SFI of the paper's conclusion:
+      loads masked as well.
+
+    The masking regimes confine accesses to the container itself, which
+    must therefore have a power-of-two length; [i land (len - 1)] can
+    never exceed [len - 1], so the subsequent unchecked access is
+    contained exactly as a sandboxed store is. *)
+
+open Graft_mem
+
+module type S = sig
+  val name : string
+
+  (** Cell (int array) accesses — kernel-shared windows and tables. *)
+
+  val get : int array -> int -> int
+  val set : int array -> int -> int -> unit
+
+  (** Byte-buffer accesses — stream data. *)
+
+  val get_byte : bytes -> int -> int
+  val set_byte : bytes -> int -> int -> unit
+end
+
+let bounds_fault access addr =
+  Fault.raise_fault (Fault.Out_of_bounds { access; addr })
+
+let nil_fault () = Fault.raise_fault Fault.Nil_dereference
+
+module Unsafe : S = struct
+  let name = "unsafe-c"
+  let get a i = Array.unsafe_get a i
+  let set a i v = Array.unsafe_set a i v
+  let get_byte b i = Char.code (Bytes.unsafe_get b i)
+  let set_byte b i v = Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xFF))
+end
+
+module Checked : S = struct
+  let name = "safe-lang"
+
+  let get a i =
+    if i < 0 || i >= Array.length a then bounds_fault Fault.Read i;
+    Array.unsafe_get a i
+
+  let set a i v =
+    if i < 0 || i >= Array.length a then bounds_fault Fault.Write i;
+    Array.unsafe_set a i v
+
+  let get_byte b i =
+    if i < 0 || i >= Bytes.length b then bounds_fault Fault.Read i;
+    Char.code (Bytes.unsafe_get b i)
+
+  let set_byte b i v =
+    if i < 0 || i >= Bytes.length b then bounds_fault Fault.Write i;
+    Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xFF))
+end
+
+module Checked_nil : S = struct
+  let name = "safe-lang-nil"
+
+  (* The compiler-inserted NIL test: one compare-and-branch per access
+     against the NIL sentinel. Using [min_int] as the sentinel keeps
+     the check's cost (the point of this regime) without colliding
+     with legitimate offset 0 in byte buffers; grafts traversing
+     linked structures still test node pointers against 0 themselves,
+     as the source language requires. *)
+  let nil = min_int
+
+  let get a i =
+    if i = nil then nil_fault ();
+    if i < 0 || i >= Array.length a then bounds_fault Fault.Read i;
+    Array.unsafe_get a i
+
+  let set a i v =
+    if i = nil then nil_fault ();
+    if i < 0 || i >= Array.length a then bounds_fault Fault.Write i;
+    Array.unsafe_set a i v
+
+  let get_byte b i =
+    if i = nil then nil_fault ();
+    if i < 0 || i >= Bytes.length b then bounds_fault Fault.Read i;
+    Char.code (Bytes.unsafe_get b i)
+
+  let set_byte b i v =
+    if i = nil then nil_fault ();
+    if i < 0 || i >= Bytes.length b then bounds_fault Fault.Write i;
+    Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xFF))
+end
+
+module Sfi_wj : S = struct
+  let name = "sfi-wj"
+  let get a i = Array.unsafe_get a i
+
+  let set a i v =
+    (* Mask the address into the container: i land (len-1) <= len-1. *)
+    Array.unsafe_set a (i land (Array.length a - 1)) v
+
+  let get_byte b i = Char.code (Bytes.unsafe_get b i)
+
+  let set_byte b i v =
+    Bytes.unsafe_set b
+      (i land (Bytes.length b - 1))
+      (Char.unsafe_chr (v land 0xFF))
+end
+
+module Sfi_full : S = struct
+  let name = "sfi-full"
+  let get a i = Array.unsafe_get a (i land (Array.length a - 1))
+  let set a i v = Array.unsafe_set a (i land (Array.length a - 1)) v
+  let get_byte b i = Char.code (Bytes.unsafe_get b (i land (Bytes.length b - 1)))
+
+  let set_byte b i v =
+    Bytes.unsafe_set b
+      (i land (Bytes.length b - 1))
+      (Char.unsafe_chr (v land 0xFF))
+end
+
+(** All regimes, in the order the paper's tables list technologies. *)
+let all : (module S) list =
+  [
+    (module Unsafe); (module Checked); (module Checked_nil);
+    (module Sfi_wj); (module Sfi_full);
+  ]

@@ -1,0 +1,45 @@
+(** The paper's Prioritization graft: VM page eviction with an
+    application hot list (section 3.1 / 5.4).
+
+    The graft receives the head of the kernel's LRU chain and the head
+    of the application's hot list, both laid out as (page, next) node
+    pairs in a shared cell array (see {!Listlayout}). The measured
+    operation — the paper's Table 2 — is checking whether the kernel's
+    candidate is on the 64-entry hot list; the full graft then walks
+    the LRU chain for the first page not on the hot list. *)
+
+module Make (A : Access.S) = struct
+  let name = A.name
+
+  (** [contains cells ~head ~page] walks the hot list. *)
+  let contains cells ~head ~page =
+    let rec go p =
+      p <> 0 && (A.get cells p = page || go (A.get cells (p + 1)))
+    in
+    go head
+
+  (** [choose_victim cells ~lru_head ~hot_head] returns the first LRU
+      page not on the hot list, falling back to the kernel's candidate
+      (the LRU head) when every resident page is hot. Returns -1 on an
+      empty LRU chain. *)
+  let choose_victim cells ~lru_head ~hot_head =
+    if lru_head = 0 then -1
+    else begin
+      let rec go p =
+        if p = 0 then A.get cells lru_head
+        else begin
+          let page = A.get cells p in
+          if contains cells ~head:hot_head ~page then
+            go (A.get cells (p + 1))
+          else page
+        end
+      in
+      go lru_head
+    end
+end
+
+module Unsafe = Make (Access.Unsafe)
+module Checked = Make (Access.Checked)
+module Checked_nil = Make (Access.Checked_nil)
+module Sfi_wj = Make (Access.Sfi_wj)
+module Sfi_full = Make (Access.Sfi_full)

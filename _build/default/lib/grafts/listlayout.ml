@@ -1,0 +1,50 @@
+(** Shared heap layout for the page-eviction graft.
+
+    Every technology sees the same data structure: linked lists of
+    (page, next) node pairs laid out in one flat cell array, with cell
+    index 0 reserved as NIL. Node order is shuffled so traversal is a
+    genuine pointer chase, as it would be against kernel structures. *)
+
+type t = {
+  cells : int array;
+  hot_head : int;  (** first node of the application's hot list, or 0 *)
+  lru_head : int;  (** first node of the kernel's LRU chain, or 0 *)
+}
+
+(** [build ?rng ~cells_len ~hot ~lru ()] lays both lists out in a cell
+    array of length [cells_len] (rounded requirement: 1 + 2*(|hot| +
+    |lru|) cells). Nodes are placed in shuffled slots when [rng] is
+    given. *)
+let build ?rng ~cells_len ~(hot : int array) ~(lru : int array) () =
+  let nnodes = Array.length hot + Array.length lru in
+  if cells_len < 1 + (2 * nnodes) then
+    invalid_arg "Listlayout.build: cell array too small";
+  let cells = Array.make cells_len 0 in
+  (* Node slots at odd cell indices 1, 3, 5, ... (never 0 = NIL). *)
+  let slots = Array.init nnodes (fun i -> 1 + (2 * i)) in
+  (match rng with
+  | Some r -> Graft_util.Prng.shuffle r slots
+  | None -> ());
+  let next_slot = ref 0 in
+  let chain pages =
+    let head = ref 0 in
+    let tail = ref 0 in
+    Array.iter
+      (fun page ->
+        let node = slots.(!next_slot) in
+        incr next_slot;
+        cells.(node) <- page;
+        cells.(node + 1) <- 0;
+        if !head = 0 then head := node else cells.(!tail + 1) <- node;
+        tail := node)
+      pages;
+    !head
+  in
+  let hot_head = chain hot in
+  let lru_head = chain lru in
+  { cells; hot_head; lru_head }
+
+(** Pages of a chain in order, for tests. *)
+let pages_of_chain cells head =
+  let rec go acc p = if p = 0 then List.rev acc else go (cells.(p) :: acc) cells.(p + 1) in
+  go [] head

@@ -1,0 +1,37 @@
+(** The paper's Black Box graft: Logical Disk mapping bookkeeping
+    (section 3.3 / 5.6), as a functor over the access regime.
+
+    The policy keeps the logical-to-physical map in a flat cell array
+    (one cell per logical block, -1 = unmapped) and allocates physical
+    blocks sequentially, which is what converts random writes into
+    sequential segment writes. *)
+
+open Graft_kernel
+
+module Make (A : Access.S) = struct
+  let name = A.name
+
+  (** [make_policy ~nblocks ()] allocates the map internally. For the
+      SFI regimes [nblocks] must be a power of two (the sandbox is the
+      map array itself). *)
+  let make_policy ~nblocks () : Logdisk.policy =
+    let map = Array.make nblocks (-1) in
+    let next_free = ref 0 in
+    {
+      Logdisk.pname = A.name;
+      map_write =
+        (fun logical ->
+          let phys = !next_free in
+          next_free := !next_free + 1;
+          if !next_free >= nblocks then next_free := 0;
+          A.set map logical phys;
+          phys);
+      lookup = (fun logical -> A.get map logical);
+    }
+end
+
+module Unsafe = Make (Access.Unsafe)
+module Checked = Make (Access.Checked)
+module Checked_nil = Make (Access.Checked_nil)
+module Sfi_wj = Make (Access.Sfi_wj)
+module Sfi_full = Make (Access.Sfi_full)

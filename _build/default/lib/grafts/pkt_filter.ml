@@ -1,0 +1,38 @@
+(** Packet-filter grafts (paper section 2): classify a packet by
+    inspecting its header. The canonical filter used by the benchmarks
+    is "ip and <protocol> and dst port <port>".
+
+    As with the other grafts, the native regimes differ only in access
+    checks; the specialized BPF-like VM ({!Graft_kernel.Pfvm}) and the
+    general-purpose technologies run the same predicate from
+    {!Gel_sources.packet_filter} / {!Script_sources.packet_filter}. *)
+
+module Make (A : Access.S) = struct
+  let name = A.name
+
+  let be16 pkt off = (A.get_byte pkt off lsl 8) lor A.get_byte pkt (off + 1)
+
+  (** "ip and protocol and dst port". [len] is the packet's true
+      length, which can be smaller than the buffer (the SFI regimes
+      stage packets into a power-of-two sandbox buffer). *)
+  let proto_dst_port ~protocol ~port (pkt : bytes) ~len =
+    len >= Graft_kernel.Netpkt.header_bytes
+    && be16 pkt 12 = Graft_kernel.Netpkt.ethertype_ip
+    && A.get_byte pkt 23 = protocol
+    && be16 pkt 36 = port
+
+  (** "ip traffic between hosts a and b", either direction. *)
+  let between ~a ~b (pkt : bytes) ~len =
+    let be32 off = (be16 pkt off lsl 16) lor be16 pkt (off + 2) in
+    len >= Graft_kernel.Netpkt.header_bytes
+    && be16 pkt 12 = Graft_kernel.Netpkt.ethertype_ip
+    &&
+    let s = be32 26 and d = be32 30 in
+    (s = a && d = b) || (s = b && d = a)
+end
+
+module Unsafe = Make (Access.Unsafe)
+module Checked = Make (Access.Checked)
+module Checked_nil = Make (Access.Checked_nil)
+module Sfi_wj = Make (Access.Sfi_wj)
+module Sfi_full = Make (Access.Sfi_full)

@@ -1,0 +1,1 @@
+lib/kernel/bufcache.ml: Array Diskmodel Fun Hashtbl List Lru Queue Simclock

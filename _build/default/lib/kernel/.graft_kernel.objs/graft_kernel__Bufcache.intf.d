@@ -1,0 +1,1 @@
+lib/kernel/bufcache.mli: Diskmodel Simclock

@@ -1,0 +1,1 @@
+lib/kernel/logdisk.mli: Diskmodel

@@ -1,0 +1,1 @@
+lib/kernel/lru.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/kernel/netpkt.ml: Array Bytes Char Graft_util Queue

@@ -1,0 +1,1 @@
+lib/kernel/pfvm.ml: Array Netpkt Printf

@@ -1,0 +1,1 @@
+lib/kernel/pfvm.mli: Netpkt

@@ -1,0 +1,1 @@
+lib/kernel/simclock.ml: Hashtbl List Option

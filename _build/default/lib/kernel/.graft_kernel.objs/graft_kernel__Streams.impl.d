@@ -1,0 +1,1 @@
+lib/kernel/streams.ml: Buffer Bytes Char Graft_md5 Graft_mem Graft_util List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/upcall.ml: Array Graft_util Printf Simclock

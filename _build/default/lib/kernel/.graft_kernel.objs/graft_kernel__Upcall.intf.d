@@ -1,0 +1,1 @@
+lib/kernel/upcall.mli: Simclock

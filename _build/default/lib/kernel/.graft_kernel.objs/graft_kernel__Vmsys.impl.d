@@ -1,0 +1,1 @@
+lib/kernel/vmsys.ml: Array Diskmodel Fun List Lru Printf Simclock

@@ -1,0 +1,1 @@
+lib/kernel/vmsys.mli: Diskmodel Simclock

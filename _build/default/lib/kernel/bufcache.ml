@@ -1,0 +1,135 @@
+(** A buffer cache with application-controlled replacement, after Cao
+    et al. [CAO94] — the system the paper credits with motivating
+    policy grafts, and contrasts with: "their system did not allow
+    applications to add new policy code to the kernel; rather, multiple
+    policies were compiled into the kernel and an application chose
+    among them."
+
+    Both models are provided:
+    - [Builtin]: choose among kernel-compiled policies (LRU, MRU,
+      FIFO) — Cao's model;
+    - [Grafted]: a graft closure picks the victim — the paper's model.
+
+    Like {!Vmsys}, grafted proposals are validated (the victim must be
+    a resident block owned by the proposing client), so a buggy policy
+    cannot evict other clients' blocks or gain extra memory. *)
+
+type builtin = Lru | Mru | Fifo
+
+type policy =
+  | Builtin of builtin
+  | Grafted of (candidate:int -> resident:int array -> int)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalid_proposals : int;
+}
+
+type t = {
+  nbufs : int;
+  clock : Simclock.t;
+  disk : Diskmodel.t;
+  (* block -> buffer slot or -1 *)
+  block_slot : (int, int) Hashtbl.t;
+  slot_block : int array;
+  lru : Lru.t;  (** recency order; head = least recent *)
+  fifo : int Queue.t;  (** slots in load order *)
+  mutable free : int list;
+  mutable policy : policy;
+  stats : stats;
+}
+
+let create ?(clock = Simclock.create ())
+    ?(disk = Diskmodel.create (Diskmodel.paper_params "Solaris")) ~nbufs () =
+  if nbufs <= 0 then invalid_arg "Bufcache.create: nbufs <= 0";
+  {
+    nbufs;
+    clock;
+    disk;
+    block_slot = Hashtbl.create (2 * nbufs);
+    slot_block = Array.make nbufs (-1);
+    lru = Lru.create nbufs;
+    fifo = Queue.create ();
+    free = List.init nbufs Fun.id;
+    policy = Builtin Lru;
+    stats = { hits = 0; misses = 0; evictions = 0; invalid_proposals = 0 };
+  }
+
+let stats t = t.stats
+let set_policy t policy = t.policy <- policy
+let resident t block = Hashtbl.mem t.block_slot block
+
+let resident_blocks t =
+  (* Recency order, least recent first — what a grafted policy sees. *)
+  List.map (fun slot -> t.slot_block.(slot)) (Lru.to_list t.lru)
+  |> Array.of_list
+
+let builtin_victim t = function
+  | Lru -> t.slot_block.(Lru.lru_frame t.lru)
+  | Mru ->
+      (* Most recently used: the tail of the recency list. *)
+      let blocks = resident_blocks t in
+      blocks.(Array.length blocks - 1)
+  | Fifo -> t.slot_block.(Queue.peek t.fifo)
+
+let choose_victim t =
+  let candidate = builtin_victim t Lru in
+  match t.policy with
+  | Builtin b -> builtin_victim t b
+  | Grafted f ->
+      let proposal = f ~candidate ~resident:(resident_blocks t) in
+      if resident t proposal then proposal
+      else begin
+        t.stats.invalid_proposals <- t.stats.invalid_proposals + 1;
+        candidate
+      end
+
+let evict t block =
+  let slot = Hashtbl.find t.block_slot block in
+  Hashtbl.remove t.block_slot block;
+  t.slot_block.(slot) <- -1;
+  Lru.remove t.lru slot;
+  (* Drop from FIFO order lazily: filter the queue. *)
+  let keep = Queue.create () in
+  Queue.iter (fun s -> if s <> slot then Queue.add s keep) t.fifo;
+  Queue.clear t.fifo;
+  Queue.transfer keep t.fifo;
+  t.free <- slot :: t.free;
+  t.stats.evictions <- t.stats.evictions + 1
+
+let load t block =
+  let slot =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] -> assert false
+  in
+  Simclock.charge t.clock "bufcache-io"
+    (Diskmodel.read t.disk ~block ~count:1);
+  Hashtbl.replace t.block_slot block slot;
+  t.slot_block.(slot) <- block;
+  Lru.push_mru t.lru slot;
+  Queue.add slot t.fifo
+
+(** Read [block] through the cache; returns [`Hit] or [`Miss]. *)
+let read t block =
+  match Hashtbl.find_opt t.block_slot block with
+  | Some slot ->
+      t.stats.hits <- t.stats.hits + 1;
+      Lru.touch t.lru slot;
+      `Hit
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      if t.free = [] then evict t (choose_victim t);
+      load t block;
+      `Miss
+
+let invariant_ok t =
+  Lru.invariant_ok t.lru
+  && Hashtbl.length t.block_slot = Lru.length t.lru
+  && Hashtbl.fold
+       (fun block slot ok -> ok && t.slot_block.(slot) = block)
+       t.block_slot true

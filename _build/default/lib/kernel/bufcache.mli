@@ -1,0 +1,36 @@
+(** A buffer cache with application-controlled replacement, after Cao
+    et al. [CAO94]. Both control models are provided: [Builtin]
+    selection among kernel-compiled policies (Cao's model) and
+    [Grafted] victim selection by a closure (the paper's model), with
+    grafted proposals validated against residency. *)
+
+type builtin = Lru | Mru | Fifo
+
+type policy =
+  | Builtin of builtin
+  | Grafted of (candidate:int -> resident:int array -> int)
+      (** [resident] is in LRU-to-MRU order; an invalid proposal falls
+          back to LRU and is counted *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalid_proposals : int;
+}
+
+type t
+
+val create : ?clock:Simclock.t -> ?disk:Diskmodel.t -> nbufs:int -> unit -> t
+val stats : t -> stats
+val set_policy : t -> policy -> unit
+val resident : t -> int -> bool
+
+(** Resident blocks, least recently used first. *)
+val resident_blocks : t -> int array
+
+(** Read a block through the cache; misses charge a disk-model read to
+    the simulated clock. *)
+val read : t -> int -> [ `Hit | `Miss ]
+
+val invariant_ok : t -> bool

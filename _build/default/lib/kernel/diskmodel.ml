@@ -1,0 +1,92 @@
+(** A simple mechanical-disk cost model.
+
+    A request costs positioning time (seek + half-rotation) unless it is
+    sequential with the previous request, plus transfer time at the
+    disk's bandwidth. The parameters for the paper's four platforms are
+    derived from its Table 4 (write bandwidth) with era-typical 10ms
+    seeks; the shapes that matter to the paper — batching random writes
+    into sequential segments wins, MD5 is slower or faster than the
+    disk — depend only on these ratios. *)
+
+type params = {
+  seek_s : float;  (** average seek time *)
+  rotation_s : float;  (** full rotation; half is charged per request *)
+  bandwidth_bytes_per_s : float;
+  block_bytes : int;
+}
+
+type t = {
+  params : params;
+  mutable head_block : int;  (** next sequential block position *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable seeks : int;
+  mutable bytes_moved : int;
+}
+
+(* 1995-era 5400rpm disk: 11.1ms rotation. *)
+let era_default_rotation = 0.0111
+
+let paper_platforms =
+  (* name, write bandwidth KB/s from Table 4 *)
+  [
+    ("Alpha", 4364.0); ("HP-UX", 1855.0); ("Linux", 1694.0);
+    ("Solaris", 3126.0);
+  ]
+
+let params_of_bandwidth_kbs kbs =
+  {
+    seek_s = 0.010;
+    rotation_s = era_default_rotation;
+    bandwidth_bytes_per_s = kbs *. 1024.0;
+    block_bytes = 4096;
+  }
+
+let paper_params name =
+  match List.assoc_opt name paper_platforms with
+  | Some kbs -> params_of_bandwidth_kbs kbs
+  | None -> invalid_arg ("Diskmodel.paper_params: unknown platform " ^ name)
+
+(** A modern NVMe-ish profile for host-scale comparisons. *)
+let modern_params =
+  {
+    seek_s = 0.00002;
+    rotation_s = 0.0;
+    bandwidth_bytes_per_s = 2.0e9;
+    block_bytes = 4096;
+  }
+
+let create params = { params; head_block = 0; reads = 0; writes = 0; seeks = 0; bytes_moved = 0 }
+
+let transfer_time t bytes =
+  float_of_int bytes /. t.params.bandwidth_bytes_per_s
+
+let positioning_time t ~block =
+  if block = t.head_block then 0.0
+  else t.params.seek_s +. (t.params.rotation_s /. 2.0)
+
+(** Cost in seconds of accessing [count] blocks starting at [block];
+    sequential continuation from the previous request avoids the
+    positioning cost. Updates head position and statistics. *)
+let access t ~write ~block ~count =
+  if count <= 0 then invalid_arg "Diskmodel.access: count <= 0";
+  let pos = positioning_time t ~block in
+  if pos > 0.0 then t.seeks <- t.seeks + 1;
+  let bytes = count * t.params.block_bytes in
+  let cost = pos +. transfer_time t bytes in
+  t.head_block <- block + count;
+  if write then t.writes <- t.writes + count else t.reads <- t.reads + count;
+  t.bytes_moved <- t.bytes_moved + bytes;
+  cost
+
+let read t ~block ~count = access t ~write:false ~block ~count
+let write t ~block ~count = access t ~write:true ~block ~count
+
+type stats = { reads : int; writes : int; seeks : int; bytes_moved : int }
+
+let stats (t : t) : stats =
+  { reads = t.reads; writes = t.writes; seeks = t.seeks; bytes_moved = t.bytes_moved }
+
+(** Seconds to stream [bytes] sequentially (one positioning). *)
+let stream_time t bytes =
+  t.params.seek_s +. (t.params.rotation_s /. 2.0) +. transfer_time t bytes

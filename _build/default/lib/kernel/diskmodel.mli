@@ -1,0 +1,44 @@
+(** A simple mechanical-disk cost model.
+
+    A request costs positioning time (seek + half rotation) unless it
+    continues sequentially from the previous request, plus transfer
+    time at the disk's bandwidth. Parameters for the paper's four
+    platforms derive from its Table 4; the shapes that matter —
+    batching random writes wins, MD5 races the transfer rate — depend
+    only on these ratios. *)
+
+type params = {
+  seek_s : float;
+  rotation_s : float;
+  bandwidth_bytes_per_s : float;
+  block_bytes : int;
+}
+
+type t
+
+(** Era parameters from a Table 4 write bandwidth (KB/s). *)
+val params_of_bandwidth_kbs : float -> params
+
+(** [paper_params name] for Alpha / HP-UX / Linux / Solaris. Raises
+    [Invalid_argument] on unknown names. *)
+val paper_params : string -> params
+
+(** A modern NVMe-ish profile for host-scale comparisons. *)
+val modern_params : params
+
+val create : params -> t
+
+(** Cost in seconds of accessing [count] blocks at [block]; sequential
+    continuation avoids positioning. Updates head position and stats.
+    Raises [Invalid_argument] when [count <= 0]. *)
+val read : t -> block:int -> count:int -> float
+
+val write : t -> block:int -> count:int -> float
+
+type stats = { reads : int; writes : int; seeks : int; bytes_moved : int }
+
+val stats : t -> stats
+
+(** Seconds to stream [bytes] sequentially (one positioning) — Table
+    4's "1MB access time". *)
+val stream_time : t -> int -> float

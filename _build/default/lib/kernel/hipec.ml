@@ -1,0 +1,172 @@
+(** A HiPEC-style specialized eviction-policy language [LEE94]: "a
+    simple, assembler-like, interpreted language designed specifically
+    for the task of managing a queue of VM pages. The performance
+    impact of executing a program in this language is low, but the
+    expressiveness ... is limited (it has only 20 basic instructions)."
+
+    Model: the kernel runs the program once per page, walking the LRU
+    queue from the eviction end. The program inspects the current page
+    and concludes with [Select] (evict this page), [Skip] (consider the
+    next), or [Accept_default] (give up and take the kernel's
+    candidate). Jumps are forward-only, so each per-page run terminates
+    in at most |program| steps and the whole selection in |queue| x
+    |program|.
+
+    The domain-specific power comes from native primitives: [In_set]
+    tests membership of the current page in an application-registered
+    page set (a kernel-maintained bitmap), so the expensive part of a
+    policy like "avoid my hot pages" runs at native speed — which is
+    exactly how HiPEC kept its overhead low, and why it could not be
+    reused for anything but VM caching. *)
+
+(* ------------------------------------------------------------------ *)
+(* Page sets (the native primitive).                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Pageset = struct
+  type t = { bits : bytes; npages : int }
+
+  let create npages =
+    if npages <= 0 then invalid_arg "Pageset.create: npages <= 0";
+    { bits = Bytes.make ((npages + 7) / 8) '\000'; npages }
+
+  let check t page =
+    if page < 0 || page >= t.npages then
+      invalid_arg (Printf.sprintf "Pageset: page %d out of range" page)
+
+  let add t page =
+    check t page;
+    let i = page lsr 3 and m = 1 lsl (page land 7) in
+    Bytes.set t.bits i (Char.chr (Char.code (Bytes.get t.bits i) lor m))
+
+  let remove t page =
+    check t page;
+    let i = page lsr 3 and m = 1 lsl (page land 7) in
+    Bytes.set t.bits i
+      (Char.chr (Char.code (Bytes.get t.bits i) land lnot m land 0xFF))
+
+  let mem t page =
+    page >= 0 && page < t.npages
+    && Char.code (Bytes.unsafe_get t.bits (page lsr 3)) land (1 lsl (page land 7))
+       <> 0
+
+  let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+  let of_array npages pages =
+    let t = create npages in
+    Array.iter (add t) pages;
+    t
+end
+
+(* ------------------------------------------------------------------ *)
+(* The language.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type instr =
+  | Load_page  (** acc <- current page id *)
+  | Load_pos  (** acc <- position in the queue (0 = LRU end) *)
+  | And of int
+  | Jeq of int * int * int  (** (k, jt, jf) — forward offsets *)
+  | Jgt of int * int * int
+  | In_set of int * int * int  (** (set, jt, jf): native membership *)
+  | Select  (** evict the current page *)
+  | Skip  (** consider the next page *)
+  | Accept_default  (** stop and take the kernel's candidate *)
+
+type program = instr array
+
+let to_string = function
+  | Load_page -> "ldpage"
+  | Load_pos -> "ldpos"
+  | And k -> Printf.sprintf "and #0x%x" k
+  | Jeq (k, t, f) -> Printf.sprintf "jeq #%d, +%d, +%d" k t f
+  | Jgt (k, t, f) -> Printf.sprintf "jgt #%d, +%d, +%d" k t f
+  | In_set (s, t, f) -> Printf.sprintf "inset set%d, +%d, +%d" s t f
+  | Select -> "select"
+  | Skip -> "skip"
+  | Accept_default -> "default"
+
+(** Load-time verification: forward jumps in range, set ids valid, and
+    the final instruction is terminal. Linear time. *)
+let verify ~nsets (p : program) : (unit, string) result =
+  let n = Array.length p in
+  let exception Bad of string in
+  try
+    if n = 0 then raise (Bad "empty policy");
+    Array.iteri
+      (fun i instr ->
+        let check_target off =
+          if off < 0 then raise (Bad (Printf.sprintf "backward jump at %d" i));
+          if i + 1 + off >= n then
+            raise (Bad (Printf.sprintf "jump out of range at %d" i))
+        in
+        (match instr with
+        | Jeq (_, t, f) | Jgt (_, t, f) ->
+            check_target t;
+            check_target f
+        | In_set (s, t, f) ->
+            if s < 0 || s >= nsets then
+              raise (Bad (Printf.sprintf "unknown set %d at %d" s i));
+            check_target t;
+            check_target f
+        | Load_page | Load_pos | And _ | Select | Skip | Accept_default -> ());
+        if i = n - 1 then
+          match instr with
+          | Select | Skip | Accept_default -> ()
+          | _ -> raise (Bad "policy does not end with a terminal instruction"))
+      p;
+    Ok ()
+  with Bad msg -> Error msg
+
+type verdict = V_select | V_skip | V_default
+
+(* One per-page run. *)
+let run_once (p : program) ~(sets : Pageset.t array) ~page ~pos : verdict =
+  let n = Array.length p in
+  let acc = ref 0 in
+  let pc = ref 0 in
+  let verdict = ref V_skip in
+  let running = ref true in
+  while !running && !pc < n do
+    let instr = Array.unsafe_get p !pc in
+    incr pc;
+    match instr with
+    | Load_page -> acc := page
+    | Load_pos -> acc := pos
+    | And k -> acc := !acc land k
+    | Jeq (k, t, f) -> pc := !pc + (if !acc = k then t else f)
+    | Jgt (k, t, f) -> pc := !pc + (if !acc > k then t else f)
+    | In_set (s, t, f) ->
+        pc := !pc + (if Pageset.mem sets.(s) page then t else f)
+    | Select ->
+        verdict := V_select;
+        running := false
+    | Skip ->
+        verdict := V_skip;
+        running := false
+    | Accept_default ->
+        verdict := V_default;
+        running := false
+  done;
+  !verdict
+
+(** [select p ~sets ~lru_pages ~candidate] walks the queue (LRU end
+    first) running the policy per page; returns the selected victim, or
+    [candidate] when the policy skips every page or asks for the
+    default. *)
+let select (p : program) ~(sets : Pageset.t array) ~(lru_pages : int array)
+    ~candidate : int =
+  let n = Array.length lru_pages in
+  let rec go pos =
+    if pos >= n then candidate
+    else
+      match run_once p ~sets ~page:lru_pages.(pos) ~pos with
+      | V_select -> lru_pages.(pos)
+      | V_default -> candidate
+      | V_skip -> go (pos + 1)
+  in
+  go 0
+
+(** The canonical policy: evict the first page not in set 0 (the
+    application's hot set) — two instructions, as HiPEC promised. *)
+let avoid_hot_set : program = [| In_set (0, 1, 0); Select; Skip |]

@@ -1,0 +1,53 @@
+(** A HiPEC-style specialized eviction-policy language [LEE94]: a
+    handful of instructions interpreted once per page of the LRU queue,
+    with the expensive domain primitive (page-set membership) native.
+    Forward-only jumps make each per-page run terminate in |program|
+    steps and the whole selection in |queue| x |program|. *)
+
+(** Kernel-maintained page-set bitmaps, the native primitive an
+    application registers its hot pages in. *)
+module Pageset : sig
+  type t
+
+  val create : int -> t
+  val add : t -> int -> unit
+  val remove : t -> int -> unit
+
+  (** False (not an error) for out-of-range pages. *)
+  val mem : t -> int -> bool
+
+  val clear : t -> unit
+  val of_array : int -> int array -> t
+end
+
+type instr =
+  | Load_page  (** acc <- current page id *)
+  | Load_pos  (** acc <- position in the queue (0 = LRU end) *)
+  | And of int
+  | Jeq of int * int * int  (** forward offsets *)
+  | Jgt of int * int * int
+  | In_set of int * int * int  (** (set, jt, jf): native membership *)
+  | Select  (** evict the current page *)
+  | Skip  (** consider the next page *)
+  | Accept_default  (** stop; take the kernel's candidate *)
+
+type program = instr array
+
+val to_string : instr -> string
+
+(** Forward jumps in range, set ids valid, terminal last instruction.
+    Linear time. *)
+val verify : nsets:int -> program -> (unit, string) result
+
+(** Walk the queue (LRU end first) running the policy per page; the
+    selected victim, or [candidate] when every page is skipped or the
+    policy asks for the default. *)
+val select :
+  program ->
+  sets:Pageset.t array ->
+  lru_pages:int array ->
+  candidate:int ->
+  int
+
+(** Evict the first page not in set 0 — the canonical hot-set policy. *)
+val avoid_hot_set : program

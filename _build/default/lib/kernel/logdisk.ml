@@ -1,0 +1,106 @@
+(** Logical Disk engine (de Jonge et al. [DEJON93]): the substrate for
+    the paper's Black Box graft.
+
+    The mapping policy — assign a physical block to each logical write
+    and answer lookups — is supplied by a graft; this engine drives the
+    workload through it, batches the policy's physical writes into
+    segments, charges the disk model for both the log-structured layout
+    and the in-place baseline, and independently shadow-checks every
+    mapping answer so a buggy graft is detected rather than trusted. *)
+
+type policy = {
+  pname : string;
+  map_write : int -> int;
+      (** [map_write logical] returns the physical block the policy
+          assigns; policies allocate sequentially within segments *)
+  lookup : int -> int;  (** physical block for a logical one, or -1 *)
+}
+
+type config = {
+  nblocks : int;  (** logical/physical disk size in blocks *)
+  segment_blocks : int;  (** blocks per physical segment, paper: 16 *)
+}
+
+let paper_config =
+  (* 1GB disk, 4KB blocks, 64KB segments (paper section 5.6). *)
+  { nblocks = 262144; segment_blocks = 16 }
+
+type result = {
+  writes : int;
+  segments_flushed : int;
+  lsd_io_s : float;  (** segment-batched write time *)
+  inplace_io_s : float;  (** in-place random write baseline *)
+  mapping_errors : int;  (** shadow-map disagreements (0 for correct grafts) *)
+}
+
+(** Drive [workload] (a sequence of logical block numbers to write)
+    through [policy]. *)
+let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
+    (workload : int array) : result =
+  let lsd_disk = Diskmodel.create disk_params in
+  let inplace_disk = Diskmodel.create disk_params in
+  let shadow = Array.make config.nblocks (-1) in
+  let lsd_time = ref 0.0 and inplace_time = ref 0.0 in
+  let segments = ref 0 in
+  let seg_fill = ref 0 in
+  let seg_start_phys = ref (-1) in
+  let errors = ref 0 in
+  let flush_segment () =
+    if !seg_fill > 0 then begin
+      lsd_time :=
+        !lsd_time
+        +. Diskmodel.write lsd_disk ~block:!seg_start_phys ~count:!seg_fill;
+      incr segments;
+      seg_fill := 0;
+      seg_start_phys := -1
+    end
+  in
+  Array.iter
+    (fun logical ->
+      if logical < 0 || logical >= config.nblocks then
+        invalid_arg "Logdisk.run: logical block out of range";
+      let phys = policy.map_write logical in
+      shadow.(logical) <- phys;
+      (* Batch into the current segment; a discontinuity forces a
+         flush (policies that allocate sequentially never force one
+         until the segment is full). *)
+      if !seg_fill = 0 then seg_start_phys := phys
+      else if phys <> !seg_start_phys + !seg_fill then flush_segment ();
+      if !seg_fill = 0 then seg_start_phys := phys;
+      incr seg_fill;
+      if !seg_fill = config.segment_blocks then flush_segment ();
+      (* Baseline: write the logical block in place, each one paying a
+         random positioning. *)
+      inplace_time :=
+        !inplace_time +. Diskmodel.write inplace_disk ~block:logical ~count:1)
+    workload;
+  flush_segment ();
+  (* Shadow-check the policy's final mapping on every block written. *)
+  Array.iteri
+    (fun logical expect ->
+      if expect >= 0 && policy.lookup logical <> expect then incr errors)
+    shadow;
+  {
+    writes = Array.length workload;
+    segments_flushed = !segments;
+    lsd_io_s = !lsd_time;
+    inplace_io_s = !inplace_time;
+    mapping_errors = !errors;
+  }
+
+(** The reference mapping policy in plain OCaml: a log-structured
+    allocator over a flat map array. Native-technology grafts reuse
+    this logic under different access regimes in [Graft_grafts]. *)
+let native_policy config =
+  let map = Array.make config.nblocks (-1) in
+  let next_free = ref 0 in
+  {
+    pname = "native";
+    map_write =
+      (fun logical ->
+        let phys = !next_free in
+        next_free := (!next_free + 1) mod config.nblocks;
+        map.(logical) <- phys;
+        phys);
+    lookup = (fun logical -> map.(logical));
+  }

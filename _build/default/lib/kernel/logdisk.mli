@@ -1,0 +1,40 @@
+(** Logical Disk engine (de Jonge et al. [DEJON93]): the substrate for
+    the paper's Black Box graft.
+
+    The mapping policy — assign a physical block to each logical write,
+    answer lookups — is supplied by a graft; the engine drives the
+    workload through it, batches physical writes into segments, charges
+    the disk model for both the log-structured layout and the in-place
+    baseline, and independently shadow-checks every mapping so a buggy
+    graft is detected rather than trusted. *)
+
+type policy = {
+  pname : string;
+  map_write : int -> int;
+      (** [map_write logical] returns the assigned physical block *)
+  lookup : int -> int;  (** physical block for a logical one, or -1 *)
+}
+
+type config = {
+  nblocks : int;
+  segment_blocks : int;  (** paper: 16 x 4KB = 64KB segments *)
+}
+
+(** 1GB disk, 4KB blocks, 64KB segments (paper section 5.6). *)
+val paper_config : config
+
+type result = {
+  writes : int;
+  segments_flushed : int;
+  lsd_io_s : float;
+  inplace_io_s : float;
+  mapping_errors : int;  (** shadow-map disagreements; 0 when correct *)
+}
+
+(** Drive a workload (logical block numbers to write) through a policy.
+    Raises [Invalid_argument] on out-of-range blocks. *)
+val run : ?disk_params:Diskmodel.params -> config -> policy -> int array -> result
+
+(** The reference mapping policy in plain OCaml: a log-structured
+    sequential allocator over a flat map. *)
+val native_policy : config -> policy

@@ -1,0 +1,103 @@
+(** Intrusive doubly-linked LRU list over frame indices, as a VM system
+    or buffer cache keeps it: O(1) touch, insert, remove, and an O(n)
+    walk from the least-recently-used end — the walk the paper's
+    Prioritization graft performs. *)
+
+type t = {
+  next : int array;  (** towards MRU *)
+  prev : int array;  (** towards LRU *)
+  present : bool array;
+  mutable head : int;  (** LRU end; -1 when empty *)
+  mutable tail : int;  (** MRU end; -1 when empty *)
+  mutable size : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity <= 0";
+  {
+    next = Array.make capacity (-1);
+    prev = Array.make capacity (-1);
+    present = Array.make capacity false;
+    head = -1;
+    tail = -1;
+    size = 0;
+  }
+
+let capacity t = Array.length t.next
+let length t = t.size
+let is_empty t = t.size = 0
+let mem t frame = t.present.(frame)
+
+let check_frame t frame =
+  if frame < 0 || frame >= capacity t then
+    invalid_arg (Printf.sprintf "Lru: frame %d out of range" frame)
+
+(** Insert [frame] at the MRU end. Raises if already present. *)
+let push_mru t frame =
+  check_frame t frame;
+  if t.present.(frame) then
+    invalid_arg (Printf.sprintf "Lru.push_mru: frame %d already present" frame);
+  t.present.(frame) <- true;
+  t.prev.(frame) <- t.tail;
+  t.next.(frame) <- -1;
+  if t.tail >= 0 then t.next.(t.tail) <- frame else t.head <- frame;
+  t.tail <- frame;
+  t.size <- t.size + 1
+
+(** Remove [frame] from anywhere in the list. Raises if absent. *)
+let remove t frame =
+  check_frame t frame;
+  if not t.present.(frame) then
+    invalid_arg (Printf.sprintf "Lru.remove: frame %d not present" frame);
+  let p = t.prev.(frame) and n = t.next.(frame) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p;
+  t.present.(frame) <- false;
+  t.prev.(frame) <- -1;
+  t.next.(frame) <- -1;
+  t.size <- t.size - 1
+
+(** Move [frame] to the MRU end (a cache hit). *)
+let touch t frame =
+  remove t frame;
+  push_mru t frame
+
+(** The eviction candidate: the least-recently-used frame, or -1. *)
+let lru_frame t = t.head
+
+(** Walk from LRU to MRU, stopping early when [f] returns [false]. *)
+let iter_lru_first t f =
+  let rec go frame =
+    if frame >= 0 && f frame then go t.next.(frame)
+  in
+  go t.head
+
+(** Frames in LRU-to-MRU order. *)
+let to_list t =
+  let acc = ref [] in
+  iter_lru_first t (fun frame ->
+      acc := frame :: !acc;
+      true);
+  List.rev !acc
+
+(** Internal-consistency check used by property tests: the list is a
+    proper doubly-linked chain containing exactly the present frames. *)
+let invariant_ok t =
+  let seen = Array.make (capacity t) false in
+  let count = ref 0 in
+  let ok = ref true in
+  let rec walk frame prev_frame =
+    if frame >= 0 then begin
+      if seen.(frame) || not t.present.(frame) || t.prev.(frame) <> prev_frame
+      then ok := false
+      else begin
+        seen.(frame) <- true;
+        incr count;
+        walk t.next.(frame) frame
+      end
+    end
+  in
+  walk t.head (-1);
+  !ok && !count = t.size
+  && (t.size > 0 || (t.head = -1 && t.tail = -1))
+  && Array.for_all2 (fun s p -> s = p) seen t.present

@@ -1,0 +1,36 @@
+(** Intrusive doubly-linked LRU list over frame indices, as a VM system
+    or buffer cache keeps it: O(1) touch, insert, remove, and an O(n)
+    walk from the least-recently-used end — the walk the paper's
+    Prioritization graft performs. *)
+
+type t
+
+(** [create capacity] for frames [0 .. capacity-1], all absent. *)
+val create : int -> t
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+(** Insert at the MRU end. Raises [Invalid_argument] if present or out
+    of range. *)
+val push_mru : t -> int -> unit
+
+(** Remove from anywhere. Raises [Invalid_argument] if absent. *)
+val remove : t -> int -> unit
+
+(** Move to the MRU end (a cache hit). *)
+val touch : t -> int -> unit
+
+(** The eviction candidate: the least-recently-used frame, or -1. *)
+val lru_frame : t -> int
+
+(** Walk from LRU to MRU, stopping early when [f] returns [false]. *)
+val iter_lru_first : t -> (int -> bool) -> unit
+
+(** Frames in LRU-to-MRU order. *)
+val to_list : t -> int list
+
+(** Internal-consistency check used by property tests. *)
+val invariant_ok : t -> bool

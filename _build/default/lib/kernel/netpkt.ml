@@ -1,0 +1,118 @@
+(** Synthetic network packets and a demultiplexer, the substrate for
+    packet-filter grafts (paper section 2: packet filters are the
+    classic domain-specific interpreted kernel extension [MOGUL87,
+    MCCAN93, YUHARA94]).
+
+    Packets carry an Ethernet-like + IPv4-like + UDP-like header
+    layout, enough for filters to classify on ethertype, protocol,
+    addresses and ports:
+
+    {v
+      0..5   dst mac          6..11  src mac
+      12..13 ethertype        (0x0800 = ip)
+      14     version/ihl      23     protocol (6 tcp, 17 udp)
+      26..29 src ip           30..33 dst ip
+      34..35 src port         36..37 dst port
+      38..   payload
+    v} *)
+
+type t = { data : bytes }
+
+let ethertype_ip = 0x0800
+let proto_tcp = 6
+let proto_udp = 17
+let header_bytes = 38
+
+let be16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let be32 buf off v =
+  be16 buf off ((v lsr 16) land 0xFFFF);
+  be16 buf (off + 2) (v land 0xFFFF)
+
+let get8 t off = Char.code (Bytes.get t.data off)
+let get16 t off = (get8 t off lsl 8) lor get8 t (off + 1)
+let get32 t off = (get16 t off lsl 16) lor get16 t (off + 2)
+
+let length t = Bytes.length t.data
+
+(** Build a packet. Addresses are plain ints (IPv4 as one int). *)
+let make ?(ethertype = ethertype_ip) ?(protocol = proto_udp) ?(src_ip = 0)
+    ?(dst_ip = 0) ?(src_port = 0) ?(dst_port = 0) ?(payload = Bytes.create 0)
+    () =
+  let data = Bytes.make (header_bytes + Bytes.length payload) '\000' in
+  be16 data 12 ethertype;
+  Bytes.set data 14 '\x45';
+  Bytes.set data 23 (Char.chr (protocol land 0xFF));
+  be32 data 26 src_ip;
+  be32 data 30 dst_ip;
+  be16 data 34 src_port;
+  be16 data 36 dst_port;
+  Bytes.blit payload 0 data header_bytes (Bytes.length payload);
+  { data }
+
+let ethertype t = get16 t 12
+let protocol t = get8 t 23
+let src_ip t = get32 t 26
+let dst_ip t = get32 t 30
+let src_port t = get16 t 34
+let dst_port t = get16 t 36
+
+(** A pseudo-random traffic mix: mostly UDP/TCP over IP with a few
+    non-IP frames, random hosts drawn from a small pool, and ports
+    concentrated on a handful of services. *)
+let random_traffic rng ~count =
+  Array.init count (fun _ ->
+      let r = Graft_util.Prng.int rng 100 in
+      if r < 5 then make ~ethertype:0x0806 (* arp-ish *) ()
+      else
+        let protocol = if r < 40 then proto_tcp else proto_udp in
+        make ~protocol
+          ~src_ip:(0x0A000000 lor Graft_util.Prng.int rng 16)
+          ~dst_ip:(0x0A000100 lor Graft_util.Prng.int rng 16)
+          ~src_port:(1024 + Graft_util.Prng.int rng 60000)
+          ~dst_port:
+            [| 53; 80; 2049; 7777; 123 |].(Graft_util.Prng.int rng 5)
+          ())
+
+(* ------------------------------------------------------------------ *)
+(* Demultiplexer.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** An endpoint: a filter predicate and its delivery queue. The filter
+    is the graft; the demux engine is the kernel. *)
+type endpoint = {
+  ep_name : string;
+  accepts : t -> bool;
+  queue : t Queue.t;
+  mutable delivered : int;
+}
+
+let endpoint ~name accepts =
+  { ep_name = name; accepts; queue = Queue.create (); delivered = 0 }
+
+type demux = {
+  endpoints : endpoint list;
+  mutable received : int;
+  mutable dropped : int;  (** matched no endpoint *)
+}
+
+let demux endpoints = { endpoints; received = 0; dropped = 0 }
+
+(** Deliver one packet to the first matching endpoint (BSD packet
+    filter semantics: filters run in order until one accepts). *)
+let deliver d pkt =
+  d.received <- d.received + 1;
+  let rec go = function
+    | [] -> d.dropped <- d.dropped + 1
+    | ep :: rest ->
+        if ep.accepts pkt then begin
+          Queue.add pkt ep.queue;
+          ep.delivered <- ep.delivered + 1
+        end
+        else go rest
+  in
+  go d.endpoints
+
+let deliver_all d pkts = Array.iter (deliver d) pkts

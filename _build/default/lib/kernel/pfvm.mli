@@ -1,0 +1,44 @@
+(** A BPF-style packet-filter virtual machine — the paper's example of
+    a small {e specialized} extension language ([MOGUL87, MCCAN93]):
+    "the performance of interpreted packet filters is close to that of
+    compiled code, but ... the expressiveness is limited to the
+    specific domain."
+
+    Safety by construction: jumps are forward-only (every program
+    terminates in at most |program| steps, no fuel needed), packet
+    loads are range-checked (out of range rejects, BPF-style), and the
+    instruction set has no stores, so a filter cannot touch kernel
+    state at all. *)
+
+type instr =
+  | Ld8 of int
+  | Ld16 of int  (** big-endian *)
+  | Ld32 of int
+  | Ldlen
+  | Add of int
+  | And of int
+  | Or of int
+  | Rsh of int
+  | Jeq of int * int * int  (** (k, jt, jf): relative forward offsets *)
+  | Jgt of int * int * int
+  | Jset of int * int * int
+  | Ret of int  (** 0 = reject *)
+
+type program = instr array
+
+val to_string : instr -> string
+
+(** Load-time verification: forward jumps in range, non-negative load
+    offsets, no fall-through off the end. Linear time. *)
+val verify : program -> (unit, string) result
+
+(** Accept value (0 = reject). Terminates without fuel. *)
+val run : program -> Netpkt.t -> int
+
+val accepts : program -> Netpkt.t -> bool
+
+(** "ip and <protocol> and dst port <port>". *)
+val proto_dst_port : protocol:int -> port:int -> program
+
+(** "ip traffic between hosts a and b", either direction. *)
+val between : a:int -> b:int -> program

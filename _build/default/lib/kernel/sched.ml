@@ -1,0 +1,127 @@
+(** A simulated process scheduler with a grafted pick-next hook — the
+    paper's third Prioritization example (section 3.1): "no scheduling
+    algorithm is appropriate for all application mixes ... a
+    client-server application may not want the server to be scheduled
+    unless there is an outstanding client request, in which case it
+    should be scheduled ahead of any client."
+
+    Processes run for a quantum when scheduled; the scheduler charges
+    simulated time. The default policy is round-robin; a graft may
+    reorder each decision, validated so it can only pick a runnable
+    process. *)
+
+type state = Runnable | Blocked | Done
+
+type proc = {
+  pid : int;
+  pname : string;
+  mutable pstate : state;
+  mutable remaining_s : float;  (** work left *)
+  mutable scheduled : int;
+  mutable wait_s : float;  (** time spent runnable but not running *)
+  mutable last_ready_s : float;
+}
+
+(** The hook: pick a pid from [runnable] (in round-robin order,
+    kernel's candidate first). *)
+type pick_hook = candidate:int -> runnable:int array -> int
+
+type t = {
+  clock : Simclock.t;
+  quantum_s : float;
+  procs : proc array;
+  mutable rr_cursor : int;
+  mutable hook : pick_hook option;
+  mutable invalid_picks : int;
+  mutable context_switches : int;
+}
+
+let create ?(clock = Simclock.create ()) ?(quantum_s = 0.01) specs =
+  let procs =
+    Array.of_list
+      (List.mapi
+         (fun i (pname, work_s) ->
+           {
+             pid = i;
+             pname;
+             pstate = Runnable;
+             remaining_s = work_s;
+             scheduled = 0;
+             wait_s = 0.0;
+             last_ready_s = 0.0;
+           })
+         specs)
+  in
+  { clock; quantum_s; procs; rr_cursor = 0; hook = None; invalid_picks = 0;
+    context_switches = 0 }
+
+let set_hook t hook = t.hook <- hook
+let proc t pid = t.procs.(pid)
+let clock t = t.clock
+
+let runnable_pids t =
+  let n = Array.length t.procs in
+  (* Round-robin order starting after the last scheduled process. *)
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    let pid = (t.rr_cursor + k) mod n in
+    if t.procs.(pid).pstate = Runnable then out := pid :: !out
+  done;
+  Array.of_list !out
+
+let block t pid = t.procs.(pid).pstate <- Blocked
+
+let unblock t pid =
+  let p = t.procs.(pid) in
+  if p.pstate = Blocked then begin
+    p.pstate <- Runnable;
+    p.last_ready_s <- Simclock.now t.clock
+  end
+
+(** Run one scheduling decision + quantum. Returns the pid that ran,
+    or [None] if nothing is runnable. *)
+let step t =
+  let runnable = runnable_pids t in
+  if Array.length runnable = 0 then None
+  else begin
+    let candidate = runnable.(0) in
+    let choice =
+      match t.hook with
+      | None -> candidate
+      | Some hook ->
+          let pick = hook ~candidate ~runnable in
+          if Array.exists (fun pid -> pid = pick) runnable then pick
+          else begin
+            t.invalid_picks <- t.invalid_picks + 1;
+            candidate
+          end
+    in
+    let p = t.procs.(choice) in
+    let now = Simclock.now t.clock in
+    (* Account waiting time for everyone else runnable. *)
+    Array.iter
+      (fun pid ->
+        if pid <> choice then begin
+          let q = t.procs.(pid) in
+          q.wait_s <- q.wait_s +. t.quantum_s
+        end)
+      runnable;
+    ignore now;
+    let slice = Float.min t.quantum_s p.remaining_s in
+    Simclock.charge t.clock ("run:" ^ p.pname) slice;
+    p.remaining_s <- p.remaining_s -. slice;
+    p.scheduled <- p.scheduled + 1;
+    t.context_switches <- t.context_switches + 1;
+    if p.remaining_s <= 1e-12 then p.pstate <- Done;
+    t.rr_cursor <- (choice + 1) mod Array.length t.procs;
+    Some choice
+  end
+
+(** Run until every process is done or blocked, bounded by
+    [max_steps]. Returns the number of steps taken. *)
+let run ?(max_steps = 1_000_000) t =
+  let rec go steps =
+    if steps >= max_steps then steps
+    else match step t with None -> steps | Some _ -> go (steps + 1)
+  in
+  go 0

@@ -1,0 +1,50 @@
+(** A simulated process scheduler with a grafted pick-next hook — the
+    paper's third Prioritization example (section 3.1, the
+    client-server scenario). The default policy is round-robin; a
+    graft may reorder each decision, validated so it can only pick a
+    runnable process. *)
+
+type state = Runnable | Blocked | Done
+
+type proc = {
+  pid : int;
+  pname : string;
+  mutable pstate : state;
+  mutable remaining_s : float;
+  mutable scheduled : int;
+  mutable wait_s : float;  (** time spent runnable but not running *)
+  mutable last_ready_s : float;
+}
+
+(** Pick a pid from [runnable] (round-robin order, kernel's candidate
+    first). *)
+type pick_hook = candidate:int -> runnable:int array -> int
+
+type t = {
+  clock : Simclock.t;
+  quantum_s : float;
+  procs : proc array;
+  mutable rr_cursor : int;
+  mutable hook : pick_hook option;
+  mutable invalid_picks : int;
+  mutable context_switches : int;
+}
+
+(** [create specs] with [specs] as (name, seconds of work). *)
+val create : ?clock:Simclock.t -> ?quantum_s:float -> (string * float) list -> t
+
+val set_hook : t -> pick_hook option -> unit
+val proc : t -> int -> proc
+val clock : t -> Simclock.t
+
+(** Runnable pids in round-robin order. *)
+val runnable_pids : t -> int array
+
+val block : t -> int -> unit
+val unblock : t -> int -> unit
+
+(** One scheduling decision + quantum; the pid that ran, or [None]. *)
+val step : t -> int option
+
+(** Run until everything is done or blocked; steps taken. *)
+val run : ?max_steps:int -> t -> int

@@ -1,0 +1,27 @@
+(** Simulated time.
+
+    The kernel simulator charges I/O and protection-boundary costs to a
+    virtual clock instead of sleeping, so experiments modelling 1995
+    disks finish in milliseconds while preserving the paper's cost
+    ratios. Real CPU time spent inside grafts is measured separately
+    with {!Graft_util.Timer} and can be charged in by the caller. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in seconds. *)
+val now : t -> float
+
+(** [charge t label dt] advances the clock by [dt] seconds, recording
+    [label] for the cost breakdown. Raises [Invalid_argument] on a
+    negative charge. *)
+val charge : t -> string -> float -> unit
+
+(** Total time charged under [label]. *)
+val charged : t -> string -> float
+
+(** Cost breakdown aggregated by label, largest first. *)
+val breakdown : t -> (string * float) list
+
+val reset : t -> unit

@@ -1,0 +1,59 @@
+(** The hardware-protection technology: extensions live in a user-level
+    server and the kernel reaches them by upcall (paper section 4.1).
+
+    The handler runs for real (it is ordinary native code — that is the
+    point of user-level servers), while the protection-boundary costs
+    the paper analyses — two domain switches plus argument marshalling
+    — are charged to the simulated clock. The switch cost is a
+    parameter so Figure 1's sweep over upcall times, and the paper's
+    "40% quicker than a signal" estimate from a measured signal time,
+    are both expressible. *)
+
+type domain = {
+  name : string;
+  clock : Simclock.t;
+  switch_s : float;  (** one kernel<->user crossing *)
+  per_word_s : float;  (** marshalling cost per argument/result word *)
+  mutable upcalls : int;
+  mutable aborted : int;
+}
+
+let create ?(per_word_s = 10e-9) ~name ~clock ~switch_s () =
+  { name; clock; switch_s; per_word_s; upcalls = 0; aborted = 0 }
+
+(** Round-trip upcall cost for [words] marshalled words. *)
+let cost domain ~words =
+  (2.0 *. domain.switch_s) +. (float_of_int words *. domain.per_word_s)
+
+(** [upcall domain handler args] charges the boundary cost and runs the
+    handler. [extra_words] accounts for bulk data copied across the
+    boundary beyond the argument vector (e.g. a 64KB buffer for a
+    stream graft). *)
+let upcall domain ?(extra_words = 0) (handler : int array -> int)
+    (args : int array) : int =
+  domain.upcalls <- domain.upcalls + 1;
+  let words = Array.length args + 1 + extra_words in
+  Simclock.charge domain.clock
+    (Printf.sprintf "upcall:%s" domain.name)
+    (cost domain ~words);
+  handler args
+
+(** Run the handler under a wall-clock budget; if it exceeds the
+    budget the kernel "kills the server" and carries on — hardware
+    protection's answer to runaway extensions. Returns [None] on
+    abort. *)
+let upcall_with_budget domain ?(extra_words = 0) ~budget_s handler args =
+  let elapsed, result =
+    Graft_util.Timer.time_it (fun () ->
+        try Some (upcall domain ~extra_words handler args)
+        with _ -> None)
+  in
+  if elapsed > budget_s then begin
+    domain.aborted <- domain.aborted + 1;
+    None
+  end
+  else result
+
+(** The paper's estimate: an upcall mechanism measured on BSD/OS ran
+    about 40% quicker than signal delivery. *)
+let switch_from_signal_time signal_s = signal_s *. 0.6 /. 2.0

@@ -1,0 +1,48 @@
+(** The hardware-protection technology: extensions live in a user-level
+    server and the kernel reaches them by upcall (paper section 4.1).
+
+    The handler runs for real (user-level servers run ordinary native
+    code — that is their appeal), while the protection-boundary costs
+    the paper analyses — two domain switches plus argument marshalling
+    — are charged to the simulated clock. *)
+
+type domain = {
+  name : string;
+  clock : Simclock.t;
+  switch_s : float;  (** one kernel<->user crossing *)
+  per_word_s : float;  (** marshalling cost per word *)
+  mutable upcalls : int;
+  mutable aborted : int;
+}
+
+val create :
+  ?per_word_s:float ->
+  name:string ->
+  clock:Simclock.t ->
+  switch_s:float ->
+  unit ->
+  domain
+
+(** Round-trip upcall cost for [words] marshalled words. *)
+val cost : domain -> words:int -> float
+
+(** Charge the boundary cost and run the handler. [extra_words]
+    accounts for bulk data copied across the boundary beyond the
+    argument vector. *)
+val upcall : domain -> ?extra_words:int -> (int array -> int) -> int array -> int
+
+(** Run the handler under a wall-clock budget; on overrun the kernel
+    "kills the server" and returns [None] — hardware protection's
+    answer to runaway extensions. *)
+val upcall_with_budget :
+  domain ->
+  ?extra_words:int ->
+  budget_s:float ->
+  (int array -> int) ->
+  int array ->
+  int option
+
+(** The paper's estimate: an upcall mechanism measured on BSD/OS ran
+    about 40% quicker than signal delivery; this derives one switch
+    cost from a measured per-signal time. *)
+val switch_from_signal_time : float -> float

@@ -1,0 +1,168 @@
+(** The simulated virtual memory subsystem: a fixed set of page frames
+    managed with an LRU policy, a page-fault path that charges disk
+    cost to the simulated clock, and the paper's Prioritization hook —
+    on each eviction the owning application's graft may inspect the LRU
+    chain and propose a different victim.
+
+    Following Cao et al. [CAO94] (as the paper prescribes), the kernel
+    validates every proposal: a graft can only substitute one of its
+    own resident pages, so a buggy or malicious graft cannot gain
+    memory it is not entitled to; invalid proposals fall back to the
+    kernel's default candidate and are counted. *)
+
+type config = {
+  nframes : int;  (** physical frames *)
+  npages : int;  (** virtual pages *)
+  pages_per_fault : int;  (** read-ahead, paper Table 3 "Num Pages" *)
+}
+
+(** The eviction hook: given the kernel's default candidate page and
+    the LRU-ordered list of resident pages, return the page to evict.
+    Backends wrap graft technologies behind this closure. *)
+type evict_hook = candidate:int -> lru_pages:int array -> int
+
+type stats = {
+  mutable hits : int;
+  mutable faults : int;
+  mutable evictions : int;
+  mutable hook_calls : int;
+  mutable hook_overrides : int;  (** hook chose a different victim *)
+  mutable hook_invalid : int;  (** proposal rejected (not resident) *)
+}
+
+type t = {
+  config : config;
+  frame_page : int array;  (** frame -> page or -1 *)
+  page_frame : int array;  (** page -> frame or -1 *)
+  lru : Lru.t;
+  clock : Simclock.t;
+  disk : Diskmodel.t;
+  mutable free_frames : int list;
+  mutable hook : evict_hook option;
+  stats : stats;
+}
+
+let create ?(clock = Simclock.create ())
+    ?(disk = Diskmodel.create Diskmodel.modern_params) config =
+  if config.nframes <= 0 then invalid_arg "Vmsys.create: nframes <= 0";
+  if config.npages < config.nframes then
+    invalid_arg "Vmsys.create: fewer pages than frames";
+  {
+    config;
+    frame_page = Array.make config.nframes (-1);
+    page_frame = Array.make config.npages (-1);
+    lru = Lru.create config.nframes;
+    clock;
+    disk;
+    free_frames = List.init config.nframes Fun.id;
+    hook = None;
+    stats =
+      {
+        hits = 0;
+        faults = 0;
+        evictions = 0;
+        hook_calls = 0;
+        hook_overrides = 0;
+        hook_invalid = 0;
+      };
+  }
+
+let stats t = t.stats
+let clock t = t.clock
+let set_hook t hook = t.hook <- hook
+let resident t page = t.page_frame.(page) >= 0
+
+(** Resident pages in LRU-to-MRU order — the chain handed to the
+    eviction graft. *)
+let lru_pages t =
+  let pages = List.map (fun f -> t.frame_page.(f)) (Lru.to_list t.lru) in
+  Array.of_list pages
+
+let check_page t page =
+  if page < 0 || page >= t.config.npages then
+    invalid_arg (Printf.sprintf "Vmsys: page %d out of range" page)
+
+let choose_victim t =
+  let candidate = t.frame_page.(Lru.lru_frame t.lru) in
+  match t.hook with
+  | None -> candidate
+  | Some hook ->
+      t.stats.hook_calls <- t.stats.hook_calls + 1;
+      let proposal = hook ~candidate ~lru_pages:(lru_pages t) in
+      if proposal = candidate then candidate
+      else if proposal >= 0 && proposal < t.config.npages && resident t proposal
+      then begin
+        t.stats.hook_overrides <- t.stats.hook_overrides + 1;
+        proposal
+      end
+      else begin
+        (* Reject: not one of the application's resident pages. *)
+        t.stats.hook_invalid <- t.stats.hook_invalid + 1;
+        candidate
+      end
+
+let evict t page =
+  let frame = t.page_frame.(page) in
+  assert (frame >= 0);
+  Lru.remove t.lru frame;
+  t.page_frame.(page) <- -1;
+  t.frame_page.(frame) <- -1;
+  t.free_frames <- frame :: t.free_frames;
+  t.stats.evictions <- t.stats.evictions + 1
+
+let load t page =
+  let frame =
+    match t.free_frames with
+    | f :: rest ->
+        t.free_frames <- rest;
+        f
+    | [] -> assert false
+  in
+  (* Charge the fault's disk read, including read-ahead, to simulated
+     time. Pages are scattered (the paper's model database), so every
+     fault positions the disk. *)
+  let cost =
+    Diskmodel.read t.disk ~block:(page * 7919) ~count:t.config.pages_per_fault
+  in
+  Simclock.charge t.clock "page-fault-io" cost;
+  t.frame_page.(frame) <- page;
+  t.page_frame.(page) <- frame;
+  Lru.push_mru t.lru frame
+
+(** Touch [page]; returns [`Hit] or [`Fault of evicted_page option]. *)
+let access t page =
+  check_page t page;
+  let frame = t.page_frame.(page) in
+  if frame >= 0 then begin
+    t.stats.hits <- t.stats.hits + 1;
+    Lru.touch t.lru frame;
+    `Hit
+  end
+  else begin
+    t.stats.faults <- t.stats.faults + 1;
+    let evicted =
+      if t.free_frames = [] then begin
+        let victim = choose_victim t in
+        evict t victim;
+        Some victim
+      end
+      else None
+    in
+    load t page;
+    `Fault evicted
+  end
+
+(** Full-residency invariant used by tests. *)
+let invariant_ok t =
+  Lru.invariant_ok t.lru
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun frame page ->
+      if page >= 0 && t.page_frame.(page) <> frame then ok := false)
+    t.frame_page;
+  Array.iteri
+    (fun page frame ->
+      if frame >= 0 && t.frame_page.(frame) <> page then ok := false)
+    t.page_frame;
+  !ok

@@ -1,0 +1,47 @@
+(** The simulated virtual memory subsystem: a fixed set of page frames
+    managed with an LRU policy, a page-fault path that charges disk
+    cost to the simulated clock, and the paper's Prioritization hook —
+    on each eviction the owning application's graft may inspect the LRU
+    chain and propose a different victim.
+
+    Following Cao et al. [CAO94], the kernel validates every proposal:
+    a graft can only substitute a resident page, so a buggy or
+    malicious graft cannot gain memory it is not entitled to. *)
+
+type config = {
+  nframes : int;  (** physical frames *)
+  npages : int;  (** virtual pages *)
+  pages_per_fault : int;  (** read-ahead, paper Table 3 "Num Pages" *)
+}
+
+(** The eviction hook: given the kernel's default candidate page and
+    the LRU-ordered resident pages, return the page to evict. *)
+type evict_hook = candidate:int -> lru_pages:int array -> int
+
+type stats = {
+  mutable hits : int;
+  mutable faults : int;
+  mutable evictions : int;
+  mutable hook_calls : int;
+  mutable hook_overrides : int;  (** hook chose a different victim *)
+  mutable hook_invalid : int;  (** proposal rejected (not resident) *)
+}
+
+type t
+
+val create : ?clock:Simclock.t -> ?disk:Diskmodel.t -> config -> t
+val stats : t -> stats
+val clock : t -> Simclock.t
+val set_hook : t -> evict_hook option -> unit
+val resident : t -> int -> bool
+
+(** Resident pages in LRU-to-MRU order — the chain handed to the
+    eviction graft. *)
+val lru_pages : t -> int array
+
+(** Touch a page; [`Hit], or [`Fault evicted] charging the fault's disk
+    read (with read-ahead) to the simulated clock. *)
+val access : t -> int -> [ `Hit | `Fault of int option ]
+
+(** Bidirectional page/frame-table consistency, for property tests. *)
+val invariant_ok : t -> bool

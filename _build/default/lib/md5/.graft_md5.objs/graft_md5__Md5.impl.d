@@ -1,0 +1,1 @@
+lib/md5/md5.ml: Array Buffer Bytes Char Float Printf String

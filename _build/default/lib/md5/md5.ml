@@ -1,0 +1,145 @@
+(* RFC 1321, computed in OCaml ints masked to 32 bits. The paper's MD5
+   graft relies on arithmetic modulo 2^32; here that is explicit
+   masking, mirroring what the Modula-3 Word package provided. *)
+
+let mask = 0xFFFFFFFF
+
+type ctx = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable len : int;          (* total bytes absorbed *)
+  block : bytes;              (* 64-byte staging buffer *)
+  mutable fill : int;         (* bytes currently staged *)
+  x : int array;              (* decoded 16-word block *)
+}
+
+(* T[i] = floor(2^32 * abs(sin(i + 1))), per RFC 1321. *)
+let t_table =
+  Array.init 64 (fun i ->
+      int_of_float (Float.abs (sin (float_of_int (i + 1))) *. 4294967296.0)
+      land mask)
+
+let s_table =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
+    len = 0;
+    block = Bytes.create 64;
+    fill = 0;
+    x = Array.make 16 0;
+  }
+
+let rotl32 v s = ((v lsl s) lor (v lsr (32 - s))) land mask
+
+let transform ctx =
+  let x = ctx.x in
+  let block = ctx.block in
+  for i = 0 to 15 do
+    let o = i * 4 in
+    x.(i) <-
+      Char.code (Bytes.unsafe_get block o)
+      lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (o + 3)) lsl 24)
+  done;
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, k =
+      if i < 16 then (!b land !c) lor (lnot !b land !d), i
+      else if i < 32 then (!d land !b) lor (lnot !d land !c), (5 * i + 1) mod 16
+      else if i < 48 then !b lxor !c lxor !d, (3 * i + 5) mod 16
+      else !c lxor (!b lor (lnot !d land mask)), (7 * i) mod 16
+    in
+    let f = f land mask in
+    let sum = (!a + f + x.(k) + t_table.(i)) land mask in
+    let a' = (!b + rotl32 sum s_table.(i)) land mask in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := a'
+  done;
+  ctx.a <- (ctx.a + !a) land mask;
+  ctx.b <- (ctx.b + !b) land mask;
+  ctx.c <- (ctx.c + !c) land mask;
+  ctx.d <- (ctx.d + !d) land mask
+
+let update ctx buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Md5.update: bad range";
+  ctx.len <- ctx.len + len;
+  let pos = ref off and remaining = ref len in
+  (* Top up a partially filled staging block first. *)
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit buf !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      transform ctx;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    Bytes.blit buf !pos ctx.block 0 64;
+    transform ctx;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit buf !pos ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let final ctx =
+  let bit_len = ctx.len * 8 in
+  let pad_len =
+    let rem = ctx.len mod 64 in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  update ctx padding 0 pad_len;
+  ctx.len <- ctx.len - pad_len (* padding is not message data *);
+  let tail = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set tail i (Char.chr ((bit_len lsr (8 * i)) land 0xFF))
+  done;
+  update ctx tail 0 8;
+  let out = Bytes.create 16 in
+  let put off v =
+    for i = 0 to 3 do
+      Bytes.set out (off + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+  in
+  put 0 ctx.a;
+  put 4 ctx.b;
+  put 8 ctx.c;
+  put 12 ctx.d;
+  Bytes.to_string out
+
+let digest_bytes buf =
+  let ctx = init () in
+  update ctx buf 0 (Bytes.length buf);
+  final ctx
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let to_hex digest =
+  let buf = Buffer.create 32 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) digest;
+  Buffer.contents buf
+
+let digest_hex s = to_hex (digest_string s)

@@ -1,0 +1,32 @@
+(** MD5 message digest (RFC 1321), pure OCaml.
+
+    This is the paper's representative Stream graft: expensive to
+    compute, stream-structured (small running state, data passes through
+    unchanged), queried for the 128-bit fingerprint at the end.
+
+    The implementation is incremental so it can sit in a kernel stream
+    filter chain and digest a file as it flows past. *)
+
+type ctx
+
+(** Fresh context (RFC 1321 initial chaining values). *)
+val init : unit -> ctx
+
+(** [update ctx buf off len] absorbs [len] bytes of [buf] starting at
+    [off]. Raises [Invalid_argument] on a bad range. *)
+val update : ctx -> bytes -> int -> int -> unit
+
+(** [final ctx] pads, absorbs the length, and returns the 16-byte
+    digest. The context must not be used afterwards. *)
+val final : ctx -> string
+
+(** One-shot digest of a full buffer. *)
+val digest_bytes : bytes -> string
+
+val digest_string : string -> string
+
+(** Lowercase hex rendering of a 16-byte digest. *)
+val to_hex : string -> string
+
+(** [digest_hex s] = [to_hex (digest_string s)]. *)
+val digest_hex : string -> string

@@ -1,0 +1,1 @@
+lib/measure/diskbench.ml: Array Bytes Filename Graft_util Int64 Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/measure/faultbench.ml: Array Bigarray Bytes Char Filename Fun Graft_util Int64 Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/measure/platform.ml: Diskbench Faultbench Graft_util List Signalbench

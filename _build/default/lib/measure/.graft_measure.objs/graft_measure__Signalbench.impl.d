@@ -1,0 +1,1 @@
+lib/measure/signalbench.ml: Array Bytes Float Graft_util Int64 List Sys Unix

@@ -1,0 +1,1 @@
+lib/measure/upcallbench.ml: Array Bytes Char Graft_util Int64 Unix

@@ -1,0 +1,53 @@
+(** Real disk write bandwidth, the paper's Table 4 (lmbench lmdd).
+
+    Writes a scratch file in 64KB chunks and fsyncs before stopping the
+    clock, so the page cache cannot fake the number. The scratch file
+    is removed afterwards. *)
+
+type result = {
+  bandwidth_bytes_per_s : Graft_util.Stats.summary;
+  file_bytes : int;
+  runs : int;
+}
+
+let default_file_bytes = 8 * 1024 * 1024
+
+let write_once path bytes =
+  let chunk = Bytes.make 65536 'g' in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let t0 = Graft_util.Timer.now_ns () in
+  let remaining = ref bytes in
+  while !remaining > 0 do
+    let n = min !remaining (Bytes.length chunk) in
+    let written = Unix.write fd chunk 0 n in
+    remaining := !remaining - written
+  done;
+  Unix.fsync fd;
+  let t1 = Graft_util.Timer.now_ns () in
+  Unix.close fd;
+  let dt = Int64.to_float (Int64.sub t1 t0) /. 1e9 in
+  float_of_int bytes /. dt
+
+(** [measure ()] returns write bandwidth statistics over [runs] files
+    of [file_bytes] each. *)
+let measure ?(runs = 5) ?(file_bytes = default_file_bytes) ?dir () : result =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> (try Sys.getenv "TMPDIR" with Not_found -> "/tmp")
+  in
+  let path = Filename.concat dir (Printf.sprintf "graftkit-diskbench-%d.tmp" (Unix.getpid ())) in
+  let samples =
+    Array.init runs (fun _ -> write_once path file_bytes)
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  {
+    bandwidth_bytes_per_s = Graft_util.Stats.summarize samples;
+    file_bytes;
+    runs;
+  }
+
+(** Seconds to move [bytes] at the measured bandwidth — the "1MB access
+    time" column of Table 4. *)
+let access_time_s (r : result) bytes =
+  float_of_int bytes /. r.bandwidth_bytes_per_s.Graft_util.Stats.mean

@@ -1,0 +1,69 @@
+(** Page-fault cost measurement for the host row of Table 3.
+
+    Maps a scratch file and touches each page once; every touch is a
+    (page-cache-backed) page fault through the kernel's fault path.
+    This is the lmbench lat_pagefault idea with the disk warm — the
+    1995 numbers in Table 3 are dominated by the disk read, which our
+    platform profiles model separately; the host number here is the
+    software fault-path cost.
+
+    Modern fault-around makes a single touch cost nanoseconds, below
+    the timer's resolution, so the mapping size is grown until one
+    pass takes long enough to time reliably. *)
+
+type result = {
+  per_fault_s : Graft_util.Stats.summary;
+  pages : int;
+  page_bytes : int;
+}
+
+let page_bytes = 4096
+
+let with_backing_file ~dir ~bytes f =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "graftkit-faultbench-%d.tmp" (Unix.getpid ()))
+  in
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let finally () =
+    Unix.close fd;
+    try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let chunk = Bytes.make 65536 'f' in
+      let remaining = ref bytes in
+      while !remaining > 0 do
+        let n = min !remaining (Bytes.length chunk) in
+        remaining := !remaining - Unix.write fd chunk 0 n
+      done;
+      Unix.fsync fd;
+      f fd)
+
+let touch_pass fd bytes =
+  let map = Unix.map_file fd Bigarray.char Bigarray.c_layout false [| bytes |] in
+  let arr = Bigarray.array1_of_genarray map in
+  let t0 = Graft_util.Timer.now_ns () in
+  let acc = ref 0 in
+  let i = ref 0 in
+  while !i < bytes do
+    acc := !acc + Char.code (Bigarray.Array1.unsafe_get arr !i);
+    i := !i + page_bytes
+  done;
+  let t1 = Graft_util.Timer.now_ns () in
+  ignore !acc;
+  Int64.to_float (Int64.sub t1 t0) /. 1e9
+
+let measure ?(pages = 16384) ?(runs = 10) ?dir () : result =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> (try Sys.getenv "TMPDIR" with Not_found -> "/tmp")
+  in
+  let bytes = pages * page_bytes in
+  let samples =
+    with_backing_file ~dir ~bytes (fun fd ->
+        Array.init runs (fun _ -> touch_pass fd bytes /. float_of_int pages))
+  in
+  { per_fault_s = Graft_util.Stats.summarize samples; pages; page_bytes }

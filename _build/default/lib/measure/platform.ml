@@ -1,0 +1,91 @@
+(** Platform profiles: the paper's four 1995 machines (Tables 1, 3, 4
+    as published) plus a profile measured on the current host.
+
+    Break-even computations need three event costs — signal/upcall
+    time, page-fault time, and disk bandwidth. For the paper platforms
+    these are the published numbers; for the host they are measured by
+    {!Signalbench}, {!Faultbench} and {!Diskbench}. *)
+
+type profile = {
+  pname : string;
+  signal_s : float;  (** Table 1: per-signal handling time *)
+  fault_s : float;  (** Table 3: page fault time *)
+  pages_per_fault : int;  (** Table 3: read-ahead *)
+  disk_bytes_per_s : float;  (** Table 4: write bandwidth *)
+  measured : bool;
+}
+
+let kb = 1024.0
+
+let paper_profiles =
+  [
+    {
+      pname = "Alpha";
+      signal_s = 19.5e-6;
+      fault_s = 25.1e-3;
+      pages_per_fault = 16;
+      disk_bytes_per_s = 4364.0 *. kb;
+      measured = false;
+    };
+    {
+      pname = "HP-UX";
+      signal_s = 25.8e-6;
+      fault_s = 17.9e-3;
+      pages_per_fault = 4;
+      disk_bytes_per_s = 1855.0 *. kb;
+      measured = false;
+    };
+    {
+      pname = "Linux";
+      signal_s = 55.9e-6;
+      fault_s = 4.7e-3;
+      pages_per_fault = 1;
+      disk_bytes_per_s = 1694.0 *. kb;
+      measured = false;
+    };
+    {
+      pname = "Solaris";
+      signal_s = 40.3e-6;
+      fault_s = 6.9e-3;
+      pages_per_fault = 1;
+      disk_bytes_per_s = 3126.0 *. kb;
+      measured = false;
+    };
+  ]
+
+let find_paper name =
+  List.find (fun p -> p.pname = name) paper_profiles
+
+(** Measure the host. Each component can be skipped (e.g. in restricted
+    environments) and falls back to a conservative constant. *)
+let measure_host ?(signal_rounds = 100) ?(disk_runs = 3) ?(fault_pages = 1024)
+    () =
+  let signal_s =
+    match Signalbench.measure ~rounds:signal_rounds () with
+    | r -> r.Signalbench.per_signal_s.Graft_util.Stats.mean
+    | exception _ -> 10e-6
+  in
+  let fault_s =
+    match Faultbench.measure ~pages:fault_pages ~runs:5 () with
+    | r -> r.Faultbench.per_fault_s.Graft_util.Stats.mean
+    | exception _ -> 1e-6
+  in
+  let disk_bytes_per_s =
+    match Diskbench.measure ~runs:disk_runs () with
+    | r -> r.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean
+    | exception _ -> 500e6
+  in
+  {
+    pname = "host";
+    signal_s;
+    fault_s;
+    pages_per_fault = 1;
+    disk_bytes_per_s;
+    measured = true;
+  }
+
+(** Upcall estimate (the paper's: ~40% quicker than a signal). *)
+let upcall_s p = p.signal_s *. 0.6
+
+(** 1MB access time at the profile's disk bandwidth (Table 4). *)
+let mb_access_s p = (1024.0 *. kb) /. p.disk_bytes_per_s

@@ -1,0 +1,119 @@
+(** A real user-level-server round trip, measured.
+
+    The paper estimated upcall cost from signal delivery and from a
+    BSD/OS prototype ("about 40% quicker" than a signal). Here we build
+    the actual structure on the host: the extension runs in a forked
+    server process; the kernel (parent) sends a request over a pipe and
+    blocks for the reply — two context switches plus two small copies,
+    which is exactly the upcall shape of paper section 4.1.
+
+    The handler does trivial work (echo + add), so the round trip time
+    is the protection-boundary cost itself; it can be fed to
+    {!Graft_kernel.Upcall.create} as [switch_s = rtt / 2] and plotted
+    against Figure 1's sweep. *)
+
+type result = {
+  round_trip_s : Graft_util.Stats.summary;  (** one upcall round trip *)
+  rounds : int;
+}
+
+let read_exact fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then begin
+      match Unix.read fd buf off (n - off) with
+      | 0 -> failwith "Upcallbench: server pipe closed"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let write_exact fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then begin
+      match Unix.write fd buf off (n - off) with
+      | 0 -> failwith "Upcallbench: server pipe closed"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let encode buf v =
+  for i = 0 to 7 do
+    Bytes.set buf i (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let decode buf =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get buf i)
+  done;
+  !v
+
+(* Server body: reply to each 8-byte request with request+1; exit on
+   request = -1 (encoded as max_int marker to stay non-negative). *)
+let server_body ~req_rd ~rep_wr =
+  let buf = Bytes.create 8 in
+  let rec serve () =
+    read_exact req_rd buf;
+    let v = decode buf in
+    if v = max_int then Unix._exit 0;
+    encode buf (v + 1);
+    write_exact rep_wr buf;
+    serve ()
+  in
+  serve ()
+
+(** Measure [rounds] upcall round trips (default 2000, after warmup). *)
+let measure ?(rounds = 2000) () : result =
+  let req_rd, req_wr = Unix.pipe () in
+  let rep_rd, rep_wr = Unix.pipe () in
+  (* The child must never flush inherited stdio buffers (it uses
+     Unix._exit), and flushing before the fork keeps buffered output
+     single-copy even on abnormal child paths. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_wr;
+      Unix.close rep_rd;
+      (try server_body ~req_rd ~rep_wr with _ -> Unix._exit 1)
+  | pid ->
+      Unix.close req_rd;
+      Unix.close rep_wr;
+      let buf = Bytes.create 8 in
+      let once v =
+        encode buf v;
+        write_exact req_wr buf;
+        read_exact rep_rd buf;
+        decode buf
+      in
+      (* Warmup and sanity. *)
+      for i = 1 to 100 do
+        if once i <> i + 1 then failwith "Upcallbench: bad reply"
+      done;
+      (* Batch 20 round trips per sample to ride above timer
+         resolution. *)
+      let batch = 20 in
+      let nsamples = max 1 (rounds / batch) in
+      let samples =
+        Array.init nsamples (fun s ->
+            let t0 = Graft_util.Timer.now_ns () in
+            for i = 1 to batch do
+              ignore (once (s + i))
+            done;
+            let t1 = Graft_util.Timer.now_ns () in
+            Int64.to_float (Int64.sub t1 t0) /. 1e9 /. float_of_int batch)
+      in
+      encode buf max_int;
+      write_exact req_wr buf;
+      Unix.close req_wr;
+      Unix.close rep_rd;
+      ignore (Unix.waitpid [] pid);
+      { round_trip_s = Graft_util.Stats.summarize samples; rounds = nsamples * batch }
+
+(** One protection-domain switch, for {!Graft_kernel.Upcall.create}. *)
+let switch_s (r : result) = r.round_trip_s.Graft_util.Stats.mean /. 2.0

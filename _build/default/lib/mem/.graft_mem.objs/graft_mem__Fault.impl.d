@@ -1,0 +1,1 @@
+lib/mem/fault.ml: Format Printf

@@ -1,0 +1,52 @@
+(** Faults a graft can raise while executing under any technology.
+
+    Every backend converts a fault into a clean failure of the graft
+    invocation; the kernel proper never crashes (the whole point of safe
+    extension technologies, paper section 4). *)
+
+type access = Read | Write | Jump
+
+type t =
+  | Out_of_bounds of { access : access; addr : int }
+      (** Address outside the graft's address space. *)
+  | Protection of { access : access; addr : int }
+      (** Address mapped but the access kind is not permitted. *)
+  | Nil_dereference
+      (** Load/store through a NIL pointer (cell 0 is never mapped,
+          mirroring the paper's discussion of Modula-3 NIL checks). *)
+  | Fuel_exhausted
+      (** The graft exceeded its CPU quantum and was preempted. *)
+  | Division_by_zero
+  | Stack_overflow
+  | Illegal_instruction of string
+  | Verification_failed of string
+      (** Load-time rejection: bytecode verifier / SFI linear scan. *)
+  | Type_error of string  (** Dynamic type error in an interpreter. *)
+  | Host_error of string  (** A host (kernel API) call failed. *)
+
+exception Fault of t
+
+let raise_fault f = raise (Fault f)
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Jump -> "jump"
+
+let to_string = function
+  | Out_of_bounds { access; addr } ->
+      Printf.sprintf "out-of-bounds %s at address %d"
+        (access_to_string access) addr
+  | Protection { access; addr } ->
+      Printf.sprintf "protection violation: %s at address %d"
+        (access_to_string access) addr
+  | Nil_dereference -> "NIL dereference"
+  | Fuel_exhausted -> "CPU quantum exhausted"
+  | Division_by_zero -> "division by zero"
+  | Stack_overflow -> "graft stack overflow"
+  | Illegal_instruction msg -> "illegal instruction: " ^ msg
+  | Verification_failed msg -> "verification failed: " ^ msg
+  | Type_error msg -> "type error: " ^ msg
+  | Host_error msg -> "host call failed: " ^ msg
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

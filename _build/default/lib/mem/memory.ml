@@ -1,0 +1,116 @@
+type perm = { read : bool; write : bool }
+
+let perm_rw = { read = true; write = true }
+let perm_ro = { read = true; write = false }
+let perm_none = { read = false; write = false }
+
+type region = {
+  name : string;
+  base : int;
+  len : int;
+  perm : perm;
+}
+
+type t = {
+  cells : int array;
+  (* Per-cell permission bytes: bit 0 = readable, bit 1 = writable.
+     Byte arrays keep the per-access check to one load and one test. *)
+  perms : Bytes.t;
+  mutable regions : region list;
+  mutable next_free : int;
+}
+
+let perm_byte p =
+  Char.chr ((if p.read then 1 else 0) lor if p.write then 2 else 0)
+
+let create size =
+  if size < 2 then invalid_arg "Memory.create: size < 2";
+  {
+    cells = Array.make size 0;
+    perms = Bytes.make size '\000';
+    regions = [];
+    next_free = 1 (* cell 0 reserved as NIL *);
+  }
+
+let size t = Array.length t.cells
+
+let set_region_perms t region =
+  let byte = perm_byte region.perm in
+  Bytes.fill t.perms region.base region.len byte
+
+let alloc_at t ~name ~base ~len ~perm =
+  if len <= 0 then invalid_arg "Memory.alloc: len <= 0";
+  if base + len > Array.length t.cells then
+    invalid_arg
+      (Printf.sprintf "Memory.alloc %S: address space exhausted (%d + %d > %d)"
+         name base len (Array.length t.cells));
+  let region = { name; base; len; perm } in
+  t.regions <- region :: t.regions;
+  t.next_free <- base + len;
+  set_region_perms t region;
+  region
+
+let alloc t ~name ~len ~perm = alloc_at t ~name ~base:t.next_free ~len ~perm
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let alloc_pow2 t ~name ~len ~perm =
+  let len = next_pow2 len 1 in
+  let base = (t.next_free + len - 1) / len * len in
+  alloc_at t ~name ~base ~len ~perm
+
+let regions t = List.rev t.regions
+
+let region_by_name t name =
+  List.find_opt (fun r -> r.name = name) t.regions
+
+let in_range t addr = addr >= 0 && addr < Array.length t.cells
+
+let load t addr =
+  if addr = 0 then Fault.raise_fault Fault.Nil_dereference;
+  if not (in_range t addr) then
+    Fault.raise_fault (Fault.Out_of_bounds { access = Fault.Read; addr });
+  if Char.code (Bytes.unsafe_get t.perms addr) land 1 = 0 then
+    Fault.raise_fault (Fault.Protection { access = Fault.Read; addr });
+  Array.unsafe_get t.cells addr
+
+let store t addr v =
+  if addr = 0 then Fault.raise_fault Fault.Nil_dereference;
+  if not (in_range t addr) then
+    Fault.raise_fault (Fault.Out_of_bounds { access = Fault.Write; addr });
+  if Char.code (Bytes.unsafe_get t.perms addr) land 2 = 0 then
+    Fault.raise_fault (Fault.Protection { access = Fault.Write; addr });
+  Array.unsafe_set t.cells addr v
+
+let clamp t addr =
+  let n = Array.length t.cells in
+  let m = addr mod n in
+  if m < 0 then m + n else m
+
+let unsafe_load t addr = Array.unsafe_get t.cells (clamp t addr)
+let unsafe_store t addr v = Array.unsafe_set t.cells (clamp t addr) v
+let cells t = t.cells
+
+let blit_in t region src =
+  if Array.length src > region.len then
+    invalid_arg "Memory.blit_in: source longer than region";
+  Array.blit src 0 t.cells region.base (Array.length src)
+
+let read_out t region = Array.sub t.cells region.base region.len
+
+let fill t region v = Array.fill t.cells region.base region.len v
+
+let protect t region perm =
+  let region' = { region with perm } in
+  t.regions <-
+    List.map (fun r -> if r.base = region.base then region' else r) t.regions;
+  set_region_perms t region';
+  region'
+
+let readable t addr =
+  in_range t addr && addr <> 0
+  && Char.code (Bytes.unsafe_get t.perms addr) land 1 <> 0
+
+let writable t addr =
+  in_range t addr && addr <> 0
+  && Char.code (Bytes.unsafe_get t.perms addr) land 2 <> 0

@@ -1,0 +1,74 @@
+(** The address space a graft executes against.
+
+    A flat array of integer cells, partitioned into named regions with
+    read/write permissions. The kernel maps shared windows (an LRU
+    queue, a hot list, an I/O buffer) into a graft's space; the rest is
+    private scratch. Cell 0 is never mapped so that address 0 behaves
+    like NIL. *)
+
+type perm = { read : bool; write : bool }
+
+val perm_rw : perm
+val perm_ro : perm
+val perm_none : perm
+
+type region = {
+  name : string;
+  base : int;  (** first cell of the region *)
+  len : int;   (** number of cells *)
+  perm : perm;
+}
+
+type t
+
+(** [create size] makes a space of [size] cells, all unmapped.
+    Cell 0 is permanently reserved (NIL). *)
+val create : int -> t
+
+val size : t -> int
+
+(** [alloc t ~name ~len ~perm] maps the next [len] unmapped cells.
+    Raises [Invalid_argument] when the space is exhausted. *)
+val alloc : t -> name:string -> len:int -> perm:perm -> region
+
+(** [alloc_pow2 t ~name ~len ~perm] like [alloc] but aligns the base and
+    rounds the region length up to a power of two, as SFI sandboxes
+    require (mask-based confinement needs a power-of-two segment). *)
+val alloc_pow2 : t -> name:string -> len:int -> perm:perm -> region
+
+val regions : t -> region list
+val region_by_name : t -> string -> region option
+
+(** Checked accesses: raise [Fault.Fault] on unmapped addresses,
+    permission violations, and NIL (address 0). *)
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+
+(** Unchecked accesses (the "unsafe C" regime): no bounds or permission
+    checks beyond the host language's physical array limit. Out-of-range
+    addresses are clamped into the physical array modulo its size, which
+    models a stray pointer landing "somewhere in kernel memory". *)
+val unsafe_load : t -> int -> int
+val unsafe_store : t -> int -> int -> unit
+
+(** Direct access to the backing cells, for native grafts and for the
+    kernel laying out shared structures. *)
+val cells : t -> int array
+
+(** [blit_in t region src] copies [src] into the region from its base.
+    Raises [Invalid_argument] if [src] is longer than the region. *)
+val blit_in : t -> region -> int array -> unit
+
+(** [read_out t region] copies the region's cells out. *)
+val read_out : t -> region -> int array
+
+(** [fill t region v] sets every cell of the region to [v]. *)
+val fill : t -> region -> int -> unit
+
+(** [protect t region perm] changes a region's permissions in place
+    (e.g. the kernel revoking write access to a shared window). *)
+val protect : t -> region -> perm -> region
+
+(** [readable t addr] / [writable t addr]: permission queries. *)
+val readable : t -> int -> bool
+val writable : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/regvm/compile.ml: Array Graft_gel Graft_mem Ir Isa Link List Program

@@ -1,0 +1,1 @@
+lib/regvm/compile.mli: Graft_gel Program

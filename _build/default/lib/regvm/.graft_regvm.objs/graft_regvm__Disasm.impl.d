@@ -1,0 +1,1 @@
+lib/regvm/disasm.ml: Array Buffer Isa Printf Program

@@ -1,0 +1,1 @@
+lib/regvm/isa.ml: Graft_gel Printf

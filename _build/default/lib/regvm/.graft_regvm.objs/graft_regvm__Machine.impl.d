@@ -1,0 +1,1 @@
+lib/regvm/machine.ml: Array Fault Graft_gel Graft_mem Interp Ir Isa Printf Program Wordops

@@ -1,0 +1,1 @@
+lib/regvm/machine.mli: Graft_mem Program

@@ -1,0 +1,1 @@
+lib/regvm/program.ml: Array Isa

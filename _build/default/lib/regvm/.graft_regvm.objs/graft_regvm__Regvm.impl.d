@@ -1,0 +1,1 @@
+lib/regvm/regvm.ml: Compile Disasm Graft_gel Isa Machine Program Sfi Verify

@@ -1,0 +1,1 @@
+lib/regvm/sfi.ml: Array Graft_mem Isa Program

@@ -1,0 +1,1 @@
+lib/regvm/sfi.mli: Graft_mem Program

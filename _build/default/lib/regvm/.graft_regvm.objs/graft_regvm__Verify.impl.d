@@ -1,0 +1,1 @@
+lib/regvm/verify.ml: Array Isa List Printf Program

@@ -1,0 +1,1 @@
+lib/regvm/verify.mli: Program

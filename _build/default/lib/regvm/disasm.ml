@@ -1,0 +1,19 @@
+(** Disassembler for register-VM programs. *)
+
+let program (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "; protection: %s, segment [%d, %d)\n"
+       (Program.protection_to_string p.Program.protection)
+       p.Program.segment.Program.base
+       (p.Program.segment.Program.base + p.Program.segment.Program.size));
+  Array.iter
+    (fun (f : Program.funcdesc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "fn %s (args=%d):\n" f.Program.name f.Program.nargs);
+      for pc = f.Program.entry to f.Program.code_end - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  %4d: %s\n" pc (Isa.to_string p.Program.code.(pc)))
+      done)
+    p.Program.funcs;
+  Buffer.contents buf

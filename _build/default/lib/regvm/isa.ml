@@ -1,0 +1,104 @@
+(** Register ISA for the software-fault-isolation substrate, modelled on
+    the Omniware/Wahbe design the paper measures: a RISC-like virtual
+    machine whose object code is rewritten by an SFI pass ([Sfi]) and
+    checked by a linear-time load-time verifier ([Verify]).
+
+    Register conventions:
+    - r0 is hard-wired zero (never written by generated code),
+    - r1 is the dedicated sandbox address register; only the masking
+      sequence emitted by the SFI pass may write it,
+    - r2 is the SFI scratch register,
+    - r4 and up hold locals, then expression temporaries.
+
+    There are no computed jumps: branch and call targets are immediates
+    and the return stack lives in the machine, not in graft-writable
+    memory, so control-flow integrity is structural and the verifier
+    only needs to range-check targets. *)
+
+type reg = int
+
+let reg_zero = 0
+let reg_sandbox = 1
+let reg_scratch = 2
+(* first general-purpose register *)
+let reg_base = 4
+let nregs = 128
+
+type unop =
+  | Uneg of Graft_gel.Ir.kind
+  | Ubnot of Graft_gel.Ir.kind
+  | Unot  (** boolean negation *)
+  | Umask  (** cast to word: mask to 32 bits *)
+  | Utobool
+
+type instr =
+  | Movi of reg * int
+  | Mov of reg * reg
+  | Bin of Graft_gel.Ir.kind * Graft_gel.Ir.arith * reg * reg * reg
+      (** rd <- rs1 op rs2 *)
+  | Addi of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Cmp of Graft_gel.Ir.cmp * reg * reg * reg  (** rd <- rs1 cmp rs2 (0/1) *)
+  | Un of unop * reg * reg
+  | Ld of reg * reg * int  (** rd <- mem\[rs + off\] *)
+  | St of reg * reg * int  (** mem\[rb + off\] <- rs *)
+  | Br of int
+  | Brz of reg * int
+  | Brnz of reg * int
+  | Call of { f : int; dst : reg; argbase : reg; nargs : int }
+  | Callext of { e : int; dst : reg; argbase : reg; nargs : int }
+  | Ret of reg
+  | Halt
+
+let kind_tag = function Graft_gel.Ir.Kint -> "" | Graft_gel.Ir.Kword -> "w"
+
+let arith_name (op : Graft_gel.Ir.arith) =
+  match op with
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Shl -> "shl" | Shr -> "shr" | Lshr -> "lshr"
+  | Band -> "and" | Bor -> "or" | Bxor -> "xor"
+
+let cmp_name (c : Graft_gel.Ir.cmp) =
+  match c with
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+
+let to_string = function
+  | Movi (rd, imm) -> Printf.sprintf "movi r%d, %d" rd imm
+  | Mov (rd, rs) -> Printf.sprintf "mov r%d, r%d" rd rs
+  | Bin (k, op, rd, rs1, rs2) ->
+      Printf.sprintf "%s%s r%d, r%d, r%d" (arith_name op) (kind_tag k) rd rs1
+        rs2
+  | Addi (rd, rs, imm) -> Printf.sprintf "addi r%d, r%d, %d" rd rs imm
+  | Andi (rd, rs, imm) -> Printf.sprintf "andi r%d, r%d, 0x%x" rd rs imm
+  | Ori (rd, rs, imm) -> Printf.sprintf "ori r%d, r%d, 0x%x" rd rs imm
+  | Cmp (c, rd, rs1, rs2) ->
+      Printf.sprintf "s%s r%d, r%d, r%d" (cmp_name c) rd rs1 rs2
+  | Un (Uneg k, rd, rs) -> Printf.sprintf "neg%s r%d, r%d" (kind_tag k) rd rs
+  | Un (Ubnot k, rd, rs) -> Printf.sprintf "not%s r%d, r%d" (kind_tag k) rd rs
+  | Un (Unot, rd, rs) -> Printf.sprintf "lnot r%d, r%d" rd rs
+  | Un (Umask, rd, rs) -> Printf.sprintf "mask32 r%d, r%d" rd rs
+  | Un (Utobool, rd, rs) -> Printf.sprintf "tobool r%d, r%d" rd rs
+  | Ld (rd, rs, off) -> Printf.sprintf "ld r%d, [r%d+%d]" rd rs off
+  | St (rb, rs, off) -> Printf.sprintf "st [r%d+%d], r%d" rb off rs
+  | Br t -> Printf.sprintf "br %d" t
+  | Brz (r, t) -> Printf.sprintf "brz r%d, %d" r t
+  | Brnz (r, t) -> Printf.sprintf "brnz r%d, %d" r t
+  | Call { f; dst; argbase; nargs } ->
+      Printf.sprintf "call fn%d -> r%d (args r%d..%d)" f dst argbase
+        (argbase + nargs - 1)
+  | Callext { e; dst; argbase; nargs } ->
+      Printf.sprintf "callext ext%d -> r%d (args r%d..%d)" e dst argbase
+        (argbase + nargs - 1)
+  | Ret r -> Printf.sprintf "ret r%d" r
+  | Halt -> "halt"
+
+(** Registers written by an instruction (for the verifier's dedicated-
+    register discipline). *)
+let writes = function
+  | Movi (rd, _) | Mov (rd, _) | Bin (_, _, rd, _, _) | Addi (rd, _, _)
+  | Andi (rd, _, _) | Ori (rd, _, _) | Cmp (_, rd, _, _) | Un (_, rd, _)
+  | Ld (rd, _, _) ->
+      [ rd ]
+  | Call { dst; _ } | Callext { dst; _ } -> [ dst ]
+  | St _ | Br _ | Brz _ | Brnz _ | Ret _ | Halt -> []

@@ -1,0 +1,136 @@
+(** Evaluator for register-VM code.
+
+    Besides the result it reports the number of instructions executed,
+    which gives an interpreter-speed-independent measure of the SFI
+    instrumentation overhead (the extra and/or/addi per store) used by
+    the ablation benches. *)
+
+open Graft_mem
+open Graft_gel
+
+let max_frames = 256
+
+type outcome = { value : int; instructions : int }
+
+type frame = { regs : int array; mutable ret_pc : int; mutable dst : int }
+
+(** Preallocated register windows, reused across kernel-to-graft
+    entries like a resident VM's. Safe because generated code writes
+    every register before reading it (locals are initialized at
+    declaration; r0 is never written and stays zero). *)
+type session = { p : Program.t; frames : frame array }
+
+let create_session p =
+  {
+    p;
+    frames =
+      Array.init max_frames (fun _ ->
+          { regs = Array.make Isa.nregs 0; ret_pc = -1; dst = 0 });
+  }
+
+let run_session (s : session) ~entry ~(args : int array) ~fuel :
+    (outcome, [ `Fault of Fault.t | `Bad_entry of string ]) result =
+  let p = s.p in
+  match Program.find_func p entry with
+  | None -> Error (`Bad_entry (Printf.sprintf "no function named %s" entry))
+  | Some fidx when p.Program.funcs.(fidx).Program.nargs <> Array.length args
+    ->
+      Error
+        (`Bad_entry
+          (Printf.sprintf "%s expects %d arguments, given %d" entry
+             p.Program.funcs.(fidx).Program.nargs (Array.length args)))
+  | Some fidx -> (
+      let code = p.Program.code in
+      let cells = p.Program.cells in
+      let ncells = Array.length cells in
+      let frames = s.frames in
+      let depth = ref 0 in
+      let fuel = ref fuel in
+      let icount = ref 0 in
+      let new_frame ret_pc dst =
+        if !depth >= max_frames then Fault.raise_fault Fault.Stack_overflow;
+        let frame = frames.(!depth) in
+        frame.ret_pc <- ret_pc;
+        frame.dst <- dst;
+        incr depth;
+        frame.regs
+      in
+      let addr_check access a =
+        if a < 0 || a >= ncells then
+          Fault.raise_fault (Fault.Out_of_bounds { access; addr = a })
+      in
+      try
+        let regs = ref (new_frame (-1) 0) in
+        Array.iteri (fun i v -> !regs.(Isa.reg_base + i) <- v) args;
+        let pc = ref p.Program.funcs.(fidx).Program.entry in
+        let result = ref 0 in
+        let running = ref true in
+        while !running do
+          decr fuel;
+          if !fuel < 0 then Fault.raise_fault Fault.Fuel_exhausted;
+          incr icount;
+          let r = !regs in
+          let instr = Array.unsafe_get code !pc in
+          incr pc;
+          match instr with
+          | Isa.Movi (rd, imm) -> r.(rd) <- imm
+          | Isa.Mov (rd, rs) -> r.(rd) <- r.(rs)
+          | Isa.Bin (kind, op, rd, rs1, rs2) ->
+              r.(rd) <- Interp.arith kind op r.(rs1) r.(rs2)
+          | Isa.Addi (rd, rs, imm) -> r.(rd) <- r.(rs) + imm
+          | Isa.Andi (rd, rs, imm) -> r.(rd) <- r.(rs) land imm
+          | Isa.Ori (rd, rs, imm) -> r.(rd) <- r.(rs) lor imm
+          | Isa.Cmp (c, rd, rs1, rs2) ->
+              r.(rd) <- Interp.compare_vals c r.(rs1) r.(rs2)
+          | Isa.Un (Isa.Uneg Ir.Kint, rd, rs) -> r.(rd) <- -r.(rs)
+          | Isa.Un (Isa.Uneg Ir.Kword, rd, rs) -> r.(rd) <- Wordops.neg r.(rs)
+          | Isa.Un (Isa.Ubnot Ir.Kint, rd, rs) -> r.(rd) <- lnot r.(rs)
+          | Isa.Un (Isa.Ubnot Ir.Kword, rd, rs) ->
+              r.(rd) <- Wordops.bnot r.(rs)
+          | Isa.Un (Isa.Unot, rd, rs) -> r.(rd) <- (if r.(rs) = 0 then 1 else 0)
+          | Isa.Un (Isa.Umask, rd, rs) -> r.(rd) <- Wordops.of_int r.(rs)
+          | Isa.Un (Isa.Utobool, rd, rs) ->
+              r.(rd) <- (if r.(rs) = 0 then 0 else 1)
+          | Isa.Ld (rd, rs, off) ->
+              let a = r.(rs) + off in
+              addr_check Fault.Read a;
+              r.(rd) <- Array.unsafe_get cells a
+          | Isa.St (rb, rs, off) ->
+              let a = r.(rb) + off in
+              addr_check Fault.Write a;
+              Array.unsafe_set cells a r.(rs)
+          | Isa.Br t -> pc := t
+          | Isa.Brz (rs, t) -> if r.(rs) = 0 then pc := t
+          | Isa.Brnz (rs, t) -> if r.(rs) <> 0 then pc := t
+          | Isa.Call { f; dst; argbase; nargs } ->
+              let callee = new_frame !pc dst in
+              for i = 0 to nargs - 1 do
+                callee.(Isa.reg_base + i) <- r.(argbase + i)
+              done;
+              regs := callee;
+              pc := p.Program.funcs.(f).Program.entry
+          | Isa.Callext { e; dst; argbase; nargs } ->
+              let argv = Array.init nargs (fun i -> r.(argbase + i)) in
+              r.(dst) <- p.Program.host.(e) argv
+          | Isa.Ret rs ->
+              let v = r.(rs) in
+              decr depth;
+              let finished = frames.(!depth) in
+              if finished.ret_pc = -1 then begin
+                result := v;
+                running := false
+              end
+              else begin
+                let caller = frames.(!depth - 1) in
+                caller.regs.(finished.dst) <- v;
+                regs := caller.regs;
+                pc := finished.ret_pc
+              end
+          | Isa.Halt ->
+              Fault.raise_fault (Fault.Illegal_instruction "halt")
+        done;
+        Ok { value = !result; instructions = !icount }
+      with Fault.Fault f -> Error (`Fault f))
+
+(** One-shot convenience; resident grafts should keep a session. *)
+let run p ~entry ~args ~fuel = run_session (create_session p) ~entry ~args ~fuel

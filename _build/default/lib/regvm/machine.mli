@@ -1,0 +1,33 @@
+(** Evaluator for register-VM code.
+
+    Besides the result it reports the number of instructions executed,
+    giving an interpreter-speed-independent measure of the SFI
+    instrumentation overhead for the ablation benches. Wild accesses
+    that escape the physical cell array fault like a hardware MMU
+    would; accesses inside it are unchecked (SFI masking, not checking,
+    is the protection story). *)
+
+val max_frames : int
+
+type outcome = { value : int; instructions : int }
+
+(** Preallocated register windows, reused across kernel-to-graft
+    entries like a resident VM's. Single-threaded, not reentrant. *)
+type session
+
+val create_session : Program.t -> session
+
+val run_session :
+  session ->
+  entry:string ->
+  args:int array ->
+  fuel:int ->
+  (outcome, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result
+
+(** One-shot convenience; resident grafts should keep a session. *)
+val run :
+  Program.t ->
+  entry:string ->
+  args:int array ->
+  fuel:int ->
+  (outcome, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result

@@ -1,0 +1,40 @@
+(** Executable form of a register-VM graft. *)
+
+type funcdesc = {
+  name : string;
+  nargs : int;
+  entry : int;
+  code_end : int;
+}
+
+(** The sandbox segment SFI confines writes (and optionally reads) to.
+    [base] is aligned to [size]; [size] is a power of two. *)
+type segment = { base : int; size : int }
+
+type protection =
+  | Unprotected  (** no SFI pass applied (baseline for ablation) *)
+  | Write_jump  (** Omniware beta: stores masked, loads free *)
+  | Full  (** stores and loads masked *)
+
+type t = {
+  code : Isa.instr array;
+  funcs : funcdesc array;
+  host : (int array -> int) array;
+  ext_arity : int array;
+  cells : int array;
+  segment : segment;
+  protection : protection;
+}
+
+let find_func p name =
+  let rec go i =
+    if i >= Array.length p.funcs then None
+    else if p.funcs.(i).name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let protection_to_string = function
+  | Unprotected -> "unprotected"
+  | Write_jump -> "write+jump"
+  | Full -> "full (read+write+jump)"

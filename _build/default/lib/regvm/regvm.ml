@@ -1,0 +1,35 @@
+(** Front door for the register VM + SFI toolchain (the paper's
+    "Omniware" technology).
+
+    {[
+      let p = Regvm.load_exn ~protection:Program.Write_jump image in
+      Regvm.Machine.run p ~entry:"main" ~args:[||] ~fuel:1_000_000
+    ]}
+
+    [load] compiles the linked image, applies the SFI instrumentation
+    pass for the requested protection level, and runs the load-time
+    verifier, refusing code that is not correctly sandboxed. *)
+
+module Isa = Isa
+module Program = Program
+module Compile = Compile
+module Sfi = Sfi
+module Verify = Verify
+module Machine = Machine
+module Disasm = Disasm
+
+let load ?(protection = Program.Write_jump) (image : Graft_gel.Link.image) :
+    (Program.t, string) result =
+  match
+    Compile.compile image ~segment:(Sfi.segment_of_memory image.Graft_gel.Link.mem)
+  with
+  | exception Compile.Compile_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | p -> (
+      match Sfi.instrument p ~protection with
+      | exception Invalid_argument msg -> Error msg
+      | p -> (
+          match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg))
+
+let load_exn ?protection image =
+  match load ?protection image with Ok p -> p | Error msg -> failwith msg

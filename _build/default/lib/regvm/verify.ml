@@ -1,0 +1,148 @@
+(** Linear-time load-time verifier for sandboxed register code — the
+    "linear-time algorithm [that] can be used to guarantee that all
+    memory references in a piece of object code have been correctly
+    sandboxed" from the paper's section 4.2.
+
+    Invariants enforced for [Write_jump] protection (plus loads for
+    [Full]):
+    - every store addresses through the dedicated register r1 with
+      offset 0;
+    - r1 is written only by the canonical masking pair
+      [andi r1, rX, size-1] / [ori r1, r1, base] with the segment's
+      exact constants;
+    - every store (and the [ori]) is immediately preceded by the rest
+      of its masking sequence, and no branch lands between the [andi]
+      and the memory access — so r1 always holds an in-segment address
+      when dereferenced;
+    - r0 (hard-wired zero) is never written;
+    - all branch and call targets are in range.
+
+    One pass over the code; all checks O(1) per instruction. *)
+
+let verify (p : Program.t) : (unit, string) result =
+  let exception Bad of string in
+  let bad i fmt =
+    Printf.ksprintf
+      (fun msg -> raise (Bad (Printf.sprintf "at %d: %s" i msg)))
+      fmt
+  in
+  let code = p.Program.code in
+  let n = Array.length code in
+  let seg = p.Program.segment in
+  let mask = seg.Program.size - 1 in
+  let base = seg.Program.base in
+  let protected_st =
+    p.Program.protection <> Program.Unprotected
+  in
+  let protected_ld = p.Program.protection = Program.Full in
+  (* Instructions that must not be branch targets: the ori completing a
+     masking pair and any memory access through r1. *)
+  let no_entry = Array.make n false in
+  let check_reg i r =
+    if r < 0 || r >= Isa.nregs then bad i "register r%d out of range" r
+  in
+  let check_target i t =
+    if t < 0 || t >= n then bad i "branch target %d out of range" t;
+    if no_entry.(t) then bad i "branch into a masking sequence at %d" t
+  in
+  try
+    (* Pass 1: structural checks, dedicated-register discipline, and
+       no-entry marking. *)
+    for i = 0 to n - 1 do
+      let instr = code.(i) in
+      List.iter
+        (fun r ->
+          check_reg i r;
+          if r = Isa.reg_zero then bad i "write to hard-wired zero register";
+          if r = Isa.reg_sandbox then
+            match instr with
+            | Isa.Andi (rd, _, m) when rd = Isa.reg_sandbox ->
+                if not protected_st then
+                  bad i "sandbox register used without protection"
+                else if m <> mask then
+                  bad i "andi with wrong mask 0x%x (segment mask 0x%x)" m mask
+            | Isa.Ori (rd, rs, b) when rd = Isa.reg_sandbox ->
+                if rs <> Isa.reg_sandbox then
+                  bad i "ori source must be the sandbox register";
+                if b <> base then
+                  bad i "ori with wrong base 0x%x (segment base 0x%x)" b base;
+                (* The ori must complete an andi pair. *)
+                if i = 0
+                   || (match code.(i - 1) with
+                      | Isa.Andi (rd', _, m')
+                        when rd' = Isa.reg_sandbox && m' = mask ->
+                          false
+                      | _ -> true)
+                then bad i "ori not preceded by the masking andi";
+                no_entry.(i) <- true
+            | _ -> bad i "non-masking write to the sandbox register")
+        (Isa.writes instr);
+      (match instr with
+      | Isa.St (rb, rs, off) ->
+          check_reg i rb;
+          check_reg i rs;
+          if protected_st then begin
+            if rb <> Isa.reg_sandbox then
+              bad i "store does not address through the sandbox register";
+            if off <> 0 then bad i "store through sandbox register has offset";
+            if i = 0
+               || (match code.(i - 1) with
+                  | Isa.Ori (rd, _, b) when rd = Isa.reg_sandbox && b = base ->
+                      false
+                  | _ -> true)
+            then bad i "store not preceded by a completed masking pair";
+            no_entry.(i) <- true
+          end
+      | Isa.Ld (rd, rs, off) ->
+          check_reg i rd;
+          check_reg i rs;
+          if protected_ld then begin
+            if rs <> Isa.reg_sandbox then
+              bad i "load does not address through the sandbox register";
+            if off <> 0 then bad i "load through sandbox register has offset";
+            if i = 0
+               || (match code.(i - 1) with
+                  | Isa.Ori (rd', _, b) when rd' = Isa.reg_sandbox && b = base
+                    ->
+                      false
+                  | _ -> true)
+            then bad i "load not preceded by a completed masking pair";
+            no_entry.(i) <- true
+          end
+      | Isa.Call { f; argbase; nargs; _ } ->
+          if f < 0 || f >= Array.length p.Program.funcs then
+            bad i "call to invalid function %d" f;
+          if nargs <> p.Program.funcs.(f).Program.nargs then
+            bad i "call with %d args to function expecting %d" nargs
+              p.Program.funcs.(f).Program.nargs;
+          check_reg i argbase;
+          if argbase + nargs > Isa.nregs then bad i "argument block overflows"
+      | Isa.Callext { e; argbase; nargs; _ } ->
+          if e < 0 || e >= Array.length p.Program.host then
+            bad i "call to invalid extern %d" e;
+          if nargs <> p.Program.ext_arity.(e) then
+            bad i "extern call arity mismatch";
+          check_reg i argbase;
+          if argbase + nargs > Isa.nregs then bad i "argument block overflows"
+      | _ -> ())
+    done;
+    (* Pass 2: branch targets (needs completed no_entry map). *)
+    for i = 0 to n - 1 do
+      match code.(i) with
+      | Isa.Br t -> check_target i t
+      | Isa.Brz (r, t) | Isa.Brnz (r, t) ->
+          check_reg i r;
+          check_target i t
+      | _ -> ()
+    done;
+    (* Function extents. *)
+    Array.iteri
+      (fun fi (f : Program.funcdesc) ->
+        if f.Program.entry < 0 || f.Program.entry > f.Program.code_end
+           || f.Program.code_end > n then
+          raise
+            (Bad (Printf.sprintf "function %d (%s): bad code extent" fi
+                    f.Program.name)))
+      p.Program.funcs;
+    Ok ()
+  with Bad msg -> Error msg

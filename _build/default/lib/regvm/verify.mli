@@ -1,0 +1,13 @@
+(** Linear-time load-time verifier for sandboxed register code — the
+    "linear-time algorithm [that] can be used to guarantee that all
+    memory references in a piece of object code have been correctly
+    sandboxed" from the paper's section 4.2.
+
+    Enforced for [Write_jump] protection (plus loads for [Full]): every
+    store addresses through the dedicated sandbox register r1 at offset
+    0; r1 is written only by the canonical [andi]/[ori] masking pair
+    with the segment's exact constants; no branch lands inside a
+    masking sequence; r0 is never written; all branch and call targets
+    are in range. One pass, O(1) work per instruction. *)
+
+val verify : Program.t -> (unit, string) result

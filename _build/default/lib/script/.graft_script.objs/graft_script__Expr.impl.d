@@ -1,0 +1,1 @@
+lib/script/expr.ml: Fault Graft_mem Printf String

@@ -1,0 +1,1 @@
+lib/script/script.ml: Array Buffer Expr Fault Graft_mem Hashtbl List Memory Printf String

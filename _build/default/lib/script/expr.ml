@@ -1,0 +1,164 @@
+(** The [expr] evaluator of the Tcl-like scripting language: a
+    precedence-climbing parser over a flat string, run every time an
+    expression is evaluated. Integer-only, with C-like operators.
+
+    Like Tcl 3.7, nothing is compiled or cached: each evaluation
+    re-scans the expression text and round-trips every operand through
+    a string, which is precisely the overhead the paper measured at
+    three to four orders of magnitude over compiled code. *)
+
+open Graft_mem
+
+type state = { src : string; mutable pos : int; mutable ops : int }
+
+let fail fmt =
+  Printf.ksprintf (fun msg -> Fault.raise_fault (Fault.Type_error msg)) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_int st =
+  let start = st.pos in
+  if peek st = Some '0'
+     && st.pos + 1 < String.length st.src
+     && (st.src.[st.pos + 1] = 'x' || st.src.[st.pos + 1] = 'X')
+  then begin
+    st.pos <- st.pos + 2;
+    while
+      st.pos < String.length st.src
+      &&
+      let c = st.src.[st.pos] in
+      is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    do
+      st.pos <- st.pos + 1
+    done
+  end
+  else
+    while st.pos < String.length st.src && is_digit st.src.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> fail "expected integer, found %S" text
+
+(* Operator table: (token, precedence). Two-character operators are
+   matched first. *)
+let op2 = function
+  | "<<" -> Some (8, `Shl)
+  | ">>" -> Some (8, `Shr)
+  | "<=" -> Some (4, `Le)
+  | ">=" -> Some (4, `Ge)
+  | "==" -> Some (3, `Eq)
+  | "!=" -> Some (3, `Ne)
+  | "&&" -> Some (2, `And)
+  | "||" -> Some (1, `Or)
+  | _ -> None
+
+let op1 = function
+  | '<' -> Some (4, `Lt)
+  | '>' -> Some (4, `Gt)
+  | '|' -> Some (5, `Bor)
+  | '^' -> Some (6, `Bxor)
+  | '&' -> Some (7, `Band)
+  | '+' -> Some (9, `Add)
+  | '-' -> Some (9, `Sub)
+  | '*' -> Some (10, `Mul)
+  | '/' -> Some (10, `Div)
+  | '%' -> Some (10, `Mod)
+  | _ -> None
+
+let next_op st =
+  skip_ws st;
+  if st.pos + 1 < String.length st.src then begin
+    match op2 (String.sub st.src st.pos 2) with
+    | Some (prec, op) -> Some (2, prec, op)
+    | None -> (
+        match op1 st.src.[st.pos] with
+        | Some (prec, op) -> Some (1, prec, op)
+        | None -> None)
+  end
+  else
+    match peek st with
+    | Some c -> (
+        match op1 c with
+        | Some (prec, op) -> Some (1, prec, op)
+        | None -> None)
+    | None -> None
+
+let apply st op a b =
+  st.ops <- st.ops + 1;
+  match op with
+  | `Add -> a + b
+  | `Sub -> a - b
+  | `Mul -> a * b
+  | `Div -> if b = 0 then Fault.raise_fault Fault.Division_by_zero else a / b
+  | `Mod -> if b = 0 then Fault.raise_fault Fault.Division_by_zero else a mod b
+  | `Shl -> if b < 0 || b > 62 then 0 else a lsl b
+  | `Shr -> if b < 0 then 0 else if b > 62 then a asr 62 else a asr b
+  | `Band -> a land b
+  | `Bor -> a lor b
+  | `Bxor -> a lxor b
+  | `Lt -> if a < b then 1 else 0
+  | `Le -> if a <= b then 1 else 0
+  | `Gt -> if a > b then 1 else 0
+  | `Ge -> if a >= b then 1 else 0
+  | `Eq -> if a = b then 1 else 0
+  | `Ne -> if a <> b then 1 else 0
+  | `And -> if a <> 0 && b <> 0 then 1 else 0
+  | `Or -> if a <> 0 || b <> 0 then 1 else 0
+
+let rec parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match next_op st with
+    | Some (width, prec, op) when prec >= min_prec ->
+        st.pos <- st.pos + width;
+        let rhs = parse_binary st (prec + 1) in
+        loop (apply st op lhs rhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  skip_ws st;
+  match peek st with
+  | Some '-' ->
+      st.pos <- st.pos + 1;
+      -parse_unary st
+  | Some '!' ->
+      st.pos <- st.pos + 1;
+      if parse_unary st = 0 then 1 else 0
+  | Some '~' ->
+      st.pos <- st.pos + 1;
+      lnot (parse_unary st)
+  | Some '(' ->
+      st.pos <- st.pos + 1;
+      let v = parse_binary st 1 in
+      skip_ws st;
+      if peek st <> Some ')' then fail "missing ')' in expression";
+      st.pos <- st.pos + 1;
+      v
+  | Some c when is_digit c -> parse_int st
+  | Some c -> fail "unexpected character %C in expression %S" c st.src
+  | None -> fail "unexpected end of expression %S" st.src
+
+(** Evaluate an already-substituted expression string to an integer.
+    Returns the value and the number of binary operations performed
+    (used for fuel accounting by the interpreter). *)
+let eval (src : string) : int * int =
+  let st = { src; pos = 0; ops = 0 } in
+  let v = parse_binary st 1 in
+  skip_ws st;
+  if st.pos <> String.length st.src then
+    fail "trailing characters in expression %S" src;
+  (v, st.ops + 1)

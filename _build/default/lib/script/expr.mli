@@ -1,0 +1,10 @@
+(** The [expr] evaluator of the Tcl-like scripting language: a
+    precedence-climbing parser over a flat string, re-run on every
+    evaluation (nothing is compiled or cached, as in Tcl 3.7).
+    Integer-only, C-like operators, hex literals. *)
+
+(** Evaluate an already-substituted expression string. Returns the
+    value and the number of binary operations performed (for fuel
+    accounting). Raises [Graft_mem.Fault.Fault] on malformed input or
+    division by zero. *)
+val eval : string -> int * int

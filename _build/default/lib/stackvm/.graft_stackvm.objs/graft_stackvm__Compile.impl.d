@@ -1,0 +1,1 @@
+lib/stackvm/compile.ml: Array Graft_gel Graft_mem Ir Link List Opcode Program

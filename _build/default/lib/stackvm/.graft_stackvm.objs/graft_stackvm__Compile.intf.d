@@ -1,0 +1,1 @@
+lib/stackvm/compile.mli: Graft_gel Program

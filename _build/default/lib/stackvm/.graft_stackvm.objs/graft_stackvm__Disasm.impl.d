@@ -1,0 +1,1 @@
+lib/stackvm/disasm.ml: Array Buffer Opcode Printf Program

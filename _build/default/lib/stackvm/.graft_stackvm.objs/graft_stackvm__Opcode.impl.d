@@ -1,0 +1,1 @@
+lib/stackvm/opcode.ml: Printf

@@ -1,0 +1,1 @@
+lib/stackvm/stackvm.ml: Compile Disasm Graft_gel Opcode Program Verify Vm

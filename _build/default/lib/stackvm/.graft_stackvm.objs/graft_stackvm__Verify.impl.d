@@ -1,0 +1,1 @@
+lib/stackvm/verify.ml: Array Opcode Printf Program Queue

@@ -1,0 +1,1 @@
+lib/stackvm/verify.mli: Program

@@ -1,0 +1,1 @@
+lib/stackvm/vm.ml: Array Fault Graft_gel Graft_mem Opcode Printf Program Wordops

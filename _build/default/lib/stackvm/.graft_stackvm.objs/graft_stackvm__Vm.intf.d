@@ -1,0 +1,1 @@
+lib/stackvm/vm.mli: Graft_mem Program

@@ -1,0 +1,10 @@
+(** Compiler from GEL IR to stack bytecode.
+
+    Compilation happens against a linked image so global and array
+    addresses are absolute. Short-circuit operators and loops lower to
+    conditional jumps; [continue] jumps to the loop's step block and
+    [break] past the loop. Every function ends with a [Const 0; Ret]
+    safety net (unreachable in value functions — the typechecker
+    guarantees a return on every path). *)
+
+val compile : Graft_gel.Link.image -> Program.t

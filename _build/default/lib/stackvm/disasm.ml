@@ -1,0 +1,15 @@
+(** Disassembler for stack-VM programs. *)
+
+let program (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (f : Program.funcdesc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "fn %s (args=%d locals=%d):\n" f.Program.name
+           f.Program.nargs f.Program.nlocals);
+      for pc = f.Program.entry to f.Program.code_end - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  %4d: %s\n" pc (Opcode.to_string p.Program.code.(pc)))
+      done)
+    p.Program.funcs;
+  Buffer.contents buf

@@ -1,0 +1,88 @@
+(** Instruction set of the stack bytecode VM, the paper's "Java"
+    technology: a compact stack machine executed by a software
+    interpreter, with a load-time verifier.
+
+    All values are integers; word (unsigned 32-bit) operations have
+    dedicated opcodes that re-mask their result, preserving the
+    invariant that word values stay in [0, 2^32). Array opcodes carry
+    the array id; bases, lengths and writability live in the program's
+    array table so the verifier can reason about them. *)
+
+type t =
+  | Const of int
+  | Load_local of int
+  | Store_local of int
+  | Load_global of int  (** absolute cell address *)
+  | Store_global of int
+  | Aload of int  (** array id; pops index, pushes value *)
+  | Astore of int  (** array id; pops value then index *)
+  (* int arithmetic *)
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Lshr
+  | Band | Bor | Bxor | Bnot | Neg
+  (* word (32-bit wrapping) variants *)
+  | Wadd | Wsub | Wmul
+  | Wshl | Wshr
+  | Wbnot | Wneg
+  | Wmask  (** int -> word cast *)
+  (* comparisons: push 0/1 *)
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Tobool  (** v <> 0 -> 1 | 0 *)
+  | Not  (** boolean negation *)
+  (* control *)
+  | Jmp of int
+  | Jz of int  (** jump when popped value = 0 *)
+  | Jnz of int
+  | Call of int  (** function index; pops the callee's args *)
+  | Callext of int  (** extern index *)
+  | Ret  (** pops return value, pops frame *)
+  | Pop
+  | Dup
+  | Halt  (** only reachable on compiler bugs; faults *)
+
+(** Stack effect (pops, pushes), with call effects resolved by the
+    caller since they depend on the function table. *)
+let effect = function
+  | Const _ | Load_local _ | Load_global _ -> (0, 1)
+  | Store_local _ | Store_global _ -> (1, 0)
+  | Aload _ -> (1, 1)
+  | Astore _ -> (2, 0)
+  | Add | Sub | Mul | Div | Mod | Shl | Shr | Lshr | Band | Bor | Bxor
+  | Wadd | Wsub | Wmul | Wshl | Wshr
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+      (2, 1)
+  | Bnot | Neg | Wbnot | Wneg | Wmask | Tobool | Not -> (1, 1)
+  | Jmp _ -> (0, 0)
+  | Jz _ | Jnz _ -> (1, 0)
+  | Call _ | Callext _ -> (0, 0) (* resolved by caller *)
+  | Ret -> (1, 0)
+  | Pop -> (1, 0)
+  | Dup -> (1, 2)
+  | Halt -> (0, 0)
+
+let to_string = function
+  | Const n -> Printf.sprintf "const %d" n
+  | Load_local n -> Printf.sprintf "lload %d" n
+  | Store_local n -> Printf.sprintf "lstore %d" n
+  | Load_global a -> Printf.sprintf "gload @%d" a
+  | Store_global a -> Printf.sprintf "gstore @%d" a
+  | Aload a -> Printf.sprintf "aload #%d" a
+  | Astore a -> Printf.sprintf "astore #%d" a
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Shl -> "shl" | Shr -> "shr" | Lshr -> "lshr"
+  | Band -> "band" | Bor -> "bor" | Bxor -> "bxor" | Bnot -> "bnot"
+  | Neg -> "neg"
+  | Wadd -> "wadd" | Wsub -> "wsub" | Wmul -> "wmul"
+  | Wshl -> "wshl" | Wshr -> "wshr"
+  | Wbnot -> "wbnot" | Wneg -> "wneg" | Wmask -> "wmask"
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+  | Tobool -> "tobool" | Not -> "not"
+  | Jmp t -> Printf.sprintf "jmp %d" t
+  | Jz t -> Printf.sprintf "jz %d" t
+  | Jnz t -> Printf.sprintf "jnz %d" t
+  | Call f -> Printf.sprintf "call fn%d" f
+  | Callext e -> Printf.sprintf "callext ext%d" e
+  | Ret -> "ret"
+  | Pop -> "pop"
+  | Dup -> "dup"
+  | Halt -> "halt"

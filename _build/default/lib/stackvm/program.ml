@@ -1,0 +1,30 @@
+(** Executable form of a stack-VM graft: one flat code array plus
+    function, array, and host tables. Produced by [Compile], checked by
+    [Verify], executed by [Vm]. *)
+
+type funcdesc = {
+  name : string;
+  nargs : int;
+  nlocals : int;  (** including parameters *)
+  entry : int;  (** code index of the first instruction *)
+  code_end : int;  (** one past the last instruction of this function *)
+}
+
+type arrdesc = { base : int; len : int; writable : bool }
+
+type t = {
+  code : Opcode.t array;
+  funcs : funcdesc array;
+  arrays : arrdesc array;
+  host : (int array -> int) array;
+  ext_arity : int array;  (** argument count per extern, for the verifier *)
+  cells : int array;  (** the graft address space backing store *)
+}
+
+let find_func p name =
+  let rec go i =
+    if i >= Array.length p.funcs then None
+    else if p.funcs.(i).name = name then Some i
+    else go (i + 1)
+  in
+  go 0

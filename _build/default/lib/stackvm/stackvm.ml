@@ -1,0 +1,24 @@
+(** Front door for the stack bytecode VM (the paper's "Java"
+    technology): compile a linked GEL image to bytecode, verify it, and
+    execute it.
+
+    {[
+      let prog = Stackvm.load_exn image in
+      Stackvm.Vm.run prog ~entry:"main" ~args:[||] ~fuel:1_000_000
+    ]} *)
+
+module Opcode = Opcode
+module Program = Program
+module Compile = Compile
+module Verify = Verify
+module Vm = Vm
+module Disasm = Disasm
+
+(** Compile and verify a linked image; refuses unverifiable code as the
+    kernel's loader would. *)
+let load (image : Graft_gel.Link.image) : (Program.t, string) result =
+  let p = Compile.compile image in
+  match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg
+
+let load_exn image =
+  match load image with Ok p -> p | Error msg -> failwith msg

@@ -1,0 +1,121 @@
+(** Load-time bytecode verifier, in the spirit of the Java verifier the
+    paper's interpreted technology relies on.
+
+    For each function it runs an abstract interpretation over stack
+    heights: every reachable instruction must have a single consistent
+    operand-stack height, never underflow, never exceed [max_stack],
+    never jump outside its own function, and only reference valid
+    locals, arrays, functions and externs. Code that fails is rejected
+    before it ever executes. *)
+
+let max_stack = 1024
+let max_locals = 4096
+
+
+let verify (p : Program.t) : (unit, string) result =
+  let ncode = Array.length p.code in
+  let nfuncs = Array.length p.funcs in
+  let narrays = Array.length p.arrays in
+  let nexterns = Array.length p.host in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  (* Static tables. *)
+  let check_tables () =
+    if Array.length p.ext_arity <> nexterns then
+      bad "extern arity table length mismatch";
+    Array.iteri
+      (fun i (f : Program.funcdesc) ->
+        if f.Program.entry < 0 || f.Program.entry > f.Program.code_end
+           || f.Program.code_end > ncode then
+          bad "function %d (%s): bad code extent" i f.Program.name;
+        if f.Program.nargs < 0 || f.Program.nargs > f.Program.nlocals then
+          bad "function %d (%s): more args than locals" i f.Program.name;
+        if f.Program.nlocals > max_locals then
+          bad "function %d (%s): too many locals" i f.Program.name)
+      p.funcs;
+    Array.iteri
+      (fun i (a : Program.arrdesc) ->
+        if a.Program.base < 0 || a.Program.len < 0
+           || a.Program.base + a.Program.len > Array.length p.cells then
+          bad "array %d: descriptor outside the address space" i)
+      p.arrays
+  in
+  (* Per-function stack-height dataflow. *)
+  let check_func fi (f : Program.funcdesc) =
+    let lo = f.Program.entry and hi = f.Program.code_end in
+    let heights = Array.make (hi - lo) (-1) in
+    let worklist = Queue.create () in
+    let schedule pc h =
+      if pc < lo || pc >= hi then
+        bad "function %d (%s): jump target %d outside [%d,%d)" fi
+          f.Program.name pc lo hi;
+      let cur = heights.(pc - lo) in
+      if cur = -1 then begin
+        heights.(pc - lo) <- h;
+        Queue.add pc worklist
+      end
+      else if cur <> h then
+        bad "function %d (%s): inconsistent stack height at %d (%d vs %d)" fi
+          f.Program.name pc cur h
+    in
+    schedule lo 0;
+    while not (Queue.is_empty worklist) do
+      let pc = Queue.pop worklist in
+      let h = heights.(pc - lo) in
+      let instr = p.code.(pc) in
+      let pops, pushes =
+        match instr with
+        | Opcode.Call target ->
+            if target < 0 || target >= nfuncs then
+              bad "function %d (%s): call to invalid function %d" fi
+                f.Program.name target;
+            (p.funcs.(target).Program.nargs, 1)
+        | Opcode.Callext target ->
+            if target < 0 || target >= nexterns then
+              bad "function %d (%s): call to invalid extern %d" fi
+                f.Program.name target;
+            (p.ext_arity.(target), 1)
+        | op -> Opcode.effect op
+      in
+      if h < pops then
+        bad "function %d (%s): stack underflow at %d (%s)" fi f.Program.name
+          pc (Opcode.to_string instr);
+      let h' = h - pops + pushes in
+      if h' > max_stack then
+        bad "function %d (%s): stack overflow at %d" fi f.Program.name pc;
+      (* Operand validity. *)
+      (match instr with
+      | Opcode.Load_local n | Opcode.Store_local n ->
+          if n < 0 || n >= f.Program.nlocals then
+            bad "function %d (%s): local %d out of range at %d" fi
+              f.Program.name n pc
+      | Opcode.Load_global a | Opcode.Store_global a ->
+          if a < 0 || a >= Array.length p.cells then
+            bad "function %d (%s): global address %d out of range" fi
+              f.Program.name a
+      | Opcode.Aload a | Opcode.Astore a ->
+          if a < 0 || a >= narrays then
+            bad "function %d (%s): array id %d out of range" fi f.Program.name a
+      | Opcode.Halt ->
+          bad "function %d (%s): reachable halt at %d (unpatched jump?)" fi
+            f.Program.name pc
+      | _ -> ());
+      (* Successors. *)
+      (match instr with
+      | Opcode.Jmp t -> schedule t h'
+      | Opcode.Jz t | Opcode.Jnz t ->
+          schedule t h';
+          schedule (pc + 1) h'
+      | Opcode.Ret -> ()
+      | _ ->
+          if pc + 1 >= hi then
+            bad "function %d (%s): control falls off the end" fi f.Program.name;
+          schedule (pc + 1) h')
+    done
+  in
+  try
+    check_tables ();
+    Array.iteri check_func p.funcs;
+    Ok ()
+  with Bad msg -> Error msg
+

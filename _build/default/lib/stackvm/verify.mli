@@ -1,0 +1,14 @@
+(** Load-time bytecode verifier, in the spirit of the Java verifier the
+    paper's interpreted technology relies on.
+
+    For each function it runs an abstract interpretation over operand-
+    stack heights: every reachable instruction must have a single
+    consistent height, never underflow, never exceed [max_stack], never
+    jump outside its own function, and only reference valid locals,
+    arrays, functions and externs. Code that fails is rejected before
+    it ever executes. *)
+
+val max_stack : int
+val max_locals : int
+
+val verify : Program.t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/util/asciiplot.ml: Array Buffer List Printf String

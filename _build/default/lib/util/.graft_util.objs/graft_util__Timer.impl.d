@@ -1,0 +1,1 @@
+lib/util/timer.ml: Array Float Int64 Printf Stats Unix

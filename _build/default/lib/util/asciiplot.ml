@@ -1,0 +1,109 @@
+type series = {
+  label : string;
+  points : (float * float) array;
+  glyph : char;
+}
+
+let bounds series =
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        s.points)
+    series;
+  (!xmin, !xmax, !ymin, !ymax)
+
+let render ?(width = 64) ?(height = 20) ?title ?xlabel ?ylabel ?(logy = false)
+    series =
+  let series =
+    List.filter (fun s -> Array.length s.points > 0) series
+  in
+  if series = [] then "(empty plot)\n"
+  else begin
+    let ty y = if logy then log10 (max y 1e-12) else y in
+    let xmin, xmax, ymin, ymax = bounds series in
+    let ymin = ty ymin and ymax = ty ymax in
+    let xspan = if xmax = xmin then 1.0 else xmax -. xmin in
+    let yspan = if ymax = ymin then 1.0 else ymax -. ymin in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_point glyph x y =
+      let cx =
+        int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+      in
+      let cy =
+        int_of_float ((ty y -. ymin) /. yspan *. float_of_int (height - 1))
+      in
+      let cy = height - 1 - cy in
+      if cx >= 0 && cx < width && cy >= 0 && cy < height then
+        grid.(cy).(cx) <- glyph
+    in
+    let plot_series s =
+      (* Linearly interpolate between consecutive points so lines read as
+         lines even with few samples. *)
+      let n = Array.length s.points in
+      for i = 0 to n - 1 do
+        let x, y = s.points.(i) in
+        plot_point s.glyph x y;
+        if i < n - 1 then begin
+          let x', y' = s.points.(i + 1) in
+          let steps = width in
+          for k = 1 to steps - 1 do
+            let f = float_of_int k /. float_of_int steps in
+            plot_point s.glyph (x +. (f *. (x' -. x))) (y +. (f *. (y' -. y)))
+          done
+        end
+      done
+    in
+    List.iter plot_series series;
+    let buf = Buffer.create 4096 in
+    (match title with
+    | Some t ->
+        Buffer.add_string buf t;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    (match ylabel with
+    | Some l ->
+        Buffer.add_string buf (l ^ (if logy then " (log scale)" else ""));
+        Buffer.add_char buf '\n'
+    | None -> ());
+    let fmt_tick v =
+      let v = if logy then 10.0 ** v else v in
+      Printf.sprintf "%10.3g" v
+    in
+    for row = 0 to height - 1 do
+      let yv = ymax -. (float_of_int row /. float_of_int (height - 1) *. yspan) in
+      let label =
+        if row = 0 || row = height - 1 || row = height / 2 then fmt_tick yv
+        else String.make 10 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.3g%s%10.3g\n" (String.make 12 ' ') xmin
+         (String.make (max 1 (width - 20)) ' ')
+         xmax);
+    (match xlabel with
+    | Some l ->
+        Buffer.add_string buf (String.make 12 ' ');
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.glyph s.label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,21 @@
+(** Minimal ASCII line plots, used to render the paper's Figure 1
+    (break-even point vs upcall time) on a terminal. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;
+  glyph : char;
+}
+
+(** [render ~width ~height ~title ~xlabel ~ylabel series] draws all
+    series on shared axes. Ranges are computed from the data; horizontal
+    reference lines can be drawn by two-point series. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  ?logy:bool ->
+  series list ->
+  string

@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* Keep 62 bits so the value is a non-negative OCaml int; modulo bias
+     is negligible for bounds << 2^62. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  raw mod bound
+
+let float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bytes t n =
+  let buf = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set buf i (Char.unsafe_chr (int t 256))
+  done;
+  buf
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (next t)

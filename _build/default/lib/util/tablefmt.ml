@@ -1,0 +1,87 @@
+type align = Left | Right | Center
+
+type row = Cells of string array | Sep
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let ncols = Array.length headers in
+  if ncols = 0 then invalid_arg "Tablefmt.create: no columns";
+  let aligns =
+    match aligns with
+    | Some a ->
+        if Array.length a <> ncols then
+          invalid_arg "Tablefmt.create: aligns length mismatch";
+        a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let ncols = Array.length t.headers in
+  if Array.length cells > ncols then
+    invalid_arg "Tablefmt.add_row: too many cells";
+  let padded =
+    if Array.length cells = ncols then cells
+    else
+      Array.init ncols (fun i ->
+          if i < Array.length cells then cells.(i) else "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let note_row = function
+    | Sep -> ()
+    | Cells cells ->
+        Array.iteri
+          (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+          cells
+  in
+  List.iter note_row t.rows;
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    for i = 0 to ncols - 1 do
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cells.(i));
+      Buffer.add_string buf (if i = ncols - 1 then " |" else " | ")
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let emit_sep () =
+    Buffer.add_char buf '+';
+    for i = 0 to ncols - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_sep ();
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter
+    (function Sep -> emit_sep () | Cells cells -> emit_cells cells)
+    (List.rev t.rows);
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the paper-style result tables. *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [create headers] starts a table with the given column headers.
+    Columns default to right alignment except the first (left). *)
+val create : ?aligns:align array -> string array -> t
+
+(** Append a data row; short rows are padded with empty cells, long rows
+    raise [Invalid_argument]. *)
+val add_row : t -> string array -> unit
+
+(** Append a horizontal separator between row groups. *)
+val add_sep : t -> unit
+
+(** Render with box-drawing-free ASCII (pipes and dashes). *)
+val render : t -> string
+
+(** [print t] renders to stdout with a trailing newline. *)
+val print : t -> unit

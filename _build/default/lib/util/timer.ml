@@ -1,0 +1,58 @@
+(* Unix.gettimeofday at ns scale is adequate for >=100ns measurements
+   batched over many iterations; all callers batch. *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time_it f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (Int64.to_float (Int64.sub t1 t0) /. 1e9, result)
+
+type measurement = {
+  per_call_s : Stats.summary;
+  iters : int;
+  runs : int;
+}
+
+let run_batch f iters =
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. 1e9
+
+let measure ?(warmup = 1) ~runs ~iters f =
+  if runs < 1 then invalid_arg "Timer.measure: runs < 1";
+  if iters < 1 then invalid_arg "Timer.measure: iters < 1";
+  for _ = 1 to warmup do
+    ignore (run_batch f iters)
+  done;
+  let samples =
+    Array.init runs (fun _ -> run_batch f iters /. float_of_int iters)
+  in
+  { per_call_s = Stats.summarize samples; iters; runs }
+
+let calibrate_iters ?(max_iters = 10_000_000) ~target_s f =
+  if target_s <= 0.0 then invalid_arg "Timer.calibrate_iters: target <= 0";
+  let rec grow iters =
+    let elapsed = run_batch f iters in
+    if elapsed >= target_s /. 8.0 || iters >= max_iters then begin
+      let per_call = elapsed /. float_of_int iters in
+      if per_call <= 0.0 then max_iters
+      else min max_iters (max 1 (int_of_float (target_s /. per_call)))
+    end
+    else grow (iters * 8)
+  in
+  grow 1
+
+let pp_seconds s =
+  let abs = Float.abs s in
+  if abs = 0.0 then "0s"
+  else if abs < 1e-6 then Printf.sprintf "%.3gns" (s *. 1e9)
+  else if abs < 1e-3 then Printf.sprintf "%.3gus" (s *. 1e6)
+  else if abs < 1.0 then Printf.sprintf "%.3gms" (s *. 1e3)
+  else Printf.sprintf "%.3gs" s
+
+let pp_percall (s : Stats.summary) =
+  Printf.sprintf "%s (%.1f%%)" (pp_seconds s.mean) (Stats.rel_stddev_pct s)

@@ -1,0 +1,1 @@
+lib/workload/filedata.ml: Bytes Char Graft_util

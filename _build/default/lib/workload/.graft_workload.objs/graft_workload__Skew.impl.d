@@ -1,0 +1,1 @@
+lib/workload/skew.ml: Array Graft_util

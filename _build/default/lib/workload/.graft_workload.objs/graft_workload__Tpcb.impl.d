@@ -1,0 +1,1 @@
+lib/workload/tpcb.ml: Array Graft_util

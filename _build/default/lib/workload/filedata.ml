@@ -1,0 +1,34 @@
+(** Synthetic file contents for the Stream graft experiments:
+    incompressible (random), compressible (runs of repeated text), and
+    a mixed profile resembling an executable image — the thing the
+    paper's fingerprint graft protects from viruses. *)
+
+let random rng n = Graft_util.Prng.bytes rng n
+
+(** Text-like data with long runs: highly RLE-compressible. *)
+let compressible rng n =
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let run = 4 + Graft_util.Prng.int rng 60 in
+    let c = Char.chr (97 + Graft_util.Prng.int rng 26) in
+    let run = min run (n - !pos) in
+    Bytes.fill out !pos run c;
+    pos := !pos + run
+  done;
+  out
+
+(** Half structured (zero-padded sections), half code-like entropy. *)
+let executable_like rng n =
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let section = min (256 + Graft_util.Prng.int rng 1024) (n - !pos) in
+    if Graft_util.Prng.bool rng then Bytes.fill out !pos section '\000'
+    else
+      for i = !pos to !pos + section - 1 do
+        Bytes.unsafe_set out i (Char.unsafe_chr (Graft_util.Prng.int rng 256))
+      done;
+    pos := !pos + section
+  done;
+  out

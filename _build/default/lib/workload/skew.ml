@@ -1,0 +1,43 @@
+(** Skewed access generators for the Logical Disk workload (paper
+    section 5.6: 80% of write requests for 20% of the blocks) and a
+    general Zipf-like generator for cache studies. *)
+
+(** [hot_cold rng ~n ~hot_fraction ~hot_weight] draws block numbers in
+    [0, n): with probability [hot_weight] from the first
+    [hot_fraction] of the space. The paper's 80/20 is
+    [~hot_fraction:0.2 ~hot_weight:0.8]. *)
+let hot_cold rng ~n ~hot_fraction ~hot_weight =
+  if n <= 1 then invalid_arg "Skew.hot_cold: n <= 1";
+  let hot_n = max 1 (int_of_float (float_of_int n *. hot_fraction)) in
+  let cold_n = max 1 (n - hot_n) in
+  fun () ->
+    if Graft_util.Prng.float rng < hot_weight then Graft_util.Prng.int rng hot_n
+    else hot_n + Graft_util.Prng.int rng cold_n
+
+let eighty_twenty rng ~n = hot_cold rng ~n ~hot_fraction:0.2 ~hot_weight:0.8
+
+(** An array of [count] draws. *)
+let workload gen count = Array.init count (fun _ -> gen ())
+
+(** Zipf(s) over ranks 1..n by inverse-CDF on a precomputed table;
+    deterministic given the PRNG. *)
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Skew.zipf: n <= 0";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  fun () ->
+    let u = Graft_util.Prng.float rng in
+    (* Binary search for the first cdf >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo

@@ -1,0 +1,71 @@
+(** The paper's model database (section 3.1): a TPC-B-style server over
+    a 1,000,000-record, four-level, 50%-full b-tree — one root page,
+    four second-level pages, 391 third-level pages, and ~50,000 data
+    pages, each third-level page pointing at up to 128 data pages. The
+    server maps the database into memory; during a search, reaching a
+    third-level page tells it exactly which 128 data pages it will
+    touch next — that list is the eviction graft's hot list. *)
+
+type t = {
+  root : int;
+  l2 : int array;
+  l3 : int array;
+  l4_children : int array array;  (** per-L3 page, its data pages *)
+  npages : int;
+}
+
+let default_l3 = 391
+let default_children = 128
+
+let create ?(l3_pages = default_l3) ?(children_per_l3 = default_children) () =
+  let root = 0 in
+  let l2 = Array.init 4 (fun i -> 1 + i) in
+  let l3 = Array.init l3_pages (fun i -> 5 + i) in
+  let first_l4 = 5 + l3_pages in
+  let l4_children =
+    Array.init l3_pages (fun i ->
+        Array.init children_per_l3 (fun j ->
+            first_l4 + (i * children_per_l3) + j))
+  in
+  let npages = first_l4 + (l3_pages * children_per_l3) in
+  { root; l2; l3; l4_children; npages }
+
+(** Pages touched by a keyed lookup landing on the [i]th third-level
+    page and its [j]th record page: root, an L2 page, the L3 page, the
+    L4 page. *)
+let lookup_path t ~l3_index ~child_index =
+  if l3_index < 0 || l3_index >= Array.length t.l3 then
+    invalid_arg "Tpcb.lookup_path: l3 index";
+  let children = t.l4_children.(l3_index) in
+  if child_index < 0 || child_index >= Array.length children then
+    invalid_arg "Tpcb.lookup_path: child index";
+  [| t.root; t.l2.(l3_index * 4 / Array.length t.l3); t.l3.(l3_index);
+     children.(child_index) |]
+
+(** A random keyed lookup: the pages it touches and the hot list the
+    application would publish on reaching the third level (all of that
+    L3 page's children). *)
+let random_lookup rng t =
+  let l3_index = Graft_util.Prng.int rng (Array.length t.l3) in
+  let child_index =
+    Graft_util.Prng.int rng (Array.length t.l4_children.(l3_index))
+  in
+  (lookup_path t ~l3_index ~child_index, t.l4_children.(l3_index))
+
+(** A depth-first non-keyed scan of one third-level page's subtree, as
+    in the paper's benchmark: the L3 page then every child in order.
+    Returns the page reference string and the hot list. *)
+let scan_subtree t ~l3_index =
+  if l3_index < 0 || l3_index >= Array.length t.l3 then
+    invalid_arg "Tpcb.scan_subtree: l3 index";
+  let children = t.l4_children.(l3_index) in
+  let refs = Array.make (1 + Array.length children) 0 in
+  refs.(0) <- t.l3.(l3_index);
+  Array.blit children 0 refs 1 (Array.length children);
+  (refs, children)
+
+(** Probability a needed page is already cached under the paper's
+    sizing — "roughly 64/50,000, or once every 781 times". *)
+let hit_probability t ~avg_hot =
+  float_of_int avg_hot
+  /. float_of_int (Array.length t.l3 * Array.length t.l4_children.(0))

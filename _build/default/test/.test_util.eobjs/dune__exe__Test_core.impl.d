@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Breakeven Buffer Bytes Char Float Graft_core Graft_kernel Graft_md5 Graft_mem Graft_regvm Graft_util List Manager Option Prng Runners String Taxonomy Technology

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Buffer Fault Gel Graft_gel Graft_mem Graft_regvm Graft_stackvm Graft_util Int64 Interp Link List Memory Printf Prng QCheck QCheck_alcotest Srcloc

@@ -1,0 +1,1 @@
+test/test_gel.ml: Alcotest Array Fault Gel Graft_gel Graft_mem Interp Ir Lexer Link List Memory Pretty Printf QCheck QCheck_alcotest Result Srcloc String Token Wordops

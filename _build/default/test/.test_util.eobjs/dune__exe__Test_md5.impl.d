@@ -1,0 +1,1 @@
+test/test_md5.ml: Alcotest Bytes Char Gen Graft_md5 Graft_util List Md5 Printf Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Diskbench Faultbench Float Graft_measure Graft_util List Platform Signalbench Stats Upcallbench

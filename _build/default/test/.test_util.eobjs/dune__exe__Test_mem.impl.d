@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Fault Graft_mem List Memory QCheck QCheck_alcotest

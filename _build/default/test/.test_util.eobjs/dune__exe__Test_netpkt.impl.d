@@ -1,0 +1,1 @@
+test/test_netpkt.ml: Alcotest Array Bytes Graft_core Graft_kernel Graft_util List Netpkt Pfvm Prng QCheck QCheck_alcotest Queue Runners Technology

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Experiments Graft_core Graft_report List Paperdata String Technology

@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Array Fault Graft_mem Graft_script Graft_util List Memory Printf QCheck QCheck_alcotest Script

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Asciiplot Bytes Float Fun Gen Graft_util List Prng QCheck QCheck_alcotest Stats String Tablefmt Timer

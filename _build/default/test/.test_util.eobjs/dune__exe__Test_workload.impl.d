@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bytes Filedata Graft_util Graft_workload List Prng QCheck QCheck_alcotest Skew Tpcb

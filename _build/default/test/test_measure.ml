@@ -1,0 +1,83 @@
+(* Tests for graft_measure: real signal, disk, and fault measurements
+   plus platform profiles. These assert sanity (positive, plausible
+   magnitudes), not exact values — they run on arbitrary hosts. *)
+
+open Graft_measure
+open Graft_util
+
+let check_bool = Alcotest.(check bool)
+
+let test_signalbench () =
+  let r = Signalbench.measure ~rounds:30 () in
+  let mean = r.Signalbench.per_signal_s.Stats.mean in
+  check_bool "group size" true (r.Signalbench.group_size = 20);
+  (* Signal handling on any machine: over 100ns, under 10ms. *)
+  check_bool "plausible magnitude" true (mean > 1e-7 && mean < 1e-2);
+  check_bool "posting cheaper than handling" true
+    (r.Signalbench.post_only_s < mean *. 20.0);
+  let upcall = Signalbench.upcall_estimate_s r in
+  check_bool "upcall is 60%" true (Float.abs (upcall -. (mean *. 0.6)) < 1e-12)
+
+let test_diskbench () =
+  let r = Diskbench.measure ~runs:2 ~file_bytes:(2 * 1024 * 1024) () in
+  let bw = r.Diskbench.bandwidth_bytes_per_s.Stats.mean in
+  (* Any disk from 1995 floppy to NVMe: 100KB/s .. 100GB/s. *)
+  check_bool "plausible bandwidth" true (bw > 1e5 && bw < 1e11);
+  let t = Diskbench.access_time_s r (1024 * 1024) in
+  check_bool "access time positive" true (t > 0.0)
+
+let test_faultbench () =
+  let r = Faultbench.measure ~runs:3 () in
+  let per = r.Faultbench.per_fault_s.Stats.mean in
+  (* Page-cache fault: over 10ns, under 1ms. *)
+  check_bool "plausible fault time" true (per > 1e-10 && per < 1e-3)
+
+let test_paper_profiles () =
+  Alcotest.(check int) "four platforms" 4 (List.length Platform.paper_profiles);
+  let solaris = Platform.find_paper "Solaris" in
+  check_bool "Solaris signal" true
+    (Float.abs (solaris.Platform.signal_s -. 40.3e-6) < 1e-9);
+  check_bool "Solaris fault" true
+    (Float.abs (solaris.Platform.fault_s -. 6.9e-3) < 1e-9);
+  (* Table 4: Solaris 1MB access time 320ms. *)
+  let t = Platform.mb_access_s solaris in
+  check_bool "1MB time near 320ms" true (t > 0.31 && t < 0.34);
+  let alpha = Platform.find_paper "Alpha" in
+  Alcotest.(check int) "Alpha read-ahead" 16 alpha.Platform.pages_per_fault
+
+let test_upcall_estimates () =
+  let linux = Platform.find_paper "Linux" in
+  let u = Platform.upcall_s linux in
+  check_bool "upcall < signal" true (u < linux.Platform.signal_s);
+  check_bool "upcall = 60%" true
+    (Float.abs (u -. (55.9e-6 *. 0.6)) < 1e-12)
+
+let test_upcallbench () =
+  let r = Upcallbench.measure ~rounds:200 () in
+  let rtt = r.Upcallbench.round_trip_s.Stats.mean in
+  (* A pipe round trip between processes: 200ns .. 10ms on any host. *)
+  check_bool "plausible rtt" true (rtt > 2e-7 && rtt < 1e-2);
+  check_bool "switch is half" true
+    (Float.abs (Upcallbench.switch_s r -. (rtt /. 2.0)) < 1e-12)
+
+let test_host_profile () =
+  let host = Platform.measure_host ~signal_rounds:20 ~disk_runs:1 ~fault_pages:4096 () in
+  check_bool "measured flag" true host.Platform.measured;
+  check_bool "signal positive" true (host.Platform.signal_s > 0.0);
+  check_bool "fault positive" true (host.Platform.fault_s > 0.0);
+  check_bool "disk positive" true (host.Platform.disk_bytes_per_s > 0.0)
+
+let () =
+  Alcotest.run "graft_measure"
+    [
+      ( "measure",
+        [
+          Alcotest.test_case "signalbench" `Quick test_signalbench;
+          Alcotest.test_case "diskbench" `Quick test_diskbench;
+          Alcotest.test_case "faultbench" `Quick test_faultbench;
+          Alcotest.test_case "upcallbench" `Quick test_upcallbench;
+          Alcotest.test_case "paper profiles" `Quick test_paper_profiles;
+          Alcotest.test_case "upcall estimates" `Quick test_upcall_estimates;
+          Alcotest.test_case "host profile" `Quick test_host_profile;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for graft_mem: regions, permissions, faults, unsafe clamping. *)
+
+open Graft_mem
+
+let fault_of f =
+  match f () with
+  | exception Fault.Fault fault -> Some fault
+  | _ -> None
+
+let expect_fault msg pred f =
+  match fault_of f with
+  | Some fault when pred fault -> ()
+  | Some fault -> Alcotest.failf "%s: wrong fault %s" msg (Fault.to_string fault)
+  | None -> Alcotest.failf "%s: no fault raised" msg
+
+let test_create_and_size () =
+  let m = Memory.create 100 in
+  Alcotest.(check int) "size" 100 (Memory.size m)
+
+let test_create_too_small () =
+  Alcotest.check_raises "size" (Invalid_argument "Memory.create: size < 2")
+    (fun () -> ignore (Memory.create 1))
+
+let test_alloc_sequential () =
+  let m = Memory.create 100 in
+  let a = Memory.alloc m ~name:"a" ~len:10 ~perm:Memory.perm_rw in
+  let b = Memory.alloc m ~name:"b" ~len:5 ~perm:Memory.perm_ro in
+  Alcotest.(check int) "a base skips NIL" 1 a.Memory.base;
+  Alcotest.(check int) "b base" 11 b.Memory.base;
+  Alcotest.(check int) "regions" 2 (List.length (Memory.regions m))
+
+let test_alloc_exhaustion () =
+  let m = Memory.create 10 in
+  Alcotest.(check bool) "raises" true
+    (match Memory.alloc m ~name:"big" ~len:100 ~perm:Memory.perm_rw with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_alloc_pow2_alignment () =
+  let m = Memory.create 4096 in
+  let _pad = Memory.alloc m ~name:"pad" ~len:3 ~perm:Memory.perm_rw in
+  let r = Memory.alloc_pow2 m ~name:"sandbox" ~len:100 ~perm:Memory.perm_rw in
+  Alcotest.(check int) "len rounded to pow2" 128 r.Memory.len;
+  Alcotest.(check int) "base aligned" 0 (r.Memory.base mod 128)
+
+let test_load_store_roundtrip () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"r" ~len:10 ~perm:Memory.perm_rw in
+  Memory.store m r.Memory.base 42;
+  Alcotest.(check int) "roundtrip" 42 (Memory.load m r.Memory.base)
+
+let test_nil_faults () =
+  let m = Memory.create 100 in
+  expect_fault "load NIL" (fun f -> f = Fault.Nil_dereference) (fun () ->
+      Memory.load m 0);
+  expect_fault "store NIL" (fun f -> f = Fault.Nil_dereference) (fun () ->
+      Memory.store m 0 1)
+
+let test_out_of_bounds_faults () =
+  let m = Memory.create 100 in
+  expect_fault "load oob"
+    (function Fault.Out_of_bounds { addr = 100; _ } -> true | _ -> false)
+    (fun () -> Memory.load m 100);
+  expect_fault "load negative"
+    (function Fault.Out_of_bounds { addr = -1; _ } -> true | _ -> false)
+    (fun () -> Memory.load m (-1));
+  expect_fault "store oob"
+    (function Fault.Out_of_bounds _ -> true | _ -> false)
+    (fun () -> Memory.store m 100 1)
+
+let test_unmapped_protection () =
+  let m = Memory.create 100 in
+  (* cell 50 never allocated *)
+  expect_fault "unmapped read"
+    (function Fault.Protection { access = Fault.Read; _ } -> true | _ -> false)
+    (fun () -> Memory.load m 50)
+
+let test_readonly_region () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"ro" ~len:10 ~perm:Memory.perm_ro in
+  (Memory.cells m).(r.Memory.base) <- 7;
+  Alcotest.(check int) "ro read ok" 7 (Memory.load m r.Memory.base);
+  expect_fault "write to ro"
+    (function Fault.Protection { access = Fault.Write; _ } -> true | _ -> false)
+    (fun () -> Memory.store m r.Memory.base 1)
+
+let test_protect_revokes () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"w" ~len:10 ~perm:Memory.perm_rw in
+  Memory.store m r.Memory.base 1;
+  let r = Memory.protect m r Memory.perm_ro in
+  ignore r;
+  expect_fault "write revoked"
+    (function Fault.Protection _ -> true | _ -> false)
+    (fun () -> Memory.store m (r.Memory.base) 2)
+
+let test_unsafe_clamps () =
+  let m = Memory.create 100 in
+  let _ = Memory.alloc m ~name:"r" ~len:10 ~perm:Memory.perm_rw in
+  (* Unsafe accesses never fault; they silently wrap into the physical
+     array, modelling a stray pointer corrupting kernel memory. *)
+  Memory.unsafe_store m 105 99;
+  Alcotest.(check int) "wrapped" 99 (Memory.unsafe_load m 5);
+  Memory.unsafe_store m (-1) 7;
+  Alcotest.(check int) "negative wraps" 7 (Memory.unsafe_load m 99)
+
+let test_blit_and_read_out () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"r" ~len:4 ~perm:Memory.perm_rw in
+  Memory.blit_in m r [| 1; 2; 3 |];
+  let out = Memory.read_out m r in
+  Alcotest.(check (array int)) "read back" [| 1; 2; 3; 0 |] out
+
+let test_blit_too_long () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"r" ~len:2 ~perm:Memory.perm_rw in
+  Alcotest.(check bool) "raises" true
+    (match Memory.blit_in m r [| 1; 2; 3 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fill () =
+  let m = Memory.create 100 in
+  let r = Memory.alloc m ~name:"r" ~len:3 ~perm:Memory.perm_rw in
+  Memory.fill m r 9;
+  Alcotest.(check (array int)) "filled" [| 9; 9; 9 |] (Memory.read_out m r)
+
+let test_region_by_name () =
+  let m = Memory.create 100 in
+  let _ = Memory.alloc m ~name:"alpha" ~len:3 ~perm:Memory.perm_rw in
+  Alcotest.(check bool) "found" true (Memory.region_by_name m "alpha" <> None);
+  Alcotest.(check bool) "missing" true (Memory.region_by_name m "beta" = None)
+
+let test_permission_queries () =
+  let m = Memory.create 100 in
+  let ro = Memory.alloc m ~name:"ro" ~len:2 ~perm:Memory.perm_ro in
+  Alcotest.(check bool) "readable" true (Memory.readable m ro.Memory.base);
+  Alcotest.(check bool) "not writable" false (Memory.writable m ro.Memory.base);
+  Alcotest.(check bool) "nil not readable" false (Memory.readable m 0);
+  Alcotest.(check bool) "oob not readable" false (Memory.readable m 1000)
+
+let test_fault_to_string () =
+  (* Each constructor renders a distinct human-readable message. *)
+  let msgs =
+    List.map Fault.to_string
+      [
+        Fault.Out_of_bounds { access = Fault.Read; addr = 3 };
+        Fault.Protection { access = Fault.Write; addr = 4 };
+        Fault.Nil_dereference;
+        Fault.Fuel_exhausted;
+        Fault.Division_by_zero;
+        Fault.Stack_overflow;
+        Fault.Illegal_instruction "x";
+        Fault.Verification_failed "y";
+        Fault.Type_error "z";
+        Fault.Host_error "w";
+      ]
+  in
+  let uniq = List.sort_uniq compare msgs in
+  Alcotest.(check int) "all distinct" (List.length msgs) (List.length uniq)
+
+let prop_checked_load_matches_store =
+  QCheck.Test.make ~name:"store then load roundtrips" ~count:200
+    QCheck.(pair (int_range 0 63) int)
+    (fun (off, v) ->
+      let m = Memory.create 128 in
+      let r = Memory.alloc m ~name:"r" ~len:64 ~perm:Memory.perm_rw in
+      Memory.store m (r.Memory.base + off) v;
+      Memory.load m (r.Memory.base + off) = v)
+
+let prop_unsafe_never_faults =
+  QCheck.Test.make ~name:"unsafe accesses never fault" ~count:500
+    QCheck.(pair int small_int)
+    (fun (addr, v) ->
+      let m = Memory.create 64 in
+      Memory.unsafe_store m addr v;
+      ignore (Memory.unsafe_load m addr);
+      true)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_mem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "create" `Quick test_create_and_size;
+          Alcotest.test_case "create too small" `Quick test_create_too_small;
+          Alcotest.test_case "alloc sequential" `Quick test_alloc_sequential;
+          Alcotest.test_case "alloc exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "alloc pow2" `Quick test_alloc_pow2_alignment;
+          Alcotest.test_case "load/store" `Quick test_load_store_roundtrip;
+          Alcotest.test_case "NIL" `Quick test_nil_faults;
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_faults;
+          Alcotest.test_case "unmapped" `Quick test_unmapped_protection;
+          Alcotest.test_case "read-only" `Quick test_readonly_region;
+          Alcotest.test_case "protect revokes" `Quick test_protect_revokes;
+          Alcotest.test_case "unsafe clamps" `Quick test_unsafe_clamps;
+          Alcotest.test_case "blit/read_out" `Quick test_blit_and_read_out;
+          Alcotest.test_case "blit too long" `Quick test_blit_too_long;
+          Alcotest.test_case "fill" `Quick test_fill;
+          Alcotest.test_case "region by name" `Quick test_region_by_name;
+          Alcotest.test_case "permission queries" `Quick test_permission_queries;
+          Alcotest.test_case "fault messages" `Quick test_fault_to_string;
+        ] );
+      ("properties", qc [ prop_checked_load_matches_store; prop_unsafe_never_faults ]);
+    ]

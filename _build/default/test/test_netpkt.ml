@@ -1,0 +1,259 @@
+(* Tests for the packet substrate: packet encoding, demux, the BPF-like
+   filter VM (verification, termination, semantics), and the
+   packet-filter grafts across all technologies. *)
+
+open Graft_kernel
+open Graft_core
+open Graft_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- packets ---------- *)
+
+let test_packet_fields () =
+  let p =
+    Netpkt.make ~protocol:Netpkt.proto_tcp ~src_ip:0x0A000001
+      ~dst_ip:0x0A000102 ~src_port:12345 ~dst_port:80
+      ~payload:(Bytes.of_string "hello") ()
+  in
+  check_int "ethertype" Netpkt.ethertype_ip (Netpkt.ethertype p);
+  check_int "protocol" Netpkt.proto_tcp (Netpkt.protocol p);
+  check_int "src ip" 0x0A000001 (Netpkt.src_ip p);
+  check_int "dst ip" 0x0A000102 (Netpkt.dst_ip p);
+  check_int "src port" 12345 (Netpkt.src_port p);
+  check_int "dst port" 80 (Netpkt.dst_port p);
+  check_int "length" (Netpkt.header_bytes + 5) (Netpkt.length p)
+
+let test_traffic_generator () =
+  let rng = Prng.create 1L in
+  let pkts = Netpkt.random_traffic rng ~count:1000 in
+  check_int "count" 1000 (Array.length pkts);
+  let ip_count =
+    Array.fold_left
+      (fun acc p -> if Netpkt.ethertype p = Netpkt.ethertype_ip then acc + 1 else acc)
+      0 pkts
+  in
+  check_bool "mostly ip" true (ip_count > 900);
+  check_bool "some non-ip" true (ip_count < 1000)
+
+let test_demux_first_match () =
+  let all = Netpkt.endpoint ~name:"all" (fun _ -> true) in
+  let never = Netpkt.endpoint ~name:"never" (fun _ -> false) in
+  let d = Netpkt.demux [ never; all ] in
+  Netpkt.deliver d (Netpkt.make ());
+  check_int "second endpoint got it" 1 (Queue.length all.Netpkt.queue);
+  check_int "no drops" 0 d.Netpkt.dropped;
+  let d2 = Netpkt.demux [ never ] in
+  Netpkt.deliver d2 (Netpkt.make ());
+  check_int "dropped" 1 d2.Netpkt.dropped
+
+(* ---------- pfvm ---------- *)
+
+let test_pfvm_verify_accepts_builders () =
+  List.iter
+    (fun p ->
+      match Pfvm.verify p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "rejected: %s" m)
+    [
+      Pfvm.proto_dst_port ~protocol:17 ~port:53;
+      Pfvm.between ~a:1 ~b:2;
+      [| Pfvm.Ret 1 |];
+    ]
+
+let test_pfvm_verify_rejects () =
+  let expect_reject p =
+    match Pfvm.verify p with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "verifier accepted bad filter"
+  in
+  expect_reject [||];
+  (* backward jump *)
+  expect_reject [| Pfvm.Jeq (0, -1, 0); Pfvm.Ret 0 |];
+  (* jump out of range *)
+  expect_reject [| Pfvm.Jeq (0, 5, 0); Pfvm.Ret 0 |];
+  (* falls off the end *)
+  expect_reject [| Pfvm.Ld8 0 |];
+  (* negative load offset *)
+  expect_reject [| Pfvm.Ld8 (-1); Pfvm.Ret 0 |]
+
+let test_pfvm_termination_bound () =
+  (* Forward-only jumps: even adversarial verified programs terminate
+     in at most |program| steps — run a long chain and just confirm it
+     returns. *)
+  let n = 10_000 in
+  let p =
+    Array.init n (fun i ->
+        if i = n - 1 then Pfvm.Ret 1 else Pfvm.Jeq (max_int, 0, 0))
+  in
+  (match Pfvm.verify p with Ok () -> () | Error m -> Alcotest.fail m);
+  check_int "terminates" 1 (Pfvm.run p (Netpkt.make ()))
+
+let test_pfvm_truncated_packet_rejects () =
+  let p = Pfvm.proto_dst_port ~protocol:17 ~port:53 in
+  (* A 10-byte frame: the Ld16 12 is out of range -> reject, no fault. *)
+  let short = { Netpkt.data = Bytes.make 10 '\000' } in
+  check_int "rejects" 0 (Pfvm.run p short)
+
+let test_pfvm_semantics_vs_native () =
+  let rng = Prng.create 0xF17E4L in
+  let traffic = Netpkt.random_traffic rng ~count:2000 in
+  let p = Pfvm.proto_dst_port ~protocol:Netpkt.proto_udp ~port:53 in
+  Array.iter
+    (fun pkt ->
+      let expect =
+        Netpkt.ethertype pkt = Netpkt.ethertype_ip
+        && Netpkt.protocol pkt = Netpkt.proto_udp
+        && Netpkt.dst_port pkt = 53
+      in
+      if Pfvm.accepts p pkt <> expect then Alcotest.fail "pfvm disagrees")
+    traffic
+
+let test_pfvm_between () =
+  let a = 0x0A000001 and b = 0x0A000002 and c = 0x0A000003 in
+  let p = Pfvm.between ~a ~b in
+  (match Pfvm.verify p with Ok () -> () | Error m -> Alcotest.fail m);
+  let mk src dst = Netpkt.make ~src_ip:src ~dst_ip:dst () in
+  check_bool "a->b" true (Pfvm.accepts p (mk a b));
+  check_bool "b->a" true (Pfvm.accepts p (mk b a));
+  check_bool "a->c" false (Pfvm.accepts p (mk a c));
+  check_bool "c->b" false (Pfvm.accepts p (mk c b));
+  check_bool "c->c" false (Pfvm.accepts p (mk c c));
+  let non_ip = Netpkt.make ~ethertype:0x0806 ~src_ip:a ~dst_ip:b () in
+  check_bool "non-ip" false (Pfvm.accepts p non_ip)
+
+let test_pfvm_jgt_jset () =
+  (* accept packets longer than 64 bytes with low bit of protocol set *)
+  let p =
+    [|
+      Pfvm.Ldlen; Pfvm.Jgt (64, 0, 3); Pfvm.Ld8 23; Pfvm.Jset (1, 0, 1);
+      Pfvm.Ret 1; Pfvm.Ret 0;
+    |]
+  in
+  (match Pfvm.verify p with Ok () -> () | Error m -> Alcotest.fail m);
+  let big =
+    Netpkt.make ~protocol:17 ~payload:(Bytes.make 100 'x') ()
+  in
+  let small = Netpkt.make ~protocol:17 () in
+  let even = Netpkt.make ~protocol:6 ~payload:(Bytes.make 100 'x') () in
+  check_bool "big odd proto" true (Pfvm.accepts p big);
+  check_bool "small" false (Pfvm.accepts p small);
+  check_bool "even proto" false (Pfvm.accepts p even)
+
+(* ---------- filter grafts across technologies ---------- *)
+
+let filter_techs =
+  [
+    Technology.Unsafe_c; Technology.Safe_lang; Technology.Safe_lang_nil;
+    Technology.Sfi_write_jump; Technology.Sfi_full; Technology.Specialized_vm;
+    Technology.Bytecode_vm; Technology.Ast_interp; Technology.Source_interp;
+  ]
+
+let test_filter_runners_agree () =
+  let rng = Prng.create 0xACCE97L in
+  let traffic = Netpkt.random_traffic rng ~count:300 in
+  let reference =
+    Runners.packet_filter Technology.Unsafe_c ~protocol:Netpkt.proto_udp
+      ~port:53
+  in
+  List.iter
+    (fun tech ->
+      let accepts =
+        Runners.packet_filter tech ~protocol:Netpkt.proto_udp ~port:53
+      in
+      Array.iteri
+        (fun i pkt ->
+          if accepts pkt <> reference pkt then
+            Alcotest.failf "%s disagrees on packet %d" (Technology.name tech) i)
+        traffic)
+    filter_techs
+
+let test_filter_matches_exist () =
+  (* The traffic mix actually exercises both branches. *)
+  let rng = Prng.create 0xACCE97L in
+  let traffic = Netpkt.random_traffic rng ~count:300 in
+  let reference =
+    Runners.packet_filter Technology.Unsafe_c ~protocol:Netpkt.proto_udp
+      ~port:53
+  in
+  let matches = Array.fold_left (fun a p -> if reference p then a + 1 else a) 0 traffic in
+  check_bool "some match" true (matches > 0);
+  check_bool "some do not" true (matches < 300)
+
+let test_specialized_vm_cannot_do_other_grafts () =
+  check_bool "evict rejected" true
+    (match Runners.evict Technology.Specialized_vm ~capacity_nodes:8 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "md5 rejected" true
+    (match Runners.md5 Technology.Specialized_vm ~capacity:64 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "logdisk rejected" true
+    (match Runners.logdisk_policy Technology.Specialized_vm ~nblocks:64 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_pfvm_always_terminates =
+  (* Any verified random program terminates and returns a value on any
+     packet. *)
+  QCheck.Test.make ~name:"verified filters terminate" ~count:200
+    QCheck.(pair int64 (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let p =
+        Array.init n (fun i ->
+            let remaining = n - i - 1 in
+            if remaining = 0 then Pfvm.Ret (Prng.int rng 2)
+            else
+              match Prng.int rng 8 with
+              | 0 -> Pfvm.Ld8 (Prng.int rng 64)
+              | 1 -> Pfvm.Ld16 (Prng.int rng 64)
+              | 2 -> Pfvm.Ldlen
+              | 3 -> Pfvm.And (Prng.int rng 256)
+              | 4 -> Pfvm.Add (Prng.int rng 10)
+              | 5 ->
+                  Pfvm.Jeq
+                    (Prng.int rng 256, Prng.int rng remaining, Prng.int rng remaining)
+              | 6 ->
+                  Pfvm.Jgt
+                    (Prng.int rng 256, Prng.int rng remaining, Prng.int rng remaining)
+              | _ -> Pfvm.Ret (Prng.int rng 2))
+      in
+      match Pfvm.verify p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let pkt = Netpkt.make ~payload:(Prng.bytes rng (Prng.int rng 64)) () in
+          let v = Pfvm.run p pkt in
+          v = 0 || v = 1)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_netpkt"
+    [
+      ( "packets",
+        [
+          Alcotest.test_case "fields" `Quick test_packet_fields;
+          Alcotest.test_case "traffic" `Quick test_traffic_generator;
+          Alcotest.test_case "demux first match" `Quick test_demux_first_match;
+        ] );
+      ( "pfvm",
+        [
+          Alcotest.test_case "verify accepts" `Quick test_pfvm_verify_accepts_builders;
+          Alcotest.test_case "verify rejects" `Quick test_pfvm_verify_rejects;
+          Alcotest.test_case "termination" `Quick test_pfvm_termination_bound;
+          Alcotest.test_case "truncated packet" `Quick test_pfvm_truncated_packet_rejects;
+          Alcotest.test_case "semantics vs native" `Quick test_pfvm_semantics_vs_native;
+          Alcotest.test_case "between" `Quick test_pfvm_between;
+          Alcotest.test_case "jgt/jset" `Quick test_pfvm_jgt_jset;
+        ]
+        @ qc [ prop_pfvm_always_terminates ] );
+      ( "runners",
+        [
+          Alcotest.test_case "all agree" `Quick test_filter_runners_agree;
+          Alcotest.test_case "mix exercises both" `Quick test_filter_matches_exist;
+          Alcotest.test_case "expressiveness limit" `Quick
+            test_specialized_vm_cannot_do_other_grafts;
+        ] );
+    ]

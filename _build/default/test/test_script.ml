@@ -1,0 +1,425 @@
+(* Tests for graft_script: the Tcl-like source interpreter. *)
+
+open Graft_mem
+open Graft_script
+
+let mk ?(fuel = 10_000_000) ?(mem_size = 256) () =
+  let mem = Memory.create mem_size in
+  (mem, Script.create ~fuel mem)
+
+let eval_ok ?(fuel = 10_000_000) src =
+  let _, t = mk ~fuel () in
+  match Script.eval t src with
+  | Ok v -> v
+  | Error f -> Alcotest.failf "script fault: %s" (Fault.to_string f)
+
+let eval_fault ?(fuel = 10_000_000) src =
+  let _, t = mk ~fuel () in
+  match Script.eval t src with
+  | Ok v -> Alcotest.failf "expected fault, got %S" v
+  | Error f -> f
+
+let check_str = Alcotest.(check string)
+
+(* ---------- expr ---------- *)
+
+let test_expr_basic () =
+  check_str "add" "7" (eval_ok "expr {1 + 2 * 3}");
+  check_str "paren" "9" (eval_ok "expr {(1 + 2) * 3}");
+  check_str "hex" "255" (eval_ok "expr {0xFF}");
+  check_str "mod" "2" (eval_ok "expr {17 % 5}");
+  check_str "shift" "32" (eval_ok "expr {1 << 5}");
+  check_str "cmp" "1" (eval_ok "expr {3 < 5}");
+  check_str "logic" "1" (eval_ok "expr {1 && (0 || 1)}");
+  check_str "unary" "-5" (eval_ok "expr {-5}");
+  check_str "not" "1" (eval_ok "expr {!0}");
+  check_str "bnot" "-1" (eval_ok "expr {~0}")
+
+let test_expr_word_masking () =
+  (* The MD5 idiom: 32-bit wrap via explicit masking. *)
+  check_str "mask add" "0"
+    (eval_ok "expr {(0xFFFFFFFF + 1) & 0xFFFFFFFF}");
+  check_str "rotl" (string_of_int 0x80000000)
+    (eval_ok "expr {((1 << 31) | (1 >> 1)) & 0xFFFFFFFF}")
+
+let test_expr_div_zero () =
+  match eval_fault "expr {1 / 0}" with
+  | Fault.Division_by_zero -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_expr_malformed () =
+  match eval_fault "expr {1 +}" with
+  | Fault.Type_error _ -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+(* ---------- variables and substitution ---------- *)
+
+let test_set_get () =
+  check_str "set" "42" (eval_ok "set x 42\nset x");
+  check_str "subst" "43" (eval_ok "set x 42\nexpr {$x + 1}")
+
+let test_unset_variable_fault () =
+  match eval_fault "set y $nosuch" with
+  | Fault.Type_error _ -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_incr () =
+  check_str "incr" "6" (eval_ok "set i 5\nincr i");
+  check_str "incr by" "15" (eval_ok "set i 5\nincr i 10")
+
+let test_command_substitution () =
+  check_str "cmd subst" "10" (eval_ok "set x [expr {4 + 6}]\nset x")
+
+let test_quotes_substitute_braces_dont () =
+  check_str "quotes" "v=7" (eval_ok "set v 7\nset out \"v=$v\"\nset out");
+  check_str "braces" "v=$v" (eval_ok "set v 7\nset out {v=$v}\nset out")
+
+let test_semicolon_separator () =
+  check_str "semis" "3" (eval_ok "set a 1; set b 2; expr {$a + $b}")
+
+let test_comments_skipped () =
+  check_str "comment" "5" (eval_ok "# a comment\nset x 5\nset x")
+
+(* ---------- control flow ---------- *)
+
+let test_if_else () =
+  check_str "then" "yes" (eval_ok "if {1 < 2} { set r yes } else { set r no }\nset r");
+  check_str "else" "no" (eval_ok "if {1 > 2} { set r yes } else { set r no }\nset r");
+  check_str "elseif" "mid"
+    (eval_ok
+       "set x 5\n\
+        if {$x < 3} { set r low } elseif {$x < 10} { set r mid } else { set r \
+        hi }\n\
+        set r")
+
+let test_while_loop () =
+  check_str "sum 1..10" "55"
+    (eval_ok
+       "set i 1\nset sum 0\nwhile {$i <= 10} { set sum [expr {$sum + $i}]; incr i }\nset sum")
+
+let test_for_loop () =
+  check_str "for" "45"
+    (eval_ok
+       "set sum 0\n\
+        for {set i 0} {$i < 10} {incr i} { set sum [expr {$sum + $i}] }\n\
+        set sum")
+
+let test_break_continue () =
+  check_str "break/continue" "25"
+    (eval_ok
+       "set sum 0\n\
+        for {set i 0} {$i < 100} {incr i} {\n\
+        if {$i % 2 == 0} { continue }\n\
+        if {$i > 10} { break }\n\
+        set sum [expr {$sum + $i}]\n\
+        }\n\
+        set sum")
+
+let test_nested_loops () =
+  check_str "nested" "12"
+    (eval_ok
+       "set count 0\n\
+        for {set i 0} {$i < 3} {incr i} {\n\
+        set j 0\n\
+        while {1} { incr j; if {$j == 4} { break } }\n\
+        set count [expr {$count + $j}]\n\
+        }\n\
+        set count")
+
+(* ---------- procs ---------- *)
+
+let test_proc_factorial () =
+  check_str "fact" "3628800"
+    (eval_ok
+       "proc fact {n} {\n\
+        if {$n <= 1} { return 1 }\n\
+        return [expr {$n * [fact [expr {$n - 1}]]}]\n\
+        }\n\
+        fact 10")
+
+let test_proc_fib () =
+  check_str "fib" "6765"
+    (eval_ok
+       "proc fib {n} {\n\
+        set a 0\nset b 1\n\
+        for {set i 0} {$i < $n} {incr i} {\n\
+        set t [expr {$a + $b}]\nset a $b\nset b $t\n\
+        }\n\
+        return $a\n\
+        }\n\
+        fib 20")
+
+let test_proc_wrong_args () =
+  match eval_fault "proc f {a b} { return $a }\nf 1" with
+  | Fault.Type_error _ -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_proc_locals_isolated () =
+  check_str "locals" "outer"
+    (eval_ok
+       "set x outer\nproc f {} { set x inner; return $x }\nf\nset x")
+
+let test_global_links () =
+  check_str "global" "7"
+    (eval_ok
+       "set g 0\nproc bump {} { global g; set g [expr {$g + 7}] }\nbump\nset g")
+
+let test_call_api () =
+  let _, t = mk () in
+  (match Script.eval t "proc add3 {a b c} { return [expr {$a + $b + $c}] }" with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "define: %s" (Fault.to_string f));
+  match Script.call t "add3" [ "1"; "2"; "3" ] with
+  | Ok v -> check_str "call" "6" v
+  | Error f -> Alcotest.failf "call: %s" (Fault.to_string f)
+
+let test_deep_recursion_fault () =
+  match eval_fault "proc f {n} { return [f [expr {$n + 1}]] }\nf 0" with
+  | Fault.Stack_overflow -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+(* ---------- kernel memory access ---------- *)
+
+let test_kload_kstore () =
+  let mem, t = mk () in
+  let r = Memory.alloc mem ~name:"buf" ~len:8 ~perm:Memory.perm_rw in
+  Script.bind_array t ~name:"buf" r ~writable:true;
+  (match Script.eval t "kstore buf 3 77\nkload buf 3" with
+  | Ok v -> check_str "roundtrip" "77" v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f));
+  Alcotest.(check int) "in memory" 77 (Memory.cells mem).(r.Memory.base + 3)
+
+let test_kload_bounds () =
+  let mem, t = mk () in
+  let r = Memory.alloc mem ~name:"buf" ~len:8 ~perm:Memory.perm_rw in
+  Script.bind_array t ~name:"buf" r ~writable:true;
+  match Script.eval t "kload buf 99" with
+  | Error (Fault.Out_of_bounds _) -> ()
+  | Ok v -> Alcotest.failf "expected fault, got %S" v
+  | Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_kstore_readonly () =
+  let mem, t = mk () in
+  let r = Memory.alloc mem ~name:"buf" ~len:8 ~perm:Memory.perm_ro in
+  Script.bind_array t ~name:"buf" r ~writable:false;
+  match Script.eval t "kstore buf 0 1" with
+  | Error (Fault.Protection _) -> ()
+  | Ok v -> Alcotest.failf "expected fault, got %S" v
+  | Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_bound_command () =
+  let _, t = mk () in
+  Script.bind_command t ~name:"host_double" (fun _t args ->
+      match args with
+      | [ x ] -> string_of_int (2 * int_of_string x)
+      | _ -> "0");
+  match Script.eval t "host_double 21" with
+  | Ok v -> check_str "bound" "42" v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+(* ---------- safety ---------- *)
+
+let test_fuel_exhaustion () =
+  match eval_fault ~fuel:2000 "while {1} { set x 1 }" with
+  | Fault.Fuel_exhausted -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_unknown_command () =
+  match eval_fault "frobnicate 1 2 3" with
+  | Fault.Type_error _ -> ()
+  | f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+
+let test_interp_survives_fault () =
+  let _, t = mk () in
+  (match Script.eval t "expr {1 / 0}" with
+  | Error Fault.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected fault");
+  match Script.eval t "expr {40 + 2}" with
+  | Ok v -> check_str "survives" "42" v
+  | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+
+(* ---------- syntax edges ---------- *)
+
+let test_nested_brackets () =
+  check_str "nested" "11" (eval_ok "expr {[expr {[expr {2 + 3}] * 2}] + 1}")
+
+let test_brackets_in_braces_literal () =
+  (* Braces suppress command substitution at word-split time... *)
+  check_str "literal body deferred" "ran"
+    (eval_ok "proc f {} { return ran }
+set out {[f]}
+expr {1}
+set r [f]
+set r")
+
+let test_multiline_braced_body () =
+  check_str "multiline" "6"
+    (eval_ok "proc sum3 {a b c} {
+  set t [expr {$a + $b}]
+  return [expr {$t + $c}]
+}
+sum3 1 2 3")
+
+let test_escapes_in_quotes () =
+  check_str "escaped dollar" "$x" (eval_ok "set r \"\\$x\"\nset r");
+  check_str "tab escape" "a\tb" (eval_ok "set r \"a\\tb\"\nset r")
+
+let test_underscore_variables () =
+  check_str "underscore var" "9" (eval_ok "set a_1 9\nset a_1")
+
+let test_empty_script_and_blank_lines () =
+  check_str "empty" "" (eval_ok "");
+  check_str "blanks" "5" (eval_ok "
+
+;;
+set x 5
+
+")
+
+let test_while_zero_iterations () =
+  check_str "no iterations" "0" (eval_ok "set n 0
+while {$n > 0} { incr n }
+set n")
+
+let test_deeply_nested_control () =
+  check_str "nested ifs" "8"
+    (eval_ok
+       "set x 0
+        for {set i 0} {$i < 2} {incr i} {
+        for {set j 0} {$j < 2} {incr j} {
+        if {$i == $j} { set x [expr {$x + 3}] } else { set x [expr {$x + 1}] }
+        }
+        }
+        set x")
+
+let test_proc_redefinition () =
+  check_str "latest wins" "2"
+    (eval_ok "proc f {} { return 1 }
+proc f {} { return 2 }
+f")
+
+let test_negative_numbers_roundtrip () =
+  check_str "negative" "-15" (eval_ok "set x -5
+expr {$x * 3}")
+
+(* ---------- differential vs OCaml ---------- *)
+
+let collatz_script =
+  "proc collatz {n} {\n\
+   set steps 0\n\
+   while {$n != 1 && $steps < 1000} {\n\
+   if {$n % 2 == 0} { set n [expr {$n / 2}] } else { set n [expr {3 * $n + \
+   1}] }\n\
+   incr steps\n\
+   }\n\
+   return $steps\n\
+   }"
+
+let collatz_ocaml n =
+  let rec go n steps =
+    if n = 1 || steps >= 1000 then steps
+    else if n mod 2 = 0 then go (n / 2) (steps + 1)
+    else go ((3 * n) + 1) (steps + 1)
+  in
+  go n 0
+
+let test_collatz_differential () =
+  let _, t = mk () in
+  (match Script.eval t collatz_script with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "define: %s" (Fault.to_string f));
+  let r = Graft_util.Prng.create 777L in
+  for _ = 1 to 10 do
+    let n = 1 + Graft_util.Prng.int r 10000 in
+    match Script.call t "collatz" [ string_of_int n ] with
+    | Ok v -> Alcotest.(check int) "collatz" (collatz_ocaml n) (int_of_string v)
+    | Error f -> Alcotest.failf "fault: %s" (Fault.to_string f)
+  done
+
+let prop_expr_matches_ocaml =
+  QCheck.Test.make ~name:"script expr matches OCaml" ~count:300
+    QCheck.(triple (int_range 0 8) (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (opi, a, b) ->
+      let ops =
+        [| ("+", ( + )); ("-", ( - )); ("*", ( * ));
+           ("/", (fun a b -> if b = 0 then 0 else a / b));
+           ("%", (fun a b -> if b = 0 then 0 else a mod b));
+           ("&", ( land )); ("|", ( lor )); ("^", ( lxor ));
+           ("<", (fun a b -> if a < b then 1 else 0));
+        |]
+      in
+      let name, f = ops.(opi) in
+      if (name = "/" || name = "%") && b = 0 then true
+      else
+        let src = Printf.sprintf "expr {%d %s %d}" a name b in
+        eval_ok src = string_of_int (f a b))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_script"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "basics" `Quick test_expr_basic;
+          Alcotest.test_case "word masking" `Quick test_expr_word_masking;
+          Alcotest.test_case "div by zero" `Quick test_expr_div_zero;
+          Alcotest.test_case "malformed" `Quick test_expr_malformed;
+        ] );
+      ( "variables",
+        [
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "unset var" `Quick test_unset_variable_fault;
+          Alcotest.test_case "incr" `Quick test_incr;
+          Alcotest.test_case "command substitution" `Quick test_command_substitution;
+          Alcotest.test_case "quotes vs braces" `Quick test_quotes_substitute_braces_dont;
+          Alcotest.test_case "semicolons" `Quick test_semicolon_separator;
+          Alcotest.test_case "comments" `Quick test_comments_skipped;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "if/else" `Quick test_if_else;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "for" `Quick test_for_loop;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+        ] );
+      ( "procs",
+        [
+          Alcotest.test_case "factorial" `Quick test_proc_factorial;
+          Alcotest.test_case "fibonacci" `Quick test_proc_fib;
+          Alcotest.test_case "wrong args" `Quick test_proc_wrong_args;
+          Alcotest.test_case "locals isolated" `Quick test_proc_locals_isolated;
+          Alcotest.test_case "global links" `Quick test_global_links;
+          Alcotest.test_case "call api" `Quick test_call_api;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion_fault;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "kload/kstore" `Quick test_kload_kstore;
+          Alcotest.test_case "bounds" `Quick test_kload_bounds;
+          Alcotest.test_case "read-only" `Quick test_kstore_readonly;
+          Alcotest.test_case "bound command" `Quick test_bound_command;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "unknown command" `Quick test_unknown_command;
+          Alcotest.test_case "survives fault" `Quick test_interp_survives_fault;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "nested brackets" `Quick test_nested_brackets;
+          Alcotest.test_case "braces literal" `Quick test_brackets_in_braces_literal;
+          Alcotest.test_case "multiline body" `Quick test_multiline_braced_body;
+          Alcotest.test_case "escapes" `Quick test_escapes_in_quotes;
+          Alcotest.test_case "underscore vars" `Quick test_underscore_variables;
+          Alcotest.test_case "empty/blank" `Quick test_empty_script_and_blank_lines;
+          Alcotest.test_case "while zero" `Quick test_while_zero_iterations;
+          Alcotest.test_case "nested control" `Quick test_deeply_nested_control;
+          Alcotest.test_case "proc redefinition" `Quick test_proc_redefinition;
+          Alcotest.test_case "negatives" `Quick test_negative_numbers_roundtrip;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "collatz" `Quick test_collatz_differential ]
+        @ qc [ prop_expr_matches_ocaml ] );
+    ]

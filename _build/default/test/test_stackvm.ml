@@ -1,0 +1,499 @@
+(* Tests for graft_stackvm: compiler, verifier, and interpreter, with
+   differential checks against the GEL reference interpreter. *)
+
+open Graft_gel
+open Graft_mem
+open Graft_stackvm
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let compile_ok src =
+  match Gel.compile src with
+  | Ok prog -> prog
+  | Error e -> Alcotest.failf "compile error: %s" (Srcloc.to_string e)
+
+(* Build two independent images of the same program so the interpreter
+   and the VM do not share mutable globals. *)
+let fresh_image ?hosts src =
+  match Link.link_fresh ?hosts (compile_ok src) with
+  | Ok image -> image
+  | Error msg -> Alcotest.failf "link error: %s" msg
+
+let vm_run ?(entry = "main") ?(args = [||]) ?(fuel = 10_000_000) ?hosts src =
+  let image = fresh_image ?hosts src in
+  let p = Stackvm.load_exn image in
+  match Vm.run p ~entry ~args ~fuel with
+  | Ok v -> v
+  | Error (`Fault f) -> Alcotest.failf "vm fault: %s" (Fault.to_string f)
+  | Error (`Bad_entry m) -> Alcotest.failf "bad entry: %s" m
+
+let vm_fault ?(entry = "main") ?(args = [||]) ?(fuel = 10_000_000) src =
+  let image = fresh_image src in
+  let p = Stackvm.load_exn image in
+  match Vm.run p ~entry ~args ~fuel with
+  | Ok v -> Alcotest.failf "expected fault, got %d" v
+  | Error (`Fault f) -> f
+  | Error (`Bad_entry m) -> Alcotest.failf "bad entry: %s" m
+
+(* Differential: run [entry args] through both engines, expect equal. *)
+let both ?(entry = "main") ?(args = [||]) ?(fuel = 50_000_000) src =
+  let ref_image = fresh_image src in
+  let ref_result = Interp.run ref_image ~entry ~args ~fuel in
+  let vm_image = fresh_image src in
+  let p = Stackvm.load_exn vm_image in
+  let vm_result = Vm.run p ~entry ~args ~fuel in
+  match (ref_result, vm_result) with
+  | Ok a, Ok b ->
+      if a <> b then Alcotest.failf "interp=%d vm=%d" a b;
+      a
+  | Error (`Fault fa), Error (`Fault fb) ->
+      (* Same fault class is enough; addresses may differ. *)
+      let tag f =
+        match f with
+        | Fault.Out_of_bounds _ -> "oob"
+        | Fault.Protection _ -> "prot"
+        | Fault.Division_by_zero -> "div"
+        | Fault.Fuel_exhausted -> "fuel"
+        | Fault.Stack_overflow -> "stack"
+        | other -> Fault.to_string other
+      in
+      if tag fa <> tag fb then
+        Alcotest.failf "interp fault %s, vm fault %s" (Fault.to_string fa)
+          (Fault.to_string fb);
+      min_int
+  | Ok a, Error (`Fault f) ->
+      Alcotest.failf "interp=%d but vm faulted: %s" a (Fault.to_string f)
+  | Error (`Fault f), Ok b ->
+      Alcotest.failf "interp faulted (%s) but vm=%d" (Fault.to_string f) b
+  | _ -> Alcotest.fail "bad entry in one of the engines"
+
+let check_int = Alcotest.(check int)
+
+(* ---------- basic execution ---------- *)
+
+let test_arith () = check_int "1+2*3" 7 (vm_run "fn main() : int { return 1 + 2 * 3; }")
+
+let test_factorial () =
+  check_int "10!" 3628800
+    (vm_run ~entry:"fact" ~args:[| 10 |]
+       "fn fact(n : int) : int { if (n <= 1) { return 1; } return n * fact(n - 1); }")
+
+let test_fib () =
+  check_int "fib 20" 6765
+    (vm_run ~entry:"fib" ~args:[| 20 |]
+       "fn fib(n : int) : int {\n\
+        var a = 0; var b = 1;\n\
+        for (var i = 0; i < n; i = i + 1) { var t = a + b; a = b; b = t; }\n\
+        return a;\n\
+        }")
+
+let test_word_ops () =
+  check_int "word wrap" 0
+    (vm_run "fn main() : int { var w : word = 0xFFFFFFFF; return int(w + 1); }");
+  check_int "word rot" 0x80000000
+    (vm_run
+       "fn main() : int { var x : word = 1; var n = 31;\n\
+        return int((x << n) | (x >>> (32 - n))); }")
+
+let test_arrays () =
+  check_int "array sum" 60
+    (vm_run
+       "array a[3];\n\
+        fn main() : int { a[0] = 10; a[1] = 20; a[2] = 30;\n\
+        return a[0] + a[1] + a[2]; }")
+
+let test_array_initializer () =
+  check_int "init" 0xef
+    (vm_run
+       "array t[4] : word = { 0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476 };\n\
+        fn main() : int { return int(t[1] >> 24); }")
+
+let test_globals () =
+  check_int "globals" 103
+    (vm_run
+       "var counter : int = 100;\n\
+        fn bump() { counter = counter + 1; }\n\
+        fn main() : int { bump(); bump(); bump(); return counter; }")
+
+let test_break_continue () =
+  check_int "break/continue" 25
+    (vm_run
+       "fn main() : int {\n\
+        var sum = 0;\n\
+        for (var i = 0; i < 100; i = i + 1) {\n\
+        if (i % 2 == 0) { continue; }\n\
+        if (i > 10) { break; }\n\
+        sum = sum + i;\n\
+        }\n\
+        return sum;\n\
+        }")
+
+let test_short_circuit () =
+  check_int "sc and" 2
+    (vm_run
+       "array a[4];\n\
+        fn main() : int { if (false && a[9] == 1) { return 1; } return 2; }");
+  check_int "sc or" 1
+    (vm_run
+       "array a[4];\n\
+        fn main() : int { if (true || a[9] == 1) { return 1; } return 2; }")
+
+let test_extern () =
+  let hosts = [ { Link.hname = "twice"; hfn = (fun a -> 2 * a.(0)) } ] in
+  check_int "extern" 14
+    (vm_run ~hosts
+       "extern fn twice(int) : int;\nfn main() : int { return twice(7); }")
+
+let test_void_fn_call_stmt () =
+  check_int "void call" 5
+    (vm_run
+       "var g : int = 0;\n\
+        fn set5() { g = 5; }\n\
+        fn main() : int { set5(); return g; }")
+
+(* ---------- faults ---------- *)
+
+let test_fault_div () =
+  match vm_fault ~args:[| 0 |] "fn main(a : int) : int { return 1 / a; }" with
+  | Fault.Division_by_zero -> ()
+  | f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+
+let test_fault_oob () =
+  match
+    vm_fault ~args:[| 7 |] "array a[4];\nfn main(i : int) : int { return a[i]; }"
+  with
+  | Fault.Out_of_bounds _ -> ()
+  | f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+
+let test_fault_fuel () =
+  match vm_fault ~fuel:500 "fn main() : int { while (true) { } return 0; }" with
+  | Fault.Fuel_exhausted -> ()
+  | f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+
+let test_fault_recursion () =
+  match
+    vm_fault ~entry:"f" ~args:[| 0 |]
+      "fn f(n : int) : int { return f(n + 1); }"
+  with
+  | Fault.Stack_overflow -> ()
+  | f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+
+let test_readonly_store_faults () =
+  let prog = compile_ok "shared array w[4];\nfn main() : int { w[0] = 1; return 0; }" in
+  let mem = Memory.create 128 in
+  let window = Memory.alloc mem ~name:"w" ~len:4 ~perm:Memory.perm_ro in
+  let image =
+    match Link.link prog ~mem ~shared:[ ("w", window) ] ~hosts:[] with
+    | Ok i -> i
+    | Error m -> Alcotest.failf "link: %s" m
+  in
+  let p = Stackvm.load_exn image in
+  match Vm.run p ~entry:"main" ~args:[||] ~fuel:1000 with
+  | Error (`Fault (Fault.Protection _)) -> ()
+  | _ -> Alcotest.fail "expected protection fault"
+
+(* ---------- verifier ---------- *)
+
+let trivial_arrays = [||]
+
+let mkprog ?(funcs = [||]) ?(arrays = trivial_arrays) ?(ext_arity = [||])
+    ?(ncells = 16) code =
+  {
+    Program.code;
+    funcs;
+    arrays;
+    host = Array.map (fun _ -> fun _ -> 0) ext_arity;
+    ext_arity;
+    cells = Array.make ncells 0;
+  }
+
+let fdesc ?(nargs = 0) ?(nlocals = 1) ~entry ~code_end name =
+  { Program.name; nargs; nlocals; entry; code_end }
+
+let expect_reject p fragment =
+  match Verify.verify p with
+  | Ok () -> Alcotest.fail "verifier accepted bad code"
+  | Error msg ->
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_verify_accepts_compiled () =
+  let image =
+    fresh_image
+      "array a[4];\n\
+       fn helper(x : int) : int { return x * 2; }\n\
+       fn main() : int {\n\
+       var s = 0;\n\
+       for (var i = 0; i < 4; i = i + 1) { a[i] = helper(i); s = s + a[i]; }\n\
+       return s;\n\
+       }"
+  in
+  match Stackvm.load image with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "verifier rejected good code: %s" msg
+
+let test_verify_stack_underflow () =
+  let code = [| Opcode.Add; Opcode.Const 0; Opcode.Ret |] in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:3 "f" |] code in
+  expect_reject p "underflow"
+
+let test_verify_jump_outside_function () =
+  let code =
+    [| Opcode.Jmp 5; Opcode.Const 0; Opcode.Ret; (* fn2: *) Opcode.Const 1;
+       Opcode.Ret; Opcode.Const 2; Opcode.Ret |]
+  in
+  let p =
+    mkprog
+      ~funcs:[| fdesc ~entry:0 ~code_end:3 "f"; fdesc ~entry:3 ~code_end:7 "g" |]
+      code
+  in
+  expect_reject p "outside"
+
+let test_verify_bad_local () =
+  let code = [| Opcode.Load_local 3; Opcode.Ret |] in
+  let p = mkprog ~funcs:[| fdesc ~nlocals:2 ~entry:0 ~code_end:2 "f" |] code in
+  expect_reject p "local 3 out of range"
+
+let test_verify_bad_array_id () =
+  let code = [| Opcode.Const 0; Opcode.Aload 0; Opcode.Ret |] in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:3 "f" |] code in
+  expect_reject p "array id"
+
+let test_verify_reachable_halt () =
+  let code = [| Opcode.Halt; Opcode.Const 0; Opcode.Ret |] in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:3 "f" |] code in
+  expect_reject p "halt"
+
+let test_verify_falls_off_end () =
+  let code = [| Opcode.Const 1; Opcode.Pop |] in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:2 "f" |] code in
+  expect_reject p "falls off"
+
+let test_verify_inconsistent_heights () =
+  (* Join point reached with heights 1 and 2. *)
+  let code =
+    [| Opcode.Const 0; Opcode.Jz 4; Opcode.Const 1; Opcode.Const 2;
+       (* pc 4: from Jz path nothing pushed after the pop; from
+          fallthrough two pushes *) Opcode.Const 9; Opcode.Ret |]
+  in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:6 "f" |] code in
+  expect_reject p "inconsistent"
+
+let test_verify_bad_call_target () =
+  let code = [| Opcode.Call 7; Opcode.Ret |] in
+  let p = mkprog ~funcs:[| fdesc ~entry:0 ~code_end:2 "f" |] code in
+  expect_reject p "invalid function"
+
+let test_verify_bad_global_address () =
+  let code = [| Opcode.Load_global 999; Opcode.Ret |] in
+  let p = mkprog ~ncells:16 ~funcs:[| fdesc ~entry:0 ~code_end:2 "f" |] code in
+  expect_reject p "global address"
+
+let test_verify_bad_array_descriptor () =
+  let code = [| Opcode.Const 0; Opcode.Ret |] in
+  let arrays = [| { Program.base = 10; len = 100; writable = true } |] in
+  let p = mkprog ~arrays ~funcs:[| fdesc ~entry:0 ~code_end:2 "f" |] code in
+  expect_reject p "address space"
+
+(* The VM refuses unverified malicious code end-to-end via load. *)
+let test_load_rejects () =
+  let image = fresh_image "fn main() : int { return 0; }" in
+  let p = Compile.compile image in
+  let evil = { p with Program.code = [| Opcode.Add; Opcode.Ret |];
+               funcs = [| fdesc ~entry:0 ~code_end:2 "main" |] } in
+  match Verify.verify evil with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "evil code verified"
+
+(* ---------- disasm ---------- *)
+
+let test_disasm () =
+  let image = fresh_image "fn main() : int { return 1 + 2; }" in
+  let p = Stackvm.load_exn image in
+  let s = Disasm.program p in
+  Alcotest.(check bool) "has const" true (contains s "const 1");
+  Alcotest.(check bool) "has ret" true (contains s "ret")
+
+(* ---------- differential vs reference interpreter ---------- *)
+
+let diff_programs =
+  [
+    ( "collatz steps",
+      "fn main(n : int) : int {\n\
+       var steps = 0;\n\
+       while (n != 1 && steps < 1000) {\n\
+       if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }\n\
+       steps = steps + 1;\n\
+       }\n\
+       return steps;\n\
+       }",
+      fun r -> [| 1 + Graft_util.Prng.int r 100000 |] );
+    ( "word mix",
+      "fn main(a : int, b : int) : int {\n\
+       var x : word = word(a);\n\
+       var y : word = word(b);\n\
+       var acc : word = 0;\n\
+       for (var i = 0; i < 16; i = i + 1) {\n\
+       acc = (acc + x * y) ^ (x << (i & 31)) | (y >>> 3);\n\
+       x = x + 0x9E3779B9;\n\
+       y = y - x;\n\
+       }\n\
+       return int(acc);\n\
+       }",
+      fun r ->
+        [| Graft_util.Prng.int r 0x40000000; Graft_util.Prng.int r 0x40000000 |] );
+    ( "array shuffle sum",
+      "array a[32];\n\
+       fn main(seed : int) : int {\n\
+       for (var i = 0; i < 32; i = i + 1) { a[i] = seed * i + i * i; }\n\
+       var s = 0;\n\
+       for (var i = 0; i < 32; i = i + 1) {\n\
+       var j = (i * 7 + 3) % 32;\n\
+       var t = a[i]; a[i] = a[j]; a[j] = t;\n\
+       s = s + a[i] * i;\n\
+       }\n\
+       return s;\n\
+       }",
+      fun r -> [| Graft_util.Prng.int r 10000 |] );
+    ( "recursion ackermann-lite",
+      "fn ack(m : int, n : int) : int {\n\
+       if (m == 0) { return n + 1; }\n\
+       if (n == 0) { return ack(m - 1, 1); }\n\
+       return ack(m - 1, ack(m, n - 1));\n\
+       }\n\
+       fn main(m : int, n : int) : int { return ack(m, n); }",
+      fun r -> [| Graft_util.Prng.int r 3; Graft_util.Prng.int r 4 |] );
+    ( "division corners",
+      "fn main(a : int, b : int) : int {\n\
+       if (b == 0) { return -1; }\n\
+       return a / b + a % b;\n\
+       }",
+      fun r -> [| Graft_util.Prng.int r 1000 - 500; Graft_util.Prng.int r 20 - 10 |] );
+  ]
+
+let test_differential () =
+  let r = Graft_util.Prng.create 0xD1FFL in
+  List.iter
+    (fun (name, src, gen) ->
+      for _ = 1 to 20 do
+        let args = gen r in
+        ignore (both ~args src : int);
+        ignore name
+      done)
+    diff_programs
+
+let prop_differential_expr =
+  (* Random arithmetic-over-args programs evaluated by both engines. *)
+  QCheck.Test.make ~name:"random expressions: vm = interp" ~count:150
+    QCheck.(pair (int_range 0 1000000) (int_range 0 1000000))
+    (fun (a, b) ->
+      let src =
+        "fn main(a : int, b : int) : int {\n\
+         var c = a * 3 - b / (b % 97 + 1);\n\
+         var d = (a ^ b) & 0xFFFF | (c << 2);\n\
+         if (d > a) { d = d - a; } else { d = a - d; }\n\
+         while (d > 1000) { d = d / 3 - 1; }\n\
+         return d * 2 + c % 5;\n\
+         }"
+      in
+      let i1 = fresh_image src in
+      let r1 = Interp.run i1 ~entry:"main" ~args:[| a; b |] ~fuel:1_000_000 in
+      let i2 = fresh_image src in
+      let p = Stackvm.load_exn i2 in
+      let r2 = Vm.run p ~entry:"main" ~args:[| a; b |] ~fuel:1_000_000 in
+      match (r1, r2) with Ok x, Ok y -> x = y | _ -> false)
+
+(* The verifier must be total: random instruction sequences either
+   verify or are rejected with a message — never an exception — and
+   anything it accepts must run without crashing the host. *)
+let random_instr rng ncode =
+  let open Opcode in
+  match Graft_util.Prng.int rng 14 with
+  | 0 -> Const (Graft_util.Prng.int rng 100)
+  | 1 -> Load_local (Graft_util.Prng.int rng 4)
+  | 2 -> Store_local (Graft_util.Prng.int rng 4)
+  | 3 -> Add
+  | 4 -> Mul
+  | 5 -> Pop
+  | 6 -> Dup
+  | 7 -> Jmp (Graft_util.Prng.int rng (ncode + 2))
+  | 8 -> Jz (Graft_util.Prng.int rng (ncode + 2))
+  | 9 -> Ret
+  | 10 -> Lt
+  | 11 -> Wadd
+  | 12 -> Load_global (Graft_util.Prng.int rng 20)
+  | _ -> Ne
+
+let prop_verifier_total_and_safe =
+  QCheck.Test.make ~name:"verifier total; accepted code runs safely" ~count:300
+    QCheck.(pair int64 (int_range 1 24))
+    (fun (seed, n) ->
+      let rng = Graft_util.Prng.create seed in
+      let code = Array.init n (fun _ -> random_instr rng n) in
+      let p =
+        {
+          Program.code;
+          funcs = [| { Program.name = "f"; nargs = 0; nlocals = 4; entry = 0; code_end = n } |];
+          arrays = [||];
+          host = [||];
+          ext_arity = [||];
+          cells = Array.make 16 0;
+        }
+      in
+      match Verify.verify p with
+      | Error _ -> true
+      | Ok () -> (
+          (* Verified code must execute without host-level surprises. *)
+          match Vm.run p ~entry:"f" ~args:[||] ~fuel:10_000 with
+          | Ok _ | Error (`Fault _) -> true
+          | Error (`Bad_entry _) -> false))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_stackvm"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "fibonacci" `Quick test_fib;
+          Alcotest.test_case "word ops" `Quick test_word_ops;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "array init" `Quick test_array_initializer;
+          Alcotest.test_case "globals" `Quick test_globals;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "short-circuit" `Quick test_short_circuit;
+          Alcotest.test_case "extern" `Quick test_extern;
+          Alcotest.test_case "void call" `Quick test_void_fn_call_stmt;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "div by zero" `Quick test_fault_div;
+          Alcotest.test_case "array oob" `Quick test_fault_oob;
+          Alcotest.test_case "fuel" `Quick test_fault_fuel;
+          Alcotest.test_case "deep recursion" `Quick test_fault_recursion;
+          Alcotest.test_case "read-only store" `Quick test_readonly_store_faults;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "accepts compiled" `Quick test_verify_accepts_compiled;
+          Alcotest.test_case "stack underflow" `Quick test_verify_stack_underflow;
+          Alcotest.test_case "jump outside fn" `Quick test_verify_jump_outside_function;
+          Alcotest.test_case "bad local" `Quick test_verify_bad_local;
+          Alcotest.test_case "bad array id" `Quick test_verify_bad_array_id;
+          Alcotest.test_case "reachable halt" `Quick test_verify_reachable_halt;
+          Alcotest.test_case "falls off end" `Quick test_verify_falls_off_end;
+          Alcotest.test_case "inconsistent heights" `Quick test_verify_inconsistent_heights;
+          Alcotest.test_case "bad call target" `Quick test_verify_bad_call_target;
+          Alcotest.test_case "bad global" `Quick test_verify_bad_global_address;
+          Alcotest.test_case "bad array desc" `Quick test_verify_bad_array_descriptor;
+          Alcotest.test_case "load rejects" `Quick test_load_rejects;
+        ] );
+      ("disasm", [ Alcotest.test_case "renders" `Quick test_disasm ]);
+      ( "differential",
+        [ Alcotest.test_case "fixed programs" `Quick test_differential ]
+        @ qc [ prop_differential_expr; prop_verifier_total_and_safe ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for graft_workload: TPC-B b-tree model, skew generators, file
+   data. *)
+
+open Graft_workload
+open Graft_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_tpcb_shape () =
+  let db = Tpcb.create () in
+  check_int "root" 0 db.Tpcb.root;
+  check_int "l2 pages" 4 (Array.length db.Tpcb.l2);
+  check_int "l3 pages" 391 (Array.length db.Tpcb.l3);
+  check_int "children per l3" 128 (Array.length db.Tpcb.l4_children.(0));
+  (* ~50,000 data pages, paper section 3.1. *)
+  check_int "total pages" (5 + 391 + (391 * 128)) db.Tpcb.npages;
+  check_bool "about 50k data pages" true
+    (let data = 391 * 128 in
+     data > 49_000 && data < 51_000)
+
+let test_tpcb_pages_distinct () =
+  let db = Tpcb.create ~l3_pages:10 ~children_per_l3:8 () in
+  let all = ref [] in
+  all := db.Tpcb.root :: !all;
+  Array.iter (fun p -> all := p :: !all) db.Tpcb.l2;
+  Array.iter (fun p -> all := p :: !all) db.Tpcb.l3;
+  Array.iter (Array.iter (fun p -> all := p :: !all)) db.Tpcb.l4_children;
+  let n = List.length !all in
+  check_int "all distinct" n (List.length (List.sort_uniq compare !all))
+
+let test_tpcb_lookup_path () =
+  let db = Tpcb.create () in
+  let path = Tpcb.lookup_path db ~l3_index:7 ~child_index:3 in
+  check_int "path length" 4 (Array.length path);
+  check_int "starts at root" 0 path.(0);
+  check_int "l3 page" db.Tpcb.l3.(7) path.(2);
+  check_int "l4 page" db.Tpcb.l4_children.(7).(3) path.(3);
+  check_bool "bad index raises" true
+    (match Tpcb.lookup_path db ~l3_index:9999 ~child_index:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_tpcb_random_lookup () =
+  let db = Tpcb.create () in
+  let rng = Prng.create 42L in
+  for _ = 1 to 100 do
+    let path, hot = Tpcb.random_lookup rng db in
+    check_int "path" 4 (Array.length path);
+    check_int "hot list is the 128 children" 128 (Array.length hot);
+    (* The looked-up data page is on the published hot list. *)
+    check_bool "l4 on hot list" true (Array.mem path.(3) hot)
+  done
+
+let test_tpcb_scan_subtree () =
+  let db = Tpcb.create () in
+  let refs, hot = Tpcb.scan_subtree db ~l3_index:0 in
+  check_int "refs = l3 + children" 129 (Array.length refs);
+  check_int "hot = children" 128 (Array.length hot);
+  check_int "first ref is the l3 page" db.Tpcb.l3.(0) refs.(0)
+
+let test_tpcb_hit_probability () =
+  let db = Tpcb.create () in
+  let p = Tpcb.hit_probability db ~avg_hot:64 in
+  (* Paper: roughly 64/50,000 = once every 781 times. *)
+  check_bool "about 1/781" true (1.0 /. p > 700.0 && 1.0 /. p < 900.0)
+
+let test_skew_eighty_twenty () =
+  let rng = Prng.create 7L in
+  let n = 10_000 in
+  let gen = Skew.eighty_twenty rng ~n in
+  let w = Skew.workload gen 50_000 in
+  let hot_boundary = n / 5 in
+  let hot_hits = Array.fold_left (fun acc b -> if b < hot_boundary then acc + 1 else acc) 0 w in
+  let frac = float_of_int hot_hits /. 50_000.0 in
+  check_bool "80% to hot 20%" true (frac > 0.77 && frac < 0.83);
+  Array.iter (fun b -> if b < 0 || b >= n then Alcotest.fail "out of range") w
+
+let test_zipf_skewed () =
+  let rng = Prng.create 11L in
+  let gen = Skew.zipf rng ~n:100 ~s:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = gen () in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 most popular" true (counts.(0) > counts.(10));
+  check_bool "rank 10 beats rank 90" true (counts.(10) > counts.(90))
+
+let test_filedata () =
+  let rng = Prng.create 3L in
+  let r = Filedata.random rng 10_000 in
+  let c = Filedata.compressible rng 10_000 in
+  let e = Filedata.executable_like rng 10_000 in
+  check_int "random size" 10_000 (Bytes.length r);
+  check_int "compressible size" 10_000 (Bytes.length c);
+  check_int "exe size" 10_000 (Bytes.length e);
+  (* Compressible data has far fewer distinct adjacent pairs. *)
+  let runs buf =
+    let count = ref 1 in
+    for i = 1 to Bytes.length buf - 1 do
+      if Bytes.get buf i <> Bytes.get buf (i - 1) then incr count
+    done;
+    !count
+  in
+  check_bool "compressible has long runs" true (runs c * 5 < runs r)
+
+let prop_skew_in_range =
+  QCheck.Test.make ~name:"hot_cold stays in range" ~count:100
+    QCheck.(pair int64 (int_range 2 10_000))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let gen = Skew.hot_cold rng ~n ~hot_fraction:0.2 ~hot_weight:0.8 in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = gen () in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graft_workload"
+    [
+      ( "tpcb",
+        [
+          Alcotest.test_case "shape" `Quick test_tpcb_shape;
+          Alcotest.test_case "pages distinct" `Quick test_tpcb_pages_distinct;
+          Alcotest.test_case "lookup path" `Quick test_tpcb_lookup_path;
+          Alcotest.test_case "random lookup" `Quick test_tpcb_random_lookup;
+          Alcotest.test_case "scan subtree" `Quick test_tpcb_scan_subtree;
+          Alcotest.test_case "hit probability" `Quick test_tpcb_hit_probability;
+        ] );
+      ( "skew",
+        [
+          Alcotest.test_case "80/20" `Quick test_skew_eighty_twenty;
+          Alcotest.test_case "zipf" `Quick test_zipf_skewed;
+        ]
+        @ qc [ prop_skew_in_range ] );
+      ("filedata", [ Alcotest.test_case "generators" `Quick test_filedata ]);
+    ]
