@@ -16,6 +16,11 @@
      dune exec bench/main.exe -- micro         bechamel micro-suite only
      dune exec bench/main.exe -- table2 ...    specific tables (quick)
      dune exec bench/main.exe -- full table5   specific tables (full)
+     dune exec bench/main.exe -- opt table2    add the optimized bytecode
+                                               tier as an extra column
+     dune exec bench/main.exe -- stackvm-json  interpreted-vs-optimized
+                                               tier comparison to
+                                               BENCH_stackvm.json
 *)
 
 open Bechamel
@@ -32,7 +37,7 @@ let micro_techs =
   [
     Technology.Unsafe_c; Technology.Safe_lang; Technology.Safe_lang_nil;
     Technology.Sfi_write_jump; Technology.Sfi_full; Technology.Bytecode_vm;
-    Technology.Ast_interp;
+    Technology.Bytecode_opt; Technology.Ast_interp;
   ]
 
 let hot_pages = Array.init 64 (fun i -> 3 * i)
@@ -135,6 +140,100 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Bytecode tier comparison (machine-readable).                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpreted vs optimized bytecode tier over each graft's core op,
+   written as JSON so CI and plots can track the speedup. *)
+let stackvm_json ?(path = "BENCH_stackvm.json") () =
+  let open Graft_util in
+  (* Interleave the two tiers and keep each one's fastest round: on a
+     shared machine contention is additive noise, and back-to-back
+     sampling keeps a frequency drift from landing entirely on one
+     side of the ratio. *)
+  let time2 interp_op opt_op =
+    ignore (interp_op ());
+    ignore (opt_op ());
+    let iters =
+      Timer.calibrate_iters ~max_iters:10_000_000 ~target_s:0.02 interp_op
+    in
+    let sample op =
+      let t0 = Timer.now_ns () in
+      for _ = 1 to iters do
+        op ()
+      done;
+      Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. float_of_int iters
+    in
+    let best_i = ref infinity and best_o = ref infinity in
+    for _ = 1 to 7 do
+      let a = sample interp_op in
+      let b = sample opt_op in
+      if a < !best_i then best_i := a;
+      if b < !best_o then best_o := b
+    done;
+    (!best_i, !best_o)
+  in
+  let evict_op tech =
+    let runner =
+      Runners.evict ~rng:(Prng.create 0x5EEDL) tech ~capacity_nodes:128 ()
+    in
+    runner.Runners.refresh ~hot:hot_pages ~lru:[||];
+    fun () -> ignore (runner.Runners.contains 99_999)
+  in
+  let md5_op tech =
+    let size = 65536 in
+    let data = Prng.bytes (Prng.create 0x3D5L) size in
+    let runner = Runners.md5 tech ~capacity:size in
+    runner.Runners.load data;
+    fun () -> runner.Runners.compute size
+  in
+  let logdisk_op tech =
+    let nblocks = 4096 in
+    let policy = Runners.logdisk_policy tech ~nblocks in
+    let next = ref 0 in
+    fun () ->
+      next := (!next + 1677) land (nblocks - 1);
+      ignore (policy.Graft_kernel.Logdisk.map_write !next)
+  in
+  let pkt_op tech =
+    let traffic =
+      Graft_kernel.Netpkt.random_traffic (Prng.create 0xF17L) ~count:256
+    in
+    let accepts =
+      Runners.packet_filter tech ~protocol:Graft_kernel.Netpkt.proto_udp
+        ~port:53
+    in
+    let i = ref 0 in
+    fun () ->
+      i := (!i + 1) land 255;
+      ignore (accepts traffic.(!i))
+  in
+  let grafts =
+    [
+      ("evict_contains", evict_op); ("md5_64k", md5_op);
+      ("logdisk_map_write", logdisk_op); ("packet_filter", pkt_op);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let interp, opt =
+          time2 (mk Technology.Bytecode_vm) (mk Technology.Bytecode_opt)
+        in
+        Printf.printf "%-20s interp %10.1f ns/op   opt %10.1f ns/op   %.2fx\n%!"
+          name interp opt (interp /. opt);
+        Printf.sprintf
+          "  { \"graft\": %S, \"interp_ns_per_op\": %.1f, \
+           \"opt_ns_per_op\": %.1f, \"speedup\": %.2f }"
+          name interp opt (interp /. opt))
+      grafts
+  in
+  let oc = open_out path in
+  output_string oc ("[\n" ^ String.concat ",\n" rows ^ "\n]\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Experiment tables.                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -163,10 +262,15 @@ let () =
     if List.mem "full" args then Graft_report.Experiments.Full
     else Graft_report.Experiments.Quick
   in
-  let args = List.filter (fun a -> a <> "full" && a <> "quick") args in
+  if List.mem "opt" args then
+    Graft_report.Experiments.extra_techs := [ Technology.Bytecode_opt ];
+  let args =
+    List.filter (fun a -> a <> "full" && a <> "quick" && a <> "opt") args
+  in
   let tables = known_tables scale in
   match args with
   | [ "micro" ] -> run_micro ()
+  | [ "stackvm-json" ] -> stackvm_json ()
   | [] ->
       run_micro ();
       List.iter

@@ -134,6 +134,10 @@ let gel_cmd =
               print_string
                 (Graft_stackvm.Disasm.program
                    (Graft_stackvm.Stackvm.load_exn image));
+              print_endline "-- stack VM (optimized) --";
+              print_string
+                (Graft_stackvm.Disasm.program
+                   (Graft_stackvm.Stackvm.load_opt_exn image));
               print_endline "-- register VM (SFI write+jump) --";
               print_string
                 (Graft_regvm.Disasm.program (Graft_regvm.Regvm.load_exn image))
@@ -156,6 +160,11 @@ let gel_cmd =
                   show
                     (Graft_stackvm.Vm.run
                        (Graft_stackvm.Stackvm.load_exn image)
+                       ~entry ~args:argv ~fuel)
+              | Technology.Bytecode_opt ->
+                  show
+                    (Graft_stackvm.Vm.run_opt
+                       (Graft_stackvm.Stackvm.load_opt_exn image)
                        ~entry ~args:argv ~fuel)
               | Technology.Sfi_write_jump | Technology.Sfi_full ->
                   let protection =

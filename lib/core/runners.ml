@@ -44,10 +44,11 @@ let script_fail = function
 type gel_env = { image : Link.image; windows : (string * Memory.region) list }
 
 (** Compile [source] and link it into a fresh power-of-two memory with
-    the given shared windows (name, length, writable). *)
-let gel_env source windows =
+    the given shared windows (name, length, writable). [optimize] runs
+    the IR optimizer (the optimized tier's pre-pass) before linking. *)
+let gel_env ?(optimize = false) source windows =
   let prog =
-    match Gel.compile source with
+    match Gel.compile ~optimize source with
     | Ok p -> p
     | Error e -> failwith ("GEL graft does not compile: " ^ Srcloc.to_string e)
   in
@@ -87,6 +88,13 @@ let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
       fun ~entry ~args ->
         run_fail
           (Graft_stackvm.Vm.run_session session ~entry ~args ~fuel:huge_fuel)
+  | Technology.Bytecode_opt ->
+      let p = Graft_stackvm.Stackvm.load_opt_exn env.image in
+      let session = Graft_stackvm.Vm.create_session p in
+      fun ~entry ~args ->
+        run_fail
+          (Graft_stackvm.Vm.run_session_opt session ~entry ~args
+             ~fuel:huge_fuel)
   | Technology.Sfi_write_jump | Technology.Sfi_full ->
       (* The register-VM route, used for the A4 instruction-count
          ablation; headline SFI numbers come from the native masked
@@ -160,7 +168,9 @@ let native_evict (module A : Access.S) tech ~capacity_nodes ~rng =
 let gel_evict tech ~capacity_nodes ~rng =
   let cells_len = evict_cells capacity_nodes in
   let env =
-    gel_env (Gel_sources.evict ~heap_cells:cells_len)
+    gel_env
+      ~optimize:(tech = Technology.Bytecode_opt)
+      (Gel_sources.evict ~heap_cells:cells_len)
       [ ("heap", cells_len, false) ]
   in
   let w = window env "heap" in
@@ -230,7 +240,8 @@ let evict ?rng (tech : Technology.t) ~capacity_nodes () : evict =
       native_evict (module Access.Sfi_wj) tech ~capacity_nodes ~rng
   | Technology.Sfi_full ->
       native_evict (module Access.Sfi_full) tech ~capacity_nodes ~rng
-  | Technology.Bytecode_vm | Technology.Ast_interp ->
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+    ->
       gel_evict tech ~capacity_nodes ~rng
   | Technology.Source_interp -> script_evict ~capacity_nodes ~rng
   | Technology.Upcall_server ->
@@ -345,7 +356,9 @@ let load_bytes_into_cells cells base data =
 let gel_md5 tech ~capacity =
   let data_cells = capacity + 128 in
   let env =
-    gel_env (Gel_sources.md5 ~data_cells)
+    gel_env
+      ~optimize:(tech = Technology.Bytecode_opt)
+      (Gel_sources.md5 ~data_cells)
       [ ("data", data_cells, true); ("digest", 16, true) ]
   in
   let data_w = window env "data" in
@@ -401,7 +414,9 @@ let md5 (tech : Technology.t) ~capacity : md5 =
   | Technology.Sfi_write_jump ->
       native_md5 (module Access.Sfi_wj) tech ~capacity
   | Technology.Sfi_full -> native_md5 (module Access.Sfi_full) tech ~capacity
-  | Technology.Bytecode_vm | Technology.Ast_interp -> gel_md5 tech ~capacity
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+    ->
+      gel_md5 tech ~capacity
   | Technology.Source_interp -> script_md5 ~capacity
   | Technology.Upcall_server ->
       invalid_arg "Runners.md5: upcall cost is analysed by Breakeven"
@@ -419,7 +434,11 @@ let native_logdisk (module A : Access.S) ~nblocks =
   L.make_policy ~nblocks ()
 
 let gel_logdisk tech ~nblocks =
-  let env = gel_env (Gel_sources.logdisk ~nblocks) [] in
+  let env =
+    gel_env
+      ~optimize:(tech = Technology.Bytecode_opt)
+      (Gel_sources.logdisk ~nblocks) []
+  in
   let entry = gel_entry tech env in
   {
     Graft_kernel.Logdisk.pname = Technology.name tech;
@@ -481,7 +500,9 @@ let logdisk_policy (tech : Technology.t) ~nblocks : Graft_kernel.Logdisk.policy
       native_logdisk (module Access.Checked_nil) ~nblocks
   | Technology.Sfi_write_jump -> native_logdisk (module Access.Sfi_wj) ~nblocks
   | Technology.Sfi_full -> native_logdisk (module Access.Sfi_full) ~nblocks
-  | Technology.Bytecode_vm | Technology.Ast_interp -> gel_logdisk tech ~nblocks
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+    ->
+      gel_logdisk tech ~nblocks
   | Technology.Source_interp -> script_logdisk ~nblocks
   | Technology.Upcall_server ->
       invalid_arg
@@ -526,6 +547,7 @@ let packet_filter (tech : Technology.t) ~protocol ~port :
   let gel_based () =
     let env =
       gel_env
+        ~optimize:(tech = Technology.Bytecode_opt)
         (Gel_sources.packet_filter ~window_cells:pkt_window_cells ~protocol
            ~port)
         [ ("pkt", pkt_window_cells, false) ]
@@ -551,7 +573,9 @@ let packet_filter (tech : Technology.t) ~protocol ~port :
       | Ok () -> ()
       | Error msg -> failwith ("packet filter failed verification: " ^ msg));
       fun pkt -> Graft_kernel.Pfvm.accepts p pkt
-  | Technology.Bytecode_vm | Technology.Ast_interp -> gel_based ()
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+    ->
+      gel_based ()
   | Technology.Source_interp ->
       let mem = Memory.create (pkt_window_cells + 8) in
       let w =

@@ -79,6 +79,17 @@ and arith kind op a b =
       | v -> Ir.Const v
       | exception Graft_mem.Fault.Fault _ -> Ir.Arith (kind, op, a, b))
   | _ -> (
+      (* Canonicalize the constant of a commutative operator to the
+         right, so the bytecode peephole sees [operand; Const k; op]
+         shapes it can fuse. Constant evaluation has no effects, so
+         reordering it past the other operand is unobservable. *)
+      let a, b =
+        match (op, a, b) with
+        | (Ir.Add | Ir.Mul | Ir.Band | Ir.Bor | Ir.Bxor), (Ir.Const _ as c), e
+          ->
+            (e, c)
+        | _ -> (a, b)
+      in
       (* Algebraic identities. Forms that would delete a subexpression
          require it to be pure. *)
       match (op, a, b) with
@@ -91,7 +102,11 @@ and arith kind op a b =
       | Ir.Bxor, Ir.Const 0, e | Ir.Bxor, e, Ir.Const 0 -> e
       | Ir.Band, Ir.Const 0, e when pure e -> Ir.Const 0
       | Ir.Band, e, Ir.Const 0 when pure e -> Ir.Const 0
-      | (Ir.Shl | Ir.Shr | Ir.Lshr), e, Ir.Const 0 -> e
+      | (Ir.Shl | Ir.Shr), e, Ir.Const 0 -> e
+      (* [e >>> 0] is NOT the identity on int: int_lshr masks the sign
+         bit ([a land max_int]) before shifting. Word values are
+         nonnegative, so at Kword the identity holds. *)
+      | Ir.Lshr, e, Ir.Const 0 when kind = Ir.Kword -> e
       | Ir.Div, e, Ir.Const 1 -> e
       | _ -> Ir.Arith (kind, op, a, b))
 
@@ -127,9 +142,222 @@ and block stmts =
   in
   go stmts
 
-let func (f : Ir.func) = { f with Ir.body = block f.Ir.body }
+(* ------------------------------------------------------------------ *)
+(* Dead-store elimination.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Does evaluating [e] read local slot [s]? Calls cannot: locals are
+   function-private, so a call can neither read nor write the caller's
+   slots. (Globals get no such pass — a call may read any global, so a
+   global store is only provably dead with interprocedural analysis.) *)
+let rec reads_local s (e : Ir.expr) =
+  match e with
+  | Ir.Local s' -> s = s'
+  | Ir.Const _ | Ir.Global _ -> false
+  | Ir.Load (_, i) -> reads_local s i
+  | Ir.Arith (_, _, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      reads_local s a || reads_local s b
+  | Ir.Not a | Ir.Bnot (_, a) | Ir.Neg (_, a) | Ir.ToWord a | Ir.ToBool a ->
+      reads_local s a
+  | Ir.Call (_, args) | Ir.CallExt (_, args) ->
+      Array.exists (reads_local s) args
+
+(* A store to a local that the very next statement overwrites without
+   reading is dead, provided evaluating the dead value cannot fault.
+   Straight-line adjacency keeps the analysis trivially sound: nothing
+   can observe the slot between the two stores. *)
+let rec dse_block (stmts : Ir.stmt list) : Ir.stmt list =
+  match stmts with
+  | Ir.Set_local (s, e) :: (Ir.Set_local (s', e') :: _ as rest)
+    when s = s' && pure e && not (reads_local s e') ->
+      dse_block rest
+  | s :: rest -> dse_stmt s :: dse_block rest
+  | [] -> []
+
+and dse_stmt = function
+  | Ir.If (c, t, f) -> Ir.If (c, dse_block t, dse_block f)
+  | Ir.While (c, body, step) -> Ir.While (c, dse_block body, dse_block step)
+  | s -> s
+
+let func (f : Ir.func) = { f with Ir.body = dse_block (block f.Ir.body) }
+
+(* ------------------------------------------------------------------ *)
+(* Leaf-call inlining.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A callee is inlinable when its whole body is [return e] with [e]
+   call-free, small, and reading only its parameters. Substituting the
+   body at the call site removes a frame push/pop and the argument
+   shuffle per call, and exposes the body to the caller's constant
+   folding and, downstream, bytecode fusion. The size cap bounds code
+   growth. *)
+let inline_cap = 24
+
+let rec esize = function
+  | Ir.Const _ | Ir.Local _ | Ir.Global _ -> 1
+  | Ir.Load (_, e)
+  | Ir.Not e
+  | Ir.Bnot (_, e)
+  | Ir.Neg (_, e)
+  | Ir.ToWord e
+  | Ir.ToBool e ->
+      1 + esize e
+  | Ir.Arith (_, _, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      1 + esize a + esize b
+  | Ir.Call (_, args) | Ir.CallExt (_, args) ->
+      Array.fold_left (fun n e -> n + esize e) 1 args
+
+let rec call_free = function
+  | Ir.Call _ | Ir.CallExt _ -> false
+  | Ir.Const _ | Ir.Local _ | Ir.Global _ -> true
+  | Ir.Load (_, e)
+  | Ir.Not e
+  | Ir.Bnot (_, e)
+  | Ir.Neg (_, e)
+  | Ir.ToWord e
+  | Ir.ToBool e ->
+      call_free e
+  | Ir.Arith (_, _, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      call_free a && call_free b
+
+let rec locals_below n = function
+  | Ir.Local i -> i < n
+  | Ir.Const _ | Ir.Global _ -> true
+  | Ir.Load (_, e)
+  | Ir.Not e
+  | Ir.Bnot (_, e)
+  | Ir.Neg (_, e)
+  | Ir.ToWord e
+  | Ir.ToBool e ->
+      locals_below n e
+  | Ir.Arith (_, _, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+      locals_below n a && locals_below n b
+  | Ir.Call (_, args) | Ir.CallExt (_, args) ->
+      Array.for_all (locals_below n) args
+
+let inline_candidate (f : Ir.func) =
+  match f.Ir.body with
+  | [ Ir.Return (Some e) ]
+    when call_free e && esize e <= inline_cap
+         && locals_below (List.length f.Ir.fparams) e ->
+      Some e
+  | _ -> None
+
+(* Replace parameter reads with the caller-side expressions. Candidates
+   are call-free, so the Call cases are unreachable. *)
+let rec subst env (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Local i -> env.(i)
+  | Ir.Const _ | Ir.Global _ -> e
+  | Ir.Load (a, i) -> Ir.Load (a, subst env i)
+  | Ir.Arith (k, op, a, b) -> Ir.Arith (k, op, subst env a, subst env b)
+  | Ir.Cmp (c, a, b) -> Ir.Cmp (c, subst env a, subst env b)
+  | Ir.Not a -> Ir.Not (subst env a)
+  | Ir.Bnot (k, a) -> Ir.Bnot (k, subst env a)
+  | Ir.Neg (k, a) -> Ir.Neg (k, subst env a)
+  | Ir.And (a, b) -> Ir.And (subst env a, subst env b)
+  | Ir.Or (a, b) -> Ir.Or (subst env a, subst env b)
+  | Ir.ToWord a -> Ir.ToWord (subst env a)
+  | Ir.ToBool a -> Ir.ToBool (subst env a)
+  | Ir.Call _ | Ir.CallExt _ -> assert false
+
+(* Inline candidate calls throughout [p].
+
+   A pure argument is substituted directly into the body (pure
+   duplication is free of observable effects); an impure one must be
+   evaluated exactly once, in order, so it is bound to a fresh temp
+   local in a prelude statement hoisted in front of the enclosing
+   statement. Hoisting is sound only when [ok] (the expression is not
+   re-evaluated: not a while condition, not the short-circuited side of
+   and/or) and when everything the statement evaluates before the call
+   is pure ([psf]) — otherwise the call is simply kept. *)
+let inline_program (p : Ir.program) : Ir.program =
+  let candidates = Array.map inline_candidate p.Ir.funcs in
+  let rewrite fi (f : Ir.func) =
+    let nlocals = ref f.Ir.nlocals in
+    let rec ex ~ok prel psf (e : Ir.expr) : Ir.expr =
+      let psf_before = !psf in
+      let e' =
+        match e with
+        | Ir.Const _ | Ir.Local _ | Ir.Global _ -> e
+        | Ir.Load (a, i) -> Ir.Load (a, ex ~ok prel psf i)
+        | Ir.Arith (k, op, a, b) ->
+            let a = ex ~ok prel psf a in
+            Ir.Arith (k, op, a, ex ~ok prel psf b)
+        | Ir.Cmp (c, a, b) ->
+            let a = ex ~ok prel psf a in
+            Ir.Cmp (c, a, ex ~ok prel psf b)
+        | Ir.Not a -> Ir.Not (ex ~ok prel psf a)
+        | Ir.Bnot (k, a) -> Ir.Bnot (k, ex ~ok prel psf a)
+        | Ir.Neg (k, a) -> Ir.Neg (k, ex ~ok prel psf a)
+        | Ir.ToWord a -> Ir.ToWord (ex ~ok prel psf a)
+        | Ir.ToBool a -> Ir.ToBool (ex ~ok prel psf a)
+        | Ir.And (a, b) ->
+            let a = ex ~ok prel psf a in
+            Ir.And (a, ex ~ok:false prel psf b)
+        | Ir.Or (a, b) ->
+            let a = ex ~ok prel psf a in
+            Ir.Or (a, ex ~ok:false prel psf b)
+        | Ir.CallExt (g, args) ->
+            Ir.CallExt (g, Array.map (ex ~ok prel psf) args)
+        | Ir.Call (g, args) -> (
+            let args = Array.map (ex ~ok prel psf) args in
+            match candidates.(g) with
+            | Some body when g <> fi ->
+                if Array.for_all pure args then subst args body
+                else if ok && psf_before && !nlocals + Array.length args < 4000
+                then
+                  let env =
+                    Array.map
+                      (fun a ->
+                        if pure a then a
+                        else begin
+                          let t = !nlocals in
+                          incr nlocals;
+                          prel := Ir.Set_local (t, a) :: !prel;
+                          Ir.Local t
+                        end)
+                      args
+                  in
+                  subst env body
+                else Ir.Call (g, args)
+            | _ -> Ir.Call (g, args))
+      in
+      if not (pure e') then psf := false;
+      e'
+    in
+    let rec stmt s =
+      let prel = ref [] and psf = ref true in
+      let s' =
+        match s with
+        | Ir.Set_local (n, e) -> Ir.Set_local (n, ex ~ok:true prel psf e)
+        | Ir.Set_global (n, e) -> Ir.Set_global (n, ex ~ok:true prel psf e)
+        | Ir.Store (a, i, v) ->
+            let i = ex ~ok:true prel psf i in
+            Ir.Store (a, i, ex ~ok:true prel psf v)
+        | Ir.If (c, t, f) ->
+            let c = ex ~ok:true prel psf c in
+            Ir.If (c, blk t, blk f)
+        | Ir.While (c, body, step) ->
+            (* The condition re-evaluates every iteration; nothing may
+               be hoisted out of it. *)
+            Ir.While (ex ~ok:false prel psf c, blk body, blk step)
+        | Ir.Return (Some e) -> Ir.Return (Some (ex ~ok:true prel psf e))
+        | Ir.Return None | Ir.Break | Ir.Continue -> s
+        | Ir.Eval e -> Ir.Eval (ex ~ok:true prel psf e)
+      in
+      List.rev (s' :: !prel)
+    and blk ss = List.concat_map stmt ss in
+    let body = blk f.Ir.body in
+    { f with Ir.nlocals = !nlocals; Ir.body = body }
+  in
+  { p with Ir.funcs = Array.mapi rewrite p.Ir.funcs }
 
 (** Optimize every function of a program. The layout (globals, arrays,
     externs) is untouched, so an optimized program links and runs
-    against the same memory image. *)
-let program (p : Ir.program) = { p with Ir.funcs = Array.map func p.Ir.funcs }
+    against the same memory image. Folding runs before inlining (so
+    constant arguments are visible as constants) and again after (to
+    simplify the substituted bodies). *)
+let program (p : Ir.program) =
+  let fold p = { p with Ir.funcs = Array.map func p.Ir.funcs } in
+  fold (inline_program (fold p))

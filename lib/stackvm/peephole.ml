@@ -1,0 +1,241 @@
+(** Peephole superinstruction fusion over compiled stack-VM programs.
+
+    The bytecode interpreter's cost is dominated by dispatch: every
+    [Const k; Add] pair pays two fuel decrements, two match dispatches
+    and two stack round trips to do one addition. This pass rewrites a
+    compiled {!Program.t}, replacing the dispatch pairs that dominate
+    the paper's grafts with the fused opcodes of {!Opcode}:
+
+    - [Const k; OP]                              -> [Bink (op, k)]
+    - [Const k; CMP]                             -> [Cmpk (c, k)]
+    - [CMP; Jz/Jnz t]                            -> [Jcmp (c, flag, t)]
+    - [Const k; CMP; Jz/Jnz t]                   -> [Jcmpk (c, k, flag, t)]
+    - [Const k; Aload a]                         -> [Aload_k (a, k)]
+    - [Load_local n; Const k; Add; Store_local n] -> [Local_addk (n, k)]
+    - [Load_local n; Const k; CMP; Jz/Jnz t]     -> [Jcmpk_local (c,n,k,f,t)]
+    - [Load_local a; Load_local b; OP]           -> [Bin_local2 (op, a, b)]
+    - [Load_local a; Load_local b]               -> [Load_local2 (a, b)]
+    - [Load_local n; OP]                         -> [Bin_local (op, n)]
+    - [Load_local n; Aload a]                    -> [Aload_local (a, n)]
+    - [Load_local src; Store_local dst]          -> [Move_local (dst, src)]
+    - [Const k; Store_local n]                   -> [Store_localk (n, k)]
+    - [OP; Store_local n]                        -> [Bin_store (op, n)]
+    - [Const k; OP; Store_local n]               -> [Bink_store (op, k, n)]
+    - [Load_local n; Const k; OP]                -> [Bink_local (op, n, k)]
+    - [Load_local n; Aload a; OP]                -> [Bin_aload_local (op,a,n)]
+    - [Load_local n; Aload a; Store_local d]     -> [Aload_local_store (a,n,d)]
+    - [lmove; lmove]                             -> [Move_local2 (d1,s1,d2,s2)]
+
+    Division and modulo fuse only with a non-zero constant divisor
+    ([Const k; Div/Mod], k <> 0): a zero divisor must keep the plain
+    opcode and its runtime fault, and a local divisor is never fused.
+
+    Fusion is semantics-preserving by construction:
+
+    - a pattern is fused only when none of its interior instructions is
+      a jump target or function entry, so control can never transfer
+      into the middle of a fused group;
+    - each fused opcode charges fuel equal to {!Opcode.width}, the
+      number of instructions it replaces, and the interpreter re-checks
+      the budget before the group's (single, final) observable action —
+      optimized code exhausts fuel, faults and stores exactly where the
+      unfused code would;
+    - runtime checks (array bounds, writability) are kept in the fused
+      forms, so the verifier does not need to prove more about fused
+      code than about plain code.
+
+    The output is re-verified by {!Stackvm.load_opt}; every jump target
+    and function extent is remapped onto the shortened code array. *)
+
+(* Code positions control flow can enter: jump targets and function
+   entries. A fused pattern must not swallow one as an interior
+   instruction. (Return addresses need no marking: [ret_pc] is captured
+   from the rewritten code at call time, and no pattern begins with
+   [Call].) *)
+let entry_points (p : Program.t) =
+  let ncode = Array.length p.code in
+  let t = Array.make (max 1 ncode) false in
+  let mark x = if x >= 0 && x < ncode then t.(x) <- true in
+  Array.iter (fun (f : Program.funcdesc) -> mark f.Program.entry) p.funcs;
+  Array.iter
+    (function
+      | Opcode.Jmp x | Opcode.Jz x | Opcode.Jnz x
+      | Opcode.Jcmp (_, _, x) | Opcode.Jcmpk (_, _, _, x)
+      | Opcode.Jcmpk_local (_, _, _, _, x) ->
+          mark x
+      | _ -> ())
+    p.code;
+  t
+
+let bink_of = function
+  | Opcode.Add -> Some Opcode.KAdd
+  | Opcode.Sub -> Some Opcode.KSub
+  | Opcode.Mul -> Some Opcode.KMul
+  | Opcode.Shl -> Some Opcode.KShl
+  | Opcode.Shr -> Some Opcode.KShr
+  | Opcode.Lshr -> Some Opcode.KLshr
+  | Opcode.Band -> Some Opcode.KBand
+  | Opcode.Bor -> Some Opcode.KBor
+  | Opcode.Bxor -> Some Opcode.KBxor
+  | Opcode.Wadd -> Some Opcode.KWadd
+  | Opcode.Wsub -> Some Opcode.KWsub
+  | Opcode.Wmul -> Some Opcode.KWmul
+  | Opcode.Wshl -> Some Opcode.KWshl
+  | Opcode.Wshr -> Some Opcode.KWshr
+  | _ -> None
+
+(* Div/Mod are fusable only against a non-zero constant divisor. *)
+let bink_of_div = function
+  | Opcode.Div -> Some Opcode.KDiv
+  | Opcode.Mod -> Some Opcode.KMod
+  | _ -> None
+
+let cmp_of = function
+  | Opcode.Lt -> Some Opcode.Clt
+  | Opcode.Le -> Some Opcode.Cle
+  | Opcode.Gt -> Some Opcode.Cgt
+  | Opcode.Ge -> Some Opcode.Cge
+  | Opcode.Eq -> Some Opcode.Ceq
+  | Opcode.Ne -> Some Opcode.Cne
+  | _ -> None
+
+(* Longest match first at [i]; returns the fused opcode and the number
+   of plain instructions it consumes. [free k] means instruction i+k
+   exists and is not an entry point (so it may be swallowed). *)
+let match_at code free i =
+  let len4 =
+    if free 1 && free 2 && free 3 then
+      match (code.(i), code.(i + 1), code.(i + 2), code.(i + 3)) with
+      | Opcode.Load_local n, Opcode.Const k, Opcode.Add, Opcode.Store_local n'
+        when n = n' ->
+          Some (Opcode.Local_addk (n, k), 4)
+      | Opcode.Load_local n, Opcode.Const k, c, Opcode.Jz t
+        when cmp_of c <> None ->
+          Some (Opcode.Jcmpk_local (Option.get (cmp_of c), n, k, false, t), 4)
+      | Opcode.Load_local n, Opcode.Const k, c, Opcode.Jnz t
+        when cmp_of c <> None ->
+          Some (Opcode.Jcmpk_local (Option.get (cmp_of c), n, k, true, t), 4)
+      | ( Opcode.Load_local s1,
+          Opcode.Store_local d1,
+          Opcode.Load_local s2,
+          Opcode.Store_local d2 ) ->
+          Some (Opcode.Move_local2 (d1, s1, d2, s2), 4)
+      | _ -> None
+    else None
+  in
+  let len3 () =
+    if free 1 && free 2 then
+      match (code.(i), code.(i + 1), code.(i + 2)) with
+      | Opcode.Const k, c, Opcode.Jz t -> (
+          match cmp_of c with
+          | Some c -> Some (Opcode.Jcmpk (c, k, false, t), 3)
+          | None -> None)
+      | Opcode.Const k, c, Opcode.Jnz t -> (
+          match cmp_of c with
+          | Some c -> Some (Opcode.Jcmpk (c, k, true, t), 3)
+          | None -> None)
+      | Opcode.Load_local a, Opcode.Load_local b, op when bink_of op <> None
+        ->
+          Some (Opcode.Bin_local2 (Option.get (bink_of op), a, b), 3)
+      | Opcode.Const k, op, Opcode.Store_local n when bink_of op <> None ->
+          Some (Opcode.Bink_store (Option.get (bink_of op), k, n), 3)
+      | Opcode.Const k, op, Opcode.Store_local n
+        when k <> 0 && bink_of_div op <> None ->
+          Some (Opcode.Bink_store (Option.get (bink_of_div op), k, n), 3)
+      | Opcode.Load_local n, Opcode.Const k, op when bink_of op <> None ->
+          Some (Opcode.Bink_local (Option.get (bink_of op), n, k), 3)
+      | Opcode.Load_local n, Opcode.Const k, op
+        when k <> 0 && bink_of_div op <> None ->
+          Some (Opcode.Bink_local (Option.get (bink_of_div op), n, k), 3)
+      | Opcode.Load_local n, Opcode.Aload a, op when bink_of op <> None ->
+          Some (Opcode.Bin_aload_local (Option.get (bink_of op), a, n), 3)
+      | Opcode.Load_local n, Opcode.Aload a, Opcode.Store_local dst ->
+          Some (Opcode.Aload_local_store (a, n, dst), 3)
+      | _ -> None
+    else None
+  in
+  let len2 () =
+    if free 1 then
+      match (code.(i), code.(i + 1)) with
+      | Opcode.Const k, op when bink_of op <> None ->
+          Some (Opcode.Bink (Option.get (bink_of op), k), 2)
+      | Opcode.Const k, op when k <> 0 && bink_of_div op <> None ->
+          Some (Opcode.Bink (Option.get (bink_of_div op), k), 2)
+      | Opcode.Const k, c when cmp_of c <> None ->
+          Some (Opcode.Cmpk (Option.get (cmp_of c), k), 2)
+      | Opcode.Const k, Opcode.Aload a -> Some (Opcode.Aload_k (a, k), 2)
+      | Opcode.Const k, Opcode.Store_local n ->
+          Some (Opcode.Store_localk (n, k), 2)
+      | c, Opcode.Jz t when cmp_of c <> None ->
+          Some (Opcode.Jcmp (Option.get (cmp_of c), false, t), 2)
+      | c, Opcode.Jnz t when cmp_of c <> None ->
+          Some (Opcode.Jcmp (Option.get (cmp_of c), true, t), 2)
+      | Opcode.Load_local a, Opcode.Load_local b ->
+          Some (Opcode.Load_local2 (a, b), 2)
+      | Opcode.Load_local n, op when bink_of op <> None ->
+          Some (Opcode.Bin_local (Option.get (bink_of op), n), 2)
+      | Opcode.Load_local n, Opcode.Aload a ->
+          Some (Opcode.Aload_local (a, n), 2)
+      | Opcode.Load_local src, Opcode.Store_local dst ->
+          Some (Opcode.Move_local (dst, src), 2)
+      | op, Opcode.Store_local n when bink_of op <> None ->
+          Some (Opcode.Bin_store (Option.get (bink_of op), n), 2)
+      | _ -> None
+    else None
+  in
+  match len4 with
+  | Some _ as r -> r
+  | None -> ( match len3 () with Some _ as r -> r | None -> len2 ())
+
+(** Fuse dispatch pairs in [p]'s code, remapping every jump target and
+    function extent onto the shortened array. Idempotent on its own
+    output (fused opcodes never match a pattern head). *)
+let optimize (p : Program.t) : Program.t =
+  let code = p.code in
+  let ncode = Array.length code in
+  let is_entry = entry_points p in
+  (* map.(old_pc) = new_pc for every pattern head; interior positions
+     keep -1 and are provably never referenced. *)
+  let map = Array.make (ncode + 1) (-1) in
+  let out = Array.make (max 1 ncode) Opcode.Halt in
+  let olen = ref 0 in
+  let i = ref 0 in
+  while !i < ncode do
+    let at = !i in
+    map.(at) <- !olen;
+    let free k = at + k < ncode && not is_entry.(at + k) in
+    let op, consumed =
+      match match_at code free at with
+      | Some (fused, w) -> (fused, w)
+      | None -> (code.(at), 1)
+    in
+    out.(!olen) <- op;
+    incr olen;
+    i := at + consumed
+  done;
+  map.(ncode) <- !olen;
+  let remap x =
+    let y = if x >= 0 && x <= ncode then map.(x) else -1 in
+    if y < 0 then invalid_arg "Peephole.optimize: unmappable jump target";
+    y
+  in
+  let code' =
+    Array.init !olen (fun j ->
+        match out.(j) with
+        | Opcode.Jmp x -> Opcode.Jmp (remap x)
+        | Opcode.Jz x -> Opcode.Jz (remap x)
+        | Opcode.Jnz x -> Opcode.Jnz (remap x)
+        | Opcode.Jcmp (c, flag, x) -> Opcode.Jcmp (c, flag, remap x)
+        | Opcode.Jcmpk (c, k, flag, x) -> Opcode.Jcmpk (c, k, flag, remap x)
+        | Opcode.Jcmpk_local (c, n, k, flag, x) ->
+            Opcode.Jcmpk_local (c, n, k, flag, remap x)
+        | op -> op)
+  in
+  let funcs =
+    Array.map
+      (fun (f : Program.funcdesc) ->
+        { f with Program.entry = remap f.Program.entry;
+                 code_end = remap f.Program.code_end })
+      p.funcs
+  in
+  { p with Program.code = code'; funcs }

@@ -10,6 +10,7 @@
 module Opcode = Opcode
 module Program = Program
 module Compile = Compile
+module Peephole = Peephole
 module Verify = Verify
 module Vm = Vm
 module Disasm = Disasm
@@ -22,3 +23,17 @@ let load (image : Graft_gel.Link.image) : (Program.t, string) result =
 
 let load_exn image =
   match load image with Ok p -> p | Error msg -> failwith msg
+
+(** The optimizing tier's loader: compile, fuse superinstructions
+    ({!Peephole}), then re-verify the fused code — the safety claim
+    still rests on load-time verification, not on trusting the
+    optimizer. Run the result with {!Vm.run_session_opt} for the
+    top-of-stack-cached dispatch loop. *)
+let load_opt (image : Graft_gel.Link.image) : (Program.t, string) result =
+  match Peephole.optimize (Compile.compile image) with
+  | p -> (
+      match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg)
+  | exception Invalid_argument msg -> Error msg
+
+let load_opt_exn image =
+  match load_opt image with Ok p -> p | Error msg -> failwith msg

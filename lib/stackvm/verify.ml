@@ -83,19 +83,76 @@ let verify (p : Program.t) : (unit, string) result =
       let h' = h - pops + pushes in
       if h' > max_stack then
         bad "function %d (%s): stack overflow at %d" fi f.Program.name pc;
+      (* Fused division: only a non-zero constant divisor can be proven
+         fault-free; anything else must stay a plain Div/Mod so the
+         runtime fault path is preserved. *)
+      (match instr with
+      | Opcode.Bink (op, 0) | Opcode.Bink_store (op, 0, _)
+      | Opcode.Bink_local (op, _, 0)
+        when Opcode.bink_divlike op ->
+          bad "function %d (%s): fused division by constant zero at %d" fi
+            f.Program.name pc
+      | Opcode.Bin_local (op, _) | Opcode.Bin_local2 (op, _, _)
+        when Opcode.bink_divlike op ->
+          bad "function %d (%s): fused division by a local at %d" fi
+            f.Program.name pc
+      | Opcode.Bin_store (op, _) | Opcode.Bin_aload_local (op, _, _)
+        when Opcode.bink_divlike op ->
+          bad "function %d (%s): fused division by a popped operand at %d" fi
+            f.Program.name pc
+      | _ -> ());
       (* Operand validity. *)
       (match instr with
-      | Opcode.Load_local n | Opcode.Store_local n ->
+      | Opcode.Load_local n | Opcode.Store_local n | Opcode.Local_addk (n, _)
+      | Opcode.Bin_local (_, n) | Opcode.Jcmpk_local (_, n, _, _, _)
+      | Opcode.Store_localk (n, _) | Opcode.Bin_store (_, n)
+      | Opcode.Bink_store (_, _, n) | Opcode.Bink_local (_, n, _) ->
           if n < 0 || n >= f.Program.nlocals then
             bad "function %d (%s): local %d out of range at %d" fi
               f.Program.name n pc
+      | Opcode.Load_local2 (a, b) | Opcode.Bin_local2 (_, a, b)
+      | Opcode.Move_local (a, b) ->
+          List.iter
+            (fun n ->
+              if n < 0 || n >= f.Program.nlocals then
+                bad "function %d (%s): local %d out of range at %d" fi
+                  f.Program.name n pc)
+            [ a; b ]
+      | Opcode.Move_local2 (d1, s1, d2, s2) ->
+          List.iter
+            (fun n ->
+              if n < 0 || n >= f.Program.nlocals then
+                bad "function %d (%s): local %d out of range at %d" fi
+                  f.Program.name n pc)
+            [ d1; s1; d2; s2 ]
       | Opcode.Load_global a | Opcode.Store_global a ->
           if a < 0 || a >= Array.length p.cells then
             bad "function %d (%s): global address %d out of range" fi
               f.Program.name a
-      | Opcode.Aload a | Opcode.Astore a ->
+      | Opcode.Aload a | Opcode.Astore a | Opcode.Aload_k (a, _) ->
+          (* The constant index of [Aload_k] is deliberately not
+             checked against the array length: the unfused form would
+             fault at run time, and the fused form must preserve that
+             behaviour rather than fail at load time. *)
           if a < 0 || a >= narrays then
             bad "function %d (%s): array id %d out of range" fi f.Program.name a
+      | Opcode.Aload_local (a, n) | Opcode.Bin_aload_local (_, a, n) ->
+          if a < 0 || a >= narrays then
+            bad "function %d (%s): array id %d out of range" fi f.Program.name
+              a;
+          if n < 0 || n >= f.Program.nlocals then
+            bad "function %d (%s): local %d out of range at %d" fi
+              f.Program.name n pc
+      | Opcode.Aload_local_store (a, n, dst) ->
+          if a < 0 || a >= narrays then
+            bad "function %d (%s): array id %d out of range" fi f.Program.name
+              a;
+          List.iter
+            (fun n ->
+              if n < 0 || n >= f.Program.nlocals then
+                bad "function %d (%s): local %d out of range at %d" fi
+                  f.Program.name n pc)
+            [ n; dst ]
       | Opcode.Halt ->
           bad "function %d (%s): reachable halt at %d (unpatched jump?)" fi
             f.Program.name pc
@@ -103,7 +160,9 @@ let verify (p : Program.t) : (unit, string) result =
       (* Successors. *)
       (match instr with
       | Opcode.Jmp t -> schedule t h'
-      | Opcode.Jz t | Opcode.Jnz t ->
+      | Opcode.Jz t | Opcode.Jnz t
+      | Opcode.Jcmp (_, _, t) | Opcode.Jcmpk (_, _, _, t)
+      | Opcode.Jcmpk_local (_, _, _, _, t) ->
           schedule t h';
           schedule (pc + 1) h'
       | Opcode.Ret -> ()

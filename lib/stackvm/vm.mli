@@ -28,3 +28,23 @@ val run :
   args:int array ->
   fuel:int ->
   (int, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result
+
+(** The optimizing dispatch loop: identical semantics to
+    {!run_session} — including fuel accounting and fault points — but
+    with the top-of-stack slot cached in a local mutable, the fast
+    path of the optimized bytecode tier. Runs plain and
+    peephole-optimized programs alike. *)
+val run_session_opt :
+  session ->
+  entry:string ->
+  args:int array ->
+  fuel:int ->
+  (int, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result
+
+(** One-shot convenience over the optimizing loop. *)
+val run_opt :
+  Program.t ->
+  entry:string ->
+  args:int array ->
+  fuel:int ->
+  (int, [ `Fault of Graft_mem.Fault.t | `Bad_entry of string ]) result

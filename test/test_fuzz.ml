@@ -216,6 +216,22 @@ let stackvm_engine ?(optimize = false) name =
         | Error (`Bad_entry m) -> Error m);
   }
 
+(* The optimized bytecode tier: peephole-fused program image run by the
+   top-of-stack-caching dispatch loop. Must be observably identical to
+   the plain tier, including fault identity and fuel accounting. *)
+let stackvm_opt_engine ?(optimize = false) name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image ~optimize src in
+        let prog = Graft_stackvm.Stackvm.load_opt_exn image in
+        match Graft_stackvm.Vm.run_opt prog ~entry:"main" ~args ~fuel with
+        | Ok v -> Ok (v, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
 let regvm_engine ~protection name =
   {
     ename = name;
@@ -235,6 +251,8 @@ let engines =
     interp_engine ~optimize:true "ast-interp+opt";
     stackvm_engine "bytecode-vm";
     stackvm_engine ~optimize:true "bytecode-vm+opt";
+    stackvm_opt_engine "bytecode-peep";
+    stackvm_opt_engine ~optimize:true "bytecode-peep+opt";
     regvm_engine ~protection:Graft_regvm.Program.Write_jump "regvm-wj";
     regvm_engine ~protection:Graft_regvm.Program.Full "regvm-full";
   ]
@@ -275,7 +293,9 @@ let test_fixed_corpus () =
     let seed = Int64.of_int (i * 7919) in
     run_all seed i (1000 - i);
     run_all seed (-i) (i * 13)
-  done
+  done;
+  (* Regression seeds caught by the random property in the past. *)
+  run_all 1254803352612576772L 0 1
 
 let prop_engines_agree =
   QCheck.Test.make ~name:"all engines agree on random programs" ~count:120

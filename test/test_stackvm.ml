@@ -298,6 +298,103 @@ let test_verify_bad_array_descriptor () =
   let p = mkprog ~arrays ~funcs:[| fdesc ~entry:0 ~code_end:2 "f" |] code in
   expect_reject p "address space"
 
+(* ---------- verifier: hand-built misuse of fused opcodes ---------- *)
+
+let reject_code ?(nlocals = 2) ?arrays code fragment =
+  let n = Array.length code in
+  let p =
+    mkprog ?arrays ~funcs:[| fdesc ~nlocals ~entry:0 ~code_end:n "f" |] code
+  in
+  expect_reject p fragment
+
+let test_verify_fused_underflow () =
+  reject_code [| Opcode.Bink (Opcode.KAdd, 1); Opcode.Ret |] "underflow";
+  reject_code
+    [| Opcode.Const 1; Opcode.Jcmp (Opcode.Clt, false, 0); Opcode.Const 0;
+       Opcode.Ret |]
+    "underflow";
+  reject_code
+    [| Opcode.Const 1; Opcode.Bin_store (Opcode.KAdd, 0); Opcode.Const 0;
+       Opcode.Ret |]
+    "underflow"
+
+let test_verify_fused_div_by_constant_zero () =
+  reject_code
+    [| Opcode.Const 1; Opcode.Bink (Opcode.KDiv, 0); Opcode.Ret |]
+    "constant zero";
+  reject_code
+    [| Opcode.Const 1; Opcode.Bink (Opcode.KMod, 0); Opcode.Ret |]
+    "constant zero";
+  reject_code
+    [| Opcode.Const 1; Opcode.Bink_store (Opcode.KDiv, 0, 0); Opcode.Const 0;
+       Opcode.Ret |]
+    "constant zero";
+  reject_code
+    [| Opcode.Bink_local (Opcode.KMod, 0, 0); Opcode.Ret |]
+    "constant zero"
+
+let test_verify_fused_div_unprovable () =
+  (* A local or popped divisor can be zero at run time, so the fused
+     forms must never carry Div/Mod: the peephole pass keeps the plain
+     opcode there, and hand-built bytecode that tries is rejected. *)
+  reject_code
+    [| Opcode.Const 1; Opcode.Bin_local (Opcode.KDiv, 0); Opcode.Ret |]
+    "by a local";
+  reject_code
+    [| Opcode.Bin_local2 (Opcode.KMod, 0, 1); Opcode.Ret |]
+    "by a local";
+  reject_code
+    [| Opcode.Const 6; Opcode.Const 2; Opcode.Bin_store (Opcode.KDiv, 0);
+       Opcode.Const 0; Opcode.Ret |]
+    "popped";
+  reject_code
+    [| Opcode.Const 6; Opcode.Bin_aload_local (Opcode.KMod, 0, 0);
+       Opcode.Ret |]
+    "popped"
+
+let test_verify_fused_bad_array_id () =
+  let arrays = [| { Program.base = 0; len = 8; writable = true } |] in
+  reject_code ~arrays [| Opcode.Aload_k (3, 0); Opcode.Ret |] "array id";
+  reject_code ~arrays [| Opcode.Aload_local (3, 0); Opcode.Ret |] "array id";
+  reject_code ~arrays
+    [| Opcode.Const 1; Opcode.Bin_aload_local (Opcode.KAdd, 3, 0);
+       Opcode.Ret |]
+    "array id";
+  reject_code ~arrays
+    [| Opcode.Aload_local_store (3, 0, 1); Opcode.Const 0; Opcode.Ret |]
+    "array id"
+
+let test_verify_fused_bad_local () =
+  reject_code
+    [| Opcode.Local_addk (5, 1); Opcode.Const 0; Opcode.Ret |]
+    "local 5 out of range";
+  reject_code
+    [| Opcode.Bink_local (Opcode.KAdd, 5, 1); Opcode.Ret |]
+    "local 5 out of range";
+  reject_code
+    [| Opcode.Move_local2 (0, 1, 5, 0); Opcode.Const 0; Opcode.Ret |]
+    "local 5 out of range";
+  reject_code
+    [| Opcode.Bin_local2 (Opcode.KAdd, 0, 5); Opcode.Ret |]
+    "local 5 out of range";
+  reject_code
+    [| Opcode.Store_localk (5, 1); Opcode.Const 0; Opcode.Ret |]
+    "local 5 out of range";
+  let arrays = [| { Program.base = 0; len = 8; writable = true } |] in
+  reject_code ~arrays
+    [| Opcode.Aload_local_store (0, 0, 5); Opcode.Const 0; Opcode.Ret |]
+    "local 5 out of range"
+
+let test_verify_fused_jump_outside () =
+  reject_code
+    [| Opcode.Const 0; Opcode.Jcmpk (Opcode.Ceq, 0, false, 9); Opcode.Const 0;
+       Opcode.Ret |]
+    "outside";
+  reject_code
+    [| Opcode.Jcmpk_local (Opcode.Clt, 0, 3, true, 9); Opcode.Const 0;
+       Opcode.Ret |]
+    "outside"
+
 (* The VM refuses unverified malicious code end-to-end via load. *)
 let test_load_rejects () =
   let image = fresh_image "fn main() : int { return 0; }" in
@@ -451,6 +548,91 @@ let prop_verifier_total_and_safe =
           | Ok _ | Error (`Fault _) -> true
           | Error (`Bad_entry _) -> false))
 
+(* ---------- the optimized tier: peephole + TOS-caching loop ---------- *)
+
+let loopy_src =
+  "array a[8];\n\
+   fn main(n : int) : int {\n\
+   var s = 0;\n\
+   for (var i = 0; i < 10; i = i + 1) {\n\
+   a[i & 7] = i * n + 3;\n\
+   s = s + a[i & 7] - s / 7;\n\
+   }\n\
+   return s;\n\
+   }"
+
+let test_peephole_fuses () =
+  let plain = Stackvm.load_exn (fresh_image loopy_src) in
+  let opt = Stackvm.load_opt_exn (fresh_image loopy_src) in
+  Alcotest.(check bool) "code got shorter" true
+    (Array.length opt.Program.code < Array.length plain.Program.code);
+  let has f = Array.exists f opt.Program.code in
+  Alcotest.(check bool) "some superinstruction present" true
+    (has (function
+      | Opcode.Bink _ | Opcode.Local_addk _ | Opcode.Jcmpk_local _
+      | Opcode.Bink_store _ | Opcode.Bink_local _ | Opcode.Bin_store _ ->
+          true
+      | _ -> false));
+  (* Re-running the pass on its own output must change nothing: fused
+     opcodes never match a pattern head. *)
+  let again = Peephole.optimize opt in
+  Alcotest.(check bool) "idempotent" true (again.Program.code = opt.Program.code)
+
+(* Both tiers on the same image: load vs load_opt differ only by the
+   peephole pass, so results, faults and fuel accounting must agree
+   exactly, instruction for instruction. *)
+let run_both_tiers src ~args ~fuel =
+  let base = Vm.run (Stackvm.load_exn (fresh_image src)) ~entry:"main" ~args ~fuel in
+  let opt =
+    Vm.run_opt (Stackvm.load_opt_exn (fresh_image src)) ~entry:"main" ~args ~fuel
+  in
+  (base, opt)
+
+let show_tier = function
+  | Ok v -> Printf.sprintf "Ok %d" v
+  | Error (`Fault f) -> "fault " ^ Fault.to_string f
+  | Error (`Bad_entry m) -> "bad entry " ^ m
+
+let test_tiers_differential () =
+  let r = Graft_util.Prng.create 0x0B7L in
+  List.iter
+    (fun (name, src, gen) ->
+      for _ = 1 to 10 do
+        let args = gen r in
+        let base, opt = run_both_tiers src ~args ~fuel:50_000_000 in
+        if base <> opt then
+          Alcotest.failf "%s: tiers disagree: base %s, opt %s" name
+            (show_tier base) (show_tier opt)
+      done)
+    diff_programs
+
+let faulty_src =
+  (* Faults on purpose: a[n] is out of bounds for n outside [0, 8) and
+     the division faults for n = -100. *)
+  "array a[8];\n\
+   fn main(n : int) : int {\n\
+   var s = 0;\n\
+   for (var i = 0; i < 10; i = i + 1) {\n\
+   a[i & 7] = i * n;\n\
+   s = s + a[i & 7] + i / (n + 100);\n\
+   }\n\
+   return s + a[n];\n\
+   }"
+
+let prop_tiers_agree_any_fuel =
+  (* Random fuel budgets cut execution off mid-program, including in
+     the middle of fused groups; random arguments hit the bounds and
+     division faults. The two tiers must agree on everything: value,
+     fault identity, and whether fuel ran out first. *)
+  QCheck.Test.make ~name:"optimized tier = baseline at any fuel" ~count:300
+    QCheck.(pair (int_range 0 400) (int_range (-110) 110))
+    (fun (fuel, n) ->
+      let base, opt = run_both_tiers faulty_src ~args:[| n |] ~fuel in
+      if base <> opt then
+        QCheck.Test.fail_reportf "fuel %d n %d: base %s, opt %s" fuel n
+          (show_tier base) (show_tier opt);
+      true)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "graft_stackvm"
@@ -492,8 +674,27 @@ let () =
           Alcotest.test_case "bad array desc" `Quick test_verify_bad_array_descriptor;
           Alcotest.test_case "load rejects" `Quick test_load_rejects;
         ] );
+      ( "verify-fused",
+        [
+          Alcotest.test_case "underflow" `Quick test_verify_fused_underflow;
+          Alcotest.test_case "div by constant zero" `Quick
+            test_verify_fused_div_by_constant_zero;
+          Alcotest.test_case "div unprovable" `Quick
+            test_verify_fused_div_unprovable;
+          Alcotest.test_case "bad array id" `Quick
+            test_verify_fused_bad_array_id;
+          Alcotest.test_case "bad local" `Quick test_verify_fused_bad_local;
+          Alcotest.test_case "jump outside fn" `Quick
+            test_verify_fused_jump_outside;
+        ] );
       ("disasm", [ Alcotest.test_case "renders" `Quick test_disasm ]);
       ( "differential",
         [ Alcotest.test_case "fixed programs" `Quick test_differential ]
         @ qc [ prop_differential_expr; prop_verifier_total_and_safe ] );
+      ( "opt-tier",
+        [
+          Alcotest.test_case "peephole fuses" `Quick test_peephole_fuses;
+          Alcotest.test_case "tiers agree" `Quick test_tiers_differential;
+        ]
+        @ qc [ prop_tiers_agree_any_fuel ] );
     ]
