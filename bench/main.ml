@@ -263,7 +263,8 @@ let () =
     else Graft_report.Experiments.Quick
   in
   if List.mem "opt" args then
-    Graft_report.Experiments.extra_techs := [ Technology.Bytecode_opt ];
+    Graft_report.Experiments.extra_techs :=
+      [ Technology.Bytecode_opt; Technology.Safe_lang_static ];
   let args =
     List.filter (fun a -> a <> "full" && a <> "quick" && a <> "opt") args
   in

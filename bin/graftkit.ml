@@ -138,6 +138,12 @@ let gel_cmd =
               print_string
                 (Graft_stackvm.Disasm.program
                    (Graft_stackvm.Stackvm.load_opt_exn image));
+              let static_p = Graft_stackvm.Stackvm.load_static_exn image in
+              let elided, total = Graft_stackvm.Stackvm.elision_stats static_p in
+              Printf.printf
+                "-- stack VM (static checks: %d of %d checks elided) --\n"
+                elided total;
+              print_string (Graft_stackvm.Disasm.program static_p);
               print_endline "-- register VM (SFI write+jump) --";
               print_string
                 (Graft_regvm.Disasm.program (Graft_regvm.Regvm.load_exn image))
@@ -166,6 +172,11 @@ let gel_cmd =
                     (Graft_stackvm.Vm.run_opt
                        (Graft_stackvm.Stackvm.load_opt_exn image)
                        ~entry ~args:argv ~fuel)
+              | Technology.Safe_lang_static ->
+                  show
+                    (Graft_stackvm.Vm.run
+                       (Graft_stackvm.Stackvm.load_static_exn image)
+                       ~entry ~args:argv ~fuel)
               | Technology.Sfi_write_jump | Technology.Sfi_full ->
                   let protection =
                     if tech = Technology.Sfi_full then Graft_regvm.Program.Full
@@ -190,6 +201,80 @@ let gel_cmd =
   Cmd.v
     (Cmd.info "gel" ~doc:"Compile and run a GEL graft")
     Term.(const run $ file $ entry $ args $ tech $ fuel $ dump $ optimize)
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE.gel"
+             ~doc:"GEL sources to analyze (any number).")
+  in
+  let entries =
+    Arg.(value & opt_all string []
+         & info [ "e"; "entry" ]
+             ~doc:"Entry-point function (repeatable). Enables the \
+                   unreachable-function check.")
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Exit non-zero if any warning is emitted.")
+  in
+  let builtin =
+    Arg.(value & flag
+         & info [ "builtin" ]
+             ~doc:"Also analyze the built-in grafts (evict, md5, logdisk, \
+                   packet filter) at representative sizes.")
+  in
+  let run files entries werror builtin =
+    let warnings = ref 0 in
+    let check_source label ~entries src =
+      match Graft_gel.Gel.compile_located src with
+      | Error e ->
+          Printf.printf "%s: error: %s\n" label (Graft_gel.Srcloc.to_string e);
+          incr warnings
+      | Ok (prog, meta) ->
+          let entries = if entries = [] then None else Some entries in
+          List.iter
+            (fun (d : Graft_analysis.Analyze.diag) ->
+              warnings := !warnings + 1;
+              Printf.printf "%s:%d:%d: warning: %s [%s]\n" label
+                d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.line
+                d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.col
+                d.Graft_analysis.Analyze.dmsg d.Graft_analysis.Analyze.dkind)
+            (Graft_analysis.Analyze.check ?entries prog meta)
+    in
+    List.iter
+      (fun file ->
+        let src = In_channel.with_open_text file In_channel.input_all in
+        check_source file ~entries src)
+      files;
+    if builtin then begin
+      let module G = Graft_grafts.Gel_sources in
+      List.iter
+        (fun (label, entries, src) -> check_source label ~entries src)
+        [
+          ( "builtin:evict",
+            [ "contains"; "choose" ],
+            G.evict ~heap_cells:256 );
+          ("builtin:md5", [ "run" ], G.md5 ~data_cells:2048);
+          ( "builtin:logdisk",
+            [ "reset"; "map_write"; "lookup" ],
+            G.logdisk ~nblocks:64 );
+          ( "builtin:packet-filter",
+            [ "accept" ],
+            G.packet_filter ~window_cells:256 ~protocol:6 ~port:80 );
+        ]
+    end;
+    if !warnings = 0 then print_endline "no warnings"
+    else if werror then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyze GEL grafts (provable out-of-bounds accesses, \
+             guaranteed division by zero, unreachable code, unused locals \
+             and functions)")
+    Term.(const run $ files $ entries $ werror $ builtin)
 
 (* ---------- script ---------- *)
 
@@ -290,4 +375,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ tables_cmd; gel_cmd; script_cmd; tech_cmd; measure_cmd ]))
+          [ tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd ]))

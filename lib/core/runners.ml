@@ -95,6 +95,12 @@ let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
         run_fail
           (Graft_stackvm.Vm.run_session_opt session ~entry ~args
              ~fuel:huge_fuel)
+  | Technology.Safe_lang_static ->
+      let p = Graft_stackvm.Stackvm.load_static_exn env.image in
+      let session = Graft_stackvm.Vm.create_session p in
+      fun ~entry ~args ->
+        run_fail
+          (Graft_stackvm.Vm.run_session session ~entry ~args ~fuel:huge_fuel)
   | Technology.Sfi_write_jump | Technology.Sfi_full ->
       (* The register-VM route, used for the A4 instruction-count
          ablation; headline SFI numbers come from the native masked
@@ -240,7 +246,8 @@ let evict ?rng (tech : Technology.t) ~capacity_nodes () : evict =
       native_evict (module Access.Sfi_wj) tech ~capacity_nodes ~rng
   | Technology.Sfi_full ->
       native_evict (module Access.Sfi_full) tech ~capacity_nodes ~rng
-  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
+  | Technology.Ast_interp
     ->
       gel_evict tech ~capacity_nodes ~rng
   | Technology.Source_interp -> script_evict ~capacity_nodes ~rng
@@ -252,9 +259,10 @@ let evict ?rng (tech : Technology.t) ~capacity_nodes () : evict =
          (the paper's specialized-language expressiveness limit)"
 
 (** The register-VM variant of the eviction graft, for the A4 ablation
-    (instruction counts with and without sandboxing). Returns a
-    function from candidate page to (membership, instruction count). *)
-let evict_regvm ?rng ~protection ~capacity_nodes () =
+    (instruction counts with and without sandboxing; [~elide:true] adds
+    the verified mask-elision rows). Returns a function from candidate
+    page to (membership, instruction count). *)
+let evict_regvm ?rng ?elide ~protection ~capacity_nodes () =
   let cells_len = evict_cells capacity_nodes in
   let env =
     gel_env (Gel_sources.evict ~heap_cells:cells_len)
@@ -264,7 +272,7 @@ let evict_regvm ?rng ~protection ~capacity_nodes () =
   let mem_cells = Memory.cells env.image.Link.mem in
   let hot_head = ref 0 and lru_head = ref 0 in
   ignore !lru_head;
-  let p = Graft_regvm.Regvm.load_exn ~protection env.image in
+  let p = Graft_regvm.Regvm.load_exn ~protection ?elide env.image in
   let session = Graft_regvm.Machine.create_session p in
   let refresh ~hot ~lru =
     make_refresh ~capacity_nodes ~rng
@@ -414,7 +422,8 @@ let md5 (tech : Technology.t) ~capacity : md5 =
   | Technology.Sfi_write_jump ->
       native_md5 (module Access.Sfi_wj) tech ~capacity
   | Technology.Sfi_full -> native_md5 (module Access.Sfi_full) tech ~capacity
-  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
+  | Technology.Ast_interp
     ->
       gel_md5 tech ~capacity
   | Technology.Source_interp -> script_md5 ~capacity
@@ -449,9 +458,9 @@ let gel_logdisk tech ~nblocks =
 (** Dynamic instruction count of [writes] logical-disk mapped writes
     on the register VM at the given protection level (ablation A4's
     store-heavy case). *)
-let logdisk_regvm_instructions ~protection ~nblocks ~writes =
+let logdisk_regvm_instructions ?elide ~protection ~nblocks ~writes () =
   let env = gel_env (Gel_sources.logdisk ~nblocks) [] in
-  let p = Graft_regvm.Regvm.load_exn ~protection env.image in
+  let p = Graft_regvm.Regvm.load_exn ~protection ?elide env.image in
   let session = Graft_regvm.Machine.create_session p in
   let total = ref 0 in
   (* First call triggers the graft's lazy map initialization; exclude
@@ -500,7 +509,8 @@ let logdisk_policy (tech : Technology.t) ~nblocks : Graft_kernel.Logdisk.policy
       native_logdisk (module Access.Checked_nil) ~nblocks
   | Technology.Sfi_write_jump -> native_logdisk (module Access.Sfi_wj) ~nblocks
   | Technology.Sfi_full -> native_logdisk (module Access.Sfi_full) ~nblocks
-  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
+  | Technology.Ast_interp
     ->
       gel_logdisk tech ~nblocks
   | Technology.Source_interp -> script_logdisk ~nblocks
@@ -573,7 +583,8 @@ let packet_filter (tech : Technology.t) ~protocol ~port :
       | Ok () -> ()
       | Error msg -> failwith ("packet filter failed verification: " ^ msg));
       fun pkt -> Graft_kernel.Pfvm.accepts p pkt
-  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp
+  | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
+  | Technology.Ast_interp
     ->
       gel_based ()
   | Technology.Source_interp ->

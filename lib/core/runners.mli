@@ -57,9 +57,11 @@ val evict_upcall :
   evict
 
 (** Register-VM variant for the A4 ablation: returns [refresh] and a
-    [contains] reporting (membership, dynamic instruction count). *)
+    [contains] reporting (membership, dynamic instruction count).
+    [~elide:true] lets the SFI pass skip verified in-segment masks. *)
 val evict_regvm :
   ?rng:Graft_util.Prng.t ->
+  ?elide:bool ->
   protection:Graft_regvm.Program.protection ->
   capacity_nodes:int ->
   unit ->
@@ -90,9 +92,15 @@ val logdisk_policy :
   Technology.t -> nblocks:int -> Graft_kernel.Logdisk.policy
 
 (** Dynamic instruction count of [writes] mapped writes on the register
-    VM at the given protection level (A4's store-heavy case). *)
+    VM at the given protection level (A4's store-heavy case).
+    [~elide:true] lets the SFI pass skip verified in-segment masks. *)
 val logdisk_regvm_instructions :
-  protection:Graft_regvm.Program.protection -> nblocks:int -> writes:int -> int
+  ?elide:bool ->
+  protection:Graft_regvm.Program.protection ->
+  nblocks:int ->
+  writes:int ->
+  unit ->
+  int
 
 (* ------------------------------------------------------------------ *)
 (** {1 Packet filter} *)

@@ -20,6 +20,12 @@ type t =
       (** the optimizing bytecode tier: IR pre-pass, superinstruction
           fusion, and a top-of-stack-cached dispatch loop — a stand-in
           for the JIT column the paper projects for Java *)
+  | Safe_lang_static
+      (** the statically-checked tier: abstract interpretation over the
+          IR proves bounds and divisors, the bytecode carries the
+          proofs, and the load-time verifier re-derives them before
+          admitting the unchecked opcodes — the compile-time half of
+          the paper's Modula-3 safety story *)
   | Ast_interp  (** ablation A3: AST-walking interpreter *)
   | Source_interp  (** paper: "Tcl" — string-based source interpreter *)
   | Specialized_vm
@@ -30,8 +36,8 @@ type t =
 let all =
   [
     Unsafe_c; Upcall_server; Safe_lang; Safe_lang_nil; Sfi_write_jump;
-    Sfi_full; Bytecode_vm; Bytecode_opt; Ast_interp; Source_interp;
-    Specialized_vm;
+    Sfi_full; Bytecode_vm; Bytecode_opt; Safe_lang_static; Ast_interp;
+    Source_interp; Specialized_vm;
   ]
 
 (** The five technologies the paper's tables print, in column order. *)
@@ -46,6 +52,7 @@ let name = function
   | Sfi_full -> "sfi-full"
   | Bytecode_vm -> "bytecode-vm"
   | Bytecode_opt -> "bytecode-opt"
+  | Safe_lang_static -> "safe-lang-static"
   | Ast_interp -> "ast-interp"
   | Source_interp -> "source-interp"
   | Specialized_vm -> "pf-vm"
@@ -60,6 +67,7 @@ let paper_name = function
   | Sfi_full -> "SFI (full protection)"
   | Bytecode_vm -> "Java"
   | Bytecode_opt -> "Java+JIT (projected)"
+  | Safe_lang_static -> "Modula-3 + static checks"
   | Ast_interp -> "AST interpreter"
   | Source_interp -> "Tcl"
   | Specialized_vm -> "BPF-like filter VM"
@@ -67,7 +75,7 @@ let paper_name = function
 let trust = function
   | Unsafe_c -> No_protection
   | Upcall_server -> Hardware
-  | Safe_lang | Safe_lang_nil -> Software_checks
+  | Safe_lang | Safe_lang_nil | Safe_lang_static -> Software_checks
   | Sfi_write_jump | Sfi_full -> Software_isolation
   | Bytecode_vm | Bytecode_opt | Ast_interp | Source_interp | Specialized_vm
     ->

@@ -30,3 +30,14 @@ let compile ?(optimize = false) (src : string) : (Ir.program, Srcloc.error) resu
 let compile_exn ?(optimize = false) src =
   let prog = Typecheck.check_program (Parser.parse_program src) in
   if optimize then Optimize.program prog else prog
+
+(** Parse and typecheck keeping source positions: statements arrive
+    wrapped in [Ir.At] and a side table maps functions and local slots
+    back to names and declaration sites. This is the front door for the
+    static analyzer's diagnostics ([graftkit check]); the execution
+    backends use {!compile}. *)
+let compile_located (src : string) :
+    (Ir.program * Typecheck.program_meta, Srcloc.error) result =
+  match Typecheck.check_program_located (Parser.parse_program src) with
+  | r -> Ok r
+  | exception Srcloc.Error e -> Error e

@@ -118,8 +118,14 @@ let rec eval st locals (e : Ir.expr) : int =
   | Ir.ToBool a -> if eval st locals a = 0 then 0 else 1
 
 and exec st locals (s : Ir.stmt) : unit =
+  match s with
+  | Ir.At (_, s) ->
+      (* Transparent: located IR must cost the same fuel as plain IR. *)
+      exec st locals s
+  | _ ->
   tick st;
   match s with
+  | Ir.At (_, s) -> exec st locals s
   | Ir.Set_local (slot, e) -> Array.unsafe_set locals slot (eval st locals e)
   | Ir.Set_global (slot, e) ->
       (Memory.cells st.image.Link.mem).(st.image.Link.global_base + slot) <-

@@ -47,6 +47,10 @@ type stmt =
   | Break
   | Continue
   | Eval of expr
+  | At of Srcloc.pos * stmt
+      (** source-located statement, produced only by
+          [Typecheck.check_program_located] for the diagnostics
+          front-end; the execution backends treat it as transparent *)
 
 type gvar = { gname : string; gty : ty; ginit : int }
 
@@ -109,5 +113,6 @@ let size prog =
     | While (c, b, s) -> 1 + esize c + bsize b + bsize s
     | Return (Some e) -> 1 + esize e
     | Return None | Break | Continue -> 1
+    | At (_, s) -> ssize s
   and bsize stmts = List.fold_left (fun acc s -> acc + ssize s) 0 stmts in
   Array.fold_left (fun acc f -> acc + bsize f.body) 0 prog.funcs

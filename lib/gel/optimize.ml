@@ -129,6 +129,7 @@ let rec stmt (s : Ir.stmt) : Ir.stmt list =
   | Ir.Eval e ->
       let e = expr e in
       if pure e then [] else [ Ir.Eval e ]
+  | Ir.At (pos, s) -> List.map (fun s' -> Ir.At (pos, s')) (stmt s)
 
 and block stmts =
   (* Statements after an always-taken Return/Break/Continue are dead. *)
@@ -177,6 +178,7 @@ let rec dse_block (stmts : Ir.stmt list) : Ir.stmt list =
 and dse_stmt = function
   | Ir.If (c, t, f) -> Ir.If (c, dse_block t, dse_block f)
   | Ir.While (c, body, step) -> Ir.While (c, dse_block body, dse_block step)
+  | Ir.At (pos, s) -> Ir.At (pos, dse_stmt s)
   | s -> s
 
 let func (f : Ir.func) = { f with Ir.body = dse_block (block f.Ir.body) }
@@ -327,9 +329,13 @@ let inline_program (p : Ir.program) : Ir.program =
       e'
     in
     let rec stmt s =
+      match s with
+      | Ir.At (pos, s) -> List.map (fun s' -> Ir.At (pos, s')) (stmt s)
+      | _ ->
       let prel = ref [] and psf = ref true in
       let s' =
         match s with
+        | Ir.At _ -> s (* handled above *)
         | Ir.Set_local (n, e) -> Ir.Set_local (n, ex ~ok:true prel psf e)
         | Ir.Set_global (n, e) -> Ir.Set_global (n, ex ~ok:true prel psf e)
         | Ir.Store (a, i, v) ->

@@ -81,10 +81,14 @@ let rec expr prog buf (e : Ir.expr) =
       p ")"
 
 let rec stmt prog buf indent (s : Ir.stmt) =
+  match s with
+  | Ir.At (_, s) -> stmt prog buf indent s
+  | _ ->
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let pad () = Buffer.add_string buf (String.make indent ' ') in
   pad ();
   match s with
+  | Ir.At (_, s) -> stmt prog buf indent s
   | Ir.Set_local (slot, e) ->
       p "l%d = " slot;
       expr prog buf e;

@@ -24,6 +24,28 @@ type lenv = {
 
 let err = Srcloc.error
 
+(* ------------------------------------------------------------------ *)
+(* Located mode (diagnostics support).                                 *)
+(*                                                                     *)
+(* [check_program_located] produces the same IR as [check_program]     *)
+(* except that every lowered statement is wrapped in [Ir.At] carrying  *)
+(* its source position, and a side table maps local slots back to      *)
+(* their names and declaration sites. The execution pipeline never     *)
+(* sees located IR; only the static analyzer consumes it.              *)
+(* ------------------------------------------------------------------ *)
+
+type func_meta = {
+  mfname : string;
+  mfpos : Srcloc.pos;
+  mnargs : int;
+  mlocals : (string * Srcloc.pos) array;  (** indexed by local slot *)
+}
+
+type program_meta = { fmeta : func_meta array }
+
+let located = ref false
+let locals_acc : (int * string * Srcloc.pos) list ref = ref []
+
 let kind_of = function
   | Ast.Tint -> Ir.Kint
   | Ast.Tword -> Ir.Kword
@@ -286,9 +308,18 @@ let declare_local env pos name ty =
   (match env.scopes with
   | scope :: _ -> Hashtbl.replace scope name (slot, ty)
   | [] -> assert false);
+  locals_acc := (slot, name, pos) :: !locals_acc;
   slot
 
 let rec check_stmt env (s : Ast.stmt) : Ir.stmt list =
+  let out = check_stmt_desc env s in
+  if !located then
+    (* [For] lowering concatenates already-wrapped init statements; do
+       not re-wrap those. *)
+    List.map (function Ir.At _ as st -> st | st -> Ir.At (s.spos, st)) out
+  else out
+
+and check_stmt_desc env (s : Ast.stmt) : Ir.stmt list =
   match s.sdesc with
   | Ast.Decl (name, declared, e) ->
       let e', te = check env declared e in
@@ -418,6 +449,7 @@ let rec always_returns (s : Ir.stmt) =
   match s with
   | Ir.Return _ -> true
   | Ir.If (_, t, f) -> block_returns t && block_returns f
+  | Ir.At (_, s) -> always_returns s
   | _ -> false
 
 and block_returns stmts = List.exists always_returns stmts
@@ -426,7 +458,7 @@ and block_returns stmts = List.exists always_returns stmts
 (* Programs.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let check_program (prog : Ast.program) : Ir.program =
+let check_program_meta (prog : Ast.program) : Ir.program * program_meta =
   let genv =
     {
       scalars = Hashtbl.create 16;
@@ -505,7 +537,7 @@ let check_program (prog : Ast.program) : Ir.program =
           Hashtbl.replace genv.funcs name (idx, fsig))
     prog;
   (* Second pass: check function bodies in declaration order. *)
-  let funcs = ref [] in
+  let funcs = ref [] and metas = ref [] in
   List.iter
     (fun g ->
       match g with
@@ -513,6 +545,7 @@ let check_program (prog : Ast.program) : Ir.program =
           let env =
             { genv; scopes = []; nlocals = 0; in_loop = false; fret = ret }
           in
+          locals_acc := [];
           push_scope env;
           List.iter
             (fun p -> ignore (declare_local env gpos p.Ast.pname p.Ast.pty))
@@ -521,6 +554,18 @@ let check_program (prog : Ast.program) : Ir.program =
           pop_scope env;
           if ret <> None && not (block_returns body') then
             err gpos "function %s does not return on every path" name;
+          let mlocals = Array.make env.nlocals ("", Srcloc.pos0) in
+          List.iter
+            (fun (slot, lname, lpos) -> mlocals.(slot) <- (lname, lpos))
+            !locals_acc;
+          metas :=
+            {
+              mfname = name;
+              mfpos = gpos;
+              mnargs = List.length params;
+              mlocals;
+            }
+            :: !metas;
           funcs :=
             {
               Ir.fname = name;
@@ -532,9 +577,19 @@ let check_program (prog : Ast.program) : Ir.program =
             :: !funcs
       | Ast.Gvar _ | Ast.Garray _ | Ast.Gextern _ -> ())
     prog;
-  {
-    Ir.globals = Array.of_list (List.rev !globals);
-    arrays = Array.of_list (List.rev !arrays);
-    funcs = Array.of_list (List.rev !funcs);
-    externs = Array.of_list (List.rev !externs);
-  }
+  ( {
+      Ir.globals = Array.of_list (List.rev !globals);
+      arrays = Array.of_list (List.rev !arrays);
+      funcs = Array.of_list (List.rev !funcs);
+      externs = Array.of_list (List.rev !externs);
+    },
+    { fmeta = Array.of_list (List.rev !metas) } )
+
+let check_program (prog : Ast.program) : Ir.program =
+  fst (check_program_meta prog)
+
+let check_program_located (prog : Ast.program) : Ir.program * program_meta =
+  located := true;
+  Fun.protect
+    ~finally:(fun () -> located := false)
+    (fun () -> check_program_meta prog)

@@ -12,5 +12,24 @@
     violation. *)
 val check_program : Ast.program -> Ir.program
 
+(** Per-function side table produced by {!check_program_located}:
+    source anchors for diagnostics that the slot-indexed IR has
+    otherwise erased. *)
+type func_meta = {
+  mfname : string;
+  mfpos : Srcloc.pos;
+  mnargs : int;
+  mlocals : (string * Srcloc.pos) array;  (** indexed by local slot *)
+}
+
+type program_meta = { fmeta : func_meta array }
+
+(** Same checking and lowering as {!check_program}, but every lowered
+    statement is wrapped in [Ir.At] with its source position, and local
+    slots are mapped back to names and declaration sites. Used by the
+    static analyzer's diagnostics front-end; the execution backends
+    never see located IR. *)
+val check_program_located : Ast.program -> Ir.program * program_meta
+
 (** Compile-time constant evaluation, exposed for tests. *)
 val const_eval : Ast.expr -> int

@@ -169,6 +169,7 @@ and compile_call ctx args mk =
 let rec stmt ctx (s : Ir.stmt) =
   let em = ctx.em in
   match s with
+  | Ir.At (_, s) -> stmt ctx s
   | Ir.Set_local (slot, e) ->
       let mark = ctx.temp in
       let r = expr ctx e in
@@ -276,4 +277,5 @@ let compile (image : Link.image) ~(segment : Program.segment) : Program.t =
     cells = Graft_mem.Memory.cells image.Link.mem;
     segment;
     protection = Program.Unprotected;
+    claims = [||];
   }

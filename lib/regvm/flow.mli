@@ -1,0 +1,26 @@
+(** Register-interval dataflow over SFI register code: the shared
+    evidence base for mask elision. {!Sfi.instrument} consults it to
+    find accesses whose effective address provably stays inside the
+    sandbox segment; {!Verify} reruns it over the instrumented code to
+    independently re-derive every recorded elision, so the analysis
+    itself never joins the trusted base. Deliberately path-insensitive
+    (no branch refinement); deterministic round-robin iteration with
+    widening after a fixed number of exact sweeps. *)
+
+(** [analyze code funcs] returns, for every pc, the register intervals
+    holding just before that instruction executes; [None] marks
+    unreachable pcs. r0 is pinned to [0,0] (the verifier refuses writes
+    to it); loads and call results are ⊤. *)
+val analyze :
+  Isa.instr array ->
+  Program.funcdesc array ->
+  Graft_analysis.Interval.t array option array
+
+(** Effective-address interval of [mem\[r.(rb) + off\]] at [pc] given
+    the analysis result; [Interval.bot] if the pc is unreachable. *)
+val address :
+  Graft_analysis.Interval.t array option array ->
+  int ->
+  int ->
+  int ->
+  Graft_analysis.Interval.t

@@ -13,23 +13,48 @@
 module Isa = Isa
 module Program = Program
 module Compile = Compile
+module Flow = Flow
 module Sfi = Sfi
 module Verify = Verify
 module Machine = Machine
 module Disasm = Disasm
 
-let load ?(protection = Program.Write_jump) (image : Graft_gel.Link.image) :
-    (Program.t, string) result =
+(** [~elide:true] lets the SFI pass skip the masking triple for
+    accesses whose address the {!Flow} interval analysis proves
+    in-segment; each elision is recorded as a claim that the verifier
+    independently re-derives before accepting the program. *)
+let load ?(protection = Program.Write_jump) ?(elide = false)
+    (image : Graft_gel.Link.image) : (Program.t, string) result =
   match
     Compile.compile image ~segment:(Sfi.segment_of_memory image.Graft_gel.Link.mem)
   with
   | exception Compile.Compile_error msg -> Error msg
   | exception Invalid_argument msg -> Error msg
   | p -> (
-      match Sfi.instrument p ~protection with
+      match Sfi.instrument ~elide p ~protection with
       | exception Invalid_argument msg -> Error msg
       | p -> (
           match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg))
 
-let load_exn ?protection image =
-  match load ?protection image with Ok p -> p | Error msg -> failwith msg
+let load_exn ?protection ?elide image =
+  match load ?protection ?elide image with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+(** (elided, total) counts of maskable access sites — stores, plus
+    loads under [Full] protection — for the ablation report. In
+    instrumented code every [St] is one site (masked through r1 or
+    elided under a claim), and under [Full] every [Ld] likewise; an
+    elided site is one carrying a verified claim. *)
+let elision_stats (p : Program.t) : int * int =
+  let full = p.Program.protection = Program.Full in
+  let total =
+    Array.fold_left
+      (fun acc instr ->
+        match instr with
+        | Isa.St _ -> acc + 1
+        | Isa.Ld _ when full -> acc + 1
+        | _ -> acc)
+      0 p.Program.code
+  in
+  (Array.length p.Program.claims, total)

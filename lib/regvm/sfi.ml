@@ -28,9 +28,12 @@ let segment_of_memory mem =
     invalid_arg "Sfi.segment_of_memory: memory size must be a power of two";
   { Program.base = 0; size }
 
-let instrument (p : Program.t) ~(protection : Program.protection) : Program.t =
+module I = Graft_analysis.Interval
+
+let instrument ?(elide = false) (p : Program.t)
+    ~(protection : Program.protection) : Program.t =
   match protection with
-  | Program.Unprotected -> { p with Program.protection }
+  | Program.Unprotected -> { p with Program.protection; claims = [||] }
   | Program.Write_jump | Program.Full ->
       let seg = p.Program.segment in
       if not (is_pow2 seg.Program.size) then
@@ -40,9 +43,26 @@ let instrument (p : Program.t) ~(protection : Program.protection) : Program.t =
       let mask = seg.Program.size - 1 in
       let base = seg.Program.base in
       let full = protection = Program.Full in
-      let expand = function
-        | Isa.St _ -> 4
-        | Isa.Ld _ when full -> 4
+      (* Mask elision: an access whose effective address provably lies
+         inside the segment behaves identically masked or not (for a
+         size-aligned segment the and/or pair is the identity on
+         in-segment addresses), so the triple is pure overhead. The
+         interval each elision rests on is recorded in [claims] for the
+         load-time verifier to re-derive. *)
+      let flow =
+        if elide then Flow.analyze p.Program.code p.Program.funcs else [||]
+      in
+      let seg_iv = I.range base (base + seg.Program.size - 1) in
+      let provable i r off =
+        elide
+        &&
+        let addr = Flow.address flow i r off in
+        (not (I.is_bot addr)) && I.leq addr seg_iv
+      in
+      let expand i instr =
+        match instr with
+        | Isa.St (rb, _, off) -> if provable i rb off then 1 else 4
+        | Isa.Ld (_, rs, off) when full -> if provable i rs off then 1 else 4
         | _ -> 1
       in
       let n = Array.length p.Program.code in
@@ -51,11 +71,12 @@ let instrument (p : Program.t) ~(protection : Program.protection) : Program.t =
       let total = ref 0 in
       for i = 0 to n - 1 do
         remap.(i) <- !total;
-        total := !total + expand p.Program.code.(i)
+        total := !total + expand i p.Program.code.(i)
       done;
       remap.(n) <- !total;
       let out = Array.make !total Isa.Halt in
       let pos = ref 0 in
+      let claims_rev = ref [] in
       let put instr =
         out.(!pos) <- instr;
         incr pos
@@ -65,12 +86,21 @@ let instrument (p : Program.t) ~(protection : Program.protection) : Program.t =
         put (Isa.Andi (Isa.reg_sandbox, Isa.reg_scratch, mask));
         put (Isa.Ori (Isa.reg_sandbox, Isa.reg_sandbox, base))
       in
-      Array.iter
-        (fun instr ->
+      let claim i r off =
+        claims_rev := (!pos, Flow.address flow i r off) :: !claims_rev
+      in
+      Array.iteri
+        (fun i instr ->
           match instr with
+          | Isa.St (rb, _, off) when provable i rb off ->
+              claim i rb off;
+              put instr
           | Isa.St (rb, rs, off) ->
               sandbox rb off;
               put (Isa.St (Isa.reg_sandbox, rs, 0))
+          | Isa.Ld (_, rs, off) when full && provable i rs off ->
+              claim i rs off;
+              put instr
           | Isa.Ld (rd, rs, off) when full ->
               sandbox rs off;
               put (Isa.Ld (rd, Isa.reg_sandbox, 0))
@@ -89,4 +119,10 @@ let instrument (p : Program.t) ~(protection : Program.protection) : Program.t =
             })
           p.Program.funcs
       in
-      { p with Program.code = out; funcs; protection }
+      {
+        p with
+        Program.code = out;
+        funcs;
+        protection;
+        claims = Array.of_list (List.rev !claims_rev);
+      }

@@ -17,5 +17,12 @@ val segment_of_memory : Graft_mem.Memory.t -> Program.segment
 
 (** Instrument for the given protection level ([Unprotected] returns
     the program unchanged apart from the recorded level). Raises
-    [Invalid_argument] for an unaligned or non-power-of-two segment. *)
-val instrument : Program.t -> protection:Program.protection -> Program.t
+    [Invalid_argument] for an unaligned or non-power-of-two segment.
+
+    [~elide:true] runs the {!Flow} interval analysis first and leaves
+    accesses unmasked when their effective address provably lies inside
+    the segment (where the size-aligned and/or masking pair is the
+    identity anyway), recording each elision and its proving interval
+    in the program's [claims] manifest for {!Verify} to re-derive. *)
+val instrument :
+  ?elide:bool -> Program.t -> protection:Program.protection -> Program.t

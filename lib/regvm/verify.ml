@@ -17,7 +17,20 @@
     - r0 (hard-wired zero) is never written;
     - all branch and call targets are in range.
 
-    One pass over the code; all checks O(1) per instruction. *)
+    One pass over the code; all checks O(1) per instruction.
+
+    Mask elision ({!Sfi.instrument} with [~elide:true]) relaxes exactly
+    one rule: a store (or, under [Full], a load) may skip the masking
+    sequence if the program carries a proof claim for its pc — an
+    address interval asserting the access stays inside the segment.
+    Claims are untrusted: a final pass reruns the {!Flow} interval
+    analysis over the instrumented code and admits each elision only if
+    its own derived address interval is contained in the claim and the
+    claim in the segment. An elision the verifier cannot re-establish
+    is a load error, so a buggy or malicious instrumenter cannot smuggle
+    an unsandboxed access past the loader. *)
+
+module I = Graft_analysis.Interval
 
 let verify (p : Program.t) : (unit, string) result =
   let exception Bad of string in
@@ -35,6 +48,7 @@ let verify (p : Program.t) : (unit, string) result =
     p.Program.protection <> Program.Unprotected
   in
   let protected_ld = p.Program.protection = Program.Full in
+  let claims = Hashtbl.create 16 in
   (* Instructions that must not be branch targets: the ori completing a
      masking pair and any memory access through r1. *)
   let no_entry = Array.make n false in
@@ -46,6 +60,25 @@ let verify (p : Program.t) : (unit, string) result =
     if no_entry.(t) then bad i "branch into a masking sequence at %d" t
   in
   try
+    (* Pass 0: claim manifest sanity. Each claim names a pc that must
+       hold a memory access the protection level would otherwise mask,
+       and its interval must fit inside the segment. *)
+    Array.iter
+      (fun (pc, iv) ->
+        if pc < 0 || pc >= n then
+          raise (Bad (Printf.sprintf "claim for pc %d out of range" pc));
+        if Hashtbl.mem claims pc then bad pc "duplicate elision claim";
+        if not protected_st then
+          bad pc "elision claim on an unprotected program";
+        (match code.(pc) with
+        | Isa.St _ -> ()
+        | Isa.Ld _ when protected_ld -> ()
+        | _ -> bad pc "elision claim on a non-access instruction");
+        if I.is_bot iv
+           || not (I.leq iv (I.range base (base + seg.Program.size - 1)))
+        then bad pc "claimed address interval escapes the segment";
+        Hashtbl.replace claims pc iv)
+      p.Program.claims;
     (* Pass 1: structural checks, dedicated-register discipline, and
        no-entry marking. *)
     for i = 0 to n - 1 do
@@ -81,7 +114,7 @@ let verify (p : Program.t) : (unit, string) result =
       | Isa.St (rb, rs, off) ->
           check_reg i rb;
           check_reg i rs;
-          if protected_st then begin
+          if protected_st && not (Hashtbl.mem claims i) then begin
             if rb <> Isa.reg_sandbox then
               bad i "store does not address through the sandbox register";
             if off <> 0 then bad i "store through sandbox register has offset";
@@ -96,7 +129,7 @@ let verify (p : Program.t) : (unit, string) result =
       | Isa.Ld (rd, rs, off) ->
           check_reg i rd;
           check_reg i rs;
-          if protected_ld then begin
+          if protected_ld && not (Hashtbl.mem claims i) then begin
             if rs <> Isa.reg_sandbox then
               bad i "load does not address through the sandbox register";
             if off <> 0 then bad i "load through sandbox register has offset";
@@ -144,5 +177,28 @@ let verify (p : Program.t) : (unit, string) result =
             (Bad (Printf.sprintf "function %d (%s): bad code extent" fi
                     f.Program.name)))
       p.Program.funcs;
+    (* Pass 3 (only when elisions are present): rerun the interval
+       analysis over the instrumented code and require every claimed
+       elision to be independently re-derivable — derived address
+       interval ⊆ claim ⊆ segment. The claim itself is never believed. *)
+    if Hashtbl.length claims > 0 then begin
+      let flow = Flow.analyze code p.Program.funcs in
+      Hashtbl.iter
+        (fun pc claim ->
+          let rb, off =
+            match code.(pc) with
+            | Isa.St (rb, _, off) -> (rb, off)
+            | Isa.Ld (_, rs, off) -> (rs, off)
+            | _ -> assert false (* pass 0 *)
+          in
+          let derived = Flow.address flow pc rb off in
+          if I.is_bot derived then
+            bad pc "elision claim on unreachable code";
+          if not (I.leq derived claim) then
+            bad pc
+              "cannot re-derive elision: address %s not within claimed %s"
+              (I.to_string derived) (I.to_string claim))
+        claims
+    end;
     Ok ()
   with Bad msg -> Error msg

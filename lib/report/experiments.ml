@@ -295,8 +295,8 @@ let md5_measure_bytes scale tech =
   match (tech, scale) with
   | Technology.Source_interp, Quick -> 2048
   | Technology.Source_interp, Full -> 16384
-  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp), Quick -> 65536
-  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp), Full -> 262144
+  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static | Technology.Ast_interp), Quick -> 65536
+  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static | Technology.Ast_interp), Full -> 262144
   | _, Quick -> 262144
   | _, Full -> md5_full_bytes
 
@@ -403,8 +403,8 @@ let logdisk_measure_writes scale tech =
   match (tech, scale) with
   | Technology.Source_interp, Quick -> 1024
   | Technology.Source_interp, Full -> 8192
-  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp), Quick -> 8192
-  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Ast_interp), Full -> 65536
+  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static | Technology.Ast_interp), Quick -> 8192
+  | (Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static | Technology.Ast_interp), Full -> 65536
   | _, Quick -> 32768
   | _, Full -> logdisk_full_writes
 
@@ -688,17 +688,18 @@ let ablation_interp scale =
    logical-disk mapped writes). *)
 let ablation_regvm () =
   let hot = hot_pages in
-  let search_count protection =
+  let search_count ?elide protection =
     let refresh, contains =
-      Runners.evict_regvm ~rng:(Prng.create 0xA4L) ~protection
+      Runners.evict_regvm ~rng:(Prng.create 0xA4L) ?elide ~protection
         ~capacity_nodes:128 ()
     in
     refresh ~hot ~lru:[||];
     let _, icount = contains absent_page in
     icount
   in
-  let write_count protection =
-    Runners.logdisk_regvm_instructions ~protection ~nblocks:1024 ~writes:64
+  let write_count ?elide protection =
+    Runners.logdisk_regvm_instructions ?elide ~protection ~nblocks:1024
+      ~writes:64 ()
   in
   let t =
     Tablefmt.create
@@ -710,14 +711,17 @@ let ablation_regvm () =
     Printf.sprintf "%.1f%%" (100.0 *. (float_of_int (n - base) /. float_of_int base))
   in
   List.iter
-    (fun (name, protection) ->
-      let sn = search_count protection and wn = write_count protection in
+    (fun (name, protection, elide) ->
+      let sn = search_count ~elide protection
+      and wn = write_count ~elide protection in
       Tablefmt.add_row t
         [| name; string_of_int sn; pct sb sn; string_of_int wn; pct wb wn |])
     [
-      ("unprotected", Graft_regvm.Program.Unprotected);
-      ("write+jump", Graft_regvm.Program.Write_jump);
-      ("full (read+write)", Graft_regvm.Program.Full);
+      ("unprotected", Graft_regvm.Program.Unprotected, false);
+      ("write+jump", Graft_regvm.Program.Write_jump, false);
+      ("write+jump, elided", Graft_regvm.Program.Write_jump, true);
+      ("full (read+write)", Graft_regvm.Program.Full, false);
+      ("full, elided", Graft_regvm.Program.Full, true);
     ];
   {
     id = "Ablation A4";
@@ -729,6 +733,10 @@ let ablation_regvm () =
          read-only search and costs three ALU ops per store on the write \
          path, while full protection also taxes every load — the asymmetry \
          behind the Omniware beta's missing read protection";
+        "the elided rows apply Graftcheck mask elision: masking triples are \
+         dropped where the interval analysis proves the address in-segment, \
+         and the load-time verifier re-derives every elision before \
+         admitting the program";
       ];
   }
 

@@ -36,7 +36,36 @@ type ctx = {
   em : emitter;
   image : Link.image;
   mutable loops : loop_ctx list;
+  facts : Graft_analysis.Analyze.fact array option;
+      (** per-site safety facts from [Analyze.facts_for_image], in this
+          compiler's emission order; [None] compiles fully checked *)
+  mutable fact_i : int;  (** cursor into [facts] *)
+  mutable proofs_rev : (int * Graft_analysis.Interval.t) list;
 }
+
+(* The analyzer emits exactly one fact per array access and per
+   division, in the order this compiler reaches them; a mismatch is a
+   compiler/analyzer bug, not a property of the input program. *)
+let next_fact ctx =
+  match ctx.facts with
+  | None -> None
+  | Some arr ->
+      if ctx.fact_i >= Array.length arr then
+        invalid_arg "Compile: fact stream out of sync with emission";
+      let f = arr.(ctx.fact_i) in
+      ctx.fact_i <- ctx.fact_i + 1;
+      Some f
+
+(* Emit the checked or, under a [safe] fact, the unchecked form of an
+   access/division site, recording the claimed interval for the
+   verifier when a check is elided. *)
+let emit_site ctx ~checked ~unchecked =
+  let em = ctx.em in
+  match next_fact ctx with
+  | Some { Graft_analysis.Analyze.safe = true; claim } ->
+      ctx.proofs_rev <- (em.len, claim) :: ctx.proofs_rev;
+      emit em unchecked
+  | _ -> emit em checked
 
 let rec compile_expr ctx (e : Ir.expr) =
   let em = ctx.em in
@@ -47,11 +76,14 @@ let rec compile_expr ctx (e : Ir.expr) =
       emit em (Opcode.Load_global (ctx.image.Link.global_base + slot))
   | Ir.Load (arr, idx) ->
       compile_expr ctx idx;
-      emit em (Opcode.Aload arr)
-  | Ir.Arith (kind, op, a, b) ->
+      emit_site ctx ~checked:(Opcode.Aload arr) ~unchecked:(Opcode.Aload_u arr)
+  | Ir.Arith (kind, op, a, b) -> (
       compile_expr ctx a;
       compile_expr ctx b;
-      emit em (arith_op kind op)
+      match op with
+      | Ir.Div -> emit_site ctx ~checked:Opcode.Div ~unchecked:Opcode.Div_u
+      | Ir.Mod -> emit_site ctx ~checked:Opcode.Mod ~unchecked:Opcode.Mod_u
+      | _ -> emit em (arith_op kind op))
   | Ir.Cmp (cmp, a, b) ->
       compile_expr ctx a;
       compile_expr ctx b;
@@ -126,6 +158,7 @@ and arith_op kind op =
 let rec compile_stmt ctx (s : Ir.stmt) =
   let em = ctx.em in
   match s with
+  | Ir.At (_, s) -> compile_stmt ctx s
   | Ir.Set_local (slot, e) ->
       compile_expr ctx e;
       emit em (Opcode.Store_local slot)
@@ -135,7 +168,8 @@ let rec compile_stmt ctx (s : Ir.stmt) =
   | Ir.Store (arr, idx, v) ->
       compile_expr ctx idx;
       compile_expr ctx v;
-      emit em (Opcode.Astore arr)
+      emit_site ctx ~checked:(Opcode.Astore arr)
+        ~unchecked:(Opcode.Astore_u arr)
   | Ir.If (cond, t, f) ->
       compile_expr ctx cond;
       let jz = emit_patch em in
@@ -184,11 +218,14 @@ let rec compile_stmt ctx (s : Ir.stmt) =
       compile_expr ctx e;
       emit em Opcode.Pop
 
-(** Compile a linked image to an executable stack-VM program. *)
-let compile (image : Link.image) : Program.t =
+(** Compile a linked image to an executable stack-VM program. When
+    [facts] (from [Analyze.facts_for_image] on the same image) is
+    given, provably safe sites compile to unchecked opcodes and the
+    claimed intervals are recorded in the program's proof manifest. *)
+let compile ?facts (image : Link.image) : Program.t =
   let prog = image.Link.prog in
   let em = { code = Array.make 256 Opcode.Halt; len = 0 } in
-  let ctx = { em; image; loops = [] } in
+  let ctx = { em; image; loops = []; facts; fact_i = 0; proofs_rev = [] } in
   let funcs =
     Array.map
       (fun (f : Ir.func) ->
@@ -225,4 +262,5 @@ let compile (image : Link.image) : Program.t =
     ext_arity =
       Array.map (fun (e : Ir.ext) -> List.length e.Ir.eparams) prog.Ir.externs;
     cells = Graft_mem.Memory.cells image.Link.mem;
+    proofs = Array.of_list (List.rev ctx.proofs_rev);
   }

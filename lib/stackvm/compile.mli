@@ -7,4 +7,10 @@
     safety net (unreachable in value functions — the typechecker
     guarantees a return on every path). *)
 
-val compile : Graft_gel.Link.image -> Program.t
+val compile :
+  ?facts:Graft_analysis.Analyze.fact array -> Graft_gel.Link.image -> Program.t
+(** [compile ?facts image] compiles to fully-checked bytecode. With
+    [facts] (from {!Graft_analysis.Analyze.facts_for_image} on the same
+    image), sites the analysis proved safe compile to unchecked opcodes
+    and the claimed intervals land in the program's proof manifest for
+    the load-time verifier to re-establish. *)

@@ -41,8 +41,16 @@ type t =
   | Store_global of int
   | Aload of int  (** array id; pops index, pushes value *)
   | Astore of int  (** array id; pops value then index *)
+  (* Unchecked variants, emitted by the compiler only where static
+     analysis proved the check redundant. Each carries a proof
+     obligation in the program's manifest that the load-time verifier
+     re-establishes independently (see [Verify]); the interpreter runs
+     them with no bounds or zero test at all. *)
+  | Aload_u of int
+  | Astore_u of int
   (* int arithmetic *)
   | Add | Sub | Mul | Div | Mod
+  | Div_u | Mod_u  (** unchecked: divisor proven non-zero *)
   | Shl | Shr | Lshr
   | Band | Bor | Bxor | Bnot | Neg
   (* word (32-bit wrapping) variants *)
@@ -165,9 +173,10 @@ let cmp_fn c a b =
 let effect = function
   | Const _ | Load_local _ | Load_global _ -> (0, 1)
   | Store_local _ | Store_global _ -> (1, 0)
-  | Aload _ -> (1, 1)
-  | Astore _ -> (2, 0)
-  | Add | Sub | Mul | Div | Mod | Shl | Shr | Lshr | Band | Bor | Bxor
+  | Aload _ | Aload_u _ -> (1, 1)
+  | Astore _ | Astore_u _ -> (2, 0)
+  | Add | Sub | Mul | Div | Mod | Div_u | Mod_u
+  | Shl | Shr | Lshr | Band | Bor | Bxor
   | Wadd | Wsub | Wmul | Wshl | Wshr
   | Lt | Le | Gt | Ge | Eq | Ne ->
       (2, 1)
@@ -215,7 +224,10 @@ let to_string = function
   | Store_global a -> Printf.sprintf "gstore @%d" a
   | Aload a -> Printf.sprintf "aload #%d" a
   | Astore a -> Printf.sprintf "astore #%d" a
+  | Aload_u a -> Printf.sprintf "aload.u #%d" a
+  | Astore_u a -> Printf.sprintf "astore.u #%d" a
   | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Div_u -> "div.u" | Mod_u -> "mod.u"
   | Shl -> "shl" | Shr -> "shr" | Lshr -> "lshr"
   | Band -> "band" | Bor -> "bor" | Bxor -> "bxor" | Bnot -> "bnot"
   | Neg -> "neg"

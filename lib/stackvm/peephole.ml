@@ -238,4 +238,10 @@ let optimize (p : Program.t) : Program.t =
                  code_end = remap f.Program.code_end })
       p.funcs
   in
-  { p with Program.code = code'; funcs }
+  (* Unchecked opcodes never appear in a fusion pattern (patterns match
+     the checked constructors only), so every proof-manifest pc is a
+     pattern head and remaps cleanly. *)
+  let proofs =
+    Array.map (fun (pc, claim) -> (remap pc, claim)) p.Program.proofs
+  in
+  { p with Program.code = code'; funcs; proofs }

@@ -19,6 +19,13 @@ type t = {
   host : (int array -> int) array;
   ext_arity : int array;  (** argument count per extern, for the verifier *)
   cells : int array;  (** the graft address space backing store *)
+  proofs : (int * Graft_analysis.Interval.t) array;
+      (** proof manifest for unchecked instructions: [(pc, claim)]
+          pairs, sorted by pc. For [Aload_u]/[Astore_u] the claim is
+          the index interval, for [Div_u]/[Mod_u] the divisor interval.
+          The claims are untrusted compiler output; [Verify] re-derives
+          its own intervals and admits an unchecked instruction only if
+          derived ⊆ claim ⊆ legal. *)
 }
 
 let find_func p name =

@@ -37,3 +37,36 @@ let load_opt (image : Graft_gel.Link.image) : (Program.t, string) result =
 
 let load_opt_exn image =
   match load_opt image with Ok p -> p | Error msg -> failwith msg
+
+(** The statically-checked tier's loader (the paper's "Modula-3 + static
+    checks" column): run the abstract interpretation over the image's
+    IR ({!Graft_analysis.Analyze}), compile provably safe accesses and
+    divisions to unchecked opcodes with their proving intervals
+    attached, then re-verify — the verifier derives its own intervals
+    from the bytecode and rejects any elision it cannot re-establish,
+    so the analysis never joins the trusted base. *)
+let load_static (image : Graft_gel.Link.image) : (Program.t, string) result =
+  let facts =
+    Graft_analysis.Analyze.facts_for_image image.Graft_gel.Link.prog
+      ~arr_len:image.Graft_gel.Link.arr_len
+      ~arr_writable:image.Graft_gel.Link.arr_writable
+  in
+  let p = Compile.compile ~facts image in
+  match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg
+
+let load_static_exn image =
+  match load_static image with Ok p -> p | Error msg -> failwith msg
+
+(** (elided, total) counts of check sites — array accesses plus
+    divisions — in a program, for the [-O]/[--dump] report and the
+    elision-rate experiments. *)
+let elision_stats (p : Program.t) : int * int =
+  Array.fold_left
+    (fun (elided, total) op ->
+      match op with
+      | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u ->
+          (elided + 1, total + 1)
+      | Opcode.Aload _ | Opcode.Astore _ | Opcode.Div | Opcode.Mod ->
+          (elided, total + 1)
+      | _ -> (elided, total))
+    (0, 0) p.Program.code

@@ -11,6 +11,410 @@
 let max_stack = 1024
 let max_locals = 4096
 
+module I = Graft_analysis.Interval
+module Ir = Graft_gel.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: interval re-verification of unchecked instructions.         *)
+(*                                                                     *)
+(* The compiler may elide bounds/zero checks where its own analysis    *)
+(* proved them redundant, attaching the proving interval to the        *)
+(* program as a claim. Claims are untrusted: this pass re-derives      *)
+(* intervals from the bytecode alone — per-function dataflow over an   *)
+(* abstract operand stack and local file — and admits an unchecked     *)
+(* instruction only if derived ⊆ claim ⊆ legal. Operand provenance     *)
+(* (which local or constant produced a stack slot) is tracked just far *)
+(* enough to mirror the compiler's two refinements: comparison-guarded *)
+(* branches, and the success path of a checked array access.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Provenance of an abstract stack slot. [Snot] preserves truthiness
+   through boolean negation so guard refinement can flip it back. *)
+type src = Sloc of int | Sk of int | Stop
+type sym = Snone | Sconst of int | Slocal of int | Snot of sym
+         | Scmp of Ir.cmp * src * src
+
+(* A write to local [n] invalidates any provenance that mentions it:
+   the recorded comparison still holds of the old value, not the new
+   one. *)
+let rec kill_sym n = function
+  | Slocal m when m = n -> Snone
+  | Snot s -> Snot (kill_sym n s)
+  | Scmp (c, a, b) ->
+      let k = function Sloc m when m = n -> Stop | s -> s in
+      Scmp (c, k a, k b)
+  | s -> s
+
+let src_of = function Sconst k -> Sk k | Slocal n -> Sloc n | _ -> Stop
+
+(* Assume the value described by [sym] tested [truth] and narrow
+   [locals] in place; returns [false] when the assumption is
+   contradictory, i.e. the edge is unreachable. *)
+let rec refine_sym locals sym truth =
+  match sym with
+  | Snone -> true
+  | Sconst k -> (k <> 0) = truth
+  | Snot s -> refine_sym locals s (not truth)
+  | Slocal n ->
+      let c = if truth then Ir.Ne else Ir.Eq in
+      let iv', _ = I.refine_cmp c locals.(n) (I.const 0) in
+      if I.is_bot iv' then false
+      else begin
+        locals.(n) <- iv';
+        true
+      end
+  | Scmp (c, a, b) ->
+      let c = if truth then c else I.negate_cmp c in
+      let side = function
+        | Sloc n -> locals.(n)
+        | Sk k -> I.const k
+        | Stop -> I.top
+      in
+      let ia', ib' = I.refine_cmp c (side a) (side b) in
+      if I.is_bot ia' || I.is_bot ib' then false
+      else begin
+        (match a with Sloc n -> locals.(n) <- ia' | _ -> ());
+        (match b with Sloc n -> locals.(n) <- ib' | _ -> ());
+        true
+      end
+
+let is_unchecked = function
+  | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u -> true
+  | _ -> false
+
+(* Joins at a program point widen only after the point has been visited
+   this many times. The threshold is deliberately generous: the
+   compiler's analysis widens loop heads almost immediately, so its
+   claims already absorb widening; the verifier must stay at least as
+   precise, and small counted loops (the common case) converge exactly
+   well before the cutoff. *)
+let widen_after = 300
+
+let check_elisions (p : Program.t) : (unit, string) result =
+  let ncode = Array.length p.code in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  let claims = Hashtbl.create 16 in
+  let legal_claim pc claim =
+    match p.code.(pc) with
+    | Opcode.Aload_u a ->
+        if not (I.leq claim (I.range 0 (p.arrays.(a).Program.len - 1))) then
+          bad "claim %s at %d exceeds the bounds of array %d" (I.to_string claim)
+            pc a
+    | Opcode.Astore_u a ->
+        if not (I.leq claim (I.range 0 (p.arrays.(a).Program.len - 1))) then
+          bad "claim %s at %d exceeds the bounds of array %d" (I.to_string claim)
+            pc a;
+        if not p.arrays.(a).Program.writable then
+          bad "unchecked store to read-only array %d at %d" a pc
+    | Opcode.Div_u | Opcode.Mod_u ->
+        if I.contains claim 0 then
+          bad "claimed divisor %s at %d admits zero" (I.to_string claim) pc
+    | _ -> bad "proof attached to a checked instruction at %d" pc
+  in
+  let setup () =
+    Array.iter
+      (fun (pc, claim) ->
+        if pc < 0 || pc >= ncode then bad "proof at invalid pc %d" pc;
+        if Hashtbl.mem claims pc then bad "duplicate proof at %d" pc;
+        legal_claim pc claim;
+        Hashtbl.add claims pc claim)
+      p.proofs
+  in
+  let check_func fi (f : Program.funcdesc) =
+    let lo = f.Program.entry and hi = f.Program.code_end in
+    let states = Array.make (max 1 (hi - lo)) None in
+    let visits = Array.make (max 1 (hi - lo)) 0 in
+    (* Widening points: targets of back edges (by pc order). Every CFG
+       cycle's minimum pc is entered from a higher pc inside the cycle,
+       so every cycle contains one — enough for termination — while
+       straight-line merge points keep plain joins, so the narrowing a
+       guard proves is not thrown away downstream of a widened loop
+       head. *)
+    let widen_at = Array.make (max 1 (hi - lo)) false in
+    for pc = lo to hi - 1 do
+      match p.code.(pc) with
+      | Opcode.Jmp t | Opcode.Jz t | Opcode.Jnz t ->
+          if t >= lo && t <= pc then widen_at.(t - lo) <- true
+      | _ -> ()
+    done;
+    let worklist = Queue.create () in
+    let sym_join a b = if a = b then a else Snone in
+    let schedule pc (locals, stack) =
+      if pc < lo || pc >= hi then
+        bad "function %d (%s): pass-2 jump target %d outside [%d,%d)" fi
+          f.Program.name pc lo hi;
+      let i = pc - lo in
+      match states.(i) with
+      | None ->
+          states.(i) <- Some (locals, stack);
+          Queue.add pc worklist
+      | Some (ol, os) ->
+          if List.length os <> List.length stack then
+            bad "function %d (%s): pass-2 stack height mismatch at %d" fi
+              f.Program.name pc;
+          let wide = widen_at.(i) && visits.(i) > widen_after in
+          let up old now =
+            let j = I.join old now in
+            if wide then I.widen old j else j
+          in
+          let jl = Array.mapi (fun k v -> up v locals.(k)) ol in
+          let js =
+            List.map2
+              (fun (oiv, osym) (iv, sym) -> (up oiv iv, sym_join osym sym))
+              os stack
+          in
+          let changed =
+            (not (Array.for_all2 I.equal jl ol))
+            || not (List.for_all2 (fun (a, sa) (b, sb) -> I.equal a b && sa = sb) js os)
+          in
+          if changed then begin
+            states.(i) <- Some (jl, js);
+            Queue.add pc worklist
+          end
+    in
+    schedule lo (Array.make (max 1 f.Program.nlocals) I.top, []);
+    while not (Queue.is_empty worklist) do
+      let pc = Queue.pop worklist in
+      visits.(pc - lo) <- visits.(pc - lo) + 1;
+      let locals0, stack0 =
+        match states.(pc - lo) with Some s -> s | None -> assert false
+      in
+      let locals = Array.copy locals0 in
+      let stack = ref stack0 in
+      let push iv sym = stack := (iv, sym) :: !stack in
+      let pop () =
+        match !stack with
+        | [] ->
+            bad "function %d (%s): pass-2 underflow at %d" fi f.Program.name pc
+        | e :: rest ->
+            stack := rest;
+            e
+      in
+      let next () = schedule (pc + 1) (locals, !stack) in
+      let claim_of () =
+        match Hashtbl.find_opt claims pc with
+        | Some c -> c
+        | None ->
+            bad "function %d (%s): unchecked instruction without proof at %d"
+              fi f.Program.name pc
+      in
+      let require_sub derived claim what =
+        if not (I.leq derived claim) then
+          bad "function %d (%s): derived %s %s exceeds claim %s at %d" fi
+            f.Program.name what (I.to_string derived) (I.to_string claim) pc
+      in
+      (* On the success path of an array access, a plain-local index is
+         known in bounds — the same narrowing the compiler applied. *)
+      let post_refine sym arr =
+        match sym with
+        | Slocal n ->
+            locals.(n) <-
+              I.meet locals.(n) (I.range 0 (p.arrays.(arr).Program.len - 1))
+        | _ -> ()
+      in
+      let store_local n iv =
+        locals.(n) <- iv;
+        stack := List.map (fun (iv, s) -> (iv, kill_sym n s)) !stack
+      in
+      let binop kind op =
+        let ib, _ = pop () in
+        let ia, _ = pop () in
+        push (I.arith kind op ia ib) Snone
+      in
+      let unop f =
+        let iv, _ = pop () in
+        push (f iv) Snone
+      in
+      let cmp c =
+        let _, sb = pop () in
+        let _, sa = pop () in
+        push I.bool_result (Scmp (c, src_of sa, src_of sb))
+      in
+      let branch target ~jump_truth =
+        let iv, sym = pop () in
+        let can_false = I.contains iv 0 in
+        let can_true = not (I.leq iv (I.const 0)) in
+        let edge tgt truth feasible =
+          if feasible then begin
+            let l2 = Array.copy locals in
+            if refine_sym l2 sym truth then schedule tgt (l2, !stack)
+          end
+        in
+        edge target jump_truth (if jump_truth then can_true else can_false);
+        edge (pc + 1) (not jump_truth)
+          (if jump_truth then can_false else can_true)
+      in
+      match p.code.(pc) with
+      | Opcode.Const n ->
+          push (I.const n) (Sconst n);
+          next ()
+      | Opcode.Load_local n ->
+          push locals.(n) (Slocal n);
+          next ()
+      | Opcode.Store_local n ->
+          let iv, _ = pop () in
+          store_local n iv;
+          next ()
+      | Opcode.Load_global _ ->
+          push I.top Snone;
+          next ()
+      | Opcode.Store_global _ ->
+          ignore (pop ());
+          next ()
+      | Opcode.Aload a ->
+          let _, si = pop () in
+          post_refine si a;
+          push I.top Snone;
+          next ()
+      | Opcode.Astore a ->
+          ignore (pop ());
+          let _, si = pop () in
+          post_refine si a;
+          next ()
+      | Opcode.Aload_u a ->
+          let claim = claim_of () in
+          let iv, si = pop () in
+          require_sub iv claim "index";
+          post_refine si a;
+          push I.top Snone;
+          next ()
+      | Opcode.Astore_u a ->
+          let claim = claim_of () in
+          ignore (pop ());
+          let iv, si = pop () in
+          require_sub iv claim "index";
+          post_refine si a;
+          next ()
+      | Opcode.Div_u ->
+          let claim = claim_of () in
+          let ib, _ = pop () in
+          let ia, _ = pop () in
+          require_sub ib claim "divisor";
+          push (I.arith Ir.Kint Ir.Div ia ib) Snone;
+          next ()
+      | Opcode.Mod_u ->
+          let claim = claim_of () in
+          let ib, _ = pop () in
+          let ia, _ = pop () in
+          require_sub ib claim "divisor";
+          push (I.arith Ir.Kint Ir.Mod ia ib) Snone;
+          next ()
+      | Opcode.Add -> binop Ir.Kint Ir.Add; next ()
+      | Opcode.Sub -> binop Ir.Kint Ir.Sub; next ()
+      | Opcode.Mul -> binop Ir.Kint Ir.Mul; next ()
+      | Opcode.Div -> binop Ir.Kint Ir.Div; next ()
+      | Opcode.Mod -> binop Ir.Kint Ir.Mod; next ()
+      | Opcode.Shl -> binop Ir.Kint Ir.Shl; next ()
+      | Opcode.Shr -> binop Ir.Kint Ir.Shr; next ()
+      | Opcode.Lshr -> binop Ir.Kint Ir.Lshr; next ()
+      | Opcode.Band -> binop Ir.Kint Ir.Band; next ()
+      | Opcode.Bor -> binop Ir.Kint Ir.Bor; next ()
+      | Opcode.Bxor -> binop Ir.Kint Ir.Bxor; next ()
+      | Opcode.Wadd -> binop Ir.Kword Ir.Add; next ()
+      | Opcode.Wsub -> binop Ir.Kword Ir.Sub; next ()
+      | Opcode.Wmul -> binop Ir.Kword Ir.Mul; next ()
+      | Opcode.Wshl -> binop Ir.Kword Ir.Shl; next ()
+      | Opcode.Wshr -> binop Ir.Kword Ir.Shr; next ()
+      | Opcode.Bnot -> unop (I.bnot Ir.Kint); next ()
+      | Opcode.Neg -> unop (I.neg_k Ir.Kint); next ()
+      | Opcode.Wbnot -> unop (I.bnot Ir.Kword); next ()
+      | Opcode.Wneg -> unop (I.neg_k Ir.Kword); next ()
+      | Opcode.Wmask -> unop I.to_word; next ()
+      | Opcode.Lt -> cmp Ir.Lt; next ()
+      | Opcode.Le -> cmp Ir.Le; next ()
+      | Opcode.Gt -> cmp Ir.Gt; next ()
+      | Opcode.Ge -> cmp Ir.Ge; next ()
+      | Opcode.Eq -> cmp Ir.Eq; next ()
+      | Opcode.Ne -> cmp Ir.Ne; next ()
+      | Opcode.Tobool ->
+          (* Truth-preserving: keep the provenance so a later branch can
+             still refine through it. *)
+          let _, s = pop () in
+          push I.bool_result s;
+          next ()
+      | Opcode.Not ->
+          let _, s = pop () in
+          push I.bool_result (Snot s);
+          next ()
+      | Opcode.Jmp t -> schedule t (locals, !stack)
+      | Opcode.Jz t -> branch t ~jump_truth:false
+      | Opcode.Jnz t -> branch t ~jump_truth:true
+      | Opcode.Call target ->
+          for _ = 1 to p.funcs.(target).Program.nargs do
+            ignore (pop ())
+          done;
+          push I.top Snone;
+          next ()
+      | Opcode.Callext target ->
+          for _ = 1 to p.ext_arity.(target) do
+            ignore (pop ())
+          done;
+          push I.top Snone;
+          next ()
+      | Opcode.Ret -> ignore (pop ())
+      | Opcode.Pop ->
+          ignore (pop ());
+          next ()
+      | Opcode.Dup ->
+          let iv, s = pop () in
+          push iv s;
+          push iv s;
+          next ()
+      | Opcode.Halt ->
+          (* Pass 1 rejects any reachable Halt, and this pass explores
+             a subset of pass 1's reachable set. *)
+          ()
+      | instr ->
+          (* Fused superinstructions: modelled conservatively — operand
+             effects from the opcode table, written locals havocked, no
+             refinement. The static tier never fuses (claims would not
+             survive pc remapping), so precision here is irrelevant;
+             soundness against hand-crafted programs is not. *)
+          let pops, pushes = Opcode.effect instr in
+          for _ = 1 to pops do
+            ignore (pop ())
+          done;
+          for _ = 1 to pushes do
+            push I.top Snone
+          done;
+          (match instr with
+          | Opcode.Local_addk (n, _)
+          | Opcode.Move_local (n, _)
+          | Opcode.Store_localk (n, _)
+          | Opcode.Bin_store (_, n)
+          | Opcode.Bink_store (_, _, n)
+          | Opcode.Aload_local_store (_, _, n) ->
+              store_local n I.top
+          | Opcode.Move_local2 (d1, _, d2, _) ->
+              store_local d1 I.top;
+              store_local d2 I.top
+          | _ -> ());
+          (match instr with
+          | Opcode.Jcmp (_, _, t)
+          | Opcode.Jcmpk (_, _, _, t)
+          | Opcode.Jcmpk_local (_, _, _, _, t) ->
+              schedule t (Array.copy locals, !stack);
+              schedule (pc + 1) (locals, !stack)
+          | _ -> next ())
+    done
+  in
+  if Array.length p.proofs = 0 && not (Array.exists is_unchecked p.code) then
+    Ok ()
+  else
+    try
+      setup ();
+      (* Every unchecked instruction must carry a claim, even if this
+         pass never reaches it: unreachable unchecked code is dead
+         weight the compiler has no business emitting. *)
+      Array.iteri
+        (fun pc op ->
+          if is_unchecked op && not (Hashtbl.mem claims pc) then
+            bad "unchecked instruction without proof at %d" pc)
+        p.code;
+      Array.iteri check_func p.funcs;
+      Ok ()
+    with Bad msg -> Error msg
 
 let verify (p : Program.t) : (unit, string) result =
   let ncode = Array.length p.code in
@@ -129,7 +533,8 @@ let verify (p : Program.t) : (unit, string) result =
           if a < 0 || a >= Array.length p.cells then
             bad "function %d (%s): global address %d out of range" fi
               f.Program.name a
-      | Opcode.Aload a | Opcode.Astore a | Opcode.Aload_k (a, _) ->
+      | Opcode.Aload a | Opcode.Astore a | Opcode.Aload_u a
+      | Opcode.Astore_u a | Opcode.Aload_k (a, _) ->
           (* The constant index of [Aload_k] is deliberately not
              checked against the array length: the unfused form would
              fault at run time, and the fused form must preserve that
@@ -172,9 +577,13 @@ let verify (p : Program.t) : (unit, string) result =
           schedule (pc + 1) h')
     done
   in
-  try
-    check_tables ();
-    Array.iteri check_func p.funcs;
-    Ok ()
-  with Bad msg -> Error msg
+  match
+    try
+      check_tables ();
+      Array.iteri check_func p.funcs;
+      Ok ()
+    with Bad msg -> Error msg
+  with
+  | Error _ as e -> e
+  | Ok () -> check_elisions p
 

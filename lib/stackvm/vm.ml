@@ -139,6 +139,21 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
           | Opcode.Store_global a -> Array.unsafe_set cells a (pop ())
           | Opcode.Aload arr -> aload arr
           | Opcode.Astore arr -> astore arr
+          (* Unchecked accesses: the verifier proved the index in
+             bounds (and the array writable) before execution began, so
+             these really do skip the tests — a wrong proof admitted
+             here would corrupt the host, which is why [Verify] derives
+             its own intervals instead of trusting the manifest. *)
+          | Opcode.Aload_u arr ->
+              let d = p.Program.arrays.(arr) in
+              push (Array.unsafe_get cells (d.Program.base + pop ()))
+          | Opcode.Astore_u arr ->
+              let d = p.Program.arrays.(arr) in
+              let v = pop () in
+              let i = pop () in
+              Array.unsafe_set cells (d.Program.base + i) v
+          | Opcode.Div_u -> binop ( / )
+          | Opcode.Mod_u -> binop (fun a b -> a mod b)
           | Opcode.Add -> binop ( + )
           | Opcode.Sub -> binop ( - )
           | Opcode.Mul -> binop ( * )
@@ -453,6 +468,19 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
           | Opcode.Store_global a -> Array.unsafe_set cells a (pop ())
           | Opcode.Aload arr -> aload arr
           | Opcode.Astore arr -> astore arr
+          | Opcode.Aload_u arr ->
+              let d = p.Program.arrays.(arr) in
+              if !h < 1 then underflow ();
+              tos := Array.unsafe_get cells (d.Program.base + !tos)
+          | Opcode.Astore_u arr ->
+              let d = p.Program.arrays.(arr) in
+              if !h < 2 then underflow ();
+              let v = !tos in
+              let i = under () in
+              shrink2 ();
+              Array.unsafe_set cells (d.Program.base + i) v
+          | Opcode.Div_u -> binop ( / )
+          | Opcode.Mod_u -> binop (fun a b -> a mod b)
           (* The arithmetic core is written out rather than routed
              through [binop f]: one closure call per executed
              instruction is real money in a dispatch loop. *)

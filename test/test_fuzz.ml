@@ -232,13 +232,29 @@ let stackvm_opt_engine ?(optimize = false) name =
         | Error (`Bad_entry m) -> Error m);
   }
 
-let regvm_engine ~protection name =
+(* The statically checked tier: abstract-interpretation facts elide
+   bounds and divisor checks, and the load-time verifier re-derives
+   every elision. Must be observably identical to the checked tier. *)
+let stackvm_static_engine name =
   {
     ename = name;
     run =
       (fun src ~args ->
         let image = build_image src in
-        let prog = Graft_regvm.Regvm.load_exn ~protection image in
+        let prog = Graft_stackvm.Stackvm.load_static_exn image in
+        match Graft_stackvm.Vm.run prog ~entry:"main" ~args ~fuel with
+        | Ok v -> Ok (v, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
+let regvm_engine ?elide ~protection name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image src in
+        let prog = Graft_regvm.Regvm.load_exn ~protection ?elide image in
         match Graft_regvm.Machine.run prog ~entry:"main" ~args ~fuel with
         | Ok o -> Ok (o.Graft_regvm.Machine.value, final_state image)
         | Error (`Fault f) -> Error (Fault.to_string f)
@@ -253,8 +269,13 @@ let engines =
     stackvm_engine ~optimize:true "bytecode-vm+opt";
     stackvm_opt_engine "bytecode-peep";
     stackvm_opt_engine ~optimize:true "bytecode-peep+opt";
+    stackvm_static_engine "bytecode-static";
     regvm_engine ~protection:Graft_regvm.Program.Write_jump "regvm-wj";
     regvm_engine ~protection:Graft_regvm.Program.Full "regvm-full";
+    regvm_engine ~elide:true ~protection:Graft_regvm.Program.Write_jump
+      "regvm-wj-elided";
+    regvm_engine ~elide:true ~protection:Graft_regvm.Program.Full
+      "regvm-full-elided";
   ]
 
 (* ------------------------------------------------------------------ *)

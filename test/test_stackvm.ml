@@ -200,7 +200,7 @@ let test_readonly_store_faults () =
 let trivial_arrays = [||]
 
 let mkprog ?(funcs = [||]) ?(arrays = trivial_arrays) ?(ext_arity = [||])
-    ?(ncells = 16) code =
+    ?(ncells = 16) ?(proofs = [||]) code =
   {
     Program.code;
     funcs;
@@ -208,6 +208,7 @@ let mkprog ?(funcs = [||]) ?(arrays = trivial_arrays) ?(ext_arity = [||])
     host = Array.map (fun _ -> fun _ -> 0) ext_arity;
     ext_arity;
     cells = Array.make ncells 0;
+    proofs;
   }
 
 let fdesc ?(nargs = 0) ?(nlocals = 1) ~entry ~code_end name =
@@ -538,6 +539,7 @@ let prop_verifier_total_and_safe =
           host = [||];
           ext_arity = [||];
           cells = Array.make 16 0;
+          proofs = [||];
         }
       in
       match Verify.verify p with
