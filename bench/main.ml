@@ -228,8 +228,15 @@ let stackvm_json ?(path = "BENCH_stackvm.json") () =
           name interp opt (interp /. opt))
       grafts
   in
+  let host = try Unix.gethostname () with _ -> "unknown" in
   let oc = open_out path in
-  output_string oc ("[\n" ^ String.concat ",\n" rows ^ "\n]\n");
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"schema_version\": 2,\n  \"host\": %S,\n  \"ocaml\": %S,\n  \
+        \"results\": [\n"
+       host Sys.ocaml_version);
+  output_string oc (String.concat ",\n" (List.map (fun r -> "  " ^ r) rows));
+  output_string oc "\n  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
 
@@ -254,6 +261,7 @@ let known_tables scale =
     ("a5", fun () -> ablation_upcall ());
     ("a6", fun () -> ablation_pfvm scale);
     ("a7", fun () -> ablation_hipec scale);
+    ("a8", fun () -> ablation_trace scale);
   ]
 
 let () =

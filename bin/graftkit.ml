@@ -6,6 +6,8 @@
      script    run a Tcl-like graft script from a file
      tech      list extension technologies and trust models
      measure   run the host measurements (signal / disk / fault)
+     trace     run a canned kernel scenario under the Graftscope tracer
+     profile   per-opcode profile of a GEL graft across the VM tiers
 *)
 
 open Cmdliner
@@ -44,6 +46,7 @@ let known_tables scale =
     ("a5", fun () -> ablation_upcall ());
     ("a6", fun () -> ablation_pfvm scale);
     ("a7", fun () -> ablation_hipec scale);
+    ("a8", fun () -> ablation_trace scale);
   ]
 
 let tables_cmd =
@@ -329,7 +332,35 @@ let measure_cmd =
   let what =
     Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc:"signal | disk | fault | all")
   in
-  let run what =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+  in
+  let run what json =
+    let signal_json () =
+      let r = Graft_measure.Signalbench.measure () in
+      Printf.sprintf
+        "\"signal\":{\"per_signal_s\":%.3e,\"median_s\":%.3e,\"post_only_s\":%.3e,\"upcall_estimate_s\":%.3e,\"rounds\":%d,\"group_size\":%d}"
+        r.Graft_measure.Signalbench.per_signal_s.Graft_util.Stats.mean
+        r.Graft_measure.Signalbench.per_signal_s.Graft_util.Stats.median
+        r.Graft_measure.Signalbench.post_only_s
+        (Graft_measure.Signalbench.upcall_estimate_s r)
+        r.Graft_measure.Signalbench.rounds
+        r.Graft_measure.Signalbench.group_size
+    in
+    let disk_json () =
+      let r = Graft_measure.Diskbench.measure () in
+      Printf.sprintf
+        "\"disk\":{\"bandwidth_bytes_per_s\":%.4e,\"mb_access_s\":%.3e}"
+        r.Graft_measure.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean
+        (Graft_measure.Diskbench.access_time_s r (1024 * 1024))
+    in
+    let fault_json () =
+      let r = Graft_measure.Faultbench.measure () in
+      Printf.sprintf "\"fault\":{\"per_fault_s\":%.3e,\"pages\":%d}"
+        r.Graft_measure.Faultbench.per_fault_s.Graft_util.Stats.mean
+        r.Graft_measure.Faultbench.pages
+    in
     let signal () =
       let r = Graft_measure.Signalbench.measure () in
       Printf.printf "signal handling: %s (post-only baseline %s, %d rounds of %d signals)\n"
@@ -352,19 +383,207 @@ let measure_cmd =
         (Graft_util.Timer.pp_percall r.Graft_measure.Faultbench.per_fault_s)
         r.Graft_measure.Faultbench.pages
     in
-    match what with
-    | "signal" -> signal ()
-    | "disk" -> disk ()
-    | "fault" -> fault ()
-    | "all" ->
-        signal ();
-        disk ();
-        fault ()
-    | s ->
-        prerr_endline ("unknown measurement " ^ s);
-        exit 2
+    let sections =
+      match what with
+      | "signal" -> [ (signal, signal_json) ]
+      | "disk" -> [ (disk, disk_json) ]
+      | "fault" -> [ (fault, fault_json) ]
+      | "all" -> [ (signal, signal_json); (disk, disk_json); (fault, fault_json) ]
+      | s ->
+          prerr_endline ("unknown measurement " ^ s);
+          exit 2
+    in
+    if json then
+      Printf.printf "{%s}\n"
+        (String.concat "," (List.map (fun (_, j) -> j ()) sections))
+    else List.iter (fun (p, _) -> p ()) sections
   in
-  Cmd.v (Cmd.info "measure" ~doc:"Host measurements") Term.(const run $ what)
+  Cmd.v (Cmd.info "measure" ~doc:"Host measurements") Term.(const run $ what $ json)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let graft =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"GRAFT" ~doc:"Scenario to trace: md5 | evict | logdisk | all.")
+  in
+  let format =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("chrome", `Chrome); ("folded", `Folded);
+                  ("summary", `Summary); ("summary-json", `Summary_json);
+                ])
+             `Chrome
+         & info [ "f"; "format" ]
+             ~doc:"Output format: chrome (trace-event JSON for Perfetto), \
+                   folded (flamegraph stacks), summary, or summary-json.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write output to $(docv) instead of stdout.")
+  in
+  let capacity =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~doc:"Ring-buffer capacity (events).")
+  in
+  let run graft format out capacity =
+    let scenario =
+      match List.assoc_opt graft Graft_report.Scenarios.by_name with
+      | Some f -> f
+      | None ->
+          prerr_endline
+            ("unknown trace scenario: " ^ graft ^ " (md5|evict|logdisk|all)");
+          exit 2
+    in
+    (* sample=1: a one-shot scenario wants every span, not the
+       steady-state sampling the overhead bench uses. *)
+    Graft_trace.Trace.enable ~capacity ~sample:1 ();
+    scenario ();
+    let body =
+      match format with
+      | `Chrome -> Graft_trace.Export.chrome_json ()
+      | `Folded -> Graft_trace.Export.folded ()
+      | `Summary -> Graft_trace.Export.summary ()
+      | `Summary_json -> Graft_trace.Export.summary_json ()
+    in
+    Graft_trace.Trace.disable ();
+    match out with
+    | None -> print_string body
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc body)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a canned kernel scenario under the Graftscope tracer and \
+             export the trace")
+    Term.(const run $ graft $ format $ out $ capacity)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.gel")
+  in
+  let entry =
+    Arg.(value & opt string "main" & info [ "e"; "entry" ] ~doc:"Entry function.")
+  in
+  let args =
+    Arg.(value & opt_all int []
+         & info [ "a"; "arg" ] ~doc:"Integer argument (repeatable).")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000
+         & info [ "fuel" ] ~doc:"CPU quantum per entry (abstract units).")
+  in
+  let top =
+    Arg.(value & opt int 12 & info [ "top" ] ~doc:"Rows in the hot-spot table.")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "r"; "repeat" ]
+             ~doc:"Run the entry this many times per tier.")
+  in
+  let run file entry args fuel top repeat =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Graft_gel.Gel.compile ~optimize:false src with
+    | Error e ->
+        prerr_endline ("compile error: " ^ Graft_gel.Srcloc.to_string e);
+        exit 1
+    | Ok prog ->
+        let argv = Array.of_list args in
+        (* Fresh image per tier: the program mutates its own memory. *)
+        let fresh_image () =
+          let mem =
+            Graft_mem.Memory.create
+              (max 1024
+                 (Graft_core.Runners.next_pow2 (Graft_gel.Link.footprint prog + 64)))
+          in
+          match Graft_gel.Link.link prog ~mem ~shared:[] ~hosts:[] with
+          | Error msg ->
+              prerr_endline ("link error: " ^ msg);
+              exit 1
+          | Ok image -> image
+        in
+        let report label prof result =
+          let total_fuel = Graft_trace.Opprof.total_fuel prof in
+          Printf.printf "== %s: %d ops, %d fuel ==\n" label
+            (Graft_trace.Opprof.total_count prof)
+            total_fuel;
+          (match result with
+          | Ok v -> Printf.printf "result: %d\n" v
+          | Error (`Fault f) ->
+              Printf.printf "fault: %s\n" (Graft_mem.Fault.to_string f)
+          | Error (`Bad_entry m) ->
+              prerr_endline m;
+              exit 2);
+          let t =
+            Graft_util.Tablefmt.create [| "opcode"; "count"; "fuel"; "fuel%" |]
+          in
+          List.iter
+            (fun (name, count, fl) ->
+              Graft_util.Tablefmt.add_row t
+                [|
+                  name;
+                  string_of_int count;
+                  string_of_int fl;
+                  Printf.sprintf "%.1f"
+                    (100.0 *. float_of_int fl /. float_of_int (max 1 total_fuel));
+                |])
+            (Graft_trace.Opprof.top prof ~n:top);
+          Graft_util.Tablefmt.print t;
+          List.iter
+            (fun (range, c) -> Printf.printf "fuel/entry %-14s %d\n" range c)
+            (Graft_trace.Histo.rows (Graft_trace.Opprof.runs prof));
+          print_newline ()
+        in
+        let repeated f =
+          let last = ref (f ()) in
+          for _ = 2 to repeat do
+            last := f ()
+          done;
+          !last
+        in
+        (let prof =
+           Graft_trace.Opprof.create ~names:Graft_stackvm.Opcode.class_names
+         in
+         let s =
+           Graft_stackvm.Vm.create_session ~profile:prof
+             (Graft_stackvm.Stackvm.load_exn (fresh_image ()))
+         in
+         report "bytecode-vm" prof
+           (repeated (fun () ->
+                Graft_stackvm.Vm.run_session s ~entry ~args:argv ~fuel)));
+        (let prof =
+           Graft_trace.Opprof.create ~names:Graft_stackvm.Opcode.class_names
+         in
+         let s =
+           Graft_stackvm.Vm.create_session ~profile:prof
+             (Graft_stackvm.Stackvm.load_opt_exn (fresh_image ()))
+         in
+         report "bytecode-opt" prof
+           (repeated (fun () ->
+                Graft_stackvm.Vm.run_session_opt s ~entry ~args:argv ~fuel)));
+        let prof =
+          Graft_trace.Opprof.create ~names:Graft_regvm.Isa.class_names
+        in
+        let s =
+          Graft_regvm.Machine.create_session ~profile:prof
+            (Graft_regvm.Regvm.load_exn (fresh_image ()))
+        in
+        report "regvm (sfi-wj)" prof
+          (Result.map
+             (fun o -> o.Graft_regvm.Machine.value)
+             (repeated (fun () ->
+                  Graft_regvm.Machine.run_session s ~entry ~args:argv ~fuel)))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-opcode execution profile of a GEL graft across the VM tiers")
+    Term.(const run $ file $ entry $ args $ fuel $ top $ repeat)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -375,4 +594,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd ]))
+          [
+            tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd;
+            trace_cmd; profile_cmd;
+          ]))

@@ -46,6 +46,7 @@ let register t ~name ~tech ~structure ~motivation ?(max_faults = 3) () =
     }
   in
   Hashtbl.replace t.grafts name g;
+  Graft_trace.Trace.instant Graft_trace.Trace.Manager ("register:" ^ name);
   g
 
 let find t name = Hashtbl.find_opt t.grafts name
@@ -60,13 +61,20 @@ let state_name = function
    the technology offers no protection. *)
 let record_fault g fault =
   g.faults <- g.faults + 1;
-  if Technology.can_crash_kernel g.tech then
+  Graft_trace.Trace.instant ~arg:g.faults Graft_trace.Trace.Manager
+    ("fault:" ^ g.g_name);
+  if Technology.can_crash_kernel g.tech then begin
+    Graft_trace.Trace.instant Graft_trace.Trace.Manager ("panic:" ^ g.g_name);
     raise
       (Kernel_panic
          (Printf.sprintf
             "unprotected graft %s corrupted the kernel: %s" g.g_name
-            (Fault.to_string fault)));
-  if g.faults >= g.max_faults then g.state <- Disabled fault
+            (Fault.to_string fault)))
+  end;
+  if g.faults >= g.max_faults then begin
+    g.state <- Disabled fault;
+    Graft_trace.Trace.instant Graft_trace.Trace.Manager ("disable:" ^ g.g_name)
+  end
 
 (* Run one graft invocation, catching faults per the graft's trust
    model. Returns [None] when the graft is not in a runnable state or
@@ -76,8 +84,15 @@ let invoke g f =
   | Loaded | Disabled _ -> None
   | Attached -> (
       g.invocations <- g.invocations + 1;
+      (* Sampled span: invoke sits on hot paths (one call per eviction
+         or filter flush); [g_name] is preallocated so the recording
+         path stays allocation-free. Faulting invocations lose their
+         span — the fault instant marks them instead. *)
+      let tok = Graft_trace.Trace.hot_begin () in
       match f () with
-      | v -> Some v
+      | v ->
+          Graft_trace.Trace.span_end Graft_trace.Trace.Manager g.g_name tok;
+          Some v
       | exception Fault.Fault fault ->
           record_fault g fault;
           None
@@ -99,6 +114,7 @@ let attach_evict t ~graft_name vm (runner : Runners.evict)
     | None -> invalid_arg "Manager.attach_evict: unknown graft"
   in
   g.state <- Attached;
+  Graft_trace.Trace.instant Graft_trace.Trace.Manager ("attach:" ^ graft_name);
   Graft_kernel.Vmsys.set_hook vm
     (Some
        (fun ~candidate ~lru_pages ->
@@ -119,6 +135,7 @@ let attach_md5_filter t ~graft_name (runner : Runners.md5) ~capacity =
     | None -> invalid_arg "Manager.attach_md5_filter: unknown graft"
   in
   g.state <- Attached;
+  Graft_trace.Trace.instant Graft_trace.Trace.Manager ("attach:" ^ graft_name);
   let staged = Buffer.create capacity in
   let digest = ref None in
   let filter =
@@ -155,6 +172,7 @@ let attach_logdisk t ~graft_name (policy : Graft_kernel.Logdisk.policy) =
     | None -> invalid_arg "Manager.attach_logdisk: unknown graft"
   in
   g.state <- Attached;
+  Graft_trace.Trace.instant Graft_trace.Trace.Manager ("attach:" ^ graft_name);
   {
     Graft_kernel.Logdisk.pname = policy.Graft_kernel.Logdisk.pname;
     map_write =

@@ -51,10 +51,13 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
         !lsd_time
         +. Diskmodel.write lsd_disk ~block:!seg_start_phys ~count:!seg_fill;
       incr segments;
+      Graft_trace.Trace.instant ~arg:!seg_fill Graft_trace.Trace.Logdisk
+        "segment-flush";
       seg_fill := 0;
       seg_start_phys := -1
     end
   in
+  let run_tok = Graft_trace.Trace.span_begin () in
   Array.iter
     (fun logical ->
       if logical < 0 || logical >= config.nblocks then
@@ -75,6 +78,10 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
         !inplace_time +. Diskmodel.write inplace_disk ~block:logical ~count:1)
     workload;
   flush_segment ();
+  Graft_trace.Trace.span_end ~arg:(Array.length workload)
+    Graft_trace.Trace.Logdisk
+    ("run:" ^ policy.pname)
+    run_tok;
   (* Shadow-check the policy's final mapping on every block written. *)
   Array.iteri
     (fun logical expect ->

@@ -17,7 +17,11 @@ let now t = t.now_s
 let charge t label dt =
   if dt < 0.0 then invalid_arg "Simclock.charge: negative time";
   t.now_s <- t.now_s +. dt;
-  t.charges <- (label, dt) :: t.charges
+  t.charges <- (label, dt) :: t.charges;
+  (* Counter (not instant) so the trace summary can sum charge totals
+     per label; the value is the charge in simulated nanoseconds. *)
+  Graft_trace.Trace.counter Graft_trace.Trace.Clock label
+    (int_of_float (dt *. 1e9))
 
 (** Total time charged under [label]. *)
 let charged t label =

@@ -21,10 +21,20 @@ let build filters ~sink = { filters; sink }
 
 let empty = Bytes.create 0
 
+(* Each filter's push/flush runs under a span on the Streams track
+   named after the filter, with the chunk length as the argument. A
+   filter that faults loses its span — the chain is unwinding anyway. *)
+let traced_push f data =
+  let tok = Graft_trace.Trace.span_begin () in
+  let out = f.push data in
+  Graft_trace.Trace.span_end ~arg:(Bytes.length data) Graft_trace.Trace.Streams
+    f.name tok;
+  out
+
 let push chain chunk =
   let out =
     List.fold_left
-      (fun data f -> if Bytes.length data = 0 then data else f.push data)
+      (fun data f -> if Bytes.length data = 0 then data else traced_push f data)
       chunk chain.filters
   in
   if Bytes.length out > 0 then chain.sink out
@@ -35,11 +45,17 @@ let finish chain =
   let rec flush_from = function
     | [] -> ()
     | f :: rest ->
+        let tok = Graft_trace.Trace.span_begin () in
         let residue = f.flush () in
+        Graft_trace.Trace.span_end ~arg:(Bytes.length residue)
+          Graft_trace.Trace.Streams
+          (f.name ^ ".flush")
+          tok;
         if Bytes.length residue > 0 then begin
           let out =
             List.fold_left
-              (fun data g -> if Bytes.length data = 0 then data else g.push data)
+              (fun data g ->
+                if Bytes.length data = 0 then data else traced_push g data)
               residue rest
           in
           if Bytes.length out > 0 then chain.sink out

@@ -36,7 +36,11 @@ let upcall domain ?(extra_words = 0) (handler : int array -> int)
   Simclock.charge domain.clock
     (Printf.sprintf "upcall:%s" domain.name)
     (cost domain ~words);
-  handler args
+  let tok = Graft_trace.Trace.span_begin () in
+  let result = handler args in
+  Graft_trace.Trace.span_end ~arg:words Graft_trace.Trace.Upcall domain.name
+    tok;
+  result
 
 (** Run the handler under a wall-clock budget; if it exceeds the
     budget the kernel "kills the server" and carries on — hardware

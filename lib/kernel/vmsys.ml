@@ -88,7 +88,10 @@ let choose_victim t =
   | None -> candidate
   | Some hook ->
       t.stats.hook_calls <- t.stats.hook_calls + 1;
+      let tok = Graft_trace.Trace.span_begin () in
       let proposal = hook ~candidate ~lru_pages:(lru_pages t) in
+      Graft_trace.Trace.span_end ~arg:proposal Graft_trace.Trace.Vmsys
+        "evict-hook" tok;
       if proposal = candidate then candidate
       else if proposal >= 0 && proposal < t.config.npages && resident t proposal
       then begin
@@ -98,6 +101,8 @@ let choose_victim t =
       else begin
         (* Reject: not one of the application's resident pages. *)
         t.stats.hook_invalid <- t.stats.hook_invalid + 1;
+        Graft_trace.Trace.instant ~arg:proposal Graft_trace.Trace.Vmsys
+          "hook-invalid";
         candidate
       end
 
@@ -140,10 +145,12 @@ let access t page =
   end
   else begin
     t.stats.faults <- t.stats.faults + 1;
+    Graft_trace.Trace.instant ~arg:page Graft_trace.Trace.Vmsys "page-fault";
     let evicted =
       if t.free_frames = [] then begin
         let victim = choose_victim t in
         evict t victim;
+        Graft_trace.Trace.instant ~arg:victim Graft_trace.Trace.Vmsys "evict";
         Some victim
       end
       else None

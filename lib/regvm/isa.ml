@@ -93,6 +93,34 @@ let to_string = function
   | Ret r -> Printf.sprintf "ret r%d" r
   | Halt -> "halt"
 
+(** Dense opcode-class index (operands ignored), for profiler counter
+    arrays; indexes {!class_names}. *)
+let index = function
+  | Movi _ -> 0
+  | Mov _ -> 1
+  | Bin _ -> 2
+  | Addi _ -> 3
+  | Andi _ -> 4
+  | Ori _ -> 5
+  | Cmp _ -> 6
+  | Un _ -> 7
+  | Ld _ -> 8
+  | St _ -> 9
+  | Br _ -> 10
+  | Brz _ -> 11
+  | Brnz _ -> 12
+  | Call _ -> 13
+  | Callext _ -> 14
+  | Ret _ -> 15
+  | Halt -> 16
+
+(** One display name per {!index} slot. *)
+let class_names =
+  [|
+    "movi"; "mov"; "bin"; "addi"; "andi"; "ori"; "cmp"; "un"; "ld"; "st";
+    "br"; "brz"; "brnz"; "call"; "callext"; "ret"; "halt";
+  |]
+
 (** Registers written by an instruction (for the verifier's dedicated-
     register discipline). *)
 let writes = function

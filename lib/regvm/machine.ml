@@ -18,14 +18,20 @@ type frame = { regs : int array; mutable ret_pc : int; mutable dst : int }
     entries like a resident VM's. Safe because generated code writes
     every register before reading it (locals are initialized at
     declaration; r0 is never written and stays zero). *)
-type session = { p : Program.t; frames : frame array }
+type session = {
+  p : Program.t;
+  frames : frame array;
+  mutable prof : Graft_trace.Opprof.t option;
+      (** when set, the dispatch loop counts every executed opcode *)
+}
 
-let create_session p =
+let create_session ?profile p =
   {
     p;
     frames =
       Array.init max_frames (fun _ ->
           { regs = Array.make Isa.nregs 0; ret_pc = -1; dst = 0 });
+    prof = profile;
   }
 
 let run_session (s : session) ~entry ~(args : int array) ~fuel :
@@ -45,7 +51,9 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
       let ncells = Array.length cells in
       let frames = s.frames in
       let depth = ref 0 in
+      let fuel0 = fuel in
       let fuel = ref fuel in
+      let prof = s.prof in
       let icount = ref 0 in
       let new_frame ret_pc dst =
         if !depth >= max_frames then Fault.raise_fault Fault.Stack_overflow;
@@ -59,8 +67,10 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
         if a < 0 || a >= ncells then
           Fault.raise_fault (Fault.Out_of_bounds { access; addr = a })
       in
-      try
-        let regs = ref (new_frame (-1) 0) in
+      let tok = Graft_trace.Trace.hot_begin () in
+      let outcome =
+        try
+          let regs = ref (new_frame (-1) 0) in
         Array.iteri (fun i v -> !regs.(Isa.reg_base + i) <- v) args;
         let pc = ref p.Program.funcs.(fidx).Program.entry in
         let result = ref 0 in
@@ -72,6 +82,11 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
           let r = !regs in
           let instr = Array.unsafe_get code !pc in
           incr pc;
+          (* Every register instruction charges one fuel, so width is
+             always 1 here. *)
+          (match prof with
+          | None -> ()
+          | Some pr -> Graft_trace.Opprof.hit pr (Isa.index instr) 1);
           match instr with
           | Isa.Movi (rd, imm) -> r.(rd) <- imm
           | Isa.Mov (rd, rs) -> r.(rd) <- r.(rs)
@@ -129,8 +144,14 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
           | Isa.Halt ->
               Fault.raise_fault (Fault.Illegal_instruction "halt")
         done;
-        Ok { value = !result; instructions = !icount }
-      with Fault.Fault f -> Error (`Fault f))
+          Ok { value = !result; instructions = !icount }
+        with Fault.Fault f -> Error (`Fault f)
+      in
+      (match prof with
+      | None -> ()
+      | Some pr -> Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
+      Graft_trace.Trace.span_end Graft_trace.Trace.Vm_reg "regvm.run" tok;
+      outcome)
 
 (** One-shot convenience; resident grafts should keep a session. *)
 let run p ~entry ~args ~fuel = run_session (create_session p) ~entry ~args ~fuel

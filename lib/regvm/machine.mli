@@ -15,7 +15,10 @@ type outcome = { value : int; instructions : int }
     entries like a resident VM's. Single-threaded, not reentrant. *)
 type session
 
-val create_session : Program.t -> session
+(** [create_session ?profile p] — when [profile] is given, the
+    dispatch loop counts every executed opcode and each entry's fuel
+    into it (see {!Graft_trace.Opprof}). *)
+val create_session : ?profile:Graft_trace.Opprof.t -> Program.t -> session
 
 val run_session :
   session ->

@@ -1,0 +1,24 @@
+(** Canned kernel scenarios for [graftkit trace]: each drives one of
+    the paper's representative grafts through the real kernel
+    substrate so a single run populates every relevant Graftscope
+    track. The caller enables the tracer; these only generate events. *)
+
+(** MD5 + XOR filter chain over a 64KB image, under unsafe C and the
+    bytecode VM (streams, manager, simclock, stackvm tracks). *)
+val md5_stream : unit -> unit
+
+(** Hot-list eviction under memory pressure, under safe-language,
+    bytecode-VM, and upcall-server grafts (vmsys, manager, simclock,
+    stackvm, upcall tracks). *)
+val evict_db : unit -> unit
+
+(** Logical-disk block mapping over 2000 random writes (logdisk and
+    manager tracks). *)
+val logdisk_run : unit -> unit
+
+(** All three scenarios in sequence. *)
+val all : unit -> unit
+
+(** Scenario registry for the CLI: name -> generator
+    (md5 | evict | logdisk | all). *)
+val by_name : (string * (unit -> unit)) list

@@ -204,6 +204,75 @@ let effect = function
   | Bink_local _ -> (0, 1)
   | Bin_aload_local _ -> (1, 1)
 
+(* ------------------------------------------------------------------ *)
+(* Opcode classes for the profiler.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Dense opcode-class index (operands ignored), for profiler counter
+    arrays; indexes {!class_names}. *)
+let index = function
+  | Const _ -> 0
+  | Load_local _ -> 1
+  | Store_local _ -> 2
+  | Load_global _ -> 3
+  | Store_global _ -> 4
+  | Aload _ -> 5
+  | Astore _ -> 6
+  | Aload_u _ -> 7
+  | Astore_u _ -> 8
+  | Add -> 9 | Sub -> 10 | Mul -> 11 | Div -> 12 | Mod -> 13
+  | Div_u -> 14 | Mod_u -> 15
+  | Shl -> 16 | Shr -> 17 | Lshr -> 18
+  | Band -> 19 | Bor -> 20 | Bxor -> 21 | Bnot -> 22 | Neg -> 23
+  | Wadd -> 24 | Wsub -> 25 | Wmul -> 26
+  | Wshl -> 27 | Wshr -> 28
+  | Wbnot -> 29 | Wneg -> 30 | Wmask -> 31
+  | Lt -> 32 | Le -> 33 | Gt -> 34 | Ge -> 35 | Eq -> 36 | Ne -> 37
+  | Tobool -> 38 | Not -> 39
+  | Jmp _ -> 40
+  | Jz _ -> 41
+  | Jnz _ -> 42
+  | Call _ -> 43
+  | Callext _ -> 44
+  | Ret -> 45
+  | Pop -> 46
+  | Dup -> 47
+  | Halt -> 48
+  | Bink _ -> 49
+  | Cmpk _ -> 50
+  | Jcmp _ -> 51
+  | Jcmpk _ -> 52
+  | Aload_k _ -> 53
+  | Local_addk _ -> 54
+  | Load_local2 _ -> 55
+  | Bin_local _ -> 56
+  | Bin_local2 _ -> 57
+  | Aload_local _ -> 58
+  | Move_local _ -> 59
+  | Jcmpk_local _ -> 60
+  | Store_localk _ -> 61
+  | Bin_store _ -> 62
+  | Bink_store _ -> 63
+  | Bink_local _ -> 64
+  | Bin_aload_local _ -> 65
+  | Aload_local_store _ -> 66
+  | Move_local2 _ -> 67
+
+(** One display name per {!index} slot. *)
+let class_names =
+  [|
+    "const"; "lload"; "lstore"; "gload"; "gstore";
+    "aload"; "astore"; "aload.u"; "astore.u";
+    "add"; "sub"; "mul"; "div"; "mod"; "div.u"; "mod.u";
+    "shl"; "shr"; "lshr"; "band"; "bor"; "bxor"; "bnot"; "neg";
+    "wadd"; "wsub"; "wmul"; "wshl"; "wshr"; "wbnot"; "wneg"; "wmask";
+    "lt"; "le"; "gt"; "ge"; "eq"; "ne"; "tobool"; "not";
+    "jmp"; "jz"; "jnz"; "call"; "callext"; "ret"; "pop"; "dup"; "halt";
+    "bin.k"; "cmp.k"; "jcmp"; "jcmp.k"; "aload.k"; "laddk"; "lload2";
+    "bin.l"; "bin.ll"; "aload.l"; "lmove"; "jcmp.lk"; "lstore.k";
+    "bin.st"; "bin.kst"; "bin.lk"; "bin.al"; "aload.lst"; "lmove2";
+  |]
+
 let bink_name = function
   | KAdd -> "add" | KSub -> "sub" | KMul -> "mul"
   | KDiv -> "div" | KMod -> "mod"

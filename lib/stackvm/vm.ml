@@ -20,13 +20,16 @@ type session = {
   p : Program.t;
   stack : int array;
   frames : frame array;
+  mutable prof : Graft_trace.Opprof.t option;
+      (** when set, the dispatch loops count every executed opcode *)
 }
 
-let create_session p =
+let create_session ?profile p =
   {
     p;
     stack = Array.make stack_size 0;
     frames = Array.init max_frames (fun _ -> { ret_pc = -1; locals = [||] });
+    prof = profile;
   }
 
 let run_session (s : session) ~entry ~(args : int array) ~fuel :
@@ -47,7 +50,9 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
       let frames = s.frames in
       let sp = ref 0 in
       let depth = ref 0 in
+      let fuel0 = fuel in
       let fuel = ref fuel in
+      let prof = s.prof in
       let push v =
         if !sp >= stack_size then Fault.raise_fault Fault.Stack_overflow;
         Array.unsafe_set stack !sp v;
@@ -123,14 +128,24 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
       let result = ref 0 in
       let running = ref true in
       let pc = ref 0 in
-      try
-        Array.iter push args;
+      (* Sampled entry span (see [Trace.hot_begin]): a resident graft is
+         entered once per kernel event, far too often to time every
+         run. *)
+      let tok = Graft_trace.Trace.hot_begin () in
+      let outcome =
+        try
+          Array.iter push args;
         pc := enter_func fidx (-1);
         while !running do
           decr fuel;
           if !fuel < 0 then Fault.raise_fault Fault.Fuel_exhausted;
           let instr = Array.unsafe_get code !pc in
           incr pc;
+          (match prof with
+          | None -> ()
+          | Some pr ->
+              Graft_trace.Opprof.hit pr (Opcode.index instr)
+                (Opcode.width instr));
           match instr with
           | Opcode.Const n -> push n
           | Opcode.Load_local n -> push frames.(!depth - 1).locals.(n)
@@ -309,8 +324,17 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
               locals.(d1) <- locals.(s1);
               locals.(d2) <- locals.(s2)
         done;
-        Ok !result
-      with Fault.Fault f -> Error (`Fault f))
+          Ok !result
+        with Fault.Fault f -> Error (`Fault f)
+      in
+      (match prof with
+      | None -> ()
+      | Some pr ->
+          (* Fuel consumed = fuel charged: on exhaustion [!fuel] is
+             negative and the whole budget was burned. *)
+          Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
+      Graft_trace.Trace.span_end Graft_trace.Trace.Vm_stack "stackvm.run" tok;
+      outcome)
 
 (** One-shot convenience; resident grafts should keep a session. *)
 let run p ~entry ~args ~fuel = run_session (create_session p) ~entry ~args ~fuel
@@ -350,7 +374,9 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
       let h = ref 0 in
       let tos = ref 0 in
       let depth = ref 0 in
+      let fuel0 = fuel in
       let fuel = ref fuel in
+      let prof = s.prof in
       (* Current frame's locals, re-cached on call and return: fused
          code touches a local in almost every instruction, and going
          through [frames.(!depth - 1).locals] each time costs a
@@ -452,14 +478,24 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
       let result = ref 0 in
       let running = ref true in
       let pc = ref 0 in
-      try
-        Array.iter push args;
+      (* Sampled entry span (see [Trace.hot_begin]): a resident graft is
+         entered once per kernel event, far too often to time every
+         run. *)
+      let tok = Graft_trace.Trace.hot_begin () in
+      let outcome =
+        try
+          Array.iter push args;
         pc := enter_func fidx (-1);
         while !running do
           decr fuel;
           if !fuel < 0 then Fault.raise_fault Fault.Fuel_exhausted;
           let instr = Array.unsafe_get code !pc in
           incr pc;
+          (match prof with
+          | None -> ()
+          | Some pr ->
+              Graft_trace.Opprof.hit pr (Opcode.index instr)
+                (Opcode.width instr));
           match instr with
           | Opcode.Const n -> push n
           | Opcode.Load_local n -> push (!locs).(n)
@@ -686,8 +722,14 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
               locals.(d1) <- locals.(s1);
               locals.(d2) <- locals.(s2)
         done;
-        Ok !result
-      with Fault.Fault f -> Error (`Fault f))
+          Ok !result
+        with Fault.Fault f -> Error (`Fault f)
+      in
+      (match prof with
+      | None -> ()
+      | Some pr -> Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
+      Graft_trace.Trace.span_end Graft_trace.Trace.Vm_stack "stackvm.opt" tok;
+      outcome)
 
 (** One-shot convenience over the optimizing loop. *)
 let run_opt p ~entry ~args ~fuel =

@@ -12,7 +12,10 @@ val stack_size : int
     are single-threaded and reusable across calls, not reentrant. *)
 type session
 
-val create_session : Program.t -> session
+(** [create_session ?profile p] — when [profile] is given, both
+    dispatch loops count every executed opcode and each entry's fuel
+    into it (see {!Graft_trace.Opprof}). *)
+val create_session : ?profile:Graft_trace.Opprof.t -> Program.t -> session
 
 val run_session :
   session ->

@@ -1,0 +1,21 @@
+(** Exporters over the recorded event buffer. All run at reporting
+    time; recording stays allocation-free. *)
+
+(** Chrome trace-event JSON (load in Perfetto or [chrome://tracing]):
+    one named thread per subsystem track, timestamps in microseconds
+    relative to the earliest event, dropped-event count in
+    [otherData]. *)
+val chrome_json : unit -> string
+
+(** Folded-stacks text ([track;parent;child self_ns] lines) for
+    flamegraph tooling; nesting reconstructed per track from span
+    intervals. *)
+val folded : unit -> string
+
+(** Counter/latency summary rendered with {!Graft_util.Tablefmt}: one
+    row per (track, event) with p50/p95 from log2 duration
+    histograms. *)
+val summary : unit -> string
+
+(** The same aggregation as JSON (ns-valued fields). *)
+val summary_json : unit -> string

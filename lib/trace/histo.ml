@@ -1,0 +1,70 @@
+(** Log2-bucketed histograms for latency and fuel distributions.
+
+    Bucket 0 holds zero; bucket [b >= 1] holds values in
+    [[2^(b-1), 2^b)]. Adding is two increments and a handful of shifts
+    — cheap enough for per-run VM accounting — and percentile queries
+    answer with the bucket's inclusive upper bound, which is the right
+    precision for order-of-magnitude latency reporting. *)
+
+let nbuckets = 64
+
+type t = { mutable n : int; mutable sum : int; buckets : int array }
+
+let create () = { n = 0; sum = 0; buckets = Array.make nbuckets 0 }
+
+let reset t =
+  t.n <- 0;
+  t.sum <- 0;
+  Array.fill t.buckets 0 nbuckets 0
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let add t v =
+  let v = max 0 v in
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+(** Inclusive upper bound of the bucket where the [p]-quantile lands
+    ([p] in [0,1]); 0 on an empty histogram. *)
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (p *. float_of_int t.n))) in
+    let rec go b acc =
+      if b >= nbuckets then max_int
+      else
+        let acc = acc + t.buckets.(b) in
+        if acc >= target then (if b = 0 then 0 else (1 lsl b) - 1)
+        else go (b + 1) acc
+    in
+    go 0 0
+  end
+
+(** Non-empty buckets as (range label, count), smallest range first. *)
+let rows t =
+  let out = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if t.buckets.(b) > 0 then
+      let label =
+        if b = 0 then "0"
+        else Printf.sprintf "[%d,%d)" (1 lsl (b - 1)) (1 lsl b)
+      in
+      out := (label, t.buckets.(b)) :: !out
+  done;
+  !out

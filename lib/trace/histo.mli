@@ -1,0 +1,21 @@
+(** Log2-bucketed histograms for latency and fuel distributions:
+    bucket 0 holds zero, bucket [b >= 1] holds [[2^(b-1), 2^b)]. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Record one value (negative values clamp to 0). *)
+val add : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+(** Inclusive upper bound of the bucket where the [p]-quantile lands
+    ([p] in [0,1]); 0 on an empty histogram. *)
+val percentile : t -> float -> int
+
+(** Non-empty buckets as (range label, count), smallest range first. *)
+val rows : t -> (string * int) list

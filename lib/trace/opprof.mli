@@ -1,0 +1,27 @@
+(** Per-opcode execution profile for the VM dispatch loops: execution
+    counts and fuel totals per opcode class, plus a log2 histogram of
+    fuel consumed per VM entry. *)
+
+type t
+
+(** [create ~names] sizes the profile to the VM's opcode-class name
+    table; indices passed to {!hit} must index [names]. *)
+val create : names:string array -> t
+
+(** [hit p i width] counts one execution of opcode class [i] charging
+    [width] fuel. Two unchecked array updates — dispatch-loop safe. *)
+val hit : t -> int -> int -> unit
+
+(** Record one completed VM entry and the fuel it consumed. *)
+val run_done : t -> fuel:int -> unit
+
+val reset : t -> unit
+val total_count : t -> int
+val total_fuel : t -> int
+
+(** Fuel-per-entry histogram. *)
+val runs : t -> Histo.t
+
+(** Executed opcode classes as (name, count, fuel), largest fuel
+    first, at most [n] rows. *)
+val top : t -> n:int -> (string * int * int) list

@@ -1,0 +1,84 @@
+(** Graftscope: a low-overhead, opt-in event collector threaded
+    through every layer of the kernel simulator.
+
+    Disabled (the default, a [Null] sink) every record operation is a
+    single load-and-branch that the branch predictor eliminates;
+    enabled, events go into a preallocated ring with no allocation on
+    the hot path, dropping the oldest events when full. *)
+
+(** One track per instrumented subsystem; the Chrome exporter renders
+    each as its own named thread. *)
+type track =
+  | Vmsys  (** eviction hook dispatch, page faults *)
+  | Streams  (** per-filter push/flush *)
+  | Logdisk  (** policy runs, segment flushes *)
+  | Upcall  (** protection-boundary crossings *)
+  | Manager  (** graft lifecycle and metered invocations *)
+  | Vm_stack  (** stack VM entries (both dispatch tiers) *)
+  | Vm_reg  (** register VM entries *)
+  | Clock  (** simulated-time charges *)
+  | App  (** workload-level marks *)
+
+val ntracks : int
+val track_index : track -> int
+
+(** All tracks, indexed by {!track_index}. *)
+val tracks : track array
+
+val track_name : track -> string
+
+type kind = Span | Instant | Counter
+
+(** [enable ~capacity ~sample ()] installs a fresh ring of [capacity]
+    preallocated slots (default 65536). [sample] (default 32, rounded
+    up to a power of two) is the {!hot_begin} period: high-frequency
+    spans record every [sample]-th occurrence. *)
+val enable : ?capacity:int -> ?sample:int -> unit -> unit
+
+(** Return to the [Null] sink, discarding the ring. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Reset the ring in place (keeps capacity and sampling). *)
+val clear : unit -> unit
+
+(** Events overwritten by drop-oldest since {!enable}/{!clear}. *)
+val dropped : unit -> int
+
+(** Events ever written since {!enable}/{!clear}, including dropped
+    ones; 0 when disabled. *)
+val total_recorded : unit -> int
+
+(** Point event. [arg] is a small integer payload (page number, byte
+    count, ...). *)
+val instant : ?arg:int -> track -> string -> unit
+
+(** Sampled value (rendered as a counter track in Chrome). *)
+val counter : track -> string -> int -> unit
+
+(** Begin an unsampled span; returns a token for {!span_end}. Safe to
+    call when disabled (returns a token [span_end] ignores). *)
+val span_begin : unit -> int
+
+(** Begin a sampled (hot-path) span: records every [sample]-th
+    occurrence, otherwise returns the ignore-token. *)
+val hot_begin : unit -> int
+
+(** Complete a span started by {!span_begin} or {!hot_begin}. The
+    [name] should be a preallocated string: the tracer stores the
+    pointer, it never copies or concatenates on the hot path. *)
+val span_end : ?arg:int -> track -> string -> int -> unit
+
+type event = {
+  ts_ns : int;
+  dur_ns : int;  (** spans only; -1 otherwise *)
+  track : track;
+  kind : kind;
+  name : string;
+  arg : int;  (** span/instant argument, or the counter value *)
+}
+
+(** Recorded events, oldest first (record order — spans are recorded
+    when they end). *)
+val events : unit -> event array

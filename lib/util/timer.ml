@@ -2,6 +2,11 @@
    batched over many iterations; all callers batch. *)
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+(* Unboxed variant for instrumentation hot paths: a 63-bit int holds
+   nanosecond epochs until ~2262, and returning [int] avoids the Int64
+   box the tracer would otherwise allocate per event. *)
+let now_ns_int () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 let time_it f =
   let t0 = now_ns () in
   let result = f () in

@@ -7,6 +7,10 @@
 (** Monotonic timestamp in nanoseconds. *)
 val now_ns : unit -> int64
 
+(** Same clock as an unboxed [int] (63 bits hold ns epochs until
+    ~2262); used by the tracer so a timestamp read allocates nothing. *)
+val now_ns_int : unit -> int
+
 (** [time_it f] runs [f ()] once and returns (elapsed seconds, result). *)
 val time_it : (unit -> 'a) -> float * 'a
 

@@ -336,14 +336,49 @@ let test_generator_compiles () =
           (Srcloc.to_string e) src
   done
 
+(* ------------------------------------------------------------------ *)
+(* Entry point.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Failure messages above always print the offending seed; `--seed N`
+   (or `--seed=N`) replays that one generated program through every
+   engine in isolation, printing the source first so a divergence can
+   be minimized by hand. *)
+let parse_seed_arg () =
+  let rec scan acc = function
+    | [] -> (None, List.rev acc)
+    | "--seed" :: n :: rest -> (Some n, List.rev_append acc rest)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--seed=" ->
+        (Some (String.sub a 7 (String.length a - 7)), List.rev_append acc rest)
+    | a :: rest -> scan (a :: acc) rest
+  in
+  scan [] (Array.to_list Sys.argv)
+
+let replay seed_str =
+  let seed =
+    match Int64.of_string_opt seed_str with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "bad --seed %S (want an int64)\n" seed_str;
+        exit 2
+  in
+  print_string (gen_program seed);
+  List.iter (fun (a, b) -> run_all seed a b) [ (0, 1); (17, 983); (-42, 546) ];
+  Printf.printf "seed %Ld: all engines agree\n" seed
+
 let () =
-  let qc = List.map QCheck_alcotest.to_alcotest in
-  Alcotest.run "graft_fuzz"
-    [
-      ( "differential",
+  match parse_seed_arg () with
+  | Some n, _ -> replay n
+  | None, argv ->
+      let argv = Array.of_list argv in
+      let qc = List.map QCheck_alcotest.to_alcotest in
+      Alcotest.run ~argv "graft_fuzz"
         [
-          Alcotest.test_case "generator compiles" `Quick test_generator_compiles;
-          Alcotest.test_case "fixed corpus" `Quick test_fixed_corpus;
+          ( "differential",
+            [
+              Alcotest.test_case "generator compiles" `Quick
+                test_generator_compiles;
+              Alcotest.test_case "fixed corpus" `Quick test_fixed_corpus;
+            ]
+            @ qc [ prop_engines_agree ] );
         ]
-        @ qc [ prop_engines_agree ] );
-    ]

@@ -30,6 +30,62 @@ let test_clock_negative () =
     | exception Invalid_argument _ -> true
     | () -> false)
 
+(* Charges drawn from a small label alphabet; dt values are exact in
+   binary (multiples of 2^-13) so per-label sums need no epsilon. *)
+let clock_charges_gen =
+  QCheck.(small_list (pair (int_range 0 3) (int_range 0 1000)))
+
+let clock_labels = [| "io"; "cpu"; "net"; "vm" |]
+
+let replay_charges charges =
+  let c = Simclock.create () in
+  let expect = Hashtbl.create 4 in
+  List.iter
+    (fun (li, n) ->
+      let label = clock_labels.(li) in
+      let dt = float_of_int n /. 8192.0 in
+      Simclock.charge c label dt;
+      Hashtbl.replace expect label
+        (dt +. Option.value ~default:0.0 (Hashtbl.find_opt expect label)))
+    charges;
+  (c, expect)
+
+let prop_clock_breakdown_totals =
+  QCheck.Test.make ~name:"breakdown = per-label charge sums" ~count:200
+    clock_charges_gen
+    (fun charges ->
+      let c, expect = replay_charges charges in
+      let b = Simclock.breakdown c in
+      let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 b in
+      feq ~eps:1e-9 sum (Simclock.now c)
+      && List.length b = Hashtbl.length expect
+      && List.for_all
+           (fun (label, v) ->
+             feq ~eps:1e-12 v (Hashtbl.find expect label)
+             && feq ~eps:1e-12 v (Simclock.charged c label))
+           b)
+
+let prop_clock_breakdown_sorted =
+  QCheck.Test.make ~name:"breakdown is largest-first" ~count:200
+    clock_charges_gen
+    (fun charges ->
+      let c, _ = replay_charges charges in
+      let rec descending = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+        | _ -> true
+      in
+      descending (Simclock.breakdown c))
+
+let prop_clock_reset_clears =
+  QCheck.Test.make ~name:"reset clears totals and breakdown" ~count:100
+    clock_charges_gen
+    (fun charges ->
+      let c, _ = replay_charges charges in
+      Simclock.reset c;
+      Simclock.now c = 0.0
+      && Simclock.breakdown c = []
+      && Array.for_all (fun l -> Simclock.charged c l = 0.0) clock_labels)
+
 (* ---------- disk model ---------- *)
 
 let test_disk_sequential_cheaper () =
@@ -634,7 +690,12 @@ let () =
         [
           Alcotest.test_case "charges" `Quick test_clock_charges;
           Alcotest.test_case "negative" `Quick test_clock_negative;
-        ] );
+        ]
+        @ qc
+            [
+              prop_clock_breakdown_totals; prop_clock_breakdown_sorted;
+              prop_clock_reset_clears;
+            ] );
       ( "diskmodel",
         [
           Alcotest.test_case "sequential cheaper" `Quick test_disk_sequential_cheaper;
