@@ -262,6 +262,7 @@ let known_tables scale =
     ("a6", fun () -> ablation_pfvm scale);
     ("a7", fun () -> ablation_hipec scale);
     ("a8", fun () -> ablation_trace scale);
+    ("a9", fun () -> ablation_supervision scale);
   ]
 
 let () =

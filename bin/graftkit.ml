@@ -8,6 +8,7 @@
      measure   run the host measurements (signal / disk / fault)
      trace     run a canned kernel scenario under the Graftscope tracer
      profile   per-opcode profile of a GEL graft across the VM tiers
+     protect   run the Graftjail saboteurs and print the protection matrix
 *)
 
 open Cmdliner
@@ -47,6 +48,7 @@ let known_tables scale =
     ("a6", fun () -> ablation_pfvm scale);
     ("a7", fun () -> ablation_hipec scale);
     ("a8", fun () -> ablation_trace scale);
+    ("a9", fun () -> ablation_supervision scale);
   ]
 
 let tables_cmd =
@@ -462,6 +464,50 @@ let trace_cmd =
              export the trace")
     Term.(const run $ graft $ format $ out $ capacity)
 
+(* ---------- protect ---------- *)
+
+let protect_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the matrix as deterministic JSON (for CI golden \
+                   comparison) instead of text.")
+  in
+  let run json =
+    let cells = Graft_faultinject.Matrix.build () in
+    let demo = Graft_faultinject.Matrix.run_fallback_demo () in
+    if json then
+      print_endline (Graft_faultinject.Matrix.to_json cells demo)
+    else begin
+      print_string (Graft_faultinject.Matrix.render cells);
+      print_endline (Graft_faultinject.Matrix.render_demo demo)
+    end;
+    let bad = Graft_faultinject.Matrix.mismatches cells in
+    List.iter
+      (fun (c : Graft_faultinject.Matrix.cell) ->
+        Printf.eprintf "MISMATCH %s x %s: predicted %s, observed %s (%s)\n"
+          (Graft_core.Technology.name c.Graft_faultinject.Matrix.tech)
+          (Graft_faultinject.Faultinject.class_name
+             c.Graft_faultinject.Matrix.fault)
+          (Graft_faultinject.Sabotage.outcome_name
+             c.Graft_faultinject.Matrix.predicted)
+          (Graft_faultinject.Sabotage.outcome_name
+             c.Graft_faultinject.Matrix.observed.Graft_faultinject.Sabotage
+               .outcome)
+          c.Graft_faultinject.Matrix.observed.Graft_faultinject.Sabotage.detail)
+      bad;
+    if demo.Graft_faultinject.Matrix.panicked then
+      prerr_endline "MISMATCH fallback demo: kernel panicked";
+    if bad <> [] || demo.Graft_faultinject.Matrix.panicked then exit 1
+  in
+  Cmd.v
+    (Cmd.info "protect"
+       ~doc:"Run the Graftjail saboteurs and print the protection matrix: \
+             the observed containment of each fault class under each \
+             technology, checked against the paper's predictions. Exits \
+             nonzero on any mismatch.")
+    Term.(const run $ json)
+
 (* ---------- profile ---------- *)
 
 let profile_cmd =
@@ -596,5 +642,5 @@ let () =
        (Cmd.group ~default info
           [
             tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd;
-            trace_cmd; profile_cmd;
+            trace_cmd; profile_cmd; protect_cmd;
           ]))

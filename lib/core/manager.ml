@@ -1,48 +1,87 @@
 (** The graft manager: the kernel-side registry that loads grafts,
-    attaches them to hook points, meters their faults, and disables
+    attaches them to hook points, meters their faults, and supervises
     misbehaving ones — the machinery that makes every technology except
     unsafe C survivable (paper sections 1 and 4).
 
-    A graft that faults more than its budget is detached and the kernel
-    reverts to its default policy. If an {e unsafe} graft faults, the
-    manager raises {!Kernel_panic}: with no protection there is nothing
-    to contain the failure, which is precisely the reliability argument
-    the paper opens with. *)
+    Supervision policy (Graftjail): every invocation runs under an
+    exception barrier. A graft that exhausts its per-window fault
+    budget earns a {e strike} and is disabled; the kernel falls back to
+    its default policy while an exponentially growing backoff elapses,
+    then re-enables the graft with a fresh budget. After [max_strikes]
+    strikes the graft is quarantined permanently. If an {e unsafe}
+    graft faults, the manager raises {!Kernel_panic}: with no
+    protection there is nothing to contain the failure, which is
+    precisely the reliability argument the paper opens with. *)
 
 open Graft_mem
 
 exception Kernel_panic of string
 
-type state = Loaded | Attached | Disabled of Fault.t
+type policy = {
+  max_faults : int;  (** faults tolerated per enabled window *)
+  backoff_base : int;  (** fallback invocations after the first strike *)
+  backoff_factor : int;  (** backoff multiplier per further strike *)
+  max_strikes : int;  (** strikes before permanent quarantine *)
+}
+
+let default_policy =
+  { max_faults = 3; backoff_base = 8; backoff_factor = 2; max_strikes = 3 }
+
+let check_policy p =
+  if
+    p.max_faults < 1 || p.backoff_base < 1 || p.backoff_factor < 1
+    || p.max_strikes < 1
+  then invalid_arg "Manager: supervision policy fields must be >= 1"
+
+type state =
+  | Loaded
+  | Attached
+  | Disabled of Fault.t  (** backoff running; re-enabled when it ends *)
+  | Quarantined of Fault.t  (** permanent: struck out *)
 
 type graft = {
   g_name : string;
   tech : Technology.t;
   structure : Taxonomy.structure;
   motivation : Taxonomy.motivation;
-  max_faults : int;
+  policy : policy;
   mutable state : state;
   mutable invocations : int;
-  mutable faults : int;
+  mutable faults : int;  (** faults in the current enabled window *)
+  mutable total_faults : int;
+  mutable strikes : int;
+  mutable cooldown : int;  (** fallback invocations left while disabled *)
+  mutable fallbacks : int;  (** invocations answered by the kernel default *)
 }
 
 type t = { grafts : (string, graft) Hashtbl.t }
 
 let create () = { grafts = Hashtbl.create 8 }
 
-let register t ~name ~tech ~structure ~motivation ?(max_faults = 3) () =
+let register t ~name ~tech ~structure ~motivation ?max_faults
+    ?(policy = default_policy) () =
   if Hashtbl.mem t.grafts name then
     invalid_arg (Printf.sprintf "Manager.register: graft %s already exists" name);
+  let policy =
+    match max_faults with
+    | None -> policy
+    | Some n -> { policy with max_faults = n }
+  in
+  check_policy policy;
   let g =
     {
       g_name = name;
       tech;
       structure;
       motivation;
-      max_faults;
+      policy;
       state = Loaded;
       invocations = 0;
       faults = 0;
+      total_faults = 0;
+      strikes = 0;
+      cooldown = 0;
+      fallbacks = 0;
     }
   in
   Hashtbl.replace t.grafts name g;
@@ -51,37 +90,107 @@ let register t ~name ~tech ~structure ~motivation ?(max_faults = 3) () =
 
 let find t name = Hashtbl.find_opt t.grafts name
 let grafts t = Hashtbl.fold (fun _ g acc -> g :: acc) t.grafts []
+let max_faults g = g.policy.max_faults
 
 let state_name = function
   | Loaded -> "loaded"
   | Attached -> "attached"
   | Disabled f -> "disabled: " ^ Fault.to_string f
+  | Quarantined f -> "quarantined: " ^ Fault.to_string f
 
-(* Record a fault against [g]; disable it when over budget; panic when
-   the technology offers no protection. *)
+(* The supervision state machine obeys these at every step; the qcheck
+   properties drive random fault plans against them. *)
+let invariants_ok g =
+  let p = g.policy in
+  g.invocations >= 0 && g.faults >= 0
+  && g.total_faults >= g.faults
+  && g.strikes >= 0
+  && g.fallbacks >= 0
+  &&
+  match g.state with
+  | Loaded -> g.faults = 0 && g.strikes = 0
+  | Attached -> g.faults < p.max_faults && g.strikes < p.max_strikes
+  | Disabled _ ->
+      g.cooldown >= 1 && g.strikes >= 1 && g.strikes < p.max_strikes
+  | Quarantined _ -> g.strikes = p.max_strikes
+
+(** The kernel's integrity checker found corruption attributable to
+    [g] — only possible for an unprotected graft, and unconditionally
+    fatal: there is no telling what else was overwritten. *)
+let kernel_corruption g ~detail =
+  g.total_faults <- g.total_faults + 1;
+  Graft_trace.Trace.instant Graft_trace.Trace.Manager ("panic:" ^ g.g_name);
+  raise
+    (Kernel_panic
+       (Printf.sprintf "unprotected graft %s corrupted the kernel: %s" g.g_name
+          detail))
+
+(* Record a fault against [g]: panic when the technology offers no
+   protection, otherwise spend the budget, strike, back off, and
+   quarantine on the last strike. *)
 let record_fault g fault =
   g.faults <- g.faults + 1;
-  Graft_trace.Trace.instant ~arg:g.faults Graft_trace.Trace.Manager
+  g.total_faults <- g.total_faults + 1;
+  Graft_trace.Trace.instant ~arg:g.total_faults Graft_trace.Trace.Manager
     ("fault:" ^ g.g_name);
   if Technology.can_crash_kernel g.tech then begin
     Graft_trace.Trace.instant Graft_trace.Trace.Manager ("panic:" ^ g.g_name);
     raise
       (Kernel_panic
-         (Printf.sprintf
-            "unprotected graft %s corrupted the kernel: %s" g.g_name
-            (Fault.to_string fault)))
+         (Printf.sprintf "unprotected graft %s corrupted the kernel: %s"
+            g.g_name (Fault.to_string fault)))
   end;
-  if g.faults >= g.max_faults then begin
-    g.state <- Disabled fault;
-    Graft_trace.Trace.instant Graft_trace.Trace.Manager ("disable:" ^ g.g_name)
+  if g.faults >= g.policy.max_faults then begin
+    g.strikes <- g.strikes + 1;
+    if g.strikes >= g.policy.max_strikes then begin
+      g.state <- Quarantined fault;
+      g.cooldown <- 0;
+      Graft_trace.Trace.instant ~arg:g.strikes Graft_trace.Trace.Manager
+        ("quarantine:" ^ g.g_name)
+    end
+    else begin
+      let backoff =
+        let b = ref g.policy.backoff_base in
+        for _ = 2 to g.strikes do
+          b := !b * g.policy.backoff_factor
+        done;
+        !b
+      in
+      g.state <- Disabled fault;
+      g.cooldown <- backoff;
+      Graft_trace.Trace.instant ~arg:backoff Graft_trace.Trace.Manager
+        ("disable:" ^ g.g_name)
+    end
   end
 
 (* Run one graft invocation, catching faults per the graft's trust
    model. Returns [None] when the graft is not in a runnable state or
-   faulted. *)
-let invoke g f =
+   faulted — the caller then uses the kernel's default path. *)
+let rec invoke g f =
   match g.state with
-  | Loaded | Disabled _ -> None
+  | Loaded ->
+      g.fallbacks <- g.fallbacks + 1;
+      None
+  | Quarantined _ ->
+      g.fallbacks <- g.fallbacks + 1;
+      None
+  | Disabled _ ->
+      (* Each fallback invocation burns down the backoff; when it
+         expires the graft gets a fresh fault budget and this very
+         invocation runs on it. *)
+      g.cooldown <- g.cooldown - 1;
+      if g.cooldown > 0 then begin
+        g.fallbacks <- g.fallbacks + 1;
+        None
+      end
+      else begin
+        g.state <- Attached;
+        g.faults <- 0;
+        g.cooldown <- 0;
+        Graft_trace.Trace.instant ~arg:g.strikes Graft_trace.Trace.Manager
+          ("re-enable:" ^ g.g_name);
+        invoke g f
+      end
   | Attached -> (
       g.invocations <- g.invocations + 1;
       (* Sampled span: invoke sits on hot paths (one call per eviction
@@ -95,10 +204,18 @@ let invoke g f =
           Some v
       | exception Fault.Fault fault ->
           record_fault g fault;
+          g.fallbacks <- g.fallbacks + 1;
           None
       | exception Failure msg ->
           (* Runner wrappers turn faults into Failure. *)
           record_fault g (Fault.Host_error msg);
+          g.fallbacks <- g.fallbacks + 1;
+          None
+      | exception Division_by_zero ->
+          (* A native graft's divide trap, caught at the barrier the
+             way a trap handler would. *)
+          record_fault g Fault.Division_by_zero;
+          g.fallbacks <- g.fallbacks + 1;
           None)
 
 (** Attach an eviction graft to a VM subsystem. [hot_pages] supplies

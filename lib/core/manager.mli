@@ -1,34 +1,59 @@
 (** The graft manager: the kernel-side registry that loads grafts,
-    attaches them to hook points, meters their faults, and disables
+    attaches them to hook points, meters their faults, and supervises
     misbehaving ones — the machinery that makes every technology except
     unsafe C survivable (paper sections 1 and 4).
 
-    A graft that faults more than its budget is detached and the kernel
-    reverts to its default policy. If an {e unsafe} graft faults, the
-    manager raises {!Kernel_panic}: with no protection there is nothing
-    to contain the failure, which is the reliability argument the paper
-    opens with. *)
+    Supervision policy (Graftjail): every invocation runs under an
+    exception barrier. A graft that exhausts its per-window fault
+    budget earns a strike and is disabled; the kernel falls back to
+    its default policy while an exponentially growing backoff elapses,
+    then re-enables the graft with a fresh budget. After [max_strikes]
+    strikes the graft is quarantined permanently. If an {e unsafe}
+    graft faults, the manager raises {!Kernel_panic}: with no
+    protection there is nothing to contain the failure, which is the
+    reliability argument the paper opens with. *)
 
 exception Kernel_panic of string
 
-type state = Loaded | Attached | Disabled of Graft_mem.Fault.t
+type policy = {
+  max_faults : int;  (** faults tolerated per enabled window *)
+  backoff_base : int;  (** fallback invocations after the first strike *)
+  backoff_factor : int;  (** backoff multiplier per further strike *)
+  max_strikes : int;  (** strikes before permanent quarantine *)
+}
+
+(** 3 faults per window, backoff 8 doubling per strike, 3 strikes. *)
+val default_policy : policy
+
+type state =
+  | Loaded
+  | Attached
+  | Disabled of Graft_mem.Fault.t
+      (** backoff running; re-enabled when it ends *)
+  | Quarantined of Graft_mem.Fault.t  (** permanent: struck out *)
 
 type graft = {
   g_name : string;
   tech : Technology.t;
   structure : Taxonomy.structure;
   motivation : Taxonomy.motivation;
-  max_faults : int;
+  policy : policy;
   mutable state : state;
   mutable invocations : int;
-  mutable faults : int;
+  mutable faults : int;  (** faults in the current enabled window *)
+  mutable total_faults : int;
+  mutable strikes : int;
+  mutable cooldown : int;  (** fallback invocations left while disabled *)
+  mutable fallbacks : int;  (** invocations answered by the kernel default *)
 }
 
 type t
 
 val create : unit -> t
 
-(** Register a graft. Raises [Invalid_argument] on duplicate names. *)
+(** Register a graft. [max_faults] overrides just that field of
+    [policy] (compatibility shorthand). Raises [Invalid_argument] on
+    duplicate names or a policy with any field < 1. *)
 val register :
   t ->
   name:string ->
@@ -36,12 +61,31 @@ val register :
   structure:Taxonomy.structure ->
   motivation:Taxonomy.motivation ->
   ?max_faults:int ->
+  ?policy:policy ->
   unit ->
   graft
 
 val find : t -> string -> graft option
 val grafts : t -> graft list
+val max_faults : graft -> int
 val state_name : state -> string
+
+(** Supervision state-machine invariants, checked by property tests:
+    budgets and strikes within policy bounds, cooldown positive iff
+    disabled, quarantine exactly at [max_strikes]. *)
+val invariants_ok : graft -> bool
+
+(** Run one invocation of [g] under the supervision barrier: faults
+    (including a native divide trap) are recorded against the budget
+    and answered with [None], telling the caller to use the kernel's
+    default path. Raises {!Kernel_panic} when an unprotected graft
+    faults. *)
+val invoke : graft -> (unit -> 'a) -> 'a option
+
+(** The kernel's integrity checker found memory corruption
+    attributable to [g] — only an unprotected graft can cause this,
+    and it is unconditionally fatal. Raises {!Kernel_panic}. *)
+val kernel_corruption : graft -> detail:string -> 'a
 
 (** Attach an eviction graft to a VM subsystem. [hot_pages] supplies
     the application's current hot list at each eviction; the kernel

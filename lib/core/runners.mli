@@ -24,6 +24,29 @@ val huge_fuel : int
 val next_pow2 : int -> int
 
 (* ------------------------------------------------------------------ *)
+(** {1 Shared GEL plumbing}
+
+    Exported for harnesses (the Graftjail saboteurs) that need a
+    linked image but their own entry invokers — e.g. with a small fuel
+    budget, or preserving the faulting [Fault.t] rather than the
+    [Failure] wrapper the benchmark runners use. *)
+
+type gel_env = {
+  image : Graft_gel.Link.image;
+  windows : (string * Graft_mem.Memory.region) list;
+}
+
+(** Compile [source] and link it into a fresh power-of-two memory with
+    the given shared windows (name, length, writable). [optimize] runs
+    the IR optimizer before linking. Raises [Failure] if the source
+    does not compile or link. *)
+val gel_env :
+  ?optimize:bool -> string -> (string * int * bool) list -> gel_env
+
+(** Look up a shared window by name. *)
+val window : gel_env -> string -> Graft_mem.Memory.region
+
+(* ------------------------------------------------------------------ *)
 (** {1 Page eviction (Prioritization)} *)
 
 type evict = {

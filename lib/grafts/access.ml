@@ -43,6 +43,12 @@ let bounds_fault access addr =
 
 let nil_fault () = Fault.raise_fault Fault.Nil_dereference
 
+(** The NIL pointer value grafts dereference when they chase a null
+    link: [min_int] rather than 0 so legitimate offset 0 still works
+    (see {!Checked_nil}). Exposed for the fault-injection saboteurs,
+    which store "through NIL" via each regime to see what it does. *)
+let nil_sentinel = min_int
+
 module Unsafe : S = struct
   let name = "unsafe-c"
   let get a i = Array.unsafe_get a i
@@ -80,7 +86,7 @@ module Checked_nil : S = struct
      with legitimate offset 0 in byte buffers; grafts traversing
      linked structures still test node pointers against 0 themselves,
      as the source language requires. *)
-  let nil = min_int
+  let nil = nil_sentinel
 
   let get a i =
     if i = nil then nil_fault ();

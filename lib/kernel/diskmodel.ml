@@ -22,6 +22,10 @@ type t = {
   mutable writes : int;
   mutable seeks : int;
   mutable bytes_moved : int;
+  mutable armed : int;
+      (** fault-injection countdown: -1 disarmed, 0 fault on the next
+          access, n > 0 fault after n more accesses *)
+  mutable io_errors : int;
 }
 
 (* 1995-era 5400rpm disk: 11.1ms rotation. *)
@@ -56,7 +60,27 @@ let modern_params =
     block_bytes = 4096;
   }
 
-let create params = { params; head_block = 0; reads = 0; writes = 0; seeks = 0; bytes_moved = 0 }
+let create params =
+  {
+    params;
+    head_block = 0;
+    reads = 0;
+    writes = 0;
+    seeks = 0;
+    bytes_moved = 0;
+    armed = -1;
+    io_errors = 0;
+  }
+
+(** Arm a deterministic injected I/O error: the access [after] further
+    accesses (0 = the very next one) raises [Fault.Host_error] and
+    disarms. The Graftjail harness uses this to model media failures
+    hitting a graft's host calls and the kernel's own I/O paths. *)
+let arm_fault t ~after =
+  if after < 0 then invalid_arg "Diskmodel.arm_fault: after < 0";
+  t.armed <- after
+
+let io_errors t = t.io_errors
 
 let transfer_time t bytes =
   float_of_int bytes /. t.params.bandwidth_bytes_per_s
@@ -70,6 +94,15 @@ let positioning_time t ~block =
     positioning cost. Updates head position and statistics. *)
 let access t ~write ~block ~count =
   if count <= 0 then invalid_arg "Diskmodel.access: count <= 0";
+  if t.armed = 0 then begin
+    t.armed <- -1;
+    t.io_errors <- t.io_errors + 1;
+    Graft_trace.Trace.instant ~arg:block Graft_trace.Trace.Logdisk "io-error";
+    Graft_mem.Fault.raise_fault
+      (Graft_mem.Fault.Host_error
+         (Printf.sprintf "injected disk I/O error at block %d" block))
+  end
+  else if t.armed > 0 then t.armed <- t.armed - 1;
   let pos = positioning_time t ~block in
   if pos > 0.0 then t.seeks <- t.seeks + 1;
   let bytes = count * t.params.block_bytes in

@@ -28,9 +28,19 @@ val modern_params : params
 
 val create : params -> t
 
+(** Arm a deterministic injected I/O error: the access [after] further
+    accesses (0 = the very next one) raises
+    [Graft_mem.Fault.Host_error] and disarms. Raises
+    [Invalid_argument] when [after < 0]. *)
+val arm_fault : t -> after:int -> unit
+
+(** Injected I/O errors delivered so far. *)
+val io_errors : t -> int
+
 (** Cost in seconds of accessing [count] blocks at [block]; sequential
     continuation avoids positioning. Updates head position and stats.
-    Raises [Invalid_argument] when [count <= 0]. *)
+    Raises [Invalid_argument] when [count <= 0], and
+    [Graft_mem.Fault.Fault] when an armed injected error fires. *)
 val read : t -> block:int -> count:int -> float
 
 val write : t -> block:int -> count:int -> float

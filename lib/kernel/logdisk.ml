@@ -31,25 +31,39 @@ type result = {
   lsd_io_s : float;  (** segment-batched write time *)
   inplace_io_s : float;  (** in-place random write baseline *)
   mapping_errors : int;  (** shadow-map disagreements (0 for correct grafts) *)
+  io_errors : int;  (** injected disk errors absorbed by retrying *)
 }
 
 (** Drive [workload] (a sequence of logical block numbers to write)
     through [policy]. *)
-let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
-    (workload : int array) : result =
-  let lsd_disk = Diskmodel.create disk_params in
-  let inplace_disk = Diskmodel.create disk_params in
+let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) ?lsd_disk
+    ?inplace_disk config policy (workload : int array) : result =
+  let or_create = function
+    | Some d -> d
+    | None -> Diskmodel.create disk_params
+  in
+  let lsd_disk = or_create lsd_disk in
+  let inplace_disk = or_create inplace_disk in
   let shadow = Array.make config.nblocks (-1) in
   let lsd_time = ref 0.0 and inplace_time = ref 0.0 in
   let segments = ref 0 in
   let seg_fill = ref 0 in
   let seg_start_phys = ref (-1) in
   let errors = ref 0 in
+  let io_errs = ref 0 in
+  (* An injected I/O error on either disk degrades, never kills: count
+     it and retry the write once on the kernel's default path. *)
+  let write_retrying disk ~block ~count =
+    try Diskmodel.write disk ~block ~count
+    with Graft_mem.Fault.Fault (Graft_mem.Fault.Host_error _) ->
+      incr io_errs;
+      Diskmodel.write disk ~block ~count
+  in
   let flush_segment () =
     if !seg_fill > 0 then begin
       lsd_time :=
         !lsd_time
-        +. Diskmodel.write lsd_disk ~block:!seg_start_phys ~count:!seg_fill;
+        +. write_retrying lsd_disk ~block:!seg_start_phys ~count:!seg_fill;
       incr segments;
       Graft_trace.Trace.instant ~arg:!seg_fill Graft_trace.Trace.Logdisk
         "segment-flush";
@@ -75,7 +89,7 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
       (* Baseline: write the logical block in place, each one paying a
          random positioning. *)
       inplace_time :=
-        !inplace_time +. Diskmodel.write inplace_disk ~block:logical ~count:1)
+        !inplace_time +. write_retrying inplace_disk ~block:logical ~count:1)
     workload;
   flush_segment ();
   Graft_trace.Trace.span_end ~arg:(Array.length workload)
@@ -93,6 +107,7 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) config policy
     lsd_io_s = !lsd_time;
     inplace_io_s = !inplace_time;
     mapping_errors = !errors;
+    io_errors = !io_errs;
   }
 
 (** The reference mapping policy in plain OCaml: a log-structured

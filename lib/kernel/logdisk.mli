@@ -29,11 +29,22 @@ type result = {
   lsd_io_s : float;
   inplace_io_s : float;
   mapping_errors : int;  (** shadow-map disagreements; 0 when correct *)
+  io_errors : int;  (** injected disk errors absorbed by retrying *)
 }
 
 (** Drive a workload (logical block numbers to write) through a policy.
-    Raises [Invalid_argument] on out-of-range blocks. *)
-val run : ?disk_params:Diskmodel.params -> config -> policy -> int array -> result
+    Raises [Invalid_argument] on out-of-range blocks. [lsd_disk] and
+    [inplace_disk] supply pre-created disk models — the fault-injection
+    harness passes disks with armed I/O errors to exercise the
+    retry-once degradation path. *)
+val run :
+  ?disk_params:Diskmodel.params ->
+  ?lsd_disk:Diskmodel.t ->
+  ?inplace_disk:Diskmodel.t ->
+  config ->
+  policy ->
+  int array ->
+  result
 
 (** The reference mapping policy in plain OCaml: a log-structured
     sequential allocator over a flat map. *)

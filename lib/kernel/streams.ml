@@ -199,6 +199,23 @@ let with_fuel ~fuel_per_byte ~budget filter =
         filter.push chunk);
   }
 
+(** Deterministic fault injection for the stream path: a pass-through
+    filter that raises [fault] on push number [after + 1] (so
+    [after = 0] faults immediately). Used by the Graftjail harness to
+    exercise the manager barrier and the chain's unwind behaviour at a
+    chosen trigger count. *)
+let inject_filter ~after ~fault =
+  let remaining = ref after in
+  {
+    name = "inject";
+    push =
+      (fun chunk ->
+        if !remaining = 0 then Graft_mem.Fault.raise_fault fault;
+        decr remaining;
+        chunk);
+    flush = (fun () -> empty);
+  }
+
 (** Journaling filter (the paper's example of turning a standard
     filesystem into a journaling one by inserting a graft into the
     request stream): each pushed chunk is one I/O request; requests

@@ -16,10 +16,42 @@ type domain = {
   per_word_s : float;  (** marshalling cost per argument/result word *)
   mutable upcalls : int;
   mutable aborted : int;
+  mutable alive : bool;  (** the user-level server process is running *)
+  mutable restarts : int;  (** times the kernel restarted the server *)
 }
 
 let create ?(per_word_s = 10e-9) ~name ~clock ~switch_s () =
-  { name; clock; switch_s; per_word_s; upcalls = 0; aborted = 0 }
+  {
+    name;
+    clock;
+    switch_s;
+    per_word_s;
+    upcalls = 0;
+    aborted = 0;
+    alive = true;
+    restarts = 0;
+  }
+
+(** The server process died (crashed or was killed). The kernel notices
+    on the next upcall and restarts it — the extension failed in its
+    own address space, exactly the hardware-protection story. *)
+let kill_server domain =
+  if domain.alive then begin
+    domain.alive <- false;
+    Graft_trace.Trace.instant Graft_trace.Trace.Upcall
+      ("server-death:" ^ domain.name)
+  end
+
+let restart_server domain =
+  domain.alive <- true;
+  domain.restarts <- domain.restarts + 1;
+  (* Process creation dwarfs a domain switch; charge a round number of
+     switches for exec + address-space setup. *)
+  Simclock.charge domain.clock
+    (Printf.sprintf "server-restart:%s" domain.name)
+    (20.0 *. domain.switch_s);
+  Graft_trace.Trace.instant ~arg:domain.restarts Graft_trace.Trace.Upcall
+    ("server-restart:" ^ domain.name)
 
 (** Round-trip upcall cost for [words] marshalled words. *)
 let cost domain ~words =
@@ -57,6 +89,34 @@ let upcall_with_budget domain ?(extra_words = 0) ~budget_s handler args =
     None
   end
   else result
+
+(** The fully supervised upcall used by Graftjail: if the server is
+    dead the kernel restarts it and answers this invocation itself
+    ([None]); if the handler faults, the fault is confined to the
+    server's address space — the server dies, is restarted, and the
+    kernel carries on. Only the isolation boundary, never the kernel,
+    absorbs the failure. *)
+let upcall_supervised domain ?(extra_words = 0) handler args =
+  if not domain.alive then begin
+    restart_server domain;
+    None
+  end
+  else
+    match upcall domain ~extra_words handler args with
+    | result -> Some result
+    | exception Graft_mem.Fault.Fault f ->
+        Graft_trace.Trace.instant Graft_trace.Trace.Upcall
+          ("server-fault:" ^ Graft_mem.Fault.class_name f);
+        kill_server domain;
+        restart_server domain;
+        None
+    | exception Division_by_zero ->
+        (* The server's own divide trap: SIGFPE kills the process. *)
+        Graft_trace.Trace.instant Graft_trace.Trace.Upcall
+          ("server-fault:div-zero");
+        kill_server domain;
+        restart_server domain;
+        None
 
 (** The paper's estimate: an upcall mechanism measured on BSD/OS ran
     about 40% quicker than signal delivery. *)

@@ -13,6 +13,8 @@ type domain = {
   per_word_s : float;  (** marshalling cost per word *)
   mutable upcalls : int;
   mutable aborted : int;
+  mutable alive : bool;  (** the user-level server process is running *)
+  mutable restarts : int;  (** times the kernel restarted the server *)
 }
 
 val create :
@@ -41,6 +43,21 @@ val upcall_with_budget :
   (int array -> int) ->
   int array ->
   int option
+
+(** Mark the server process dead; the kernel notices and restarts it
+    on the next supervised upcall. *)
+val kill_server : domain -> unit
+
+(** Restart a dead (or live) server, charging process-creation time to
+    the simulated clock and counting [restarts]. *)
+val restart_server : domain -> unit
+
+(** Supervised upcall: a dead server is restarted and the invocation
+    answered by the kernel ([None]); a handler fault dies in the
+    server's own address space — server killed, restarted, [None].
+    The kernel itself never sees the failure. *)
+val upcall_supervised :
+  domain -> ?extra_words:int -> (int array -> int) -> int array -> int option
 
 (** The paper's estimate: an upcall mechanism measured on BSD/OS ran
     about 40% quicker than signal delivery; this derives one switch

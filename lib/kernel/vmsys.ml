@@ -28,6 +28,7 @@ type stats = {
   mutable hook_calls : int;
   mutable hook_overrides : int;  (** hook chose a different victim *)
   mutable hook_invalid : int;  (** proposal rejected (not resident) *)
+  mutable io_errors : int;  (** page-fault reads that failed and retried *)
 }
 
 type t = {
@@ -64,6 +65,7 @@ let create ?(clock = Simclock.create ())
         hook_calls = 0;
         hook_overrides = 0;
         hook_invalid = 0;
+        io_errors = 0;
       };
   }
 
@@ -126,8 +128,20 @@ let load t page =
   (* Charge the fault's disk read, including read-ahead, to simulated
      time. Pages are scattered (the paper's model database), so every
      fault positions the disk. *)
-  let cost =
+  let read () =
     Diskmodel.read t.disk ~block:(page * 7919) ~count:t.config.pages_per_fault
+  in
+  let cost =
+    (* An injected I/O error degrades, never kills: the kernel counts
+       it and retries the read once on its default path (a real kernel
+       would retry or remap the sector). A second failure is a broken
+       disk, not a graft problem, and propagates. *)
+    try read ()
+    with Graft_mem.Fault.Fault (Graft_mem.Fault.Host_error _) ->
+      t.stats.io_errors <- t.stats.io_errors + 1;
+      Graft_trace.Trace.instant ~arg:page Graft_trace.Trace.Vmsys
+        "io-error-retry";
+      read ()
   in
   Simclock.charge t.clock "page-fault-io" cost;
   t.frame_page.(frame) <- page;

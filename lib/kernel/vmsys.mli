@@ -25,6 +25,7 @@ type stats = {
   mutable hook_calls : int;
   mutable hook_overrides : int;  (** hook chose a different victim *)
   mutable hook_invalid : int;  (** proposal rejected (not resident) *)
+  mutable io_errors : int;  (** page-fault reads that failed and retried *)
 }
 
 type t

@@ -33,6 +33,23 @@ let access_to_string = function
   | Write -> "write"
   | Jump -> "jump"
 
+(** Short class tag, independent of addresses and messages. Engines
+    that report different address spaces for the same logical fault
+    (the stack VM reports window indices, the register VM absolute
+    cells) still agree on the class, which is what the differential
+    fuzzer and the protection matrix compare. *)
+let class_name = function
+  | Out_of_bounds { access; _ } -> "oob-" ^ access_to_string access
+  | Protection { access; _ } -> "prot-" ^ access_to_string access
+  | Nil_dereference -> "nil-deref"
+  | Fuel_exhausted -> "fuel"
+  | Division_by_zero -> "div-zero"
+  | Stack_overflow -> "stack-overflow"
+  | Illegal_instruction _ -> "illegal"
+  | Verification_failed _ -> "verify"
+  | Type_error _ -> "type"
+  | Host_error _ -> "host"
+
 let to_string = function
   | Out_of_bounds { access; addr } ->
       Printf.sprintf "out-of-bounds %s at address %d"

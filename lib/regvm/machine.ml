@@ -145,7 +145,10 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
               Fault.raise_fault (Fault.Illegal_instruction "halt")
         done;
           Ok { value = !result; instructions = !icount }
-        with Fault.Fault f -> Error (`Fault f)
+        with Fault.Fault f ->
+          Graft_trace.Trace.instant Graft_trace.Trace.Vm_reg
+            ("fault:" ^ Fault.class_name f);
+          Error (`Fault f)
       in
       (match prof with
       | None -> ()

@@ -325,7 +325,10 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
               locals.(d2) <- locals.(s2)
         done;
           Ok !result
-        with Fault.Fault f -> Error (`Fault f)
+        with Fault.Fault f ->
+          Graft_trace.Trace.instant Graft_trace.Trace.Vm_stack
+            ("fault:" ^ Fault.class_name f);
+          Error (`Fault f)
       in
       (match prof with
       | None -> ()
@@ -723,7 +726,10 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
               locals.(d2) <- locals.(s2)
         done;
           Ok !result
-        with Fault.Fault f -> Error (`Fault f)
+        with Fault.Fault f ->
+          Graft_trace.Trace.instant Graft_trace.Trace.Vm_stack
+            ("fault:" ^ Fault.class_name f);
+          Error (`Fault f)
       in
       (match prof with
       | None -> ()

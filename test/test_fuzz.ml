@@ -279,6 +279,172 @@ let engines =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The fault-plan dimension (Graftjail).                               *)
+(*                                                                     *)
+(* Generated programs get two armed fault sites woven into a loop:     *)
+(* each site counts its own visits and commits a seeded fault class    *)
+(* when its trigger count is reached. Execution order is              *)
+(* deterministic, so every engine must report the same first-firing    *)
+(* fault class — and, for faults at a deterministic site (not fuel     *)
+(* exhaustion, whose cut point depends on each engine's accounting),   *)
+(* identical memory at the fault.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fault_fuel = 200_000
+
+(* Fault statements built on [zz], a runtime zero computed from the
+   arguments so neither the optimizer nor the static verifier can
+   decide them at compile time. *)
+let fault_stmt = function
+  | "oob-write" -> "arr[zz + 99] = 1;\n"
+  | "oob-read" -> "g = arr[zz - 3];\n"
+  | "div-zero" -> "g = 17 / zz;\n"
+  | "fuel" -> "while (zz == 0) { g = g + 1; }\n"
+  | c -> failwith ("unknown fault class " ^ c)
+
+(* Returns the program and the class of the fault that must fire
+   first: site 1 runs before site 2 within an iteration, so on equal
+   triggers site 1 wins. *)
+let gen_faulty_program seed classes =
+  let rng = Prng.create seed in
+  let c1 = classes.(Prng.int rng (Array.length classes)) in
+  let c2 = classes.(Prng.int rng (Array.length classes)) in
+  let t1 = 1 + Prng.int rng 12 in
+  let t2 = 1 + Prng.int rng 12 in
+  let g =
+    { rng; buf = Buffer.create 512; locals = []; assignable = []; fresh = 0 }
+  in
+  p g "var g : int = %d;\narray arr[8];\n" (Prng.int rng 100);
+  p g "fn main(a : int, b : int) : int {\n";
+  p g "var zz = a - a;\nvar inj1 = 0;\nvar inj2 = 0;\n";
+  for i = 0 to 1 do
+    let x = Printf.sprintf "x%d" i in
+    p g "var %s = " x;
+    gen_expr g 1;
+    p g ";\n";
+    g.locals <- x :: g.locals;
+    g.assignable <- x :: g.assignable
+  done;
+  p g "for (var i = 0; i < 16; i = i + 1) {\n";
+  p g "inj1 = inj1 + 1;\nif (inj1 == %d) {\n%s} else { g = g + 0; }\n" t1
+    (fault_stmt c1);
+  gen_stmt g 1;
+  p g "inj2 = inj2 + 1;\nif (inj2 == %d) {\n%s} else { g = g + 0; }\n" t2
+    (fault_stmt c2);
+  p g "}\nreturn g;\n}\n";
+  (Buffer.contents g.buf, if t1 <= t2 then c1 else c2)
+
+let fault_result = function
+  | Ok v -> Printf.sprintf "ok:%d" v
+  | Error (`Fault f) -> Fault.class_name f
+  | Error (`Bad_entry m) -> failwith m
+
+(* Engines that trap every fault class with a checked fault: the AST
+   interpreter and all three stack-bytecode tiers. *)
+let checked_fault_engines =
+  let stack load run name =
+    ( name,
+      fun src args ->
+        let image = build_image src in
+        let r = run (load image) ~entry:"main" ~args ~fuel:fault_fuel in
+        (fault_result r, final_state image) )
+  in
+  [
+    ( "ast-interp",
+      fun src args ->
+        let image = build_image src in
+        let r = Interp.run image ~entry:"main" ~args ~fuel:fault_fuel in
+        (fault_result r, final_state image) );
+    stack Graft_stackvm.Stackvm.load_exn Graft_stackvm.Vm.run "bytecode-vm";
+    stack Graft_stackvm.Stackvm.load_opt_exn Graft_stackvm.Vm.run_opt
+      "bytecode-peep";
+    stack Graft_stackvm.Stackvm.load_static_exn Graft_stackvm.Vm.run
+      "bytecode-static";
+  ]
+
+(* The register VMs mask out-of-bounds accesses instead of trapping
+   them (that is their protection model), so they join the comparison
+   only for the classes every engine traps identically. *)
+let all_fault_engines =
+  let reg protection name =
+    ( name,
+      fun src args ->
+        let image = build_image src in
+        let prog = Graft_regvm.Regvm.load_exn ~protection image in
+        match Graft_regvm.Machine.run prog ~entry:"main" ~args ~fuel:fault_fuel with
+        | Ok o ->
+            (Printf.sprintf "ok:%d" o.Graft_regvm.Machine.value,
+             final_state image)
+        | Error (`Fault f) -> (Fault.class_name f, final_state image)
+        | Error (`Bad_entry m) -> failwith m )
+  in
+  checked_fault_engines
+  @ [
+      reg Graft_regvm.Program.Write_jump "regvm-wj";
+      reg Graft_regvm.Program.Full "regvm-full";
+    ]
+
+let run_fault_plan ~engines ~classes seed a =
+  let src, expected = gen_faulty_program seed classes in
+  let args = [| a; a + 1 |] in
+  let results = List.map (fun (n, run) -> (n, run src args)) engines in
+  List.iter
+    (fun (n, (cls, _)) ->
+      if cls <> expected then
+        Alcotest.failf
+          "seed %Ld engine %s: expected first fault %s, got %s\n%s" seed n
+          expected cls src)
+    results;
+  (* A fault at a deterministic site leaves identical memory; fuel
+     exhaustion cuts each engine at its own accounting boundary. *)
+  if expected <> "fuel" then
+    match results with
+    | (n0, (_, s0)) :: rest ->
+        List.iter
+          (fun (n, (_, s)) ->
+            if s <> s0 then
+              Alcotest.failf
+                "seed %Ld: %s and %s fault on %s with different state\n\
+                 %s=[%s]\n%s=[%s]\n%s"
+                seed n0 n expected n0
+                (String.concat ";"
+                   (Array.to_list (Array.map string_of_int s0)))
+                n
+                (String.concat ";" (Array.to_list (Array.map string_of_int s)))
+                src)
+          rest
+    | [] -> assert false
+
+let trapped_classes = [| "div-zero"; "fuel" |]
+let checked_classes = [| "oob-write"; "oob-read"; "div-zero" |]
+
+let test_fault_plan_corpus () =
+  for i = 1 to 40 do
+    let seed = Int64.of_int (i * 6581) in
+    run_fault_plan ~engines:all_fault_engines ~classes:trapped_classes seed i;
+    run_fault_plan ~engines:checked_fault_engines ~classes:checked_classes
+      seed (-i)
+  done
+
+let prop_fault_plans_agree =
+  QCheck.Test.make
+    ~name:"all engines agree on the first-firing injected fault" ~count:100
+    QCheck.(pair int64 (int_range (-1000) 1000))
+    (fun (seed, a) ->
+      run_fault_plan ~engines:all_fault_engines ~classes:trapped_classes seed
+        a;
+      true)
+
+let prop_fault_plans_checked_agree =
+  QCheck.Test.make
+    ~name:"checked engines agree on injected memory faults" ~count:100
+    QCheck.(pair int64 (int_range (-1000) 1000))
+    (fun (seed, a) ->
+      run_fault_plan ~engines:checked_fault_engines ~classes:checked_classes
+        seed a;
+      true)
+
+(* ------------------------------------------------------------------ *)
 (* The differential property.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -381,4 +547,9 @@ let () =
               Alcotest.test_case "fixed corpus" `Quick test_fixed_corpus;
             ]
             @ qc [ prop_engines_agree ] );
+          ( "fault-plans",
+            [
+              Alcotest.test_case "fixed corpus" `Quick test_fault_plan_corpus;
+            ]
+            @ qc [ prop_fault_plans_agree; prop_fault_plans_checked_agree ] );
         ]

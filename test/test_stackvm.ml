@@ -621,6 +621,62 @@ let faulty_src =
    return s + a[n];\n\
    }"
 
+(* Graftjail's fuel-parity guarantee, session edition: sweep EVERY
+   fuel budget from 0 until past completion and require the optimized
+   tier to agree with the plain tier not just on the result but on the
+   entire memory image at the cut point. A fused superinstruction that
+   performed its stores before charging the full group's fuel would
+   pass the result check at most budgets but leave different memory
+   when the watchdog fires mid-group — exactly what this catches. *)
+let fuel_parity_corpus =
+  [
+    ("loopy", loopy_src, [ [| 3 |]; [| -7 |] ]);
+    ("faulty ok", faulty_src, [ [| 2 |] ]);
+    ("faulty oob", faulty_src, [ [| 9 |]; [| -3 |] ]);
+    ("faulty div", faulty_src, [ [| -100 |] ]);
+  ]
+
+let test_fuel_parity_sessions () =
+  let run_tier load runner src args fuel =
+    let image = fresh_image src in
+    let s = Vm.create_session (load image) in
+    let r = runner s ~entry:"main" ~args ~fuel in
+    (r, Array.copy (Memory.cells image.Link.mem))
+  in
+  List.iter
+    (fun (name, src, argsets) ->
+      List.iter
+        (fun args ->
+          (* Sweep until the plain tier reaches its terminal outcome
+             (anything but fuel exhaustion), then 3 budgets beyond. *)
+          let rec sweep fuel remaining =
+            if remaining = 0 then ()
+            else if fuel > 4000 then
+              Alcotest.failf "%s: no terminal outcome within 4000 fuel" name
+            else begin
+              let r1, m1 = run_tier Stackvm.load_exn Vm.run_session src args fuel in
+              let r2, m2 =
+                run_tier Stackvm.load_opt_exn Vm.run_session_opt src args fuel
+              in
+              if r1 <> r2 then
+                Alcotest.failf "%s args %d fuel %d: plain %s, opt %s" name
+                  args.(0) fuel (show_tier r1) (show_tier r2);
+              if m1 <> m2 then
+                Alcotest.failf
+                  "%s args %d fuel %d: tiers agree on %s but memory differs"
+                  name args.(0) fuel (show_tier r1);
+              let remaining =
+                match r1 with
+                | Error (`Fault Fault.Fuel_exhausted) -> remaining
+                | _ -> remaining - 1
+              in
+              sweep (fuel + 1) remaining
+            end
+          in
+          sweep 0 3)
+        argsets)
+    fuel_parity_corpus
+
 let prop_tiers_agree_any_fuel =
   (* Random fuel budgets cut execution off mid-program, including in
      the middle of fused groups; random arguments hit the bounds and
@@ -697,6 +753,8 @@ let () =
         [
           Alcotest.test_case "peephole fuses" `Quick test_peephole_fuses;
           Alcotest.test_case "tiers agree" `Quick test_tiers_differential;
+          Alcotest.test_case "fuel parity at every budget" `Quick
+            test_fuel_parity_sessions;
         ]
         @ qc [ prop_tiers_agree_any_fuel ] );
     ]
