@@ -144,100 +144,21 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 (* Interpreted vs optimized bytecode tier over each graft's core op,
-   written as JSON so CI and plots can track the speedup. *)
+   written as v3 JSON (medians with bootstrap CIs) so CI and plots can
+   track the speedup. The suite, the harness, and the schema live in
+   Graft_report.Benchgate — the same code `graftkit bench` runs. *)
 let stackvm_json ?(path = "BENCH_stackvm.json") () =
-  let open Graft_util in
-  (* Interleave the two tiers and keep each one's fastest round: on a
-     shared machine contention is additive noise, and back-to-back
-     sampling keeps a frequency drift from landing entirely on one
-     side of the ratio. *)
-  let time2 interp_op opt_op =
-    ignore (interp_op ());
-    ignore (opt_op ());
-    let iters =
-      Timer.calibrate_iters ~max_iters:10_000_000 ~target_s:0.02 interp_op
-    in
-    let sample op =
-      let t0 = Timer.now_ns () in
-      for _ = 1 to iters do
-        op ()
-      done;
-      Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. float_of_int iters
-    in
-    let best_i = ref infinity and best_o = ref infinity in
-    for _ = 1 to 7 do
-      let a = sample interp_op in
-      let b = sample opt_op in
-      if a < !best_i then best_i := a;
-      if b < !best_o then best_o := b
-    done;
-    (!best_i, !best_o)
-  in
-  let evict_op tech =
-    let runner =
-      Runners.evict ~rng:(Prng.create 0x5EEDL) tech ~capacity_nodes:128 ()
-    in
-    runner.Runners.refresh ~hot:hot_pages ~lru:[||];
-    fun () -> ignore (runner.Runners.contains 99_999)
-  in
-  let md5_op tech =
-    let size = 65536 in
-    let data = Prng.bytes (Prng.create 0x3D5L) size in
-    let runner = Runners.md5 tech ~capacity:size in
-    runner.Runners.load data;
-    fun () -> runner.Runners.compute size
-  in
-  let logdisk_op tech =
-    let nblocks = 4096 in
-    let policy = Runners.logdisk_policy tech ~nblocks in
-    let next = ref 0 in
-    fun () ->
-      next := (!next + 1677) land (nblocks - 1);
-      ignore (policy.Graft_kernel.Logdisk.map_write !next)
-  in
-  let pkt_op tech =
-    let traffic =
-      Graft_kernel.Netpkt.random_traffic (Prng.create 0xF17L) ~count:256
-    in
-    let accepts =
-      Runners.packet_filter tech ~protocol:Graft_kernel.Netpkt.proto_udp
-        ~port:53
-    in
-    let i = ref 0 in
-    fun () ->
-      i := (!i + 1) land 255;
-      ignore (accepts traffic.(!i))
-  in
-  let grafts =
-    [
-      ("evict_contains", evict_op); ("md5_64k", md5_op);
-      ("logdisk_map_write", logdisk_op); ("packet_filter", pkt_op);
-    ]
-  in
-  let rows =
-    List.map
-      (fun (name, mk) ->
-        let interp, opt =
-          time2 (mk Technology.Bytecode_vm) (mk Technology.Bytecode_opt)
-        in
-        Printf.printf "%-20s interp %10.1f ns/op   opt %10.1f ns/op   %.2fx\n%!"
-          name interp opt (interp /. opt);
-        Printf.sprintf
-          "  { \"graft\": %S, \"interp_ns_per_op\": %.1f, \
-           \"opt_ns_per_op\": %.1f, \"speedup\": %.2f }"
-          name interp opt (interp /. opt))
-      grafts
-  in
-  let host = try Unix.gethostname () with _ -> "unknown" in
-  let oc = open_out path in
-  output_string oc
-    (Printf.sprintf
-       "{\n  \"schema_version\": 2,\n  \"host\": %S,\n  \"ocaml\": %S,\n  \
-        \"results\": [\n"
-       host Sys.ocaml_version);
-  output_string oc (String.concat ",\n" (List.map (fun r -> "  " ^ r) rows));
-  output_string oc "\n  ]\n}\n";
-  close_out oc;
+  let rows = Graft_report.Benchgate.run_suite () in
+  List.iter
+    (fun (r : Graft_report.Benchgate.row) ->
+      let open Graft_stats.Robust in
+      Printf.printf "%-20s interp %10.1f ns/op   opt %10.1f ns/op   %.2fx\n%!"
+        r.Graft_report.Benchgate.graft r.Graft_report.Benchgate.interp.median
+        r.Graft_report.Benchgate.opt.median
+        (r.Graft_report.Benchgate.interp.median
+        /. r.Graft_report.Benchgate.opt.median))
+    rows;
+  Graft_report.Benchgate.save ~path rows;
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -263,6 +184,7 @@ let known_tables scale =
     ("a7", fun () -> ablation_hipec scale);
     ("a8", fun () -> ablation_trace scale);
     ("a9", fun () -> ablation_supervision scale);
+    ("a10", fun () -> ablation_metrics scale);
   ]
 
 let () =

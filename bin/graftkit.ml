@@ -49,6 +49,7 @@ let known_tables scale =
     ("a7", fun () -> ablation_hipec scale);
     ("a8", fun () -> ablation_trace scale);
     ("a9", fun () -> ablation_supervision scale);
+    ("a10", fun () -> ablation_metrics scale);
   ]
 
 let tables_cmd =
@@ -339,12 +340,17 @@ let measure_cmd =
          & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
   in
   let run what json =
+    let module R = Graft_stats.Robust in
+    let est_fields key (e : R.estimate) =
+      Printf.sprintf
+        "\"%s\":%.3e,\"%s_ci95_lo\":%.3e,\"%s_ci95_hi\":%.3e,\"%s_cv\":%.4f"
+        key e.R.median key e.R.ci95_lo key e.R.ci95_hi key e.R.cv
+    in
     let signal_json () =
       let r = Graft_measure.Signalbench.measure () in
       Printf.sprintf
-        "\"signal\":{\"per_signal_s\":%.3e,\"median_s\":%.3e,\"post_only_s\":%.3e,\"upcall_estimate_s\":%.3e,\"rounds\":%d,\"group_size\":%d}"
-        r.Graft_measure.Signalbench.per_signal_s.Graft_util.Stats.mean
-        r.Graft_measure.Signalbench.per_signal_s.Graft_util.Stats.median
+        "\"signal\":{%s,\"post_only_s\":%.3e,\"upcall_estimate_s\":%.3e,\"rounds\":%d,\"group_size\":%d}"
+        (est_fields "per_signal_s" r.Graft_measure.Signalbench.per_signal_s)
         r.Graft_measure.Signalbench.post_only_s
         (Graft_measure.Signalbench.upcall_estimate_s r)
         r.Graft_measure.Signalbench.rounds
@@ -352,21 +358,21 @@ let measure_cmd =
     in
     let disk_json () =
       let r = Graft_measure.Diskbench.measure () in
-      Printf.sprintf
-        "\"disk\":{\"bandwidth_bytes_per_s\":%.4e,\"mb_access_s\":%.3e}"
-        r.Graft_measure.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean
+      Printf.sprintf "\"disk\":{%s,\"mb_access_s\":%.3e}"
+        (est_fields "bandwidth_bytes_per_s"
+           r.Graft_measure.Diskbench.bandwidth_bytes_per_s)
         (Graft_measure.Diskbench.access_time_s r (1024 * 1024))
     in
     let fault_json () =
       let r = Graft_measure.Faultbench.measure () in
-      Printf.sprintf "\"fault\":{\"per_fault_s\":%.3e,\"pages\":%d}"
-        r.Graft_measure.Faultbench.per_fault_s.Graft_util.Stats.mean
+      Printf.sprintf "\"fault\":{%s,\"pages\":%d}"
+        (est_fields "per_fault_s" r.Graft_measure.Faultbench.per_fault_s)
         r.Graft_measure.Faultbench.pages
     in
     let signal () =
       let r = Graft_measure.Signalbench.measure () in
       Printf.printf "signal handling: %s (post-only baseline %s, %d rounds of %d signals)\n"
-        (Graft_util.Timer.pp_percall r.Graft_measure.Signalbench.per_signal_s)
+        (R.pp_percall r.Graft_measure.Signalbench.per_signal_s)
         (Graft_util.Timer.pp_seconds r.Graft_measure.Signalbench.post_only_s)
         r.Graft_measure.Signalbench.rounds r.Graft_measure.Signalbench.group_size;
       Printf.printf "upcall estimate: %s\n"
@@ -375,14 +381,14 @@ let measure_cmd =
     let disk () =
       let r = Graft_measure.Diskbench.measure () in
       Printf.printf "disk write bandwidth: %.1f MB/s (1MB in %s)\n"
-        (r.Graft_measure.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean /. 1048576.0)
+        (r.Graft_measure.Diskbench.bandwidth_bytes_per_s.R.median /. 1048576.0)
         (Graft_util.Timer.pp_seconds
            (Graft_measure.Diskbench.access_time_s r (1024 * 1024)))
     in
     let fault () =
       let r = Graft_measure.Faultbench.measure () in
       Printf.printf "page fault (mmap touch): %s over %d pages\n"
-        (Graft_util.Timer.pp_percall r.Graft_measure.Faultbench.per_fault_s)
+        (R.pp_percall r.Graft_measure.Faultbench.per_fault_s)
         r.Graft_measure.Faultbench.pages
     in
     let sections =
@@ -395,9 +401,15 @@ let measure_cmd =
           prerr_endline ("unknown measurement " ^ s);
           exit 2
     in
-    if json then
-      Printf.printf "{%s}\n"
-        (String.concat "," (List.map (fun (_, j) -> j ()) sections))
+    if json then begin
+      Graft_metrics.enable ();
+      let bodies = List.map (fun (_, j) -> j ()) sections in
+      Graft_metrics.disable ();
+      print_endline
+        (Graft_report.Envelope.wrap ~schema_version:3
+           (String.concat ","
+              (bodies @ [ "\"metrics\":" ^ Graft_metrics.to_json () ])))
+    end
     else List.iter (fun (p, _) -> p ()) sections
   in
   Cmd.v (Cmd.info "measure" ~doc:"Host measurements") Term.(const run $ what $ json)
@@ -444,12 +456,13 @@ let trace_cmd =
        steady-state sampling the overhead bench uses. *)
     Graft_trace.Trace.enable ~capacity ~sample:1 ();
     scenario ();
+    let extra = Graft_report.Envelope.fields ~schema_version:3 in
     let body =
       match format with
-      | `Chrome -> Graft_trace.Export.chrome_json ()
+      | `Chrome -> Graft_trace.Export.chrome_json ~extra ()
       | `Folded -> Graft_trace.Export.folded ()
       | `Summary -> Graft_trace.Export.summary ()
-      | `Summary_json -> Graft_trace.Export.summary_json ()
+      | `Summary_json -> Graft_trace.Export.summary_json ~extra ()
     in
     Graft_trace.Trace.disable ();
     match out with
@@ -631,6 +644,159 @@ let profile_cmd =
        ~doc:"Per-opcode execution profile of a GEL graft across the VM tiers")
     Term.(const run $ file $ entry $ args $ fuel $ top $ repeat)
 
+(* ---------- bench ---------- *)
+
+let bench_cmd =
+  let scale =
+    Arg.(value & opt scale_conv Graft_report.Experiments.Quick
+         & info [ "s"; "scale" ] ~doc:"Harness scale: quick or full.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Baseline JSON (v2 or v3) to compare against.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit nonzero if any graft regressed vs the baseline \
+                   (CI-disjoint AND median moved beyond the threshold).")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save-baseline" ] ~docv:"FILE"
+             ~doc:"Write the fresh results as a v3 baseline to $(docv).")
+  in
+  let threshold =
+    Arg.(value & opt (some float) None
+         & info [ "threshold" ] ~docv:"FRAC"
+             ~doc:"Override the per-graft regression thresholds (fractional: \
+                   0.3 = 30%).")
+  in
+  let run scale baseline check save threshold =
+    let config =
+      match scale with
+      | Graft_report.Experiments.Quick -> Graft_stats.Harness.quick
+      | Graft_report.Experiments.Full -> Graft_stats.Harness.full
+    in
+    let rows = Graft_report.Benchgate.run_suite ~config () in
+    let t =
+      Graft_util.Tablefmt.create
+        [| "Graft"; "interp"; "opt"; "speedup"; "rounds" |]
+    in
+    List.iter
+      (fun (r : Graft_report.Benchgate.row) ->
+        let open Graft_stats.Robust in
+        Graft_util.Tablefmt.add_row t
+          [|
+            r.Graft_report.Benchgate.graft;
+            Printf.sprintf "%.1f ns [%.1f, %.1f]"
+              r.Graft_report.Benchgate.interp.median
+              r.Graft_report.Benchgate.interp.ci95_lo
+              r.Graft_report.Benchgate.interp.ci95_hi;
+            Printf.sprintf "%.1f ns [%.1f, %.1f]"
+              r.Graft_report.Benchgate.opt.median
+              r.Graft_report.Benchgate.opt.ci95_lo
+              r.Graft_report.Benchgate.opt.ci95_hi;
+            Printf.sprintf "%.2fx"
+              (r.Graft_report.Benchgate.interp.median
+              /. r.Graft_report.Benchgate.opt.median);
+            string_of_int r.Graft_report.Benchgate.rounds;
+          |])
+      rows;
+    Graft_util.Tablefmt.print t;
+    (match save with
+    | Some path ->
+        Graft_report.Benchgate.save ~path rows;
+        Printf.printf "baseline written to %s\n" path
+    | None -> ());
+    match baseline with
+    | None ->
+        if check then begin
+          prerr_endline "bench: --check requires --baseline FILE";
+          exit 2
+        end
+    | Some path -> (
+        match Graft_report.Benchgate.load_baseline path with
+        | Error msg ->
+            prerr_endline ("bench: " ^ msg);
+            exit 2
+        | Ok base ->
+            let checks =
+              Graft_report.Benchgate.gate ?threshold ~baseline:base rows
+            in
+            List.iter
+              (fun c -> print_endline (Graft_report.Benchgate.pp_check c))
+              checks;
+            if Graft_report.Benchgate.failed checks then begin
+              prerr_endline "bench: REGRESSION detected";
+              if check then exit 1
+            end
+            else print_endline "bench: no regressions")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the stack-VM tier benchmark suite with the statistical \
+             harness and optionally gate against a saved baseline \
+             (noise-aware: a regression requires disjoint 95% CIs and a \
+             median move beyond the per-graft threshold)")
+    Term.(const run $ scale $ baseline $ check $ save $ threshold)
+
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"SCENARIO"
+             ~doc:"Scenario to run with metrics enabled: md5 | evict | \
+                   logdisk | all.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("openmetrics", `Openmetrics); ("json", `Json) ])
+             `Openmetrics
+         & info [ "f"; "format" ]
+             ~doc:"Output format: openmetrics (text exposition) or json.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write output to $(docv) instead of stdout.")
+  in
+  let run scenario format out =
+    let f =
+      match List.assoc_opt scenario Graft_report.Scenarios.by_name with
+      | Some f -> f
+      | None ->
+          prerr_endline
+            ("unknown metrics scenario: " ^ scenario ^ " (md5|evict|logdisk|all)");
+          exit 2
+    in
+    Graft_metrics.enable ();
+    Graft_metrics.reset ();
+    f ();
+    let body =
+      match format with
+      | `Openmetrics -> Graft_metrics.to_openmetrics ()
+      | `Json ->
+          Graft_report.Envelope.wrap ~schema_version:3
+            ("\"metrics\":" ^ Graft_metrics.to_json ())
+          ^ "\n"
+    in
+    Graft_metrics.disable ();
+    match out with
+    | None -> print_string body
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc body)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a canned kernel scenario with the Graftmeter registry \
+             enabled and export every metric family as OpenMetrics text or \
+             JSON")
+    Term.(const run $ scenario $ format $ out)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -642,5 +808,5 @@ let () =
        (Cmd.group ~default info
           [
             tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd;
-            trace_cmd; profile_cmd; protect_cmd;
+            trace_cmd; profile_cmd; protect_cmd; bench_cmd; metrics_cmd;
           ]))

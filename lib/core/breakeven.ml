@@ -55,7 +55,7 @@ let per_block_s ~total_s ~blocks =
   if blocks <= 0 then nan else total_s /. float_of_int blocks
 
 (** Linear extrapolation for interpreted technologies measured at a
-    reduced size (documented in DESIGN.md section 8): work is linear in
+    reduced size (documented in DESIGN.md section 9): work is linear in
     bytes/iterations for all three grafts. *)
 let extrapolate ~measured_s ~measured_size ~full_size =
   measured_s *. (float_of_int full_size /. float_of_int measured_size)

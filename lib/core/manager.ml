@@ -52,6 +52,10 @@ type graft = {
   mutable strikes : int;
   mutable cooldown : int;  (** fallback invocations left while disabled *)
   mutable fallbacks : int;  (** invocations answered by the kernel default *)
+  m_invocations : Graft_metrics.counter;  (** Graftmeter series, per graft *)
+  m_faults : Graft_metrics.counter;
+  m_fallbacks : Graft_metrics.counter;
+  m_quarantines : Graft_metrics.counter;
 }
 
 type t = { grafts : (string, graft) Hashtbl.t }
@@ -68,6 +72,7 @@ let register t ~name ~tech ~structure ~motivation ?max_faults
     | Some n -> { policy with max_faults = n }
   in
   check_policy policy;
+  let labels = [ ("graft", name) ] in
   let g =
     {
       g_name = name;
@@ -82,6 +87,18 @@ let register t ~name ~tech ~structure ~motivation ?max_faults
       strikes = 0;
       cooldown = 0;
       fallbacks = 0;
+      m_invocations =
+        Graft_metrics.counter "graftkit_manager_invocations"
+          ~help:"Graft invocations run under the supervision barrier" labels;
+      m_faults =
+        Graft_metrics.counter "graftkit_manager_faults"
+          ~help:"Faults recorded against a graft" labels;
+      m_fallbacks =
+        Graft_metrics.counter "graftkit_manager_fallbacks"
+          ~help:"Invocations answered by the kernel default path" labels;
+      m_quarantines =
+        Graft_metrics.counter "graftkit_manager_quarantines"
+          ~help:"Permanent quarantines (struck out)" labels;
     }
   in
   Hashtbl.replace t.grafts name g;
@@ -131,6 +148,7 @@ let kernel_corruption g ~detail =
 let record_fault g fault =
   g.faults <- g.faults + 1;
   g.total_faults <- g.total_faults + 1;
+  Graft_metrics.inc g.m_faults;
   Graft_trace.Trace.instant ~arg:g.total_faults Graft_trace.Trace.Manager
     ("fault:" ^ g.g_name);
   if Technology.can_crash_kernel g.tech then begin
@@ -145,6 +163,7 @@ let record_fault g fault =
     if g.strikes >= g.policy.max_strikes then begin
       g.state <- Quarantined fault;
       g.cooldown <- 0;
+      Graft_metrics.inc g.m_quarantines;
       Graft_trace.Trace.instant ~arg:g.strikes Graft_trace.Trace.Manager
         ("quarantine:" ^ g.g_name)
     end
@@ -163,16 +182,20 @@ let record_fault g fault =
     end
   end
 
+let fallback g =
+  g.fallbacks <- g.fallbacks + 1;
+  Graft_metrics.inc g.m_fallbacks
+
 (* Run one graft invocation, catching faults per the graft's trust
    model. Returns [None] when the graft is not in a runnable state or
    faulted — the caller then uses the kernel's default path. *)
 let rec invoke g f =
   match g.state with
   | Loaded ->
-      g.fallbacks <- g.fallbacks + 1;
+      fallback g;
       None
   | Quarantined _ ->
-      g.fallbacks <- g.fallbacks + 1;
+      fallback g;
       None
   | Disabled _ ->
       (* Each fallback invocation burns down the backoff; when it
@@ -180,7 +203,7 @@ let rec invoke g f =
          invocation runs on it. *)
       g.cooldown <- g.cooldown - 1;
       if g.cooldown > 0 then begin
-        g.fallbacks <- g.fallbacks + 1;
+        fallback g;
         None
       end
       else begin
@@ -193,6 +216,7 @@ let rec invoke g f =
       end
   | Attached -> (
       g.invocations <- g.invocations + 1;
+      Graft_metrics.inc g.m_invocations;
       (* Sampled span: invoke sits on hot paths (one call per eviction
          or filter flush); [g_name] is preallocated so the recording
          path stays allocation-free. Faulting invocations lose their
@@ -204,18 +228,18 @@ let rec invoke g f =
           Some v
       | exception Fault.Fault fault ->
           record_fault g fault;
-          g.fallbacks <- g.fallbacks + 1;
+          fallback g;
           None
       | exception Failure msg ->
           (* Runner wrappers turn faults into Failure. *)
           record_fault g (Fault.Host_error msg);
-          g.fallbacks <- g.fallbacks + 1;
+          fallback g;
           None
       | exception Division_by_zero ->
           (* A native graft's divide trap, caught at the barrier the
              way a trap handler would. *)
           record_fault g Fault.Division_by_zero;
-          g.fallbacks <- g.fallbacks + 1;
+          fallback g;
           None)
 
 (** Attach an eviction graft to a VM subsystem. [hot_pages] supplies

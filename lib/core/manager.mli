@@ -45,6 +45,10 @@ type graft = {
   mutable strikes : int;
   mutable cooldown : int;  (** fallback invocations left while disabled *)
   mutable fallbacks : int;  (** invocations answered by the kernel default *)
+  m_invocations : Graft_metrics.counter;  (** Graftmeter series, per graft *)
+  m_faults : Graft_metrics.counter;
+  m_fallbacks : Graft_metrics.counter;
+  m_quarantines : Graft_metrics.counter;
 }
 
 type t

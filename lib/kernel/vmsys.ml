@@ -16,6 +16,20 @@ type config = {
   pages_per_fault : int;  (** read-ahead, paper Table 3 "Num Pages" *)
 }
 
+(* Graftmeter counters (process-wide, across all Vmsys instances; the
+   per-instance [stats] record stays the per-run source of truth). *)
+let m_faults =
+  Graft_metrics.counter "graftkit_vmsys_page_faults"
+    ~help:"Page faults taken by the simulated VM subsystem" []
+
+let m_evictions =
+  Graft_metrics.counter "graftkit_vmsys_evictions"
+    ~help:"Pages evicted to satisfy a fault" []
+
+let m_hook_invalid =
+  Graft_metrics.counter "graftkit_vmsys_hook_invalid"
+    ~help:"Eviction-hook proposals rejected by kernel validation" []
+
 (** The eviction hook: given the kernel's default candidate page and
     the LRU-ordered list of resident pages, return the page to evict.
     Backends wrap graft technologies behind this closure. *)
@@ -103,6 +117,7 @@ let choose_victim t =
       else begin
         (* Reject: not one of the application's resident pages. *)
         t.stats.hook_invalid <- t.stats.hook_invalid + 1;
+        Graft_metrics.inc m_hook_invalid;
         Graft_trace.Trace.instant ~arg:proposal Graft_trace.Trace.Vmsys
           "hook-invalid";
         candidate
@@ -115,7 +130,8 @@ let evict t page =
   t.page_frame.(page) <- -1;
   t.frame_page.(frame) <- -1;
   t.free_frames <- frame :: t.free_frames;
-  t.stats.evictions <- t.stats.evictions + 1
+  t.stats.evictions <- t.stats.evictions + 1;
+  Graft_metrics.inc m_evictions
 
 let load t page =
   let frame =
@@ -159,6 +175,7 @@ let access t page =
   end
   else begin
     t.stats.faults <- t.stats.faults + 1;
+    Graft_metrics.inc m_faults;
     Graft_trace.Trace.instant ~arg:page Graft_trace.Trace.Vmsys "page-fault";
     let evicted =
       if t.free_frames = [] then begin

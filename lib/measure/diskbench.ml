@@ -5,7 +5,7 @@
     is removed afterwards. *)
 
 type result = {
-  bandwidth_bytes_per_s : Graft_util.Stats.summary;
+  bandwidth_bytes_per_s : Graft_stats.Robust.estimate;
   file_bytes : int;
   runs : int;
 }
@@ -42,7 +42,7 @@ let measure ?(runs = 5) ?(file_bytes = default_file_bytes) ?dir () : result =
   in
   (try Sys.remove path with Sys_error _ -> ());
   {
-    bandwidth_bytes_per_s = Graft_util.Stats.summarize samples;
+    bandwidth_bytes_per_s = Graft_stats.Robust.estimate samples;
     file_bytes;
     runs;
   }
@@ -50,4 +50,4 @@ let measure ?(runs = 5) ?(file_bytes = default_file_bytes) ?dir () : result =
 (** Seconds to move [bytes] at the measured bandwidth — the "1MB access
     time" column of Table 4. *)
 let access_time_s (r : result) bytes =
-  float_of_int bytes /. r.bandwidth_bytes_per_s.Graft_util.Stats.mean
+  float_of_int bytes /. r.bandwidth_bytes_per_s.Graft_stats.Robust.median

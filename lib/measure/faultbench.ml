@@ -12,7 +12,7 @@
     pass takes long enough to time reliably. *)
 
 type result = {
-  per_fault_s : Graft_util.Stats.summary;
+  per_fault_s : Graft_stats.Robust.estimate;
   pages : int;
   page_bytes : int;
 }
@@ -66,4 +66,4 @@ let measure ?(pages = 16384) ?(runs = 10) ?dir () : result =
     with_backing_file ~dir ~bytes (fun fd ->
         Array.init runs (fun _ -> touch_pass fd bytes /. float_of_int pages))
   in
-  { per_fault_s = Graft_util.Stats.summarize samples; pages; page_bytes }
+  { per_fault_s = Graft_stats.Robust.estimate samples; pages; page_bytes }

@@ -56,32 +56,52 @@ let paper_profiles =
 let find_paper name =
   List.find (fun p -> p.pname = name) paper_profiles
 
+(* A fallback constant is a number the report layer will happily print
+   next to measured ones, so it must never be silent: each component
+   records a [platform_measured{component=...}] gauge (1 = measured,
+   0 = assumed) and a failed measurement warns on stderr. *)
+let record_component name ok =
+  Graft_metrics.set
+    (Graft_metrics.gauge "platform_measured"
+       ~help:"1 when the host component was measured, 0 when a fallback constant is in use"
+       [ ("component", name) ])
+    (if ok then 1.0 else 0.0);
+  if not ok then
+    Printf.eprintf
+      "graftkit: warning: %s measurement failed; using a fallback constant\n%!"
+      name
+
 (** Measure the host. Each component can be skipped (e.g. in restricted
-    environments) and falls back to a conservative constant. *)
+    environments) and falls back to a conservative constant; the
+    profile claims [measured = true] only when every component was
+    actually measured. *)
 let measure_host ?(signal_rounds = 100) ?(disk_runs = 3) ?(fault_pages = 1024)
     () =
-  let signal_s =
+  let signal_s, signal_ok =
     match Signalbench.measure ~rounds:signal_rounds () with
-    | r -> r.Signalbench.per_signal_s.Graft_util.Stats.mean
-    | exception _ -> 10e-6
+    | r -> (r.Signalbench.per_signal_s.Graft_stats.Robust.median, true)
+    | exception _ -> (10e-6, false)
   in
-  let fault_s =
+  record_component "signal" signal_ok;
+  let fault_s, fault_ok =
     match Faultbench.measure ~pages:fault_pages ~runs:5 () with
-    | r -> r.Faultbench.per_fault_s.Graft_util.Stats.mean
-    | exception _ -> 1e-6
+    | r -> (r.Faultbench.per_fault_s.Graft_stats.Robust.median, true)
+    | exception _ -> (1e-6, false)
   in
-  let disk_bytes_per_s =
+  record_component "fault" fault_ok;
+  let disk_bytes_per_s, disk_ok =
     match Diskbench.measure ~runs:disk_runs () with
-    | r -> r.Diskbench.bandwidth_bytes_per_s.Graft_util.Stats.mean
-    | exception _ -> 500e6
+    | r -> (r.Diskbench.bandwidth_bytes_per_s.Graft_stats.Robust.median, true)
+    | exception _ -> (500e6, false)
   in
+  record_component "disk" disk_ok;
   {
     pname = "host";
     signal_s;
     fault_s;
     pages_per_fault = 1;
     disk_bytes_per_s;
-    measured = true;
+    measured = signal_ok && fault_ok && disk_ok;
   }
 
 (** Upcall estimate (the paper's: ~40% quicker than a signal). *)

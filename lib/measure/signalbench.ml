@@ -23,7 +23,7 @@ let signal_group =
   ]
 
 type result = {
-  per_signal_s : Graft_util.Stats.summary;  (** handled minus baseline *)
+  per_signal_s : Graft_stats.Robust.estimate;  (** handled minus baseline *)
   post_only_s : float;  (** mean baseline (post + sync) per signal *)
   group_size : int;
   rounds : int;
@@ -127,7 +127,7 @@ let measure ?(rounds = 100) () : result =
         Float.max 0.0 ((handled.(i) -. baseline.(i)) /. float_of_int n))
   in
   {
-    per_signal_s = Graft_util.Stats.summarize diffs;
+    per_signal_s = Graft_stats.Robust.estimate diffs;
     post_only_s = post_only;
     group_size = n;
     rounds;
@@ -135,4 +135,5 @@ let measure ?(rounds = 100) () : result =
 
 (** The paper's upcall estimate from a signal time: its measured upcall
     was ~40% quicker than signal delivery. *)
-let upcall_estimate_s (r : result) = r.per_signal_s.Graft_util.Stats.mean *. 0.6
+let upcall_estimate_s (r : result) =
+  r.per_signal_s.Graft_stats.Robust.median *. 0.6

@@ -13,7 +13,7 @@
     against Figure 1's sweep. *)
 
 type result = {
-  round_trip_s : Graft_util.Stats.summary;  (** one upcall round trip *)
+  round_trip_s : Graft_stats.Robust.estimate;  (** one upcall round trip *)
   rounds : int;
 }
 
@@ -95,25 +95,35 @@ let measure ?(rounds = 2000) () : result =
       for i = 1 to 100 do
         if once i <> i + 1 then failwith "Upcallbench: bad reply"
       done;
-      (* Batch 20 round trips per sample to ride above timer
-         resolution. *)
-      let batch = 20 in
-      let nsamples = max 1 (rounds / batch) in
-      let samples =
-        Array.init nsamples (fun s ->
-            let t0 = Graft_util.Timer.now_ns () in
-            for i = 1 to batch do
-              ignore (once (s + i))
-            done;
-            let t1 = Graft_util.Timer.now_ns () in
-            Int64.to_float (Int64.sub t1 t0) /. 1e9 /. float_of_int batch)
+      (* The shared harness batches round trips above timer resolution
+         and samples until the CI converges. No GC fence: the timed op
+         blocks in the kernel, and a major collection between samples
+         would stall the server ping-pong for nothing. *)
+      let counter = ref 0 in
+      let op () =
+        incr counter;
+        ignore (once !counter)
       in
+      let config =
+        {
+          Graft_stats.Harness.quick with
+          min_rounds = max 5 (rounds / 400);
+          max_rounds = max 15 (rounds / 100);
+          target_s = 0.002;
+          max_iters = 1000;
+          gc_fence = false;
+        }
+      in
+      let m = Graft_stats.Harness.measure ~config op in
       encode buf max_int;
       write_exact req_wr buf;
       Unix.close req_wr;
       Unix.close rep_rd;
       ignore (Unix.waitpid [] pid);
-      { round_trip_s = Graft_util.Stats.summarize samples; rounds = nsamples * batch }
+      {
+        round_trip_s = m.Graft_stats.Harness.est;
+        rounds = m.Graft_stats.Harness.iters * Array.length m.Graft_stats.Harness.samples;
+      }
 
 (** One protection-domain switch, for {!Graft_kernel.Upcall.create}. *)
-let switch_s (r : result) = r.round_trip_s.Graft_util.Stats.mean /. 2.0
+let switch_s (r : result) = r.round_trip_s.Graft_stats.Robust.median /. 2.0

@@ -1,0 +1,258 @@
+(* Graftmeter: the process-wide metrics registry.
+
+   Counters, gauges, and log2 histograms, registered once (by family
+   name + label set) and incremented from the kernel hot paths. The
+   design constraint is the disabled cost: tracing already showed that
+   a single global [bool ref] load plus a branch is unobservable in
+   the dispatch loops, so counter increments and histogram
+   observations gate on {!on} exactly the way [Graft_trace.Trace]
+   gates its hot path. Gauges are NOT gated — they record
+   configuration facts (was the platform profile measured or assumed?)
+   that must survive whether or not someone enabled metrics before the
+   fact was observed.
+
+   Export is deterministic: families sorted by name, series within a
+   family sorted by their canonical (sorted) label list. Two formats:
+   OpenMetrics text (counters get the [_total] sample suffix,
+   histograms emit cumulative [le] buckets + [_sum]/[_count], the
+   exposition ends with [# EOF]) and a JSON mirror for embedding in
+   [graftkit measure --json]. *)
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type cell =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Graft_trace.Histo.t
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type series = { family : string; labels : labels; cell : cell }
+type family = { fname : string; help : string; fkind : kind }
+
+(* Registry: families in a table for help/type metadata, series in a
+   table keyed by (family, canonical labels) for dedupe. Insertion
+   order is irrelevant — export sorts. *)
+let families : (string, family) Hashtbl.t = Hashtbl.create 32
+let series : (string * labels, series) Hashtbl.t = Hashtbl.create 64
+
+let canon labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: family %s re-registered with another kind" name)
+
+let register_family name help kind =
+  match Hashtbl.find_opt families name with
+  | Some f -> if f.fkind <> kind then kind_clash name
+  | None -> Hashtbl.add families name { fname = name; help; fkind = kind }
+
+let register name help kind labels fresh unwrap =
+  let labels = canon labels in
+  register_family name help kind;
+  match Hashtbl.find_opt series (name, labels) with
+  | Some s -> unwrap s.cell
+  | None ->
+      let cell = fresh () in
+      Hashtbl.add series (name, labels) { family = name; labels; cell };
+      unwrap cell
+
+let counter ?(help = "") name labels =
+  register name help Kcounter labels
+    (fun () -> Counter { c = 0 })
+    (function Counter c -> c | _ -> kind_clash name)
+
+let gauge ?(help = "") name labels =
+  register name help Kgauge labels
+    (fun () -> Gauge { g = 0.0 })
+    (function Gauge g -> g | _ -> kind_clash name)
+
+let histogram ?(help = "") name labels =
+  register name help Khistogram labels
+    (fun () -> Histogram (Graft_trace.Histo.create ()))
+    (function Histogram h -> h | _ -> kind_clash name)
+
+(* The hot-path operations. Disabled cost: one global load, one
+   branch. *)
+let inc ?(by = 1) c = if !on then c.c <- c.c + by
+let observe h v = if !on then Graft_trace.Histo.add h v
+
+(* Gauges are configuration facts — always recorded. *)
+let set g v = g.g <- v
+
+let counter_value c = c.c
+let gauge_value g = g.g
+
+let reset () =
+  Hashtbl.iter
+    (fun _ s ->
+      match s.cell with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.0
+      | Histogram h -> Graft_trace.Histo.reset h)
+    series
+
+(* ---------- export ---------- *)
+
+let sorted_series () =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) series [] in
+  List.sort
+    (fun a b ->
+      match String.compare a.family b.family with
+      | 0 -> compare a.labels b.labels
+      | c -> c)
+    all
+
+let sorted_families () =
+  let all = Hashtbl.fold (fun _ f acc -> f :: acc) families [] in
+  List.sort (fun a b -> String.compare a.fname b.fname) all
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
+      ^ "}"
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let kind_str = function
+  | Kcounter -> "counter"
+  | Kgauge -> "gauge"
+  | Khistogram -> "histogram"
+
+let to_openmetrics () =
+  let buf = Buffer.create 4096 in
+  let all = sorted_series () in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" f.fname (kind_str f.fkind));
+      if f.help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.fname f.help);
+      List.iter
+        (fun s ->
+          if s.family = f.fname then
+            match s.cell with
+            | Counter c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_total%s %d\n" f.fname
+                     (render_labels s.labels) c.c)
+            | Gauge g ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" f.fname (render_labels s.labels)
+                     (float_str g.g))
+            | Histogram h ->
+                let open Graft_trace in
+                List.iter
+                  (fun (bound, cum) ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" f.fname
+                         (render_labels s.labels
+                            ~extra:("le", string_of_int bound))
+                         cum))
+                  (Histo.cumulative h);
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" f.fname
+                     (render_labels s.labels ~extra:("le", "+Inf"))
+                     (Histo.count h));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %d\n" f.fname
+                     (render_labels s.labels) (Histo.sum h));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %d\n" f.fname
+                     (render_labels s.labels) (Histo.count h)))
+        all)
+    (sorted_families ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+(* The JSON mirror of the exposition: a flat series list, one object
+   per series, embeddable under a "metrics" key. *)
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"series\":[";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      if !first then first := false else Buffer.add_char buf ',';
+      let kind =
+        match s.cell with
+        | Counter _ -> Kcounter
+        | Gauge _ -> Kgauge
+        | Histogram _ -> Khistogram
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"labels\":%s,"
+           (json_escape s.family) (kind_str kind) (json_labels s.labels));
+      (match s.cell with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "\"value\":%d}" c.c)
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"value\":%s}" (float_str g.g))
+      | Histogram h ->
+          let open Graft_trace in
+          Buffer.add_string buf
+            (Printf.sprintf "\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
+               (Histo.count h) (Histo.sum h)
+               (String.concat ","
+                  (List.map
+                     (fun (bound, cum) ->
+                       Printf.sprintf "{\"le\":%d,\"count\":%d}" bound cum)
+                     (Histo.cumulative h))))))
+    (sorted_series ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Graftmeter: the process-wide metrics registry.
+
+    Counters, gauges, and log2 histograms registered by (family name,
+    label set) — re-registering the same pair returns the same cell,
+    so instrumentation sites can call {!counter} at module
+    initialisation without coordinating. Counter increments and
+    histogram observations gate on a single global flag (one load and
+    one branch when disabled); gauges always record, since they hold
+    configuration facts rather than event counts. *)
+
+type labels = (string * string) list
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Zero every value; registrations survive. *)
+val reset : unit -> unit
+
+type counter
+type gauge
+
+(** [counter name labels] registers (or retrieves) a counter series.
+    The OpenMetrics sample name gains a [_total] suffix; pass the bare
+    family name here. Raises [Invalid_argument] if [name] is already
+    registered with a different kind. *)
+val counter : ?help:string -> string -> labels -> counter
+
+(** Add [by] (default 1) when metrics are enabled; a load and a branch
+    otherwise. *)
+val inc : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+val gauge : ?help:string -> string -> labels -> gauge
+
+(** Gauges record regardless of {!enabled}. *)
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+val histogram : ?help:string -> string -> labels -> Graft_trace.Histo.t
+
+(** Record one value into a histogram when metrics are enabled. *)
+val observe : Graft_trace.Histo.t -> int -> unit
+
+(** OpenMetrics text exposition: sorted, [# TYPE]/[# HELP] headers,
+    cumulative [le] buckets for histograms, terminated by [# EOF]. *)
+val to_openmetrics : unit -> string
+
+(** JSON mirror: [{"series":[{"name":...,"kind":...,"labels":...,...}]}]. *)
+val to_json : unit -> string

@@ -1,0 +1,268 @@
+(* The perf-regression gate.
+
+   Three pieces:
+
+   1. {!run_suite} — the interpreted-vs-optimized tier comparison over
+      each graft's core operation, timed by the shared harness
+      (interleaved rounds, GC fences, CI-driven repetition) instead of
+      the best-of-7 loop bench/main.ml used to hand-roll.
+
+   2. {!to_json} / {!parse_baseline} — the BENCH_stackvm.json schema,
+      now v3: every number carries its bootstrap CI and CV, under the
+      shared envelope. v2 baselines (bare points) still parse, with
+      degenerate intervals.
+
+   3. {!gate} — the noise-aware comparison. A graft regresses only
+      when the new CI and the baseline CI are disjoint (the difference
+      is real, not noise) AND the median moved more than the
+      per-graft threshold (the difference is big enough to care).
+      Overlapping intervals never fail the gate, so a noisy CI runner
+      does not cry wolf. *)
+
+open Graft_util
+open Graft_core
+
+type row = {
+  graft : string;
+  interp : Graft_stats.Robust.estimate;  (** ns per op *)
+  opt : Graft_stats.Robust.estimate;  (** ns per op *)
+  rounds : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The suite: each graft's core op under both bytecode tiers.          *)
+(* ------------------------------------------------------------------ *)
+
+let hot_pages = Array.init 64 (fun i -> 3 * i)
+
+let evict_op tech =
+  let runner =
+    Runners.evict ~rng:(Prng.create 0x5EEDL) tech ~capacity_nodes:128 ()
+  in
+  runner.Runners.refresh ~hot:hot_pages ~lru:[||];
+  fun () -> ignore (runner.Runners.contains 99_999)
+
+let md5_op tech =
+  let size = 65536 in
+  let data = Prng.bytes (Prng.create 0x3D5L) size in
+  let runner = Runners.md5 tech ~capacity:size in
+  runner.Runners.load data;
+  fun () -> runner.Runners.compute size
+
+let logdisk_op tech =
+  let nblocks = 4096 in
+  let policy = Runners.logdisk_policy tech ~nblocks in
+  let next = ref 0 in
+  fun () ->
+    next := (!next + 1677) land (nblocks - 1);
+    ignore (policy.Graft_kernel.Logdisk.map_write !next)
+
+let pkt_op tech =
+  let traffic =
+    Graft_kernel.Netpkt.random_traffic (Prng.create 0xF17L) ~count:256
+  in
+  let accepts =
+    Runners.packet_filter tech ~protocol:Graft_kernel.Netpkt.proto_udp ~port:53
+  in
+  let i = ref 0 in
+  fun () ->
+    i := (!i + 1) land 255;
+    ignore (accepts traffic.(!i))
+
+let suite =
+  [
+    ("evict_contains", evict_op); ("md5_64k", md5_op);
+    ("logdisk_map_write", logdisk_op); ("packet_filter", pkt_op);
+  ]
+
+(* Thresholds below which a statistically real median move is still
+   tolerated: tight for the long-running MD5 op (stable), loose for
+   the nanosecond-scale ops where codegen luck moves medians. *)
+let default_threshold graft =
+  match graft with "md5_64k" -> 0.15 | _ -> 0.30
+
+let ns e =
+  Graft_stats.Robust.
+    { e with
+      mean = e.mean *. 1e9;
+      stddev = e.stddev *. 1e9;
+      median = e.median *. 1e9;
+      mad = e.mad *. 1e9;
+      ci95_lo = e.ci95_lo *. 1e9;
+      ci95_hi = e.ci95_hi *. 1e9;
+    }
+
+let run_suite ?(config = Graft_stats.Harness.quick) () =
+  List.map
+    (fun (name, mk) ->
+      let thunks =
+        [|
+          Graft_stats.Harness.stage (mk Technology.Bytecode_vm);
+          Graft_stats.Harness.stage (mk Technology.Bytecode_opt);
+        |]
+      in
+      let ms = Graft_stats.Harness.interleaved ~config thunks in
+      let interp = ms.(0) and opt = ms.(1) in
+      {
+        graft = name;
+        interp = ns interp.Graft_stats.Harness.est;
+        opt = ns opt.Graft_stats.Harness.est;
+        rounds = Array.length interp.Graft_stats.Harness.samples;
+      })
+    suite
+
+(* ------------------------------------------------------------------ *)
+(* Schema v3 JSON.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = 3
+
+let row_json r =
+  let open Graft_stats.Robust in
+  Printf.sprintf
+    "  { \"graft\": %S, \"interp_ns_per_op\": %.1f, \"interp_ci95_lo\": %.1f, \
+     \"interp_ci95_hi\": %.1f, \"interp_cv\": %.4f, \"opt_ns_per_op\": %.1f, \
+     \"opt_ci95_lo\": %.1f, \"opt_ci95_hi\": %.1f, \"opt_cv\": %.4f, \
+     \"rounds\": %d, \"speedup\": %.2f }"
+    r.graft r.interp.median r.interp.ci95_lo r.interp.ci95_hi r.interp.cv
+    r.opt.median r.opt.ci95_lo r.opt.ci95_hi r.opt.cv r.rounds
+    (r.interp.median /. r.opt.median)
+
+let to_json rows =
+  Envelope.wrap ~schema_version
+    (Printf.sprintf "\n  \"results\": [\n%s\n  ]\n"
+       (String.concat ",\n" (List.map row_json rows)))
+
+let save ~path rows =
+  let oc = open_out path in
+  output_string oc (to_json rows);
+  output_string oc "\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Baseline parsing (v2 and v3).                                       *)
+(* ------------------------------------------------------------------ *)
+
+type baseline_col = { b_ns : float; b_lo : float; b_hi : float }
+type baseline_row = { b_graft : string; b_interp : baseline_col; b_opt : baseline_col }
+
+let parse_col obj prefix =
+  let open Minijson in
+  match Option.bind (member (prefix ^ "_ns_per_op") obj) to_float with
+  | None -> Error (Printf.sprintf "missing %s_ns_per_op" prefix)
+  | Some v ->
+      (* v2 rows carry no CI; a degenerate [v, v] interval makes the
+         disjointness test reduce to a plain median comparison. *)
+      let get key fallback =
+        match Option.bind (member key obj) to_float with
+        | Some x -> x
+        | None -> fallback
+      in
+      Ok
+        {
+          b_ns = v;
+          b_lo = get (prefix ^ "_ci95_lo") v;
+          b_hi = get (prefix ^ "_ci95_hi") v;
+        }
+
+let parse_baseline text =
+  let open Minijson in
+  match parse text with
+  | Error msg -> Error ("baseline: " ^ msg)
+  | Ok doc -> (
+      match Option.bind (member "results" doc) to_list with
+      | None -> Error "baseline: no results array"
+      | Some rows ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | obj :: rest -> (
+                match Option.bind (member "graft" obj) to_string with
+                | None -> Error "baseline: row without graft name"
+                | Some name -> (
+                    match (parse_col obj "interp", parse_col obj "opt") with
+                    | Ok i, Ok o ->
+                        go ({ b_graft = name; b_interp = i; b_opt = o } :: acc)
+                          rest
+                    | Error e, _ | _, Error e ->
+                        Error (Printf.sprintf "baseline row %s: %s" name e)))
+          in
+          go [] rows)
+
+let load_baseline path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | text -> parse_baseline text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* The gate.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Pass | Regression | Improvement
+
+(* The noise-aware rule, on bare numbers so tests can drive it with
+   synthetic baselines: a move counts only when the intervals are
+   disjoint AND the median moved beyond the threshold fraction. *)
+let compare_ci ~threshold ~base ~cur_ns ~cur_lo ~cur_hi =
+  if cur_lo > base.b_hi && cur_ns > base.b_ns *. (1.0 +. threshold) then
+    Regression
+  else if cur_hi < base.b_lo && cur_ns < base.b_ns *. (1.0 -. threshold) then
+    Improvement
+  else Pass
+
+type check = {
+  c_graft : string;
+  c_tier : string;  (** "interp" or "opt" *)
+  c_base_ns : float;
+  c_cur_ns : float;
+  c_verdict : verdict;
+}
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+
+(** Compare [rows] against a parsed baseline. Grafts present only on
+    one side are skipped (the suite changed; regenerate the baseline).
+    [threshold] overrides the per-graft defaults. *)
+let gate ?threshold ~baseline rows =
+  List.concat_map
+    (fun r ->
+      match List.find_opt (fun b -> b.b_graft = r.graft) baseline with
+      | None -> []
+      | Some b ->
+          let thr =
+            match threshold with
+            | Some t -> t
+            | None -> default_threshold r.graft
+          in
+          let one tier base (e : Graft_stats.Robust.estimate) =
+            {
+              c_graft = r.graft;
+              c_tier = tier;
+              c_base_ns = base.b_ns;
+              c_cur_ns = e.Graft_stats.Robust.median;
+              c_verdict =
+                compare_ci ~threshold:thr ~base
+                  ~cur_ns:e.Graft_stats.Robust.median
+                  ~cur_lo:e.Graft_stats.Robust.ci95_lo
+                  ~cur_hi:e.Graft_stats.Robust.ci95_hi;
+            }
+          in
+          [ one "interp" b.b_interp r.interp; one "opt" b.b_opt r.opt ])
+    rows
+
+let failed checks = List.exists (fun c -> c.c_verdict = Regression) checks
+
+let pp_check c =
+  Printf.sprintf "%-20s %-7s base %10.1f ns/op   now %10.1f ns/op   %+6.1f%%  %s"
+    c.c_graft c.c_tier c.c_base_ns c.c_cur_ns
+    (if c.c_base_ns = 0.0 then 0.0
+     else (c.c_cur_ns -. c.c_base_ns) /. c.c_base_ns *. 100.0)
+    (verdict_name c.c_verdict)

@@ -11,6 +11,8 @@
 open Graft_util
 open Graft_core
 open Graft_measure
+module Robust = Graft_stats.Robust
+module Harness = Graft_stats.Harness
 
 type scale = Quick | Full
 
@@ -47,12 +49,30 @@ let graft_techs () = table_techs @ !extra_techs
 let target_s = function Quick -> 0.02 | Full -> 0.1
 let runs_of = function Quick -> 5 | Full -> 10
 
-let time_op ?(max_iters = 10_000_000) scale op =
-  let iters = Timer.calibrate_iters ~max_iters ~target_s:(target_s scale) op in
-  Timer.measure ~runs:(runs_of scale) ~iters op
+(* Every timing below goes through the shared harness: interleaved
+   GC-fenced rounds, outlier rejection, bootstrap CIs, auto-repetition
+   until the CI converges. The scale picks the preset. *)
+let harness_config ?max_iters scale =
+  let base =
+    match scale with Quick -> Harness.quick | Full -> Harness.full
+  in
+  match max_iters with None -> base | Some m -> { base with max_iters = m }
 
+(* Slow (interpreted, single-shot) ops: a fixed small round count
+   instead of CI-driven repetition, or a reduced run would take
+   minutes. *)
+let slow_config ?(max_iters = 1) ~rounds scale =
+  { (harness_config ~max_iters scale) with
+    min_rounds = rounds;
+    max_rounds = rounds + 1;
+  }
+
+let time_op ?max_iters scale op =
+  Harness.measure ~config:(harness_config ?max_iters scale) op
+
+let med (m : Harness.measurement) = m.Harness.est.Robust.median
 let fmt_time s = Timer.pp_seconds s
-let fmt_meas (m : Timer.measurement) = Timer.pp_percall m.Timer.per_call_s
+let fmt_meas (m : Harness.measurement) = Robust.pp_percall m.Harness.est
 let fmt_norm v = Printf.sprintf "%.2f" v
 
 let fmt_breakeven v =
@@ -78,14 +98,14 @@ let table1 ?(rounds = 100) () =
   Tablefmt.add_row t
     [|
       "host (measured)";
-      fmt_time host.Signalbench.per_signal_s.Stats.median ^ " (median)";
-      fmt_time (host.Signalbench.per_signal_s.Stats.median *. 0.6);
+      Robust.pp_percall host.Signalbench.per_signal_s;
+      fmt_time (host.Signalbench.per_signal_s.Robust.median *. 0.6);
     |];
   Tablefmt.add_row t
     [|
       "host (real upcall RTT)";
       "-";
-      fmt_time upcall.Upcallbench.round_trip_s.Stats.median ^ " (median)";
+      Robust.pp_percall upcall.Upcallbench.round_trip_s;
     |];
   {
     id = "Table 1";
@@ -131,7 +151,7 @@ let measure_contains scale tech =
 
 type tech_timing = {
   tt_tech : Technology.t;
-  meas : Timer.measurement;
+  meas : Harness.measurement;
   scaled_from : int option;  (** measured size, when extrapolated *)
   full_s : float;  (** per-op seconds at full size *)
 }
@@ -140,12 +160,7 @@ let table2_data scale =
   List.map
     (fun tech ->
       let meas = measure_contains scale tech in
-      {
-        tt_tech = tech;
-        meas;
-        scaled_from = None;
-        full_s = meas.Timer.per_call_s.Stats.mean;
-      })
+      { tt_tech = tech; meas; scaled_from = None; full_s = med meas })
     (graft_techs ())
 
 let table2 ?(data = None) scale =
@@ -210,7 +225,7 @@ let table2 ?(data = None) scale =
 
 let table3 () =
   let host = Faultbench.measure ~runs:5 () in
-  let host_sw = host.Faultbench.per_fault_s.Stats.mean in
+  let host_sw = host.Faultbench.per_fault_s.Robust.median in
   let t =
     Tablefmt.create [| "Platform"; "Fault time"; "Pages/fault"; "Source" |]
   in
@@ -223,7 +238,7 @@ let table3 () =
   Tablefmt.add_row t
     [|
       "host (soft fault)";
-      Timer.pp_percall host.Faultbench.per_fault_s;
+      Robust.pp_percall host.Faultbench.per_fault_s;
       "1";
       "measured (mmap touch)";
     |];
@@ -268,7 +283,7 @@ let table4 ?(runs = 3) () =
         |])
     Paperdata.table4_disk;
   Tablefmt.add_sep t;
-  let bw = host.Diskbench.bandwidth_bytes_per_s.Stats.mean in
+  let bw = host.Diskbench.bandwidth_bytes_per_s.Robust.median in
   Tablefmt.add_row t
     [|
       "host";
@@ -310,13 +325,13 @@ let table5_data scale =
       runner.Runners.load data;
       let runs = if tech = Technology.Source_interp then 3 else runs_of scale in
       let op () = runner.Runners.compute size in
-      (* Calibrate the batch size for the fast technologies so each
-         timed batch is well above timer resolution and GC noise. *)
-      let iters =
-        if tech = Technology.Source_interp then 1
-        else max 1 (Timer.calibrate_iters ~max_iters:64 ~target_s:(target_s scale) op)
+      (* Single-shot for the source interpreter (one op takes seconds);
+         small calibrated batches for the rest so each timed window is
+         well above timer resolution and GC noise. *)
+      let max_iters = if tech = Technology.Source_interp then 1 else 64 in
+      let meas =
+        Harness.measure ~config:(slow_config ~max_iters ~rounds:runs scale) op
       in
-      let meas = Timer.measure ~warmup:1 ~runs ~iters op in
       (* Verify the digest before trusting the timing. *)
       let expect =
         Graft_md5.Md5.to_hex (Graft_md5.Md5.digest_bytes data)
@@ -326,8 +341,8 @@ let table5_data scale =
           ("table5: wrong digest from " ^ Technology.name tech);
       let full_s =
         (* Median resists the occasional GC pause in large-buffer runs. *)
-        Breakeven.extrapolate ~measured_s:meas.Timer.per_call_s.Stats.median
-          ~measured_size:size ~full_size:md5_full_bytes
+        Breakeven.extrapolate ~measured_s:(med meas) ~measured_size:size
+          ~full_size:md5_full_bytes
       in
       {
         tt_tech = tech;
@@ -366,7 +381,7 @@ let table5 ?(data = None) scale =
         | Some n ->
             Printf.sprintf "%s (x%d from %s)" (fmt_time d.full_s)
               (md5_full_bytes / n)
-              (fmt_time d.meas.Timer.per_call_s.Stats.mean)
+              (fmt_time (med d.meas))
       in
       Tablefmt.add_row t
         (Array.of_list
@@ -428,7 +443,7 @@ let table6_data scale =
       let policy = Runners.logdisk_policy tech ~nblocks:logdisk_nblocks in
       let runs = if tech = Technology.Source_interp then 3 else runs_of scale in
       let meas =
-        Timer.measure ~warmup:1 ~runs ~iters:1 (fun () ->
+        Harness.measure ~config:(slow_config ~rounds:runs scale) (fun () ->
             Array.iter
               (fun logical ->
                 ignore (policy.Graft_kernel.Logdisk.map_write logical))
@@ -445,8 +460,8 @@ let table6_data scale =
       if io_result.Graft_kernel.Logdisk.mapping_errors <> 0 then
         failwith ("table6: mapping errors from " ^ Technology.name tech);
       let full_s =
-        Breakeven.extrapolate ~measured_s:meas.Timer.per_call_s.Stats.mean
-          ~measured_size:writes ~full_size:logdisk_full_writes
+        Breakeven.extrapolate ~measured_s:(med meas) ~measured_size:writes
+          ~full_size:logdisk_full_writes
       in
       {
         lt =
@@ -478,7 +493,7 @@ let table6 ?(data = None) scale =
         | Some n ->
             Printf.sprintf "%s (x%d from %s)" (fmt_time d.lt.full_s)
               (logdisk_full_writes / n)
-              (fmt_time d.lt.meas.Timer.per_call_s.Stats.mean)
+              (fmt_time (med d.lt.meas))
       in
       Tablefmt.add_row t
         [|
@@ -513,9 +528,9 @@ let table6 ?(data = None) scale =
 
 let figure1 ?(event_cost_s = 6.9e-3) scale =
   (* Measure the native graft and the two compiled safe technologies. *)
-  let native = (measure_contains scale Technology.Unsafe_c).Timer.per_call_s.Stats.mean in
-  let m3 = (measure_contains scale Technology.Safe_lang).Timer.per_call_s.Stats.mean in
-  let sfi = (measure_contains scale Technology.Sfi_write_jump).Timer.per_call_s.Stats.mean in
+  let native = med (measure_contains scale Technology.Unsafe_c) in
+  let m3 = med (measure_contains scale Technology.Safe_lang) in
+  let sfi = med (measure_contains scale Technology.Sfi_write_jump) in
   let upcalls = List.init 51 (fun i -> float_of_int i *. 1e-6) in
   let curve =
     Breakeven.upcall_sweep ~event_cost_s ~native_graft_s:native
@@ -552,7 +567,7 @@ let figure1 ?(event_cost_s = 6.9e-3) scale =
   let cross_sfi = Breakeven.competitive_upcall_s ~in_kernel_s:sfi ~native_graft_s:native in
   let real_upcall =
     match Upcallbench.measure ~rounds:500 () with
-    | r -> Some (r.Upcallbench.round_trip_s.Stats.mean)
+    | r -> Some r.Upcallbench.round_trip_s.Robust.median
     | exception _ -> None
   in
   {
@@ -591,14 +606,10 @@ let ablation_nil scale =
   let nil = measure_contains scale Technology.Safe_lang_nil in
   let unsafe = measure_contains scale Technology.Unsafe_c in
   let t = Tablefmt.create [| "Regime"; "raw"; "vs C" |] in
-  let base = unsafe.Timer.per_call_s.Stats.mean in
+  let base = med unsafe in
   List.iter
     (fun (name, m) ->
-      Tablefmt.add_row t
-        [|
-          name; fmt_meas m;
-          fmt_norm (m.Timer.per_call_s.Stats.mean /. base);
-        |])
+      Tablefmt.add_row t [| name; fmt_meas m; fmt_norm (med m /. base) |])
     [
       ("C (unsafe)", unsafe);
       ("Modula-3, trap-based NIL (Solaris/Alpha)", checked);
@@ -623,21 +634,20 @@ let ablation_sfi scale =
   let row tech =
     let runner = Runners.md5 tech ~capacity:size in
     runner.Runners.load data;
-    let m = Timer.measure ~runs:(runs_of scale) ~iters:1 (fun () -> runner.Runners.compute size) in
+    let m =
+      Harness.measure
+        ~config:(slow_config ~rounds:(runs_of scale) scale)
+        (fun () -> runner.Runners.compute size)
+    in
     (tech, m)
   in
   let rows = List.map row [ Technology.Unsafe_c; Technology.Sfi_write_jump; Technology.Sfi_full ] in
-  let base =
-    (snd (List.hd rows)).Timer.per_call_s.Stats.mean
-  in
+  let base = med (snd (List.hd rows)) in
   let t = Tablefmt.create [| "Protection"; "MD5 raw"; "vs C" |] in
   List.iter
     (fun (tech, m) ->
       Tablefmt.add_row t
-        [|
-          Technology.paper_name tech; fmt_meas m;
-          fmt_norm (m.Timer.per_call_s.Stats.mean /. base);
-        |])
+        [| Technology.paper_name tech; fmt_meas m; fmt_norm (med m /. base) |])
     rows;
   {
     id = "Ablation A2";
@@ -661,15 +671,12 @@ let ablation_interp scale =
         Technology.Source_interp;
       ]
   in
-  let base = (snd (List.hd data)).Timer.per_call_s.Stats.mean in
+  let base = med (snd (List.hd data)) in
   let t = Tablefmt.create [| "Interpreter"; "hot-list search"; "vs C" |] in
   List.iter
     (fun (tech, m) ->
       Tablefmt.add_row t
-        [|
-          Technology.paper_name tech; fmt_meas m;
-          fmt_norm (m.Timer.per_call_s.Stats.mean /. base);
-        |])
+        [| Technology.paper_name tech; fmt_meas m; fmt_norm (med m /. base) |])
     data;
   {
     id = "Ablation A3";
@@ -747,8 +754,9 @@ let ablation_upcall () =
     let runner = Runners.md5 Technology.Unsafe_c ~capacity:md5_full_bytes in
     let data = Prng.bytes (Prng.create 1L) md5_full_bytes in
     runner.Runners.load data;
-    let m = Timer.measure ~runs:3 ~iters:1 (fun () -> runner.Runners.compute md5_full_bytes) in
-    m.Timer.per_call_s.Stats.mean
+    med
+      (Harness.measure ~config:(slow_config ~rounds:3 Quick) (fun () ->
+           runner.Runners.compute md5_full_bytes))
   in
   let t =
     Tablefmt.create
@@ -815,7 +823,7 @@ let ablation_pfvm scale =
         (tech, time_op scale op))
       techs
   in
-  let base = (snd (List.hd data)).Timer.per_call_s.Stats.mean in
+  let base = med (snd (List.hd data)) in
   let matches =
     let accepts =
       Runners.packet_filter Technology.Unsafe_c
@@ -827,10 +835,7 @@ let ablation_pfvm scale =
   List.iter
     (fun (tech, m) ->
       Tablefmt.add_row t
-        [|
-          Technology.paper_name tech; fmt_meas m;
-          fmt_norm (m.Timer.per_call_s.Stats.mean /. base);
-        |])
+        [| Technology.paper_name tech; fmt_meas m; fmt_norm (med m /. base) |])
     data;
   {
     id = "Ablation A6";
@@ -901,15 +906,11 @@ let ablation_hipec scale =
         failwith (Printf.sprintf "A7: %s picked %d, expected %d" name got expect))
     rows;
   let _, base, _ = List.hd rows in
-  let base = base.Timer.per_call_s.Stats.mean in
+  let base = med base in
   let t = Tablefmt.create [| "Mechanism"; "victim selection"; "vs C" |] in
   List.iter
     (fun (name, m, _) ->
-      Tablefmt.add_row t
-        [|
-          name; fmt_meas m;
-          fmt_norm (m.Timer.per_call_s.Stats.mean /. base);
-        |])
+      Tablefmt.add_row t [| name; fmt_meas m; fmt_norm (med m /. base) |])
     rows;
   {
     id = "Ablation A7";
@@ -928,11 +929,23 @@ let ablation_hipec scale =
       ];
   }
 
+(* Round count for the overhead ablations (A8-A10): the deltas of
+   interest are a few percent, so they get more rounds than the tables. *)
+let overhead_config scale =
+  { (harness_config scale) with
+    min_rounds = 2 * runs_of scale;
+    max_rounds = 4 * runs_of scale;
+  }
+
 (* A8: Graftscope tracing overhead on the Table 2 operation. Each
    technology is timed three ways: the bare op (no span site at all),
    the op wrapped in a workload-track span with the tracer disabled
    (the cost of an instrumented-but-off site: one sink load and
-   branch), and the same with the tracer recording into a ring. *)
+   branch), and the same with the tracer recording into a ring. The
+   harness interleaves the three configurations round-by-round and
+   GC-fences each sample — without the fence, collecting a round's
+   discarded ring lands inside the enabled samples and reads as tracer
+   overhead — and the deltas are round-paired, each with its own CI. *)
 let ablation_trace scale =
   let module T = Graft_trace.Trace in
   let techs =
@@ -964,60 +977,25 @@ let ablation_trace scale =
           op ();
           T.span_end T.App "contains" tok
         in
-        (* Interleave the three configurations round-by-round and keep
-           each one's fastest round (as stackvm-json does for its tier
-           ratio): the deltas of interest are a few percent, and a
-           contention spike on a shared host would otherwise land
-           entirely on one column. Each sample is GC-fenced — without
-           it, collecting the previous round's discarded ring lands
-           inside the enabled samples and reads as tracer overhead. *)
-        raw_op ();
-        traced ();
-        let iters =
-          Timer.calibrate_iters ~max_iters:10_000_000
-            ~target_s:(target_s scale) raw_op
+        let recorded = ref 0 in
+        let ms =
+          Harness.interleaved ~config:(overhead_config scale)
+            [|
+              Harness.stage raw_op;
+              Harness.stage traced;
+              {
+                Harness.prepare =
+                  (fun () -> T.enable ~capacity:(1 lsl 15) ~sample:32 ());
+                op = traced;
+                finish =
+                  (fun () ->
+                    recorded := !recorded + T.total_recorded ();
+                    T.disable ());
+              };
+            |]
         in
-        let sample f =
-          Gc.full_major ();
-          let t0 = Timer.now_ns () in
-          for _ = 1 to iters do
-            f ()
-          done;
-          Int64.to_float (Int64.sub (Timer.now_ns ()) t0)
-          /. float_of_int iters /. 1e9
-        in
-        let best_raw = ref infinity
-        and best_off = ref infinity
-        and best_on = ref infinity
-        and recorded = ref 0
-        and rounds = ref [] in
-        for _ = 1 to 3 * runs_of scale do
-          let a = sample raw_op in
-          let b = sample traced in
-          T.enable ~capacity:(1 lsl 15) ~sample:32 ();
-          let c = sample traced in
-          recorded := !recorded + T.total_recorded ();
-          T.disable ();
-          rounds := (a, b, c) :: !rounds;
-          if a < !best_raw then best_raw := a;
-          if b < !best_off then best_off := b;
-          if c < !best_on then best_on := c
-        done;
-        (tech, !best_raw, !best_off, !best_on, !rounds, !recorded))
+        (tech, ms.(0), ms.(1), ms.(2), !recorded))
       techs
-  in
-  (* Deltas are paired within a round (the three samples share that
-     round's host conditions) and summarized by the median round, so a
-     contention burst shifts one round's pair, not the estimate. *)
-  let median xs =
-    let a = Array.of_list xs in
-    Array.sort compare a;
-    a.(Array.length a / 2)
-  in
-  let delta pick rounds =
-    Printf.sprintf "%+.1f%%"
-      (median (List.map (fun r -> let x, y = pick r in (y -. x) /. x *. 100.0)
-                 rounds))
   in
   let t =
     Tablefmt.create
@@ -1026,15 +1004,17 @@ let ablation_trace scale =
       |]
   in
   List.iter
-    (fun (tech, raw, off, on, rounds, recorded) ->
+    (fun (tech, raw, off, on, recorded) ->
       Tablefmt.add_row t
         [|
           Technology.paper_name tech;
-          fmt_time raw;
-          fmt_time off;
-          fmt_time on;
-          delta (fun (a, b, _) -> (a, b)) rounds;
-          delta (fun (_, b, c) -> (b, c)) rounds;
+          fmt_meas raw;
+          fmt_meas off;
+          fmt_meas on;
+          Harness.pp_delta
+            (Harness.paired_delta_pct raw.Harness.samples off.Harness.samples);
+          Harness.pp_delta
+            (Harness.paired_delta_pct off.Harness.samples on.Harness.samples);
           string_of_int recorded;
         |])
     rows;
@@ -1048,10 +1028,11 @@ let ablation_trace scale =
          branch per op, the 'zero when disabled' claim); on = recording \
          into a 32K-slot ring with 1-in-32 span sampling";
         "the VM technologies additionally carry their built-in dispatch-loop \
-         span sites in every configuration; columns are the fastest of \
-         interleaved GC-fenced rounds, deltas the median of round-paired \
-         comparisons, and jitter of a percent or two is measurement noise, \
-         not tracer cost";
+         span sites in every configuration; configurations run in \
+         interleaved GC-fenced rounds, cells are outlier-rejected medians \
+         ±95% CI half-width, and deltas are round-paired medians with \
+         their own CIs — a delta whose CI straddles zero is noise, not \
+         tracer cost";
       ];
   }
 
@@ -1087,54 +1068,27 @@ let ablation_supervision scale =
         g.Manager.state <- Manager.Attached;
         let bare () = ignore (op ()) in
         let supervised () = ignore (Manager.invoke g op) in
-        bare ();
-        supervised ();
-        let iters =
-          Timer.calibrate_iters ~max_iters:10_000_000
-            ~target_s:(target_s scale) bare
-        in
-        let sample f =
-          Gc.full_major ();
-          let t0 = Timer.now_ns () in
-          for _ = 1 to iters do
-            f ()
-          done;
-          Int64.to_float (Int64.sub (Timer.now_ns ()) t0)
-          /. float_of_int iters /. 1e9
-        in
         (* Interleaved rounds, paired deltas (as in A8): the barrier
            costs nanoseconds, far below host noise on one round. *)
-        let best_bare = ref infinity
-        and best_sup = ref infinity
-        and rounds = ref [] in
-        for _ = 1 to 3 * runs_of scale do
-          let a = sample bare in
-          let b = sample supervised in
-          rounds := (a, b) :: !rounds;
-          if a < !best_bare then best_bare := a;
-          if b < !best_sup then best_sup := b
-        done;
-        (tech, !best_bare, !best_sup, !rounds))
+        let ms =
+          Harness.interleaved ~config:(overhead_config scale)
+            [| Harness.stage bare; Harness.stage supervised |]
+        in
+        (tech, ms.(0), ms.(1)))
       techs
-  in
-  let median xs =
-    let a = Array.of_list xs in
-    Array.sort compare a;
-    a.(Array.length a / 2)
   in
   let t =
     Tablefmt.create [| "Technology"; "bare"; "supervised"; "overhead" |]
   in
   List.iter
-    (fun (tech, bare, sup, rounds) ->
+    (fun (tech, bare, sup) ->
       Tablefmt.add_row t
         [|
           Technology.paper_name tech;
-          fmt_time bare;
-          fmt_time sup;
-          Printf.sprintf "%+.1f%%"
-            (median
-               (List.map (fun (a, b) -> (b -. a) /. a *. 100.0) rounds));
+          fmt_meas bare;
+          fmt_meas sup;
+          Harness.pp_delta
+            (Harness.paired_delta_pct bare.Harness.samples sup.Harness.samples);
         |])
     rows;
   {
@@ -1147,8 +1101,92 @@ let ablation_supervision scale =
          attached graft: one exception barrier plus invocation bookkeeping \
          per call, the constant cost of the containment the protection \
          matrix demonstrates";
-        "columns are the fastest of interleaved GC-fenced rounds; the \
-         overhead column is the median of round-paired deltas";
+        "columns are outlier-rejected medians of interleaved GC-fenced \
+         rounds ±95% CI half-width; the overhead column is the median of \
+         round-paired deltas with its own CI";
+      ];
+  }
+
+(* A10: Graftmeter metrics overhead. The supervised invocation path
+   increments per-graft counters (invocations, faults, fallbacks,
+   quarantines); the registry's claim is that a disabled counter costs
+   one global-flag load and branch per [inc]. Measured three ways on
+   the Table 2 op: bare closure, Manager.invoke with metrics disabled,
+   Manager.invoke with metrics enabled. *)
+let ablation_metrics scale =
+  let techs =
+    [ Technology.Unsafe_c; Technology.Safe_lang; Technology.Bytecode_vm ]
+  in
+  let metrics_were_on = Graft_metrics.enabled () in
+  Graft_metrics.disable ();
+  let rows =
+    List.map
+      (fun tech ->
+        let rng = Prng.create 0xA10L in
+        let runner = Runners.evict ~rng tech ~capacity_nodes:128 () in
+        runner.Runners.refresh ~hot:hot_pages ~lru:[||];
+        let flip = ref false in
+        let op () =
+          flip := not !flip;
+          runner.Runners.contains
+            (if !flip then absent_page else absent_page + 1)
+        in
+        let m = Manager.create () in
+        let g =
+          Manager.register m
+            ~name:("met:" ^ Technology.name tech)
+            ~tech ~structure:Taxonomy.Prioritization ~motivation:Taxonomy.Policy
+            ()
+        in
+        g.Manager.state <- Manager.Attached;
+        let bare () = ignore (op ()) in
+        let supervised () = ignore (Manager.invoke g op) in
+        let ms =
+          Harness.interleaved ~config:(overhead_config scale)
+            [|
+              Harness.stage bare;
+              Harness.stage supervised;
+              {
+                Harness.prepare = Graft_metrics.enable;
+                op = supervised;
+                finish = Graft_metrics.disable;
+              };
+            |]
+        in
+        (tech, ms.(0), ms.(1), ms.(2)))
+      techs
+  in
+  if metrics_were_on then Graft_metrics.enable ();
+  let t =
+    Tablefmt.create
+      [| "Technology"; "bare"; "metrics off"; "metrics on"; "on vs off" |]
+  in
+  List.iter
+    (fun (tech, bare, off, on) ->
+      Tablefmt.add_row t
+        [|
+          Technology.paper_name tech;
+          fmt_meas bare;
+          fmt_meas off;
+          fmt_meas on;
+          Harness.pp_delta
+            (Harness.paired_delta_pct off.Harness.samples on.Harness.samples);
+        |])
+    rows;
+  {
+    id = "Ablation A10";
+    title = "Graftmeter metrics overhead (Table 2 hot-list search)";
+    body = Tablefmt.render t;
+    notes =
+      [
+        "metrics off = Manager.invoke with the registry's global flag \
+         clear, so each per-graft counter inc is one flag load and \
+         branch; metrics on = the same invocation with counters \
+         actually incrementing";
+        "columns are outlier-rejected medians of interleaved GC-fenced \
+         rounds ±95% CI half-width; an 'on vs off' delta whose CI \
+         straddles zero means the enabled cost is within measurement \
+         noise";
       ];
   }
 
@@ -1172,4 +1210,5 @@ let all scale =
     ablation_hipec scale;
     ablation_trace scale;
     ablation_supervision scale;
+    ablation_metrics scale;
   ]

@@ -32,10 +32,16 @@ let quote s = "\"" ^ json_escape s ^ "\""
 (* Chrome trace-event JSON.                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Envelope keys spliced into a top-level object: [extra] is
+   (key, rendered JSON value) pairs, e.g. {!Graft_report.Envelope.fields}. *)
+let extra_members extra =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf ",%s:%s" (quote k) v) extra)
+
 (** Chrome trace-event JSON over the current buffer. Timestamps are
     microseconds relative to the earliest event; each subsystem track
     becomes thread [track_index + 1] of process 1. *)
-let chrome_json () =
+let chrome_json ?(extra = []) () =
   let evs = Trace.events () in
   let t0 =
     Array.fold_left (fun acc (e : Trace.event) -> min acc e.Trace.ts_ns)
@@ -90,8 +96,8 @@ let chrome_json () =
     evs;
   Buffer.add_string buf
     (Printf.sprintf
-       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}}"
-       (Trace.dropped ()));
+       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}%s}"
+       (Trace.dropped ()) (extra_members extra));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -274,7 +280,7 @@ let summary () =
       (Trace.dropped ())
 
 (** The same aggregation as JSON (ns-valued fields). *)
-let summary_json () =
+let summary_json ?(extra = []) () =
   let rows =
     List.map
       (fun a ->
@@ -300,5 +306,5 @@ let summary_json () =
         | Trace.Instant -> base ^ "}")
       (aggregate ())
   in
-  Printf.sprintf "{\"dropped\":%d,\"events\":[%s]}\n" (Trace.dropped ())
-    (String.concat "," rows)
+  Printf.sprintf "{\"dropped\":%d,\"events\":[%s]%s}\n" (Trace.dropped ())
+    (String.concat "," rows) (extra_members extra)

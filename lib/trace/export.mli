@@ -4,8 +4,9 @@
 (** Chrome trace-event JSON (load in Perfetto or [chrome://tracing]):
     one named thread per subsystem track, timestamps in microseconds
     relative to the earliest event, dropped-event count in
-    [otherData]. *)
-val chrome_json : unit -> string
+    [otherData]. [extra] is (key, rendered JSON value) pairs spliced
+    into the top-level object — the shared envelope. *)
+val chrome_json : ?extra:(string * string) list -> unit -> string
 
 (** Folded-stacks text ([track;parent;child self_ns] lines) for
     flamegraph tooling; nesting reconstructed per track from span
@@ -17,5 +18,6 @@ val folded : unit -> string
     histograms. *)
 val summary : unit -> string
 
-(** The same aggregation as JSON (ns-valued fields). *)
-val summary_json : unit -> string
+(** The same aggregation as JSON (ns-valued fields); [extra] as in
+    {!chrome_json}. *)
+val summary_json : ?extra:(string * string) list -> unit -> string

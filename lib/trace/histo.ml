@@ -56,6 +56,21 @@ let percentile t p =
     go 0 0
   end
 
+(** Non-empty buckets as (inclusive upper bound, cumulative count),
+    smallest bound first — the shape OpenMetrics [le] buckets take.
+    Bucket 0's bound is 0; bucket [b]'s is [2^b - 1]. *)
+let cumulative t =
+  let out = ref [] in
+  let acc = ref 0 in
+  for b = 0 to nbuckets - 1 do
+    if t.buckets.(b) > 0 then begin
+      acc := !acc + t.buckets.(b);
+      let bound = if b = 0 then 0 else (1 lsl b) - 1 in
+      out := (bound, !acc) :: !out
+    end
+  done;
+  List.rev !out
+
 (** Non-empty buckets as (range label, count), smallest range first. *)
 let rows t =
   let out = ref [] in

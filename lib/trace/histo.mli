@@ -17,5 +17,9 @@ val mean : t -> float
     ([p] in [0,1]); 0 on an empty histogram. *)
 val percentile : t -> float -> int
 
+(** Non-empty buckets as (inclusive upper bound, cumulative count),
+    smallest bound first — the shape OpenMetrics [le] buckets take. *)
+val cumulative : t -> (int * int) list
+
 (** Non-empty buckets as (range label, count), smallest range first. *)
 val rows : t -> (string * int) list

@@ -3,24 +3,32 @@
    magnitudes), not exact values — they run on arbitrary hosts. *)
 
 open Graft_measure
-open Graft_util
+module Robust = Graft_stats.Robust
 
 let check_bool = Alcotest.(check bool)
 
+(* Every measurement now returns a Robust.estimate; its CI must be an
+   interval containing the reported median. *)
+let check_estimate label (e : Robust.estimate) =
+  check_bool (label ^ " CI ordered") true
+    (e.Robust.ci95_lo <= e.Robust.median && e.Robust.median <= e.Robust.ci95_hi)
+
 let test_signalbench () =
   let r = Signalbench.measure ~rounds:30 () in
-  let mean = r.Signalbench.per_signal_s.Stats.mean in
+  let med = r.Signalbench.per_signal_s.Robust.median in
   check_bool "group size" true (r.Signalbench.group_size = 20);
+  check_estimate "per-signal" r.Signalbench.per_signal_s;
   (* Signal handling on any machine: over 100ns, under 10ms. *)
-  check_bool "plausible magnitude" true (mean > 1e-7 && mean < 1e-2);
+  check_bool "plausible magnitude" true (med > 1e-7 && med < 1e-2);
   check_bool "posting cheaper than handling" true
-    (r.Signalbench.post_only_s < mean *. 20.0);
+    (r.Signalbench.post_only_s < med *. 20.0);
   let upcall = Signalbench.upcall_estimate_s r in
-  check_bool "upcall is 60%" true (Float.abs (upcall -. (mean *. 0.6)) < 1e-12)
+  check_bool "upcall is 60%" true (Float.abs (upcall -. (med *. 0.6)) < 1e-12)
 
 let test_diskbench () =
   let r = Diskbench.measure ~runs:2 ~file_bytes:(2 * 1024 * 1024) () in
-  let bw = r.Diskbench.bandwidth_bytes_per_s.Stats.mean in
+  let bw = r.Diskbench.bandwidth_bytes_per_s.Robust.median in
+  check_estimate "bandwidth" r.Diskbench.bandwidth_bytes_per_s;
   (* Any disk from 1995 floppy to NVMe: 100KB/s .. 100GB/s. *)
   check_bool "plausible bandwidth" true (bw > 1e5 && bw < 1e11);
   let t = Diskbench.access_time_s r (1024 * 1024) in
@@ -28,12 +36,18 @@ let test_diskbench () =
 
 let test_faultbench () =
   let r = Faultbench.measure ~runs:3 () in
-  let per = r.Faultbench.per_fault_s.Stats.mean in
+  let per = r.Faultbench.per_fault_s.Robust.median in
+  check_estimate "per-fault" r.Faultbench.per_fault_s;
   (* Page-cache fault: over 10ns, under 1ms. *)
   check_bool "plausible fault time" true (per > 1e-10 && per < 1e-3)
 
 let test_paper_profiles () =
   Alcotest.(check int) "four platforms" 4 (List.length Platform.paper_profiles);
+  (* Published 1995 numbers are constants, never host measurements. *)
+  List.iter
+    (fun p -> check_bool (p.Platform.pname ^ " not measured") false
+        p.Platform.measured)
+    Platform.paper_profiles;
   let solaris = Platform.find_paper "Solaris" in
   check_bool "Solaris signal" true
     (Float.abs (solaris.Platform.signal_s -. 40.3e-6) < 1e-9);
@@ -54,7 +68,8 @@ let test_upcall_estimates () =
 
 let test_upcallbench () =
   let r = Upcallbench.measure ~rounds:200 () in
-  let rtt = r.Upcallbench.round_trip_s.Stats.mean in
+  let rtt = r.Upcallbench.round_trip_s.Robust.median in
+  check_estimate "round trip" r.Upcallbench.round_trip_s;
   (* A pipe round trip between processes: 200ns .. 10ms on any host. *)
   check_bool "plausible rtt" true (rtt > 2e-7 && rtt < 1e-2);
   check_bool "switch is half" true
@@ -63,6 +78,12 @@ let test_upcallbench () =
 let test_host_profile () =
   let host = Platform.measure_host ~signal_rounds:20 ~disk_runs:1 ~fault_pages:4096 () in
   check_bool "measured flag" true host.Platform.measured;
+  (* measure_host records a platform_measured gauge per component. *)
+  List.iter
+    (fun comp ->
+      let g = Graft_metrics.gauge "platform_measured" [ ("component", comp) ] in
+      check_bool (comp ^ " gauge is 1") true (Graft_metrics.gauge_value g = 1.0))
+    [ "signal"; "fault"; "disk" ];
   check_bool "signal positive" true (host.Platform.signal_s > 0.0);
   check_bool "fault positive" true (host.Platform.fault_s > 0.0);
   check_bool "disk positive" true (host.Platform.disk_bytes_per_s > 0.0)

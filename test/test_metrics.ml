@@ -1,0 +1,143 @@
+(* Tests for graft_metrics: the Graftmeter registry, its gating, the
+   OpenMetrics exposition, and the JSON export (parsed back with
+   Minijson rather than string-matched). *)
+
+module M = Graft_metrics
+module Minijson = Graft_util.Minijson
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Each test runs against a clean, enabled registry. *)
+let with_registry f () =
+  M.reset ();
+  M.enable ();
+  Fun.protect ~finally:(fun () -> M.disable ()) f
+
+let test_counter_gating () =
+  let c = M.counter "test_gated" [ ("k", "v") ] in
+  M.disable ();
+  M.inc c;
+  M.inc c ~by:10;
+  check_int "disabled counter stays 0" 0 (M.counter_value c);
+  M.enable ();
+  M.inc c;
+  M.inc c ~by:2;
+  check_int "enabled counter counts" 3 (M.counter_value c)
+
+let test_gauge_ungated () =
+  let g = M.gauge "test_gauge" [] in
+  M.disable ();
+  M.set g 4.5;
+  M.enable ();
+  Alcotest.(check (float 1e-9)) "gauge set while disabled" 4.5
+    (M.gauge_value g)
+
+let test_dedupe () =
+  let a = M.counter "test_dedupe" [ ("x", "1"); ("y", "2") ] in
+  (* Same name, same labels in a different order: the same cell. *)
+  let b = M.counter "test_dedupe" [ ("y", "2"); ("x", "1") ] in
+  M.inc a;
+  M.inc b;
+  check_int "one cell behind both handles" 2 (M.counter_value a);
+  check_int "same cell via either handle" 2 (M.counter_value b);
+  check_bool "kind clash rejected" true
+    (try
+       ignore (M.gauge "test_dedupe" [ ("x", "1"); ("y", "2") ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reset_keeps_registrations () =
+  let c = M.counter "test_reset" [] in
+  M.inc c ~by:5;
+  M.reset ();
+  check_int "value zeroed" 0 (M.counter_value c);
+  M.inc c;
+  check_int "handle still live" 1 (M.counter_value c)
+
+let test_openmetrics_shape () =
+  let c = M.counter "test_om" ~help:"a counter" [ ("g", "x") ] in
+  M.inc c ~by:7;
+  let h = M.histogram "test_om_hist" [] in
+  M.observe h 3;
+  M.observe h 100;
+  let text = M.to_openmetrics () in
+  let has needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "TYPE line" true (has "# TYPE test_om counter");
+  check_bool "HELP line" true (has "# HELP test_om a counter");
+  check_bool "_total suffix" true (has "test_om_total{g=\"x\"} 7");
+  check_bool "histogram buckets" true (has "test_om_hist_bucket{le=\"");
+  check_bool "+Inf bucket" true (has "le=\"+Inf\"} 2");
+  check_bool "histogram sum" true (has "test_om_hist_sum 103");
+  check_bool "histogram count" true (has "test_om_hist_count 2");
+  check_bool "EOF terminator" true
+    (let tail = "# EOF\n" in
+     String.length text >= String.length tail
+     && String.sub text (String.length text - String.length tail)
+          (String.length tail) = tail)
+
+let test_json_parses () =
+  let c = M.counter "test_json" [ ("a", "b\"c") ] in
+  M.inc c ~by:2;
+  match Minijson.parse (M.to_json ()) with
+  | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+  | Ok doc ->
+      let series =
+        Option.get (Option.bind (Minijson.member "series" doc) Minijson.to_list)
+      in
+      check_bool "series present" true (List.length series >= 1);
+      let mine =
+        List.find
+          (fun s ->
+            Option.bind (Minijson.member "name" s) Minijson.to_string
+            = Some "test_json")
+          series
+      in
+      Alcotest.(check (option (float 1e-9))) "value" (Some 2.0)
+        (Option.bind (Minijson.member "value" mine) Minijson.to_float)
+
+(* A canned kernel scenario populates the instrumented families. *)
+let test_scenario_populates () =
+  (List.assoc "all" Graft_report.Scenarios.by_name) ();
+  let text = M.to_openmetrics () in
+  let has needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun fam -> check_bool (fam ^ " present") true (has ("# TYPE " ^ fam)))
+    [
+      "graftkit_manager_invocations"; "graftkit_streams_pushes";
+      "graftkit_logdisk_map_writes"; "graftkit_vm_sessions";
+    ];
+  let fp = M.counter "graftkit_manager_invocations" [ ("graft", "fp") ] in
+  check_bool "md5 graft invoked" true (M.counter_value fp > 0)
+
+let () =
+  Alcotest.run "graft_metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter gating" `Quick
+            (with_registry test_counter_gating);
+          Alcotest.test_case "gauge ungated" `Quick
+            (with_registry test_gauge_ungated);
+          Alcotest.test_case "dedupe" `Quick (with_registry test_dedupe);
+          Alcotest.test_case "reset" `Quick
+            (with_registry test_reset_keeps_registrations);
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "openmetrics shape" `Quick
+            (with_registry test_openmetrics_shape);
+          Alcotest.test_case "json parses" `Quick
+            (with_registry test_json_parses);
+          Alcotest.test_case "scenario populates" `Quick
+            (with_registry test_scenario_populates);
+        ] );
+    ]
