@@ -143,20 +143,27 @@ let run_micro () =
 (* Bytecode tier comparison (machine-readable).                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Interpreted vs optimized bytecode tier over each graft's core op,
-   written as v3 JSON (medians with bootstrap CIs) so CI and plots can
-   track the speedup. The suite, the harness, and the schema live in
-   Graft_report.Benchgate — the same code `graftkit bench` runs. *)
+(* Interpreted vs optimized vs JIT bytecode tiers over each graft's
+   core op, written as v4 JSON (medians with bootstrap CIs) so CI and
+   plots can track the speedups. The suite, the harness, and the
+   schema live in Graft_report.Benchgate — the same code
+   `graftkit bench` runs. *)
 let stackvm_json ?(path = "BENCH_stackvm.json") () =
   let rows = Graft_report.Benchgate.run_suite () in
   List.iter
     (fun (r : Graft_report.Benchgate.row) ->
       let open Graft_stats.Robust in
-      Printf.printf "%-20s interp %10.1f ns/op   opt %10.1f ns/op   %.2fx\n%!"
+      Printf.printf
+        "%-20s interp %10.1f ns/op   opt %10.1f ns/op   jit %10.1f ns/op   \
+         opt %.2fx   jit %.2fx\n\
+         %!"
         r.Graft_report.Benchgate.graft r.Graft_report.Benchgate.interp.median
         r.Graft_report.Benchgate.opt.median
+        r.Graft_report.Benchgate.jit.median
         (r.Graft_report.Benchgate.interp.median
-        /. r.Graft_report.Benchgate.opt.median))
+        /. r.Graft_report.Benchgate.opt.median)
+        (r.Graft_report.Benchgate.interp.median
+        /. r.Graft_report.Benchgate.jit.median))
     rows;
   Graft_report.Benchgate.save ~path rows;
   Printf.printf "wrote %s\n" path
@@ -195,7 +202,7 @@ let () =
   in
   if List.mem "opt" args then
     Graft_report.Experiments.extra_techs :=
-      [ Technology.Bytecode_opt; Technology.Safe_lang_static ];
+      [ Technology.Bytecode_opt; Technology.Safe_lang_static; Technology.Jit ];
   let args =
     List.filter (fun a -> a <> "full" && a <> "quick" && a <> "opt") args
   in

@@ -9,6 +9,7 @@
      trace     run a canned kernel scenario under the Graftscope tracer
      profile   per-opcode profile of a GEL graft across the VM tiers
      protect   run the Graftjail saboteurs and print the protection matrix
+     jit       inspect the Graftjit compilation of a GEL graft
 *)
 
 open Cmdliner
@@ -182,6 +183,11 @@ let gel_cmd =
                   show
                     (Graft_stackvm.Vm.run
                        (Graft_stackvm.Stackvm.load_static_exn image)
+                       ~entry ~args:argv ~fuel)
+              | Technology.Jit ->
+                  show
+                    (Graft_jit.Jit.run
+                       (Graft_jit.Jit.load_exn image)
                        ~entry ~args:argv ~fuel)
               | Technology.Sfi_write_jump | Technology.Sfi_full ->
                   let protection =
@@ -626,6 +632,16 @@ let profile_cmd =
          report "bytecode-opt" prof
            (repeated (fun () ->
                 Graft_stackvm.Vm.run_session_opt s ~entry ~args:argv ~fuel)));
+        (let prof =
+           Graft_trace.Opprof.create ~names:Graft_stackvm.Opcode.class_names
+         in
+         let s =
+           Graft_jit.Jit.create_session ~profile:prof
+             (Graft_jit.Jit.load_exn (fresh_image ()))
+         in
+         report "jit" prof
+           (repeated (fun () ->
+                Graft_jit.Jit.run_session s ~entry ~args:argv ~fuel)));
         let prof =
           Graft_trace.Opprof.create ~names:Graft_regvm.Isa.class_names
         in
@@ -644,6 +660,57 @@ let profile_cmd =
        ~doc:"Per-opcode execution profile of a GEL graft across the VM tiers")
     Term.(const run $ file $ entry $ args $ fuel $ top $ repeat)
 
+(* ---------- jit ---------- *)
+
+let jit_dump_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.gel")
+  in
+  let run file =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Graft_gel.Gel.compile ~optimize:false src with
+    | Error e ->
+        prerr_endline ("compile error: " ^ Graft_gel.Srcloc.to_string e);
+        exit 1
+    | Ok prog -> (
+        let mem =
+          Graft_mem.Memory.create
+            (max 1024
+               (Graft_core.Runners.next_pow2 (Graft_gel.Link.footprint prog + 64)))
+        in
+        match Graft_gel.Link.link prog ~mem ~shared:[] ~hosts:[] with
+        | Error msg ->
+            prerr_endline ("link error: " ^ msg);
+            exit 1
+        | Ok image -> (
+            match Graft_jit.Jit.load image with
+            | Error msg ->
+                prerr_endline ("jit load error: " ^ msg);
+                exit 1
+            | Ok t ->
+                let elided, total = Graft_jit.Jit.elision_stats t in
+                Printf.printf
+                  "-- Graftjit plan (%d of %d checks elided at compile time) \
+                   --\n"
+                  elided total;
+                print_string (Graft_jit.Jit.describe t)))
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print the closure-threaded compilation plan: basic blocks, \
+             entry stack heights, the per-instruction closure listing, and \
+             which bounds/divisor checks the verifier's interval proofs \
+             allowed the compiler to elide")
+    Term.(const run $ file)
+
+let jit_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "jit")))) in
+  Cmd.group ~default
+    (Cmd.info "jit"
+       ~doc:"Inspect the Graftjit tier: how a GEL graft compiles to \
+             closure-threaded code")
+    [ jit_dump_cmd ]
+
 (* ---------- bench ---------- *)
 
 let bench_cmd =
@@ -654,7 +721,7 @@ let bench_cmd =
   let baseline =
     Arg.(value & opt (some file) None
          & info [ "baseline" ] ~docv:"FILE"
-             ~doc:"Baseline JSON (v2 or v3) to compare against.")
+             ~doc:"Baseline JSON (v2, v3 or v4) to compare against.")
   in
   let check =
     Arg.(value & flag
@@ -665,7 +732,7 @@ let bench_cmd =
   let save =
     Arg.(value & opt (some string) None
          & info [ "save-baseline" ] ~docv:"FILE"
-             ~doc:"Write the fresh results as a v3 baseline to $(docv).")
+             ~doc:"Write the fresh results as a v4 baseline to $(docv).")
   in
   let threshold =
     Arg.(value & opt (some float) None
@@ -682,7 +749,8 @@ let bench_cmd =
     let rows = Graft_report.Benchgate.run_suite ~config () in
     let t =
       Graft_util.Tablefmt.create
-        [| "Graft"; "interp"; "opt"; "speedup"; "rounds" |]
+        [| "Graft"; "interp"; "opt"; "jit"; "opt-speedup"; "jit-speedup";
+           "rounds" |]
     in
     List.iter
       (fun (r : Graft_report.Benchgate.row) ->
@@ -698,9 +766,16 @@ let bench_cmd =
               r.Graft_report.Benchgate.opt.median
               r.Graft_report.Benchgate.opt.ci95_lo
               r.Graft_report.Benchgate.opt.ci95_hi;
+            Printf.sprintf "%.1f ns [%.1f, %.1f]"
+              r.Graft_report.Benchgate.jit.median
+              r.Graft_report.Benchgate.jit.ci95_lo
+              r.Graft_report.Benchgate.jit.ci95_hi;
             Printf.sprintf "%.2fx"
               (r.Graft_report.Benchgate.interp.median
               /. r.Graft_report.Benchgate.opt.median);
+            Printf.sprintf "%.2fx"
+              (r.Graft_report.Benchgate.interp.median
+              /. r.Graft_report.Benchgate.jit.median);
             string_of_int r.Graft_report.Benchgate.rounds;
           |])
       rows;
@@ -809,4 +884,5 @@ let () =
           [
             tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd;
             trace_cmd; profile_cmd; protect_cmd; bench_cmd; metrics_cmd;
+            jit_cmd;
           ]))

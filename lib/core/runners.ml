@@ -101,6 +101,14 @@ let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
       fun ~entry ~args ->
         run_fail
           (Graft_stackvm.Vm.run_session session ~entry ~args ~fuel:huge_fuel)
+  | Technology.Jit ->
+      (* Graftjit: static-tier elisions, then closure-threaded native
+         compilation; the session compiles once, entries are cheap. *)
+      let t = Graft_jit.Jit.load_exn env.image in
+      let session = Graft_jit.Jit.create_session t in
+      fun ~entry ~args ->
+        run_fail
+          (Graft_jit.Jit.run_session session ~entry ~args ~fuel:huge_fuel)
   | Technology.Sfi_write_jump | Technology.Sfi_full ->
       (* The register-VM route, used for the A4 instruction-count
          ablation; headline SFI numbers come from the native masked
@@ -247,7 +255,7 @@ let evict ?rng (tech : Technology.t) ~capacity_nodes () : evict =
   | Technology.Sfi_full ->
       native_evict (module Access.Sfi_full) tech ~capacity_nodes ~rng
   | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
-  | Technology.Ast_interp
+  | Technology.Jit | Technology.Ast_interp
     ->
       gel_evict tech ~capacity_nodes ~rng
   | Technology.Source_interp -> script_evict ~capacity_nodes ~rng
@@ -423,7 +431,7 @@ let md5 (tech : Technology.t) ~capacity : md5 =
       native_md5 (module Access.Sfi_wj) tech ~capacity
   | Technology.Sfi_full -> native_md5 (module Access.Sfi_full) tech ~capacity
   | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
-  | Technology.Ast_interp
+  | Technology.Jit | Technology.Ast_interp
     ->
       gel_md5 tech ~capacity
   | Technology.Source_interp -> script_md5 ~capacity
@@ -510,7 +518,7 @@ let logdisk_policy (tech : Technology.t) ~nblocks : Graft_kernel.Logdisk.policy
   | Technology.Sfi_write_jump -> native_logdisk (module Access.Sfi_wj) ~nblocks
   | Technology.Sfi_full -> native_logdisk (module Access.Sfi_full) ~nblocks
   | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
-  | Technology.Ast_interp
+  | Technology.Jit | Technology.Ast_interp
     ->
       gel_logdisk tech ~nblocks
   | Technology.Source_interp -> script_logdisk ~nblocks
@@ -584,7 +592,7 @@ let packet_filter (tech : Technology.t) ~protocol ~port :
       | Error msg -> failwith ("packet filter failed verification: " ^ msg));
       fun pkt -> Graft_kernel.Pfvm.accepts p pkt
   | Technology.Bytecode_vm | Technology.Bytecode_opt | Technology.Safe_lang_static
-  | Technology.Ast_interp
+  | Technology.Jit | Technology.Ast_interp
     ->
       gel_based ()
   | Technology.Source_interp ->

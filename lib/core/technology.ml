@@ -26,6 +26,11 @@ type t =
           proofs, and the load-time verifier re-derives them before
           admitting the unchecked opcodes — the compile-time half of
           the paper's Modula-3 safety story *)
+  | Jit
+      (** Graftjit: the statically-checked bytecode compiled to
+          closure-threaded native code at load time — the measured
+          replacement for the "Java+JIT" column the paper could only
+          project *)
   | Ast_interp  (** ablation A3: AST-walking interpreter *)
   | Source_interp  (** paper: "Tcl" — string-based source interpreter *)
   | Specialized_vm
@@ -36,7 +41,7 @@ type t =
 let all =
   [
     Unsafe_c; Upcall_server; Safe_lang; Safe_lang_nil; Sfi_write_jump;
-    Sfi_full; Bytecode_vm; Bytecode_opt; Safe_lang_static; Ast_interp;
+    Sfi_full; Bytecode_vm; Bytecode_opt; Safe_lang_static; Jit; Ast_interp;
     Source_interp; Specialized_vm;
   ]
 
@@ -53,6 +58,7 @@ let name = function
   | Bytecode_vm -> "bytecode-vm"
   | Bytecode_opt -> "bytecode-opt"
   | Safe_lang_static -> "safe-lang-static"
+  | Jit -> "jit"
   | Ast_interp -> "ast-interp"
   | Source_interp -> "source-interp"
   | Specialized_vm -> "pf-vm"
@@ -68,6 +74,7 @@ let paper_name = function
   | Bytecode_vm -> "Java"
   | Bytecode_opt -> "Java+JIT (projected)"
   | Safe_lang_static -> "Modula-3 + static checks"
+  | Jit -> "Java+JIT (measured)"
   | Ast_interp -> "AST interpreter"
   | Source_interp -> "Tcl"
   | Specialized_vm -> "BPF-like filter VM"
@@ -77,8 +84,8 @@ let trust = function
   | Upcall_server -> Hardware
   | Safe_lang | Safe_lang_nil | Safe_lang_static -> Software_checks
   | Sfi_write_jump | Sfi_full -> Software_isolation
-  | Bytecode_vm | Bytecode_opt | Ast_interp | Source_interp | Specialized_vm
-    ->
+  | Bytecode_vm | Bytecode_opt | Jit | Ast_interp | Source_interp
+  | Specialized_vm ->
       Interpretation
 
 let trust_name = function

@@ -254,6 +254,11 @@ let vm_entry tech =
       let s = Graft_stackvm.Vm.create_session p in
       fun ~entry ~args ->
         fail (Graft_stackvm.Vm.run_session s ~entry ~args ~fuel:vm_fuel)
+  | Technology.Jit ->
+      let t = Graft_jit.Jit.load_exn env.Runners.image in
+      let s = Graft_jit.Jit.create_session t in
+      fun ~entry ~args ->
+        fail (Graft_jit.Jit.run_session s ~entry ~args ~fuel:vm_fuel)
   | t -> invalid_arg ("Sabotage.vm_entry: " ^ Technology.name t)
 
 let vm_cell tech (fault : Faultinject.fault_class) =
@@ -421,7 +426,7 @@ let run_cell tech fault =
   | Technology.Sfi_write_jump -> native_cell (module Access.Sfi_wj) tech fault
   | Technology.Sfi_full -> native_cell (module Access.Sfi_full) tech fault
   | Technology.Bytecode_vm | Technology.Bytecode_opt
-  | Technology.Safe_lang_static | Technology.Ast_interp ->
+  | Technology.Safe_lang_static | Technology.Jit | Technology.Ast_interp ->
       vm_cell tech fault
   | Technology.Source_interp -> script_cell fault
   | Technology.Upcall_server -> upcall_cell fault

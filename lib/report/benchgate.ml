@@ -8,9 +8,11 @@
       the best-of-7 loop bench/main.ml used to hand-roll.
 
    2. {!to_json} / {!parse_baseline} — the BENCH_stackvm.json schema,
-      now v3: every number carries its bootstrap CI and CV, under the
-      shared envelope. v2 baselines (bare points) still parse, with
-      degenerate intervals.
+      now v4: every number carries its bootstrap CI and CV, under the
+      shared envelope, and each row gains the Graftjit tier's columns.
+      v3 baselines (no jit fields) and v2 baselines (bare points)
+      still parse — absent jit columns simply produce no jit checks,
+      and bare points become degenerate intervals.
 
    3. {!gate} — the noise-aware comparison. A graft regresses only
       when the new CI and the baseline CI are disjoint (the difference
@@ -26,6 +28,7 @@ type row = {
   graft : string;
   interp : Graft_stats.Robust.estimate;  (** ns per op *)
   opt : Graft_stats.Robust.estimate;  (** ns per op *)
+  jit : Graft_stats.Robust.estimate;  (** ns per op *)
   rounds : int;
 }
 
@@ -99,23 +102,25 @@ let run_suite ?(config = Graft_stats.Harness.quick) () =
         [|
           Graft_stats.Harness.stage (mk Technology.Bytecode_vm);
           Graft_stats.Harness.stage (mk Technology.Bytecode_opt);
+          Graft_stats.Harness.stage (mk Technology.Jit);
         |]
       in
       let ms = Graft_stats.Harness.interleaved ~config thunks in
-      let interp = ms.(0) and opt = ms.(1) in
+      let interp = ms.(0) and opt = ms.(1) and jit = ms.(2) in
       {
         graft = name;
         interp = ns interp.Graft_stats.Harness.est;
         opt = ns opt.Graft_stats.Harness.est;
+        jit = ns jit.Graft_stats.Harness.est;
         rounds = Array.length interp.Graft_stats.Harness.samples;
       })
     suite
 
 (* ------------------------------------------------------------------ *)
-(* Schema v3 JSON.                                                     *)
+(* Schema v4 JSON.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 3
+let schema_version = 4
 
 let row_json r =
   let open Graft_stats.Robust in
@@ -123,10 +128,14 @@ let row_json r =
     "  { \"graft\": %S, \"interp_ns_per_op\": %.1f, \"interp_ci95_lo\": %.1f, \
      \"interp_ci95_hi\": %.1f, \"interp_cv\": %.4f, \"opt_ns_per_op\": %.1f, \
      \"opt_ci95_lo\": %.1f, \"opt_ci95_hi\": %.1f, \"opt_cv\": %.4f, \
-     \"rounds\": %d, \"speedup\": %.2f }"
+     \"jit_ns_per_op\": %.1f, \"jit_ci95_lo\": %.1f, \"jit_ci95_hi\": %.1f, \
+     \"jit_cv\": %.4f, \"rounds\": %d, \"speedup\": %.2f, \
+     \"jit_speedup\": %.2f }"
     r.graft r.interp.median r.interp.ci95_lo r.interp.ci95_hi r.interp.cv
-    r.opt.median r.opt.ci95_lo r.opt.ci95_hi r.opt.cv r.rounds
+    r.opt.median r.opt.ci95_lo r.opt.ci95_hi r.opt.cv r.jit.median
+    r.jit.ci95_lo r.jit.ci95_hi r.jit.cv r.rounds
     (r.interp.median /. r.opt.median)
+    (r.interp.median /. r.jit.median)
 
 let to_json rows =
   Envelope.wrap ~schema_version
@@ -140,11 +149,17 @@ let save ~path rows =
   close_out oc
 
 (* ------------------------------------------------------------------ *)
-(* Baseline parsing (v2 and v3).                                       *)
+(* Baseline parsing (v2, v3 and v4).                                   *)
 (* ------------------------------------------------------------------ *)
 
 type baseline_col = { b_ns : float; b_lo : float; b_hi : float }
-type baseline_row = { b_graft : string; b_interp : baseline_col; b_opt : baseline_col }
+
+type baseline_row = {
+  b_graft : string;
+  b_interp : baseline_col;
+  b_opt : baseline_col;
+  b_jit : baseline_col option;  (** absent in v2/v3 baselines *)
+}
 
 let parse_col obj prefix =
   let open Minijson in
@@ -181,7 +196,14 @@ let parse_baseline text =
                 | Some name -> (
                     match (parse_col obj "interp", parse_col obj "opt") with
                     | Ok i, Ok o ->
-                        go ({ b_graft = name; b_interp = i; b_opt = o } :: acc)
+                        (* A pre-v4 baseline has no jit columns: parse
+                           them opportunistically and gate nothing when
+                           they are absent. *)
+                        let j = Result.to_option (parse_col obj "jit") in
+                        go
+                          ({ b_graft = name; b_interp = i; b_opt = o;
+                             b_jit = j }
+                          :: acc)
                           rest
                     | Error e, _ | _, Error e ->
                         Error (Printf.sprintf "baseline row %s: %s" name e)))
@@ -255,7 +277,11 @@ let gate ?threshold ~baseline rows =
                   ~cur_hi:e.Graft_stats.Robust.ci95_hi;
             }
           in
-          [ one "interp" b.b_interp r.interp; one "opt" b.b_opt r.opt ])
+          [ one "interp" b.b_interp r.interp; one "opt" b.b_opt r.opt ]
+          @
+          match b.b_jit with
+          | None -> []
+          | Some bj -> [ one "jit" bj r.jit ])
     rows
 
 let failed checks = List.exists (fun c -> c.c_verdict = Regression) checks

@@ -305,7 +305,10 @@ let table4 ?(runs = 3) () =
 let md5_full_bytes = 1024 * 1024
 
 (* Per-technology measurement size: interpreters run reduced and
-   extrapolate linearly (the paper did the same for Tcl). *)
+   extrapolate linearly (the paper did the same for Tcl). The Jit
+   tier deliberately falls through to the native arms: closure-threaded
+   code is fast enough to measure at full size, so its break-even
+   point is measured, not extrapolated (scaled_from = None). *)
 let md5_measure_bytes scale tech =
   match (tech, scale) with
   | Technology.Source_interp, Quick -> 2048
@@ -414,6 +417,8 @@ let table5 ?(data = None) scale =
 let logdisk_nblocks = 262144
 let logdisk_full_writes = Paperdata.logdisk_writes
 
+(* As with MD5, the Jit tier takes the native arms: full workload,
+   no extrapolation. *)
 let logdisk_measure_writes scale tech =
   match (tech, scale) with
   | Technology.Source_interp, Quick -> 1024

@@ -248,6 +248,22 @@ let stackvm_static_engine name =
         | Error (`Bad_entry m) -> Error m);
   }
 
+(* The closure-threaded JIT tier: compiled from the same statically
+   checked bytecode as bytecode-static, so it must agree with every
+   other engine on result, state, fuel cut points and fault class. *)
+let jit_engine name =
+  {
+    ename = name;
+    run =
+      (fun src ~args ->
+        let image = build_image src in
+        let t = Graft_jit.Jit.load_exn image in
+        match Graft_jit.Jit.run t ~entry:"main" ~args ~fuel with
+        | Ok v -> Ok (v, final_state image)
+        | Error (`Fault f) -> Error (Fault.to_string f)
+        | Error (`Bad_entry m) -> Error m);
+  }
+
 let regvm_engine ?elide ~protection name =
   {
     ename = name;
@@ -270,6 +286,7 @@ let engines =
     stackvm_opt_engine "bytecode-peep";
     stackvm_opt_engine ~optimize:true "bytecode-peep+opt";
     stackvm_static_engine "bytecode-static";
+    jit_engine "jit";
     regvm_engine ~protection:Graft_regvm.Program.Write_jump "regvm-wj";
     regvm_engine ~protection:Graft_regvm.Program.Full "regvm-full";
     regvm_engine ~elide:true ~protection:Graft_regvm.Program.Write_jump
@@ -360,6 +377,7 @@ let checked_fault_engines =
       "bytecode-peep";
     stack Graft_stackvm.Stackvm.load_static_exn Graft_stackvm.Vm.run
       "bytecode-static";
+    stack Graft_jit.Jit.load_exn Graft_jit.Jit.run "jit";
   ]
 
 (* The register VMs mask out-of-bounds accesses instead of trapping

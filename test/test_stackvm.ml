@@ -621,6 +621,87 @@ let faulty_src =
    return s + a[n];\n\
    }"
 
+(* Every fused superinstruction the peephole pass can emit must both
+   disassemble and re-verify: Stackvm.load_opt runs the verifier over
+   fused code in production, so a fused form the verifier cannot type
+   is a load-time failure waiting for the right source, and a form
+   Opcode.to_string cannot print breaks `graftkit gel --dump`. The
+   corpus is chosen so the pass emits all 19 fused constructors at
+   least once; the coverage assertion keeps it honest when patterns
+   are added or the compiler's code shapes drift. *)
+let fused_roundtrip_corpus =
+  [
+    loopy_src;
+    faulty_src;
+    (* moves, constant stores, and a lone move between the two *)
+    "fn main(x : int) : int {\n\
+     var y = 0; var z = 0; var w = 0;\n\
+     y = x; z = y;\n\
+     w = 5;\n\
+     z = w;\n\
+     return w + z;\n\
+     }";
+    (* calls break fusion runs: bare Jcmp, Bin_store, Load_local2 *)
+    "fn f(n : int) : int { return n - 1; }\n\
+     fn g2(p : int, q : int) : int { return p * q; }\n\
+     fn main(x : int) : int {\n\
+     var y = 7; var s = 0;\n\
+     s = f(x) + f(y);\n\
+     if (f(x) < f(y)) { s = s + g2(x, y); }\n\
+     return s;\n\
+     }";
+    (* array forms: constant index, local index, load-into-local,
+       load-as-operand *)
+    "array a[8];\n\
+     var g : int = 0;\n\
+     fn h(i : int) : int { return a[i]; }\n\
+     fn main(i : int) : int {\n\
+     var x = 0; var y = 3;\n\
+     x = a[i];\n\
+     g = x * y + a[i];\n\
+     g = x * y + 7;\n\
+     g = x * y * y;\n\
+     return a[2] + h(i);\n\
+     }";
+    (* comparison against a constant without a branch, fused divides *)
+    "fn main(n : int) : int {\n\
+     var s = 0;\n\
+     for (var i = 0; i < 10; i = i + 1) { s = s + 2; }\n\
+     var b : bool = n == 3;\n\
+     if (!b) { s = s * n + 1; }\n\
+     if (s * n > 12) { s = 0; }\n\
+     return s + n / 3;\n\
+     }";
+  ]
+
+let test_peephole_verifier_roundtrip () =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun src ->
+      let opt = Stackvm.load_opt_exn (fresh_image src) in
+      (* load_opt already verified once; re-verify the fused program
+         explicitly to pin the round trip. *)
+      (match Verify.verify opt with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fused program fails re-verify: %s" e);
+      ignore (Disasm.program opt);
+      Array.iter
+        (fun op ->
+          if String.length (Opcode.to_string op) = 0 then
+            Alcotest.fail "empty disassembly";
+          if Opcode.width op > 1 then Hashtbl.replace seen (Opcode.index op) ())
+        opt.Program.code)
+    fused_roundtrip_corpus;
+  (* Opcode indices 49..67 are exactly the fused constructors. *)
+  let missing = ref [] in
+  for i = 67 downto 49 do
+    if not (Hashtbl.mem seen i) then
+      missing := Opcode.class_names.(i) :: !missing
+  done;
+  if !missing <> [] then
+    Alcotest.failf "fused constructors never emitted by the corpus: %s"
+      (String.concat ", " !missing)
+
 (* Graftjail's fuel-parity guarantee, session edition: sweep EVERY
    fuel budget from 0 until past completion and require the optimized
    tier to agree with the plain tier not just on the result but on the
@@ -752,6 +833,8 @@ let () =
       ( "opt-tier",
         [
           Alcotest.test_case "peephole fuses" `Quick test_peephole_fuses;
+          Alcotest.test_case "fused forms disassemble and re-verify" `Quick
+            test_peephole_verifier_roundtrip;
           Alcotest.test_case "tiers agree" `Quick test_tiers_differential;
           Alcotest.test_case "fuel parity at every budget" `Quick
             test_fuel_parity_sessions;

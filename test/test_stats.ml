@@ -136,7 +136,9 @@ let est median lo hi =
   let e = Robust.estimate [| median |] in
   { e with Robust.median; ci95_lo = lo; ci95_hi = hi }
 
-let row graft i o = { Benchgate.graft; interp = i; opt = o; rounds = 15 }
+let row ?jit graft i o =
+  let jit = match jit with Some j -> j | None -> o in
+  { Benchgate.graft; interp = i; opt = o; jit; rounds = 15 }
 
 let test_gate_on_parsed_baseline () =
   let baseline =
@@ -150,7 +152,10 @@ let test_gate_on_parsed_baseline () =
       [ row "md5_64k" (est 1005.0 992.0 1012.0) (est 402.0 396.0 406.0) ]
   in
   check_bool "unchanged passes" false (Benchgate.failed ok);
+  (* v3 rows carry no jit columns, so only interp/opt are gated. *)
   Alcotest.(check int) "two checks" 2 (List.length ok);
+  check_bool "v3 baseline has no jit column" true
+    ((List.hd baseline).Benchgate.b_jit = None);
   (* Doctored: interp CI-disjoint and 50% over. *)
   let bad =
     Benchgate.gate ~baseline
@@ -182,13 +187,25 @@ let test_v2_baseline_degenerate () =
 
 let test_roundtrip_json () =
   let rows =
-    [ row "md5_64k" (est 1000.0 990.0 1010.0) (est 400.0 395.0 405.0) ]
+    [
+      row "md5_64k"
+        ~jit:(est 200.0 198.0 202.0)
+        (est 1000.0 990.0 1010.0)
+        (est 400.0 395.0 405.0);
+    ]
   in
   match Benchgate.parse_baseline (Benchgate.to_json rows) with
   | Error e -> Alcotest.fail e
-  | Ok [ b ] ->
+  | Ok [ b ] -> (
       check_float "roundtrip ns" 1000.0 b.Benchgate.b_interp.Benchgate.b_ns;
-      check_float "roundtrip lo" 990.0 b.Benchgate.b_interp.Benchgate.b_lo
+      check_float "roundtrip lo" 990.0 b.Benchgate.b_interp.Benchgate.b_lo;
+      (* v4 rows round-trip the jit column, and the gate uses it. *)
+      match b.Benchgate.b_jit with
+      | None -> Alcotest.fail "v4 roundtrip lost the jit column"
+      | Some j ->
+          check_float "roundtrip jit ns" 200.0 j.Benchgate.b_ns;
+          let checks = Benchgate.gate ~baseline:[ b ] rows in
+          Alcotest.(check int) "three checks with jit" 3 (List.length checks))
   | Ok _ -> Alcotest.fail "expected one row"
 
 (* ---------- minijson ---------- *)
