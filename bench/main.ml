@@ -192,6 +192,7 @@ let known_tables scale =
     ("a8", fun () -> ablation_trace scale);
     ("a9", fun () -> ablation_supervision scale);
     ("a10", fun () -> ablation_metrics scale);
+    ("a11", fun () -> ablation_gate scale);
   ]
 
 let () =

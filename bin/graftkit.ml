@@ -238,23 +238,68 @@ let check_cmd =
              ~doc:"Also analyze the built-in grafts (evict, md5, logdisk, \
                    packet filter) at representative sizes.")
   in
-  let run files entries werror builtin =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit machine-readable diagnostics (the shared JSON \
+                   envelope) instead of text; exit-code semantics are \
+                   unchanged.")
+  in
+  let run files entries werror builtin json =
+    let json_escape s =
+      let b = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | '\t' -> Buffer.add_string b "\\t"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    in
     let warnings = ref 0 in
+    (* (label, diagnostics) per analyzed source; a diagnostic is
+       (line, col, severity, kind, message). *)
+    let reports = ref [] in
     let check_source label ~entries src =
-      match Graft_gel.Gel.compile_located src with
-      | Error e ->
-          Printf.printf "%s: error: %s\n" label (Graft_gel.Srcloc.to_string e);
-          incr warnings
-      | Ok (prog, meta) ->
-          let entries = if entries = [] then None else Some entries in
-          List.iter
-            (fun (d : Graft_analysis.Analyze.diag) ->
-              warnings := !warnings + 1;
-              Printf.printf "%s:%d:%d: warning: %s [%s]\n" label
-                d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.line
-                d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.col
-                d.Graft_analysis.Analyze.dmsg d.Graft_analysis.Analyze.dkind)
-            (Graft_analysis.Analyze.check ?entries prog meta)
+      let diags =
+        match Graft_gel.Gel.compile_located src with
+        | Error e ->
+            incr warnings;
+            [
+              ( e.Graft_gel.Srcloc.pos.Graft_gel.Srcloc.line,
+                e.Graft_gel.Srcloc.pos.Graft_gel.Srcloc.col,
+                "error",
+                "compile",
+                e.Graft_gel.Srcloc.msg );
+            ]
+        | Ok (prog, meta) ->
+            let entries = if entries = [] then None else Some entries in
+            List.map
+              (fun (d : Graft_analysis.Analyze.diag) ->
+                incr warnings;
+                ( d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.line,
+                  d.Graft_analysis.Analyze.dpos.Graft_gel.Srcloc.col,
+                  "warning",
+                  d.Graft_analysis.Analyze.dkind,
+                  d.Graft_analysis.Analyze.dmsg ))
+              (Graft_analysis.Analyze.check ?entries prog meta)
+      in
+      reports := (label, diags) :: !reports;
+      if not json then
+        List.iter
+          (fun (line, col, severity, kind, msg) ->
+            if severity = "error" then
+              Printf.printf "%s: error: line %d, col %d: %s\n" label line col
+                msg
+            else
+              Printf.printf "%s:%d:%d: warning: %s [%s]\n" label line col msg
+                kind)
+          diags
     in
     List.iter
       (fun file ->
@@ -276,17 +321,39 @@ let check_cmd =
           ( "builtin:packet-filter",
             [ "accept" ],
             G.packet_filter ~window_cells:256 ~protocol:6 ~port:80 );
+          ( "builtin:demux",
+            [ "demux" ],
+            G.demux ~window_cells:256 ~protocol:6 ~marker:0x42 );
+          ("builtin:hotset", [ "touch"; "hot" ], G.hotset);
         ]
     end;
-    if !warnings = 0 then print_endline "no warnings"
-    else if werror then exit 1
+    if json then begin
+      let diag_json (line, col, severity, kind, msg) =
+        Printf.sprintf
+          "{\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"kind\":\"%s\",\"message\":\"%s\"}"
+          line col (json_escape severity) (json_escape kind) (json_escape msg)
+      in
+      let file_json (label, diags) =
+        Printf.sprintf "{\"file\":\"%s\",\"diagnostics\":[%s]}"
+          (json_escape label)
+          (String.concat "," (List.map diag_json diags))
+      in
+      print_endline
+        (Graft_report.Envelope.wrap ~schema_version:3
+           (Printf.sprintf "\"tool\":\"check\",\"werror\":%b,\"warnings\":%d,\"files\":[%s]"
+              werror !warnings
+              (String.concat ","
+                 (List.map file_json (List.rev !reports)))))
+    end
+    else if !warnings = 0 then print_endline "no warnings";
+    if !warnings > 0 && werror then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Statically analyze GEL grafts (provable out-of-bounds accesses, \
              guaranteed division by zero, unreachable code, unused locals \
              and functions)")
-    Term.(const run $ files $ entries $ werror $ builtin)
+    Term.(const run $ files $ entries $ werror $ builtin $ json)
 
 (* ---------- script ---------- *)
 

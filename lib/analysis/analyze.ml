@@ -66,6 +66,8 @@ type ctx = {
   prog : Ir.program;
   lens : int array;  (** index bound per array *)
   writable : bool array;
+  maps : Helpers.map_meta array option;
+      (** when present, lowerable map-helper calls emit key facts *)
   diagnose : bool;
   mutable recording : bool;
       (** facts/diags are emitted only in the recording pass; loop
@@ -198,13 +200,47 @@ let rec eval ctx (st : state) (e : Ir.expr) : I.t =
       let stb = refine ctx (copy st) a false in
       ignore (eval ctx stb b);
       if dead st then I.bot else I.bool_result
-  | Ir.Call (_, args) | Ir.CallExt (_, args) ->
+  | Ir.Call (_, args) ->
       Array.iter (fun a -> ignore (eval ctx st a)) args;
+      if dead st then I.bot else I.top
+  | Ir.CallExt (eidx, args) ->
+      (* Lowerable map-helper calls follow the stack-VM compiler's
+         lowered emission: key subtree (and value, for updates), then
+         the map opcode's fact. [site_of_callext] is the same
+         predicate the compiler consults, so the fact stream stays in
+         sync with emission by construction. *)
+      (match
+         Option.map
+           (fun metas ->
+             (metas, Helpers.site_of_callext ctx.prog.Ir.externs eidx args))
+           ctx.maps
+       with
+      | Some (metas, Some (Helpers.Lookup m)) ->
+          let ivk = eval ctx st args.(1) in
+          map_site ctx st metas m ivk
+      | Some (metas, Some (Helpers.Update m)) ->
+          let ivk = eval ctx st args.(1) in
+          ignore (eval ctx st args.(2));
+          map_site ctx st metas m ivk
+      | _ -> Array.iter (fun a -> ignore (eval ctx st a)) args);
       if dead st then I.bot else I.top
   | Ir.ToWord a -> I.to_word (eval ctx st a)
   | Ir.ToBool a ->
       ignore (eval ctx st a);
       if dead st then I.bot else I.bool_result
+
+(* A map key is provably safe only on an array map with the key's
+   interval inside [0, max_entries). Hash kinds never elide: any int is
+   a legal hash key, the probe *is* the check. *)
+and map_site ctx st metas m iv =
+  let ok =
+    (not (dead st))
+    && (not (I.is_bot iv))
+    && m < Array.length metas
+    && metas.(m).Helpers.mm_array
+    && I.leq iv (I.range 0 (metas.(m).Helpers.mm_max - 1))
+  in
+  emit_fact ctx ok iv
 
 and access_site ctx st arr iv ~store =
   let len = ctx.lens.(arr) in
@@ -331,11 +367,12 @@ and exec_while ctx st cond body step =
 (* Entry points.                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let make_ctx prog ~lens ~writable ~diagnose =
+let make_ctx ?maps prog ~lens ~writable ~diagnose =
   {
     prog;
     lens;
     writable;
+    maps;
     diagnose;
     recording = true;
     facts_rev = [];
@@ -354,9 +391,11 @@ let analyze_func ctx (f : Ir.func) =
     order — the same order the stack-VM compiler walks. [arr_len] and
     [arr_writable] come from the link ([Link.image]), so shared-window
     sizes and write permissions are the real ones. *)
-let facts_for_image (prog : Ir.program) ~(arr_len : int array)
-    ~(arr_writable : bool array) : fact array =
-  let ctx = make_ctx prog ~lens:arr_len ~writable:arr_writable ~diagnose:false in
+let facts_for_image ?(maps : Helpers.map_meta array option) (prog : Ir.program)
+    ~(arr_len : int array) ~(arr_writable : bool array) : fact array =
+  let ctx =
+    make_ctx ?maps prog ~lens:arr_len ~writable:arr_writable ~diagnose:false
+  in
   Array.iter (analyze_func ctx) prog.Ir.funcs;
   Array.of_list (List.rev ctx.facts_rev)
 

@@ -1,0 +1,173 @@
+(** Loop-bound certificates: Graftcheck's monotone-counter / trip-count
+    derivation.
+
+    The 1996 paper's verifiable tiers simply forbid backward jumps;
+    eBPF-class runtimes instead admit loops the verifier can prove
+    terminate. Graftgate takes the proof-carrying route from PR 2: the
+    front end *derives* a bound certificate for each loop from the IR,
+    the certificate rides in the program's proof manifest, and each
+    backend verifier independently *re-derives* the bound from its own
+    instruction stream and admits the backward jump only if the two
+    agree. A tampered or missing certificate is a load failure, never
+    a runtime surprise.
+
+    The derivable shape is the canonical counted loop GEL's [for]
+    lowers to (and the only shape the certificate format claims to
+    cover):
+
+    {[ var i = INIT;                     (* immediately before loop *)
+       while (i < LIMIT) {               (* Lt/Le, or Gt/Ge counting down *)
+         ... body never assigns i ...
+       } step { i = i + STEP; }          (* constant STEP >= 1 *) ]}
+
+    The trip count is then a closed form, capped at {!max_trip} so a
+    certificate can also serve as a fuel budget. *)
+
+module Ir = Graft_gel.Ir
+
+type cert = {
+  c_counter : int;  (** local slot of the counter *)
+  c_init : int;
+  c_limit : int;
+  c_cmp : Ir.cmp;  (** [Lt]/[Le] counting up, [Gt]/[Ge] counting down *)
+  c_step : int;  (** positive magnitude of the per-iteration step *)
+  c_trips : int;  (** maximum number of body executions *)
+}
+
+(** Ceiling on any certified trip count: a loop the verifier admits
+    can run at most this many iterations, so certified grafts stay
+    preemptible-by-construction even in unfueled tiers. *)
+let max_trip = 1_000_000
+
+let to_string c =
+  Printf.sprintf "local%d: %d %s %d step %d -> %d trips" c.c_counter c.c_init
+    (match c.c_cmp with
+    | Ir.Lt -> "<"
+    | Ir.Le -> "<="
+    | Ir.Gt -> ">"
+    | Ir.Ge -> ">="
+    | Ir.Eq -> "=="
+    | Ir.Ne -> "!=")
+    c.c_limit c.c_step c.c_trips
+
+(** Closed-form trip count, or [None] when the shape cannot terminate
+    by counting ([step = 0], direction fights the comparison, or the
+    count exceeds {!max_trip}). Exported so backend verifiers recompute
+    the same number from their re-derived windows. *)
+let trips ~init ~limit ~cmp ~step : int option =
+  if step < 1 then None
+  else
+    let count =
+      match cmp with
+      | Ir.Lt -> if init >= limit then Some 0 else Some ((limit - init + step - 1) / step)
+      | Ir.Le -> if init > limit then Some 0 else Some ((limit - init + step) / step)
+      | Ir.Gt -> if init <= limit then Some 0 else Some ((init - limit + step - 1) / step)
+      | Ir.Ge -> if init < limit then Some 0 else Some ((init - limit + step) / step)
+      | Ir.Eq | Ir.Ne -> None
+    in
+    match count with
+    | Some n when n >= 0 && n <= max_trip -> Some n
+    | _ -> None
+
+let rec strip = function Ir.At (_, s) -> strip s | s -> s
+
+(** Does any statement in [stmts] (recursively) assign local [slot]? *)
+let rec assigns_local slot stmts =
+  List.exists
+    (fun s ->
+      match strip s with
+      | Ir.Set_local (i, _) -> i = slot
+      | Ir.If (_, t, f) -> assigns_local slot t || assigns_local slot f
+      | Ir.While (_, b, st) -> assigns_local slot b || assigns_local slot st
+      | _ -> false)
+    stmts
+
+(** Derive a certificate for one [While (cond, body, step)] given the
+    statement lexically preceding it (the counter's initialiser). *)
+let derive ~(prev : Ir.stmt option) (cond : Ir.expr) (body : Ir.stmt list)
+    (step : Ir.stmt list) : (cert, string) result =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match cond with
+  | Ir.Cmp (((Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as cmp), Ir.Local i, Ir.Const k)
+    -> (
+      let init =
+        match Option.map strip prev with
+        | Some (Ir.Set_local (j, Ir.Const v)) when j = i -> Some v
+        | _ -> None
+      in
+      match init with
+      | None -> fail "counter local%d has no constant initialiser before the loop" i
+      | Some v -> (
+          match List.map strip step with
+          | [ Ir.Set_local (j, Ir.Arith (Ir.Kint, op, Ir.Local j', Ir.Const s)) ]
+            when j = i && j' = i -> (
+              let dir_ok =
+                match (cmp, op) with
+                | (Ir.Lt | Ir.Le), Ir.Add -> true
+                | (Ir.Gt | Ir.Ge), Ir.Sub -> true
+                | _ -> false
+              in
+              if not dir_ok then
+                fail "loop step does not advance local%d toward the limit" i
+              else if s < 1 then fail "loop step %d is not positive" s
+              else if assigns_local i body then
+                fail "loop body assigns the counter local%d" i
+              else
+                match trips ~init:v ~limit:k ~cmp ~step:s with
+                | None ->
+                    fail "trip count for local%d exceeds %d or diverges" i
+                      max_trip
+                | Some n ->
+                    Ok
+                      {
+                        c_counter = i;
+                        c_init = v;
+                        c_limit = k;
+                        c_cmp = cmp;
+                        c_step = s;
+                        c_trips = n;
+                      })
+          | _ -> fail "loop step is not a single constant bump of local%d" i))
+  | _ -> Error "loop condition is not (counter CMP constant)"
+
+(** Walk a statement list tracking the lexically-previous statement,
+    applying [f prev cond body step] at every [While] (outer loops
+    before their nested loops). *)
+let rec walk_block f stmts =
+  let prev = ref None in
+  List.iter
+    (fun s ->
+      (match strip s with
+      | Ir.While (cond, body, step) ->
+          f !prev cond body step;
+          walk_block f body;
+          walk_block f step
+      | Ir.If (_, t, fb) ->
+          walk_block f t;
+          walk_block f fb
+      | _ -> ());
+      prev := Some s)
+    stmts
+
+(** Check every loop in [prog] has a derivable bound. This is the
+    whole "verifier" for the AST-interpreter tier (which executes IR
+    directly, so the IR-level derivation *is* the independent check),
+    and the front gate for the register VM (whose instruction-level
+    verifier then re-derives each window). *)
+let check_program (prog : Ir.program) : (unit, string) result =
+  let err = ref None in
+  Array.iter
+    (fun (f : Ir.func) ->
+      walk_block
+        (fun prev cond body step ->
+          if !err = None then
+            match derive ~prev cond body step with
+            | Ok _ -> ()
+            | Error msg ->
+                err := Some (Printf.sprintf "%s: unbounded loop: %s" f.Ir.fname msg))
+        f.Ir.body)
+    prog.Ir.funcs;
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let check_image (image : Graft_gel.Link.image) =
+  check_program image.Graft_gel.Link.prog

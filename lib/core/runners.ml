@@ -45,8 +45,10 @@ type gel_env = { image : Link.image; windows : (string * Memory.region) list }
 
 (** Compile [source] and link it into a fresh power-of-two memory with
     the given shared windows (name, length, writable). [optimize] runs
-    the IR optimizer (the optimized tier's pre-pass) before linking. *)
-let gel_env ?(optimize = false) source windows =
+    the IR optimizer (the optimized tier's pre-pass) before linking.
+    [hosts] resolves extern declarations (e.g. the graft-map helper
+    dispatchers from {!Graft_kernel.Graftmap.hosts}). *)
+let gel_env ?(optimize = false) ?(hosts = []) source windows =
   let prog =
     match Gel.compile ~optimize source with
     | Ok p -> p
@@ -64,7 +66,7 @@ let gel_env ?(optimize = false) source windows =
         (name, Memory.alloc mem ~name ~len ~perm))
       windows
   in
-  match Link.link prog ~mem ~shared:regions ~hosts:[] with
+  match Link.link prog ~mem ~shared:regions ~hosts with
   | Ok image -> { image; windows = regions }
   | Error msg -> failwith ("GEL graft does not link: " ^ msg)
 
@@ -76,27 +78,42 @@ let window env name =
 type gel_entry = entry:string -> args:int array -> int
 
 (** An entry-point invoker for the given VM technology over a linked
-    image. Loading (compile + verify) happens once, here. *)
-let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
+    image. Loading (compile + verify) happens once, here. [maps] lets
+    the stack tiers lower typed-helper calls to map opcodes; [bounded]
+    makes every tier's verifier demand a loop-bound certificate for
+    each backward jump (the reference interpreter gates on the IR-level
+    {!Graft_analysis.Loopbound} check at construction). *)
+let gel_entry ?maps ?(bounded = false) (tech : Technology.t) (env : gel_env) :
+    gel_entry =
   match tech with
   | Technology.Ast_interp ->
+      (* No bytecode verifier on this tier: the gate is the same typed
+         helper table plus the IR-level bound derivation the bytecode
+         verifiers re-check at machine level. *)
+      (match Graft_analysis.Helpers.check_externs env.image.Link.prog with
+      | Ok () -> ()
+      | Error msg -> failwith ("GEL graft rejected: " ^ msg));
+      if bounded then (
+        match Graft_analysis.Loopbound.check_image env.image with
+        | Ok () -> ()
+        | Error msg -> failwith ("GEL graft rejected: " ^ msg));
       fun ~entry ~args ->
         run_fail (Interp.run env.image ~entry ~args ~fuel:huge_fuel)
   | Technology.Bytecode_vm ->
-      let p = Graft_stackvm.Stackvm.load_exn env.image in
+      let p = Graft_stackvm.Stackvm.load_exn ?maps ~bounded env.image in
       let session = Graft_stackvm.Vm.create_session p in
       fun ~entry ~args ->
         run_fail
           (Graft_stackvm.Vm.run_session session ~entry ~args ~fuel:huge_fuel)
   | Technology.Bytecode_opt ->
-      let p = Graft_stackvm.Stackvm.load_opt_exn env.image in
+      let p = Graft_stackvm.Stackvm.load_opt_exn ?maps ~bounded env.image in
       let session = Graft_stackvm.Vm.create_session p in
       fun ~entry ~args ->
         run_fail
           (Graft_stackvm.Vm.run_session_opt session ~entry ~args
              ~fuel:huge_fuel)
   | Technology.Safe_lang_static ->
-      let p = Graft_stackvm.Stackvm.load_static_exn env.image in
+      let p = Graft_stackvm.Stackvm.load_static_exn ?maps ~bounded env.image in
       let session = Graft_stackvm.Vm.create_session p in
       fun ~entry ~args ->
         run_fail
@@ -104,7 +121,7 @@ let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
   | Technology.Jit ->
       (* Graftjit: static-tier elisions, then closure-threaded native
          compilation; the session compiles once, entries are cheap. *)
-      let t = Graft_jit.Jit.load_exn env.image in
+      let t = Graft_jit.Jit.load_exn ?maps ~bounded env.image in
       let session = Graft_jit.Jit.create_session t in
       fun ~entry ~args ->
         run_fail
@@ -112,12 +129,13 @@ let gel_entry (tech : Technology.t) (env : gel_env) : gel_entry =
   | Technology.Sfi_write_jump | Technology.Sfi_full ->
       (* The register-VM route, used for the A4 instruction-count
          ablation; headline SFI numbers come from the native masked
-         regimes. *)
+         regimes. Maps reach this tier as linked host calls, so [maps]
+         is unused here; [bounded] arms the machine-level window check. *)
       let protection =
         if tech = Technology.Sfi_full then Graft_regvm.Program.Full
         else Graft_regvm.Program.Write_jump
       in
-      let p = Graft_regvm.Regvm.load_exn ~protection env.image in
+      let p = Graft_regvm.Regvm.load_exn ~protection ~bounded env.image in
       let session = Graft_regvm.Machine.create_session p in
       fun ~entry ~args ->
         (run_fail
@@ -617,3 +635,93 @@ let packet_filter (tech : Technology.t) ~protocol ~port :
         <> 0
   | Technology.Upcall_server ->
       invalid_arg "Runners.packet_filter: upcall cost is analysed by Breakeven"
+
+(* ------------------------------------------------------------------ *)
+(* Graftgate: stateful demux and hot-set grafts over graft maps.       *)
+(* ------------------------------------------------------------------ *)
+
+(** Adapt {!Graft_kernel.Graftmap.hosts} dispatchers to GEL hosts. *)
+let map_hosts maps =
+  List.map
+    (fun (hname, hfn) -> { Link.hname; hfn })
+    (Graft_kernel.Graftmap.hosts maps)
+
+type demux = {
+  d_tech : Technology.t;
+  demux : Graft_kernel.Netpkt.t -> int;
+      (** [scan * 1024 + count] for accepted packets, 0 otherwise *)
+  d_conn : Graft_kernel.Graftmap.t;
+      (** the runner's private 64-entry connection-counter map *)
+}
+
+(** [demux tech ~protocol ~marker] builds the stateful connection demux
+    for the given technology: per-connection packet counters live in a
+    fresh 64-entry array map, the payload marker scan is a certified
+    bounded loop, and every tier loads with [~bounded:true] — the
+    backward jump is accepted only because each verifier independently
+    re-derives the scan loop's trip count. *)
+let demux (tech : Technology.t) ~protocol ~marker : demux =
+  let conn = Graft_kernel.Graftmap.create_array ~name:"conn" 64 in
+  let gel_based () =
+    let maps = [| conn |] in
+    let env =
+      gel_env
+        ~optimize:(tech = Technology.Bytecode_opt)
+        ~hosts:(map_hosts maps)
+        (Gel_sources.demux ~window_cells:pkt_window_cells ~protocol ~marker)
+        [ ("pkt", pkt_window_cells, false) ]
+    in
+    let w = window env "pkt" in
+    let cells = Memory.cells env.image.Link.mem in
+    let entry = gel_entry ~maps ~bounded:true tech env in
+    fun (pkt : Graft_kernel.Netpkt.t) ->
+      let data = pkt.Graft_kernel.Netpkt.data in
+      let len = min (Bytes.length data) pkt_window_cells in
+      load_bytes_into_cells cells w.Memory.base (Bytes.sub data 0 len);
+      entry ~entry:"demux" ~args:[| len |]
+  in
+  let fn =
+    match tech with
+    | Technology.Ast_interp | Technology.Bytecode_vm | Technology.Bytecode_opt
+    | Technology.Safe_lang_static | Technology.Jit | Technology.Sfi_write_jump
+    | Technology.Sfi_full ->
+        gel_based ()
+    | Technology.Specialized_vm ->
+        let scratch = Graft_kernel.Graftmap.create_array ~name:"scratch" 1 in
+        let maps = [| conn; scratch |] in
+        let p = Graft_kernel.Pfvm.demux_conn ~protocol ~marker in
+        (match Graft_kernel.Pfvm.verify ~nmaps:(Array.length maps) p with
+        | Ok () -> ()
+        | Error msg -> failwith ("demux filter failed verification: " ^ msg));
+        fun pkt -> Graft_kernel.Pfvm.run ~maps p pkt
+    | t ->
+        invalid_arg ("Runners.demux: not a demux technology: " ^ Technology.name t)
+  in
+  { d_tech = tech; demux = fn; d_conn = conn }
+
+type hotset = {
+  h_tech : Technology.t;
+  touch : int -> int;  (** count an access; returns the page's count *)
+  hot : int -> bool;  (** is the page still resident in the LRU map? *)
+  h_map : Graft_kernel.Graftmap.t;  (** the runner's private LRU map *)
+}
+
+(** [hotset tech ~capacity] builds the hot-set tracking graft over a
+    fresh LRU map of the given capacity. Eviction policy lives in the
+    kernel's map object; the graft itself is loop-free and loads with
+    [~bounded:true] on every tier. *)
+let hotset (tech : Technology.t) ~capacity : hotset =
+  let m = Graft_kernel.Graftmap.create_lru ~name:"hotset" capacity in
+  let maps = [| m |] in
+  let env =
+    gel_env
+      ~optimize:(tech = Technology.Bytecode_opt)
+      ~hosts:(map_hosts maps) Gel_sources.hotset []
+  in
+  let entry = gel_entry ~maps ~bounded:true tech env in
+  {
+    h_tech = tech;
+    touch = (fun page -> entry ~entry:"touch" ~args:[| page |]);
+    hot = (fun page -> entry ~entry:"hot" ~args:[| page |] <> 0);
+    h_map = m;
+  }

@@ -38,13 +38,35 @@ type gel_env = {
 
 (** Compile [source] and link it into a fresh power-of-two memory with
     the given shared windows (name, length, writable). [optimize] runs
-    the IR optimizer before linking. Raises [Failure] if the source
+    the IR optimizer before linking. [hosts] resolves extern
+    declarations (e.g. the graft-map helper dispatchers from
+    {!Graft_kernel.Graftmap.hosts}). Raises [Failure] if the source
     does not compile or link. *)
 val gel_env :
-  ?optimize:bool -> string -> (string * int * bool) list -> gel_env
+  ?optimize:bool ->
+  ?hosts:Graft_gel.Link.host list ->
+  string ->
+  (string * int * bool) list ->
+  gel_env
 
 (** Look up a shared window by name. *)
 val window : gel_env -> string -> Graft_mem.Memory.region
+
+type gel_entry = entry:string -> args:int array -> int
+
+(** An entry-point invoker for a VM technology over a linked image;
+    loading (compile + verify) happens once, at construction. [maps]
+    lets the stack tiers lower typed-helper calls to map opcodes;
+    [bounded] makes every tier's verifier demand an independently
+    re-derived loop-bound certificate for each backward jump. Raises
+    [Failure] if the graft is rejected, [Invalid_argument] for non-VM
+    technologies. *)
+val gel_entry :
+  ?maps:Graft_kernel.Graftmap.t array ->
+  ?bounded:bool ->
+  Technology.t ->
+  gel_env ->
+  gel_entry
 
 (* ------------------------------------------------------------------ *)
 (** {1 Page eviction (Prioritization)} *)
@@ -137,3 +159,35 @@ val pkt_window_cells : int
     mbufs). *)
 val packet_filter :
   Technology.t -> protocol:int -> port:int -> Graft_kernel.Netpkt.t -> bool
+
+(* ------------------------------------------------------------------ *)
+(** {1 Graftgate: stateful grafts over graft maps} *)
+
+type demux = {
+  d_tech : Technology.t;
+  demux : Graft_kernel.Netpkt.t -> int;
+      (** [scan * 1024 + count] for accepted packets, 0 otherwise *)
+  d_conn : Graft_kernel.Graftmap.t;
+      (** the runner's private 64-entry connection-counter map *)
+}
+
+(** [demux tech ~protocol ~marker] builds the stateful connection
+    demux: per-connection packet counters in a fresh 64-entry array
+    map, plus a certified bounded scan for [marker] in payload bytes
+    54..69. Every tier loads with [~bounded:true] — the backward jump
+    is accepted only under a re-derived trip-count certificate. Raises
+    [Invalid_argument] for non-VM technologies. *)
+val demux : Technology.t -> protocol:int -> marker:int -> demux
+
+type hotset = {
+  h_tech : Technology.t;
+  touch : int -> int;  (** count an access; returns the page's count *)
+  hot : int -> bool;  (** is the page still resident in the LRU map? *)
+  h_map : Graft_kernel.Graftmap.t;  (** the runner's private LRU map *)
+}
+
+(** [hotset tech ~capacity] builds the hot-set tracking graft over a
+    fresh LRU map: eviction policy lives in the kernel's map object,
+    persistence across calls in the map, and the graft is loop-free.
+    Raises [Invalid_argument] for non-VM technologies. *)
+val hotset : Technology.t -> capacity:int -> hotset

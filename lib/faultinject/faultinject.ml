@@ -16,9 +16,16 @@ type fault_class =
   | Infinite_loop  (** runaway loop; the fuel watchdog's problem *)
   | Server_death  (** the upcall server process dies *)
   | Io_error  (** a disk-model access fails *)
+  | Map_misuse  (** graft-map access with an out-of-range key *)
+  | Runaway_loop
+      (** a backward jump with no derivable trip count, submitted to a
+          bounded loader — Graftgate's verifiers reject it at load *)
 
 let all_classes =
-  [ Wild_store; Nil_deref; Div_zero; Infinite_loop; Server_death; Io_error ]
+  [
+    Wild_store; Nil_deref; Div_zero; Infinite_loop; Server_death; Io_error;
+    Map_misuse; Runaway_loop;
+  ]
 
 let class_name = function
   | Wild_store -> "wild-store"
@@ -27,6 +34,8 @@ let class_name = function
   | Infinite_loop -> "infinite-loop"
   | Server_death -> "server-death"
   | Io_error -> "io-error"
+  | Map_misuse -> "map-misuse"
+  | Runaway_loop -> "runaway-loop"
 
 let class_of_name s =
   List.find_opt (fun c -> class_name c = s) all_classes
@@ -42,6 +51,10 @@ let fault_of = function
   | Infinite_loop -> Graft_mem.Fault.Fuel_exhausted
   | Server_death -> Graft_mem.Fault.Host_error "upcall server died"
   | Io_error -> Graft_mem.Fault.Host_error "injected disk I/O error"
+  | Map_misuse ->
+      Graft_mem.Fault.Out_of_bounds { access = Graft_mem.Fault.Read; addr = 99 }
+  | Runaway_loop ->
+      Graft_mem.Fault.Illegal_instruction "uncertified backward jump"
 
 type arm = {
   site : string;

@@ -43,6 +43,17 @@ let predicted tech (fault : Faultinject.fault_class) : Sabotage.outcome =
   | (Technology.Sfi_write_jump | Technology.Sfi_full),
     (Faultinject.Wild_store | Faultinject.Nil_deref) ->
       Sabotage.Masked
+  (* Graftgate: a backward jump with no derivable bound never reaches
+     execution on a verified tier — every bounded loader (IR gate,
+     stack VM, JIT, register VM) rejects it at load. Map misuse, by
+     contrast, is a runtime fault: the kernel's map object checks the
+     key and the barrier quarantines, even under SFI (a kernel-object
+     fault is not a store to be masked). *)
+  | ( ( Technology.Ast_interp | Technology.Bytecode_vm
+      | Technology.Bytecode_opt | Technology.Safe_lang_static
+      | Technology.Jit | Technology.Sfi_write_jump | Technology.Sfi_full ),
+      Faultinject.Runaway_loop ) ->
+      Sabotage.Load_rejected
   | _ -> Sabotage.Exception_barrier
 
 let technologies = Technology.all

@@ -180,6 +180,19 @@ let native_cell (module R : Access.S) tech (fault : Faultinject.fault_class) =
         | Faultinject.Io_error ->
             K.Diskmodel.arm_fault disk ~after:0;
             ignore (K.Diskmodel.read disk ~block:7 ~count:1)
+        | Faultinject.Map_misuse ->
+            (* The kernel's map object checks the key no matter how
+               safe the caller is; the fault is raised kernel-side. *)
+            let m = K.Graftmap.create_array ~name:"jail-map" 8 in
+            ignore (K.Graftmap.lookup m 99)
+        | Faultinject.Runaway_loop ->
+            (* No loader on the native path: the fuel watchdog is the
+               only backstop, exactly as for the generic runaway. *)
+            let x = ref 1 in
+            while !x <> 0 do
+              watchdog ();
+              incr x
+            done
         | Faultinject.Server_death -> assert false);
         0
       in
@@ -192,6 +205,12 @@ let native_cell (module R : Access.S) tech (fault : Faultinject.fault_class) =
 let gel_saboteur =
   {|
 shared array win[16];
+
+extern fn map_lookup(int, int) : int;
+
+fn mapoob() : int {
+  return map_lookup(0, 99);
+}
 
 fn wild() : int {
   win[21] = 3053;
@@ -223,10 +242,16 @@ let vm_fuel = 20_000
 (* A per-technology entry invoker over the saboteur image, raising the
    original Fault (rather than Runners' Failure wrapper) so the matrix
    records the true fault class at the barrier. *)
+let map_hosts maps =
+  List.map
+    (fun (hname, hfn) -> { Graft_gel.Link.hname; hfn })
+    (K.Graftmap.hosts maps)
+
 let vm_entry tech =
   let env =
     Runners.gel_env
       ~optimize:(tech = Technology.Bytecode_opt)
+      ~hosts:(map_hosts [| K.Graftmap.create_array ~name:"jail-map" 8 |])
       gel_saboteur
       [ ("win", wlen, true) ]
   in
@@ -261,9 +286,32 @@ let vm_entry tech =
         fail (Graft_jit.Jit.run_session s ~entry ~args ~fuel:vm_fuel)
   | t -> invalid_arg ("Sabotage.vm_entry: " ^ Technology.name t)
 
+(* Graftgate's negative control as a saboteur: submit the demux graft
+   whose scan loop is a raw while (semantically bounded, but not the
+   canonical counted shape the certificate derivation accepts) to the
+   technology's bounded loader. Every verified tier must reject it at
+   load — the fault class never reaches execution. *)
+let runaway_cell tech =
+  let maps = [| K.Graftmap.create_array ~name:"conn" 64 |] in
+  let env =
+    Runners.gel_env ~hosts:(map_hosts maps)
+      (Graft_grafts.Gel_sources.demux_unbounded
+         ~window_cells:Runners.pkt_window_cells ~protocol:6 ~marker:0x42)
+      [ ("pkt", Runners.pkt_window_cells, false) ]
+  in
+  match
+    let (_ : Runners.gel_entry) =
+      Runners.gel_entry ~maps ~bounded:true tech env
+    in
+    ()
+  with
+  | () -> obs No_fault "bounded loader admitted an uncertified backward jump"
+  | exception Failure msg -> obs Load_rejected msg
+
 let vm_cell tech (fault : Faultinject.fault_class) =
   match fault with
   | Faultinject.Server_death -> obs Not_applicable "no server process"
+  | Faultinject.Runaway_loop -> runaway_cell tech
   | _ -> (
       match vm_entry tech with
       | entry ->
@@ -280,7 +328,9 @@ let vm_cell tech (fault : Faultinject.fault_class) =
                 K.Diskmodel.arm_fault disk ~after:0;
                 ignore (K.Diskmodel.read disk ~block:7 ~count:1);
                 entry ~entry:"io" ~args:[||]
-            | Faultinject.Server_death -> assert false
+            | Faultinject.Map_misuse -> entry ~entry:"mapoob" ~args:[||]
+            | Faultinject.Server_death | Faultinject.Runaway_loop ->
+                assert false
           in
           observe g saboteur
       | exception Failure msg -> obs Load_rejected msg)
@@ -296,6 +346,7 @@ proc nilstore {p} { kstore win $p 7 }
 proc divz {d} { return [expr {7 / $d}] }
 proc spin {} { while {1 == 1} { set x 1 } }
 proc io {} { return 0 }
+proc mapoob {} { kmaplookup 99 }
 |}
 
 let script_cell (fault : Faultinject.fault_class) =
@@ -307,6 +358,11 @@ let script_cell (fault : Faultinject.fault_class) =
       let win = Memory.alloc mem ~name:"win" ~len:wlen ~perm:Memory.perm_rw in
       let interp = Graft_script.Script.create ~fuel:vm_fuel mem in
       Graft_script.Script.bind_array interp ~name:"win" win ~writable:true;
+      let jail_map = K.Graftmap.create_array ~name:"jail-map" 8 in
+      Graft_script.Script.bind_command interp ~name:"kmaplookup"
+        (fun _ args ->
+          let key = match args with k :: _ -> int_of_string k | [] -> 0 in
+          string_of_int (K.Graftmap.lookup jail_map key));
       (match Graft_script.Script.eval interp script_saboteur with
       | Ok _ -> ()
       | Error f -> failwith ("script saboteur: " ^ Fault.to_string f));
@@ -327,6 +383,11 @@ let script_cell (fault : Faultinject.fault_class) =
             K.Diskmodel.arm_fault disk ~after:0;
             ignore (K.Diskmodel.read disk ~block:7 ~count:1);
             call "io" []
+        | Faultinject.Map_misuse -> call "mapoob" []
+        | Faultinject.Runaway_loop ->
+            (* the source interpreter has no verifier; the fuel
+               watchdog contains the runaway like any other spin *)
+            call "spin" []
         | Faultinject.Server_death -> assert false
       in
       observe g saboteur
@@ -364,6 +425,17 @@ let upcall_cell (fault : Faultinject.fault_class) =
     | Faultinject.Io_error ->
         K.Diskmodel.arm_fault disk ~after:0;
         int_of_float (K.Diskmodel.read disk ~block:7 ~count:1)
+    | Faultinject.Map_misuse ->
+        let m = K.Graftmap.create_array ~name:"jail-map" 8 in
+        K.Graftmap.lookup m 99
+    | Faultinject.Runaway_loop ->
+        let x = ref 1 in
+        while !x <> 0 do
+          decr server_fuel;
+          if !server_fuel < 0 then Fault.raise_fault Fault.Fuel_exhausted;
+          incr x
+        done;
+        !x
     | Faultinject.Server_death -> 0
   in
   if fault = Faultinject.Server_death then K.Upcall.kill_server domain;
@@ -404,6 +476,15 @@ let pfvm_cell (fault : Faultinject.fault_class) =
   | Faultinject.Infinite_loop ->
       (* Backward jumps do not exist; a negative offset is rejected. *)
       rejected (K.Pfvm.verify [| K.Pfvm.Jeq (0, -1, -1); K.Pfvm.Ret 1 |])
+  | Faultinject.Map_misuse ->
+      (* A filter addressing a map the kernel did not attach: the map
+         id is checked against [nmaps] at load. *)
+      rejected (K.Pfvm.verify [| K.Pfvm.Mld 0; K.Pfvm.Reta |])
+  | Faultinject.Runaway_loop ->
+      (* A certified loop whose budget exceeds the VM's ceiling. *)
+      rejected
+        (K.Pfvm.verify
+           [| K.Pfvm.Ldlen; K.Pfvm.Jloop (-1, K.Pfvm.max_budget); K.Pfvm.Ret 1 |])
   | Faultinject.Wild_store | Faultinject.Div_zero | Faultinject.Io_error -> (
       (* No stores, no division, no host calls: the saboteur cannot be
          written at all — the expressiveness limit is the protection. *)
@@ -417,7 +498,7 @@ let pfvm_cell (fault : Faultinject.fault_class) =
 (* Dispatch.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_cell tech fault =
+let run_cell_by_tech tech fault =
   match tech with
   | Technology.Unsafe_c -> native_cell (module Access.Unsafe) tech fault
   | Technology.Safe_lang -> native_cell (module Access.Checked) tech fault
@@ -431,3 +512,12 @@ let run_cell tech fault =
   | Technology.Source_interp -> script_cell fault
   | Technology.Upcall_server -> upcall_cell fault
   | Technology.Specialized_vm -> pfvm_cell fault
+
+let run_cell tech fault =
+  match (tech, fault) with
+  | ( (Technology.Sfi_write_jump | Technology.Sfi_full),
+      Faultinject.Runaway_loop ) ->
+      (* The register-VM loader carries SFI's bounded-loop gate; the
+         native masked regimes have no loader to reject at. *)
+      runaway_cell tech
+  | _ -> run_cell_by_tech tech fault

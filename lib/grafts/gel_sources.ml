@@ -168,6 +168,99 @@ fn lookup(logical : int) : int {
 |}
     nblocks nblocks nblocks
 
+(** Stateful connection demux — the Graftgate showcase graft: a packet
+    filter with a bounded marker scan (certified loop) and per-
+    connection counters in graft map 0 ("conn", a 64-entry array map,
+    keyed by src port land 63). Returns [scan * 1024 + count] where
+    [scan] is the index of [marker] in payload bytes 54..69 (16 if
+    absent) and [count] the packet's per-connection sequence number;
+    non-IP, wrong-protocol or short packets return 0. Loadable with
+    [~bounded:true] on every tier: the one loop is the canonical
+    counted shape {!Graft_analysis.Loopbound} derives. *)
+let demux ~window_cells ~protocol ~marker =
+  Printf.sprintf
+    {|
+shared array pkt[%d];
+
+extern fn map_lookup(int, int) : int;
+extern fn map_update(int, int, int) : int;
+
+fn be16(off : int) : int {
+  return pkt[off] * 256 + pkt[off + 1];
+}
+
+fn demux(len : int) : int {
+  if (len < 70) { return 0; }
+  if (be16(12) != 2048) { return 0; }
+  if (pkt[23] != %d) { return 0; }
+  var scan = 16;
+  for (var i = 0; i < 16; i = i + 1) {
+    if (pkt[54 + i] == %d) { scan = i; break; }
+  }
+  var key = be16(34) & 63;
+  var n = map_lookup(0, key) + 1;
+  map_update(0, key, n);
+  return scan * 1024 + n;
+}
+|}
+    window_cells protocol marker
+
+(** The same demux with the scan loop written as a raw [while] whose
+    counter bumps inside the body — semantically identical, but not
+    the canonical counted shape, so every [~bounded:true] loader must
+    reject it (the negative control for the verifier tests). *)
+let demux_unbounded ~window_cells ~protocol ~marker =
+  Printf.sprintf
+    {|
+shared array pkt[%d];
+
+extern fn map_lookup(int, int) : int;
+extern fn map_update(int, int, int) : int;
+
+fn be16(off : int) : int {
+  return pkt[off] * 256 + pkt[off + 1];
+}
+
+fn demux(len : int) : int {
+  if (len < 70) { return 0; }
+  if (be16(12) != 2048) { return 0; }
+  if (pkt[23] != %d) { return 0; }
+  var scan = 16;
+  var i = 0;
+  while (i < 16) {
+    if (pkt[54 + i] == %d) { scan = i; break; }
+    i = i + 1;
+  }
+  var key = be16(34) & 63;
+  var n = map_lookup(0, key) + 1;
+  map_update(0, key, n);
+  return scan * 1024 + n;
+}
+|}
+    window_cells protocol marker
+
+(** Hot-set tracking over an LRU graft map (map 0): [touch(page)]
+    counts an access and returns the page's access count, [hot(page)]
+    asks whether the page is still resident in the map — eviction
+    policy lives in the kernel's LRU map, persistence across calls in
+    the map object, and the graft stays loop-free. *)
+let hotset =
+  {|
+extern fn map_lookup(int, int) : int;
+extern fn map_update(int, int, int) : int;
+extern fn map_contains(int, int) : int;
+
+fn touch(page : int) : int {
+  var n = map_lookup(0, page) + 1;
+  map_update(0, page, n);
+  return n;
+}
+
+fn hot(page : int) : int {
+  return map_contains(0, page);
+}
+|}
+
 (** Packet-filter graft: "ip and <protocol> and dst port <port>" over a
     packet window (one byte per cell; the kernel copies each packet in
     and calls [accept(len)]). *)

@@ -206,17 +206,20 @@ let build_plan (prog : Program.t) : plan =
 (* ------------------------------------------------------------------ *)
 
 (** The static-tier loader pipeline (interval analysis, elided checks,
-    verifier re-derivation) followed by block planning. *)
-let load (image : Graft_gel.Link.image) : (t, string) result =
-  match Graft_stackvm.Stackvm.load_static image with
+    verifier re-derivation) followed by block planning. With [maps],
+    lowerable helper calls compile to map opcodes over those kernel
+    objects; with [bounded:true] every loop needs a re-derived
+    loop-bound certificate (Graftgate mode). *)
+let load ?maps ?bounded (image : Graft_gel.Link.image) : (t, string) result =
+  match Graft_stackvm.Stackvm.load_static ?maps ?bounded image with
   | Error msg -> Error msg
   | Ok prog -> (
       match build_plan prog with
       | plan -> Ok { plan }
       | exception Failure msg -> Error msg)
 
-let load_exn image =
-  match load image with Ok t -> t | Error msg -> failwith msg
+let load_exn ?maps ?bounded image =
+  match load ?maps ?bounded image with Ok t -> t | Error msg -> failwith msg
 
 let program (t : t) = t.plan.prog
 
@@ -975,6 +978,54 @@ let compile_blocks (plan : plan) (st : state) (stack : int array)
                   (base0 + Array.unsafe_get stack (base + ii))
                   (Array.unsafe_get stack (base + iv));
                 k ()
+          | Opcode.Mlookup m ->
+              let k = rest () in
+              let mp = p.Program.maps.(m) in
+              let i0 = h - 1 in
+              fun () ->
+                charge ();
+                let slot = st.bp + i0 in
+                Array.unsafe_set stack slot
+                  (Graft_kernel.Graftmap.lookup mp
+                     (Array.unsafe_get stack slot));
+                k ()
+          | Opcode.Mupdate m ->
+              let k = rest () in
+              let mp = p.Program.maps.(m) in
+              let ik = h - 2 and iv = h - 1 in
+              fun () ->
+                charge ();
+                let base = st.bp in
+                Array.unsafe_set stack (base + ik)
+                  (Graft_kernel.Graftmap.update mp
+                     (Array.unsafe_get stack (base + ik))
+                     (Array.unsafe_get stack (base + iv)));
+                k ()
+          | Opcode.Mlookup_u m ->
+              (* Elided: the verifier re-proved the key interval inside
+                 the (array) map's range. *)
+              let k = rest () in
+              let mp = p.Program.maps.(m) in
+              let i0 = h - 1 in
+              fun () ->
+                charge ();
+                let slot = st.bp + i0 in
+                Array.unsafe_set stack slot
+                  (Graft_kernel.Graftmap.unsafe_get mp
+                     (Array.unsafe_get stack slot));
+                k ()
+          | Opcode.Mupdate_u m ->
+              let k = rest () in
+              let mp = p.Program.maps.(m) in
+              let ik = h - 2 and iv = h - 1 in
+              fun () ->
+                charge ();
+                let base = st.bp in
+                Graft_kernel.Graftmap.unsafe_set mp
+                  (Array.unsafe_get stack (base + ik))
+                  (Array.unsafe_get stack (base + iv));
+                Array.unsafe_set stack (base + ik) 1;
+                k ()
           | Opcode.Add ->
               let k = rest () in
               let ia = h - 2 and ib = h - 1 in
@@ -1311,7 +1362,7 @@ let describe (t : t) : string =
             for pc = b.b_start to b.b_start + b.b_len - 1 do
               match p.Program.code.(pc) with
               | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u
-              | Opcode.Mod_u ->
+              | Opcode.Mod_u | Opcode.Mlookup_u _ | Opcode.Mupdate_u _ ->
                   incr n
               | _ -> ()
             done;
@@ -1334,7 +1385,7 @@ let describe (t : t) : string =
             let annot =
               match p.Program.code.(pc) with
               | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u
-              | Opcode.Mod_u -> (
+              | Opcode.Mod_u | Opcode.Mlookup_u _ | Opcode.Mupdate_u _ -> (
                   match proof_at pc with
                   | Some claim ->
                       Printf.sprintf "   ; elided, proof %s"

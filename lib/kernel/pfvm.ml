@@ -5,29 +5,61 @@
     specific domain."
 
     The design inherits BPF's safety-by-construction properties:
-    - all jumps are {e forward-only} relative offsets, so every program
-      terminates in at most [length program] steps — no fuel needed;
+    - jumps are {e forward-only} relative offsets — except [Jloop], the
+      Graftgate extension below — so a loop-free program terminates in
+      at most [length program] steps with no fuel;
     - packet loads are offset-checked; an out-of-range load rejects the
       packet (BPF semantics) rather than faulting;
-    - the accumulator/constant instruction set cannot express stores,
-      so the filter cannot touch kernel state at all.
+    - the accumulator/index instruction set cannot express stores to
+      kernel memory; the only state a filter can touch are the graft
+      maps the kernel passes it ([Mld]/[Mst]/[Mstk]/[Addm]), and a map
+      access outside the map's range rejects the packet.
 
-    [verify] is the load-time check (forward jumps in range, return
-    reachable on every path, no fall-through). *)
+    {b Graftgate extensions} (eBPF parity for the specialized tier):
+    [Jloop (off, bound)] is the single backward-jump form — a counted
+    backedge carrying its own trip bound. [verify] admits it only
+    backward-in-range with [bound >= 1], and requires the {e loop
+    budget} — program length times the product of every [(bound+1)] —
+    to stay under {!max_budget}, so the certified worst-case step count
+    of an accepted filter is still a load-time constant. At run time
+    each [Jloop] keeps a per-run counter: it jumps back while the
+    counter is below its bound and falls through (resetting) once the
+    bound is reached, so the runtime can never exceed what the verifier
+    priced even if the loop's exit test is wrong.
+
+    [verify] is the load-time check (jump targets in range, loop budget,
+    map ids within the declared map count, return reachable on every
+    path, no fall-through); every rejection message carries the
+    offending instruction's disassembly. *)
 
 type instr =
   | Ld8 of int  (** acc <- pkt\[k\] *)
   | Ld16 of int  (** acc <- big-endian 16 bits at k *)
   | Ld32 of int
   | Ldlen  (** acc <- packet length *)
+  | Ldx of int  (** x <- k *)
+  | Ldind8 of int  (** acc <- pkt\[x + k\] *)
+  | Tax  (** x <- acc *)
+  | Txa  (** acc <- x *)
   | Add of int
   | And of int
   | Or of int
   | Rsh of int
+  | Lsh of int
   | Jeq of int * int * int  (** (k, jt, jf): relative forward offsets *)
   | Jgt of int * int * int
   | Jset of int * int * int  (** acc land k <> 0 *)
+  | Jloop of int * int
+      (** (off, bound): counted backedge. While this instruction's
+          per-run counter is below [bound], increment it and jump by
+          [off] (verified backward); otherwise reset the counter and
+          fall through. *)
+  | Mld of int  (** acc <- map m \[x\] *)
+  | Mst of int  (** map m \[x\] <- acc (acc preserved) *)
+  | Mstk of int * int  (** map m \[k\] <- acc (acc preserved) *)
+  | Addm of int * int  (** acc <- acc + map m \[k\] *)
   | Ret of int  (** 0 = reject, nonzero = accept *)
+  | Reta  (** return acc *)
 
 type program = instr array
 
@@ -36,52 +68,98 @@ let to_string = function
   | Ld16 k -> Printf.sprintf "ld16 [%d]" k
   | Ld32 k -> Printf.sprintf "ld32 [%d]" k
   | Ldlen -> "ldlen"
+  | Ldx k -> Printf.sprintf "ldx #%d" k
+  | Ldind8 k -> Printf.sprintf "ld8 [x+%d]" k
+  | Tax -> "tax"
+  | Txa -> "txa"
   | Add k -> Printf.sprintf "add #%d" k
   | And k -> Printf.sprintf "and #0x%x" k
   | Or k -> Printf.sprintf "or #0x%x" k
   | Rsh k -> Printf.sprintf "rsh #%d" k
+  | Lsh k -> Printf.sprintf "lsh #%d" k
   | Jeq (k, t, f) -> Printf.sprintf "jeq #0x%x, +%d, +%d" k t f
   | Jgt (k, t, f) -> Printf.sprintf "jgt #%d, +%d, +%d" k t f
   | Jset (k, t, f) -> Printf.sprintf "jset #0x%x, +%d, +%d" k t f
+  | Jloop (off, bound) -> Printf.sprintf "jloop %d, bound %d" off bound
+  | Mld m -> Printf.sprintf "mld map%d[x]" m
+  | Mst m -> Printf.sprintf "mst map%d[x]" m
+  | Mstk (m, k) -> Printf.sprintf "mst map%d[%d]" m k
+  | Addm (m, k) -> Printf.sprintf "addm map%d[%d]" m k
   | Ret k -> Printf.sprintf "ret #%d" k
+  | Reta -> "ret a"
 
-(** Load-time verification: every jump lands strictly forward and in
-    range, and no instruction falls off the end (every path reaches a
-    [Ret]). Linear time. *)
-let verify (p : program) : (unit, string) result =
+(** Ceiling on a filter's verified loop budget: program length times
+    the product of every [Jloop]'s [(bound + 1)]. An accepted filter
+    executes at most this many instructions per packet. *)
+let max_budget = 1_000_000
+
+(** Load-time verification, Graftgate flavour: forward jumps land in
+    range; [Jloop] is the only backward form and must carry a positive
+    bound, with the whole program's loop budget under {!max_budget};
+    map instructions name one of the [nmaps] maps the kernel will
+    attach (default 0: any map access is rejected); no instruction
+    falls off the end. Linear time. Every rejection names the
+    offending instruction by disassembly. *)
+let verify ?(nmaps = 0) (p : program) : (unit, string) result =
   let n = Array.length p in
   let exception Bad of string in
+  let bad i instr fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise (Bad (Printf.sprintf "%s at %d (%s)" msg i (to_string instr))))
+      fmt
+  in
   try
     if n = 0 then raise (Bad "empty filter");
+    let budget = ref n in
     Array.iteri
       (fun i instr ->
         let check_target off =
-          if off < 0 then raise (Bad (Printf.sprintf "backward jump at %d" i));
-          if i + 1 + off >= n then
-            raise (Bad (Printf.sprintf "jump out of range at %d" i))
+          if off < 0 then bad i instr "backward jump";
+          if i + 1 + off >= n then bad i instr "jump out of range"
         in
+        let check_map m = if m < 0 || m >= nmaps then bad i instr "map id out of range" in
         (match instr with
         | Jeq (_, t, f) | Jgt (_, t, f) | Jset (_, t, f) ->
             check_target t;
             check_target f
-        | Ld8 k | Ld16 k | Ld32 k ->
-            if k < 0 then raise (Bad (Printf.sprintf "negative offset at %d" i))
-        | Ret _ | Ldlen | Add _ | And _ | Or _ | Rsh _ -> ());
-        (* A non-return, non-jump final instruction falls off the end;
-           jumps are covered by check_target above. *)
+        | Jloop (off, bound) ->
+            if off >= 0 then bad i instr "loop backedge must jump backward";
+            if i + 1 + off < 0 then bad i instr "jump out of range";
+            if bound < 1 then bad i instr "loop bound must be positive";
+            if !budget > max_budget / (bound + 1) then
+              bad i instr "loop budget exceeds %d" max_budget;
+            budget := !budget * (bound + 1)
+        | Ld8 k | Ld16 k | Ld32 k | Ldind8 k ->
+            if k < 0 then bad i instr "negative offset"
+        | Ldx k -> if k < 0 then bad i instr "negative index"
+        | Mld m | Mst m -> check_map m
+        | Mstk (m, k) | Addm (m, k) ->
+            check_map m;
+            if k < 0 then bad i instr "negative map key"
+        | Ret _ | Reta | Ldlen | Tax | Txa | Add _ | And _ | Or _ | Rsh _
+        | Lsh _ ->
+            ());
+        (* A non-return final instruction falls off the end; jumps are
+           covered by check_target above (and a final Jloop falls
+           through once its bound is spent). *)
         if i = n - 1 then
           match instr with
-          | Ret _ -> ()
-          | _ -> raise (Bad "filter does not end with ret"))
+          | Ret _ | Reta -> ()
+          | _ -> bad i instr "filter does not end with ret")
       p;
     Ok ()
   with Bad msg -> Error msg
 
 exception Reject
 
-(** [run p pkt] returns the accept value (0 = reject). Guaranteed to
-    terminate without fuel: the pc increases strictly. *)
-let run (p : program) (pkt : Netpkt.t) : int =
+(** [run ?maps p pkt] returns the accept value (0 = reject).
+    Termination needs no fuel even with loops: every [Jloop] backedge
+    is taken at most [bound] times per run, so the step count is under
+    the budget [verify] priced. A packet load or map access outside
+    its range rejects the packet, BPF-style — graft maps make the
+    filter stateful, never unsafe. *)
+let run ?(maps = [||]) (p : program) (pkt : Netpkt.t) : int =
   let n = Array.length p in
   let len = Netpkt.length pkt in
   let load size k =
@@ -92,34 +170,65 @@ let run (p : program) (pkt : Netpkt.t) : int =
       | 2 -> Netpkt.get16 pkt k
       | _ -> Netpkt.get32 pkt k
   in
+  let map m =
+    if m < 0 || m >= Array.length maps then raise Reject else maps.(m)
+  in
+  let mlookup m k =
+    try Graftmap.lookup (map m) k with Graft_mem.Fault.Fault _ -> raise Reject
+  in
+  let mupdate m k v =
+    try ignore (Graftmap.update (map m) k v : int)
+    with Graft_mem.Fault.Fault _ -> raise Reject
+  in
+  let counters = Array.make n 0 in
   let acc = ref 0 in
+  let x = ref 0 in
   let pc = ref 0 in
   let result = ref 0 in
   (try
      let running = ref true in
      while !running && !pc < n do
-       let instr = Array.unsafe_get p !pc in
+       let i = !pc in
+       let instr = Array.unsafe_get p i in
        incr pc;
        match instr with
        | Ld8 k -> acc := load 1 k
        | Ld16 k -> acc := load 2 k
        | Ld32 k -> acc := load 4 k
        | Ldlen -> acc := len
+       | Ldx k -> x := k
+       | Ldind8 k -> acc := load 1 (!x + k)
+       | Tax -> x := !acc
+       | Txa -> acc := !x
        | Add k -> acc := !acc + k
        | And k -> acc := !acc land k
        | Or k -> acc := !acc lor k
        | Rsh k -> acc := !acc lsr (k land 62)
+       | Lsh k -> acc := !acc lsl (k land 62)
        | Jeq (k, t, f) -> pc := !pc + (if !acc = k then t else f)
        | Jgt (k, t, f) -> pc := !pc + (if !acc > k then t else f)
        | Jset (k, t, f) -> pc := !pc + (if !acc land k <> 0 then t else f)
+       | Jloop (off, bound) ->
+           if counters.(i) < bound then begin
+             counters.(i) <- counters.(i) + 1;
+             pc := !pc + off
+           end
+           else counters.(i) <- 0
+       | Mld m -> acc := mlookup m !x
+       | Mst m -> mupdate m !x !acc
+       | Mstk (m, k) -> mupdate m k !acc
+       | Addm (m, k) -> acc := !acc + mlookup m k
        | Ret v ->
            result := v;
+           running := false
+       | Reta ->
+           result := !acc;
            running := false
      done
    with Reject -> result := 0);
   !result
 
-let accepts p pkt = run p pkt <> 0
+let accepts ?maps p pkt = run ?maps p pkt <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Filter builders for the common cases.                               *)
@@ -153,4 +262,42 @@ let between ~a ~b : program =
     Jeq (a, 0, 1);
     Ret 1;
     Ret 0;
+  |]
+
+(** The stateful connection demux — pfvm's rendering of the GEL demux
+    graft ({!Graft_grafts.Gel_sources.demux}), for the cross-tier
+    parity bench. Expects map 0 = a 64-entry array ("conn", per-key
+    packet counts keyed by source port land 63) and map 1 = a 1-entry
+    array ("scratch"). For an IPv4 packet of [protocol] with at least
+    70 bytes, scans the 16 payload bytes at 54..69 for [marker]
+    (certified [Jloop], bound 15), bumps the connection counter, and
+    returns [scan * 1024 + count] where [scan] is the marker's index
+    (16 if absent); anything else returns 0. *)
+let demux_conn ~protocol ~marker : program =
+  [|
+    (* 0 *) Ldlen;
+    (* 1 *) Jgt (69, 0, 22) (* short packet -> ret 0 at 24 *);
+    (* 2 *) Ld16 12;
+    (* 3 *) Jeq (Netpkt.ethertype_ip, 0, 20);
+    (* 4 *) Ld8 23;
+    (* 5 *) Jeq (protocol, 0, 18);
+    (* 6 *) Ldx 0;
+    (* 7 *) Ldind8 54;
+    (* 8 *) Jeq (marker, 4, 0) (* found -> 13 with x = index *);
+    (* 9 *) Txa;
+    (* 10 *) Add 1;
+    (* 11 *) Tax;
+    (* 12 *) Jloop (-6, 15) (* back to 7; 16 probes total *);
+    (* 13 *) Txa (* scan index, 16 when absent *);
+    (* 14 *) Lsh 10;
+    (* 15 *) Mstk (1, 0) (* scratch[0] <- scan * 1024 *);
+    (* 16 *) Ld16 34;
+    (* 17 *) And 63;
+    (* 18 *) Tax;
+    (* 19 *) Mld 0;
+    (* 20 *) Add 1;
+    (* 21 *) Mst 0 (* conn[port land 63] <- count + 1 *);
+    (* 22 *) Addm (1, 0);
+    (* 23 *) Reta;
+    (* 24 *) Ret 0;
   |]

@@ -4,41 +4,72 @@
     compiled code, but ... the expressiveness is limited to the
     specific domain."
 
-    Safety by construction: jumps are forward-only (every program
-    terminates in at most |program| steps, no fuel needed), packet
-    loads are range-checked (out of range rejects, BPF-style), and the
-    instruction set has no stores, so a filter cannot touch kernel
-    state at all. *)
+    Safety by construction: jumps are forward-only except the counted
+    [Jloop] backedge (whose verified bound keeps the per-packet step
+    count a load-time constant), packet loads are range-checked (out of
+    range rejects, BPF-style), and the only state a filter can touch
+    are the graft maps the kernel attaches — a map access outside the
+    map's range likewise rejects the packet. *)
 
 type instr =
   | Ld8 of int
   | Ld16 of int  (** big-endian *)
   | Ld32 of int
   | Ldlen
+  | Ldx of int  (** x <- k *)
+  | Ldind8 of int  (** acc <- pkt\[x + k\] *)
+  | Tax  (** x <- acc *)
+  | Txa  (** acc <- x *)
   | Add of int
   | And of int
   | Or of int
   | Rsh of int
+  | Lsh of int
   | Jeq of int * int * int  (** (k, jt, jf): relative forward offsets *)
   | Jgt of int * int * int
   | Jset of int * int * int
+  | Jloop of int * int
+      (** (off, bound): counted backedge — jumps backward by [off]
+          while its per-run counter is below [bound], then resets and
+          falls through. The only backward-jump form. *)
+  | Mld of int  (** acc <- map m \[x\] *)
+  | Mst of int  (** map m \[x\] <- acc (acc preserved) *)
+  | Mstk of int * int  (** map m \[k\] <- acc (acc preserved) *)
+  | Addm of int * int  (** acc <- acc + map m \[k\] *)
   | Ret of int  (** 0 = reject *)
+  | Reta  (** return acc *)
 
 type program = instr array
 
 val to_string : instr -> string
 
+(** Ceiling on a filter's verified loop budget (program length times
+    the product of every [Jloop]'s bound+1). *)
+val max_budget : int
+
 (** Load-time verification: forward jumps in range, non-negative load
-    offsets, no fall-through off the end. Linear time. *)
-val verify : program -> (unit, string) result
+    offsets, [Jloop] backward with a positive bound and the program's
+    loop budget under {!max_budget}, map ids below [nmaps] (default 0),
+    no fall-through off the end. Linear time; every rejection message
+    carries the offending instruction's disassembly. *)
+val verify : ?nmaps:int -> program -> (unit, string) result
 
-(** Accept value (0 = reject). Terminates without fuel. *)
-val run : program -> Netpkt.t -> int
+(** Accept value (0 = reject). Terminates without fuel: [Jloop]
+    counters cap every backedge at its verified bound. [maps] are the
+    graft maps the filter's map instructions address, by index. *)
+val run : ?maps:Graftmap.t array -> program -> Netpkt.t -> int
 
-val accepts : program -> Netpkt.t -> bool
+val accepts : ?maps:Graftmap.t array -> program -> Netpkt.t -> bool
 
 (** "ip and <protocol> and dst port <port>". *)
 val proto_dst_port : protocol:int -> port:int -> program
 
 (** "ip traffic between hosts a and b", either direction. *)
 val between : a:int -> b:int -> program
+
+(** The stateful connection demux (pfvm rendering of the GEL demux
+    graft): scan payload bytes 54..69 for [marker] under a certified
+    [Jloop], count the packet against map 0 ("conn", 64-entry array,
+    keyed by src port land 63), stash the scan result in map 1
+    ("scratch", 1 entry), and return [scan * 1024 + count]. *)
+val demux_conn : protocol:int -> marker:int -> program

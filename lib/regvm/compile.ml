@@ -274,6 +274,7 @@ let compile (image : Link.image) ~(segment : Program.segment) : Program.t =
     host = image.Link.host;
     ext_arity =
       Array.map (fun (e : Ir.ext) -> List.length e.Ir.eparams) prog.Ir.externs;
+    ext_names = Array.map (fun (e : Ir.ext) -> e.Ir.ename) prog.Ir.externs;
     cells = Graft_mem.Memory.cells image.Link.mem;
     segment;
     protection = Program.Unprotected;

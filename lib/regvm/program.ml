@@ -21,6 +21,10 @@ type t = {
   funcs : funcdesc array;
   host : (int array -> int) array;
   ext_arity : int array;
+  ext_names : string array;
+      (** Extern names, parallel to [host]/[ext_arity]; the verifier
+          checks externs named like typed helpers ({!Graft_analysis.Helpers})
+          against the table's signature. *)
   cells : int array;
   segment : segment;
   protection : protection;

@@ -22,22 +22,40 @@ module Disasm = Disasm
 (** [~elide:true] lets the SFI pass skip the masking triple for
     accesses whose address the {!Flow} interval analysis proves
     in-segment; each elision is recorded as a claim that the verifier
-    independently re-derives before accepting the program. *)
+    independently re-derives before accepting the program.
+
+    [~bounded:true] (Graftgate mode) derives a loop-bound certificate
+    for every loop at the IR level ({!Graft_analysis.Loopbound}) and
+    then verifies with backward-branch windows re-derived from the
+    machine code; an underivable loop is a load error. *)
 let load ?(protection = Program.Write_jump) ?(elide = false)
-    (image : Graft_gel.Link.image) : (Program.t, string) result =
-  match
-    Compile.compile image ~segment:(Sfi.segment_of_memory image.Graft_gel.Link.mem)
-  with
-  | exception Compile.Compile_error msg -> Error msg
-  | exception Invalid_argument msg -> Error msg
-  | p -> (
-      match Sfi.instrument ~elide p ~protection with
+    ?(bounded = false) (image : Graft_gel.Link.image) :
+    (Program.t, string) result =
+  let gate =
+    match Graft_analysis.Helpers.check_externs image.Graft_gel.Link.prog with
+    | Error _ as e -> e
+    | Ok () ->
+        if bounded then Graft_analysis.Loopbound.check_image image else Ok ()
+  in
+  match gate with
+  | Error msg -> Error msg
+  | Ok () -> (
+      match
+        Compile.compile image
+          ~segment:(Sfi.segment_of_memory image.Graft_gel.Link.mem)
+      with
+      | exception Compile.Compile_error msg -> Error msg
       | exception Invalid_argument msg -> Error msg
       | p -> (
-          match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg))
+          match Sfi.instrument ~elide p ~protection with
+          | exception Invalid_argument msg -> Error msg
+          | p -> (
+              match Verify.verify ~bounded p with
+              | Ok () -> Ok p
+              | Error msg -> Error msg)))
 
-let load_exn ?protection ?elide image =
-  match load ?protection ?elide image with
+let load_exn ?protection ?elide ?bounded image =
+  match load ?protection ?elide ?bounded image with
   | Ok p -> p
   | Error msg -> failwith msg
 

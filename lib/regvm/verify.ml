@@ -31,8 +31,11 @@
     an unsandboxed access past the loader. *)
 
 module I = Graft_analysis.Interval
+module Helpers = Graft_analysis.Helpers
+module Loopbound = Graft_analysis.Loopbound
+module Ir = Graft_gel.Ir
 
-let verify (p : Program.t) : (unit, string) result =
+let verify ?(bounded = false) (p : Program.t) : (unit, string) result =
   let exception Bad of string in
   let bad i fmt =
     Printf.ksprintf
@@ -60,6 +63,23 @@ let verify (p : Program.t) : (unit, string) result =
     if no_entry.(t) then bad i "branch into a masking sequence at %d" t
   in
   try
+    (* Helper-signature discipline (shared with every other tier): an
+       extern named like a typed helper must carry the table's arity. *)
+    if Array.length p.Program.ext_names <> Array.length p.Program.ext_arity
+    then
+      raise (Bad "extern name table does not match the arity table");
+    Array.iteri
+      (fun e name ->
+        match Helpers.find name with
+        | Some s when p.Program.ext_arity.(e) <> s.Helpers.h_arity ->
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "extern %d (%s): arity %d does not match helper \
+                     signature %d"
+                    e name p.Program.ext_arity.(e) s.Helpers.h_arity))
+        | _ -> ())
+      p.Program.ext_names;
     (* Pass 0: claim manifest sanity. Each claim names a pc that must
        hold a memory access the protection level would otherwise mask,
        and its interval must fit inside the segment. *)
@@ -177,6 +197,111 @@ let verify (p : Program.t) : (unit, string) result =
             (Bad (Printf.sprintf "function %d (%s): bad code extent" fi
                     f.Program.name)))
       p.Program.funcs;
+    (* Graftgate mode: every backward branch must be the backedge of a
+       canonical counted loop whose trip count the verifier re-derives
+       from the instruction windows the compiler emits — the machine-
+       level half of the loop-bound certificate check (the IR-level
+       half is {!Graft_analysis.Loopbound.check_image}, run by the
+       loader). *)
+    if bounded then begin
+      let backedges = ref [] in
+      for b = 0 to n - 1 do
+        match code.(b) with
+        | (Isa.Brz (_, t) | Isa.Brnz (_, t)) when t <= b ->
+            bad b "conditional backward branch (%s) is never certified"
+              (Isa.to_string code.(b))
+        | Isa.Br t when t <= b ->
+            let fail fmt =
+              Printf.ksprintf
+                (fun m ->
+                  bad b "backward branch (%s): %s" (Isa.to_string code.(b)) m)
+                fmt
+            in
+            if t < 2 || b < t + 6 then
+              fail "no room for a counted-loop window";
+            (* Head: [movi rk, LIMIT; cmp rc, ri, rk; brz rc, exit]. *)
+            let ri, limit, cmp =
+              match (code.(t), code.(t + 1), code.(t + 2)) with
+              | ( Isa.Movi (rk, limit),
+                  Isa.Cmp (((Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge) as cmp), rc, ri, rk'),
+                  Isa.Brz (rc', e) )
+                when rk' = rk && rc' = rc ->
+                  if e <= b then fail "loop exit does not leave the loop";
+                  (ri, limit, cmp)
+              | _ -> fail "loop head is not the canonical counted test"
+            in
+            if ri < Isa.reg_base then
+              fail "loop counter r%d is not a local register" ri;
+            (* Initialiser immediately above the head. *)
+            let init =
+              match (code.(t - 2), code.(t - 1)) with
+              | Isa.Movi (rI, v), Isa.Mov (ri', rI') when ri' = ri && rI' = rI
+                ->
+                  v
+              | _ -> fail "loop counter has no constant initialiser"
+            in
+            (* Step: [movi rA, STEP; add/sub rA, ri, rA; mov ri, rA]. *)
+            let op, step =
+              match (code.(b - 3), code.(b - 2), code.(b - 1)) with
+              | ( Isa.Movi (ra, s),
+                  Isa.Bin (Ir.Kint, ((Ir.Add | Ir.Sub) as op), ra', ri', ra''),
+                  Isa.Mov (ri'', ra''') )
+                when ra' = ra && ra'' = ra && ra''' = ra && ri' = ri
+                     && ri'' = ri ->
+                  (op, s)
+              | _ -> fail "loop step is not a single constant counter bump"
+            in
+            (match (cmp, op) with
+            | (Ir.Lt | Ir.Le), Ir.Add | (Ir.Gt | Ir.Ge), Ir.Sub -> ()
+            | _ ->
+                fail "loop step does not advance the counter toward the limit");
+            if step < 1 then fail "loop step %d is not positive" step;
+            (* The step's final mov must be the only write to the
+               counter anywhere in the loop. *)
+            for j = t to b do
+              if j <> b - 1 && List.mem ri (Isa.writes code.(j)) then
+                fail "counter r%d is also written at %d (%s)" ri j
+                  (Isa.to_string code.(j))
+            done;
+            (match Loopbound.trips ~init ~limit ~cmp ~step with
+            | Some _ -> ()
+            | None ->
+                fail "trip count exceeds %d or diverges" Loopbound.max_trip);
+            backedges := (t, b) :: !backedges
+        | _ -> ()
+      done;
+      (* Entry discipline: control may enter a certified window only
+         through its initialiser at [t-2] (so the counter is always
+         freshly initialised), and may reach the backedge only by
+         falling through the whole step window (so every backedge bumps
+         the counter). *)
+      List.iter
+        (fun (t, b) ->
+          let target_of j =
+            match code.(j) with
+            | Isa.Br u | Isa.Brz (_, u) | Isa.Brnz (_, u) -> Some u
+            | _ -> None
+          in
+          for j = 0 to n - 1 do
+            match target_of j with
+            | Some u ->
+                if (j < t - 2 || j > b) && u > t - 2 && u <= b then
+                  bad j "branch into a certified loop window at %d" u;
+                if u > b - 3 && u <= b && j <> b then
+                  bad j "branch into a certified loop's step window at %d" u
+            | None -> ()
+          done;
+          Array.iter
+            (fun (f : Program.funcdesc) ->
+              if f.Program.entry > t - 2 && f.Program.entry < b then
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "function %s enters a certified loop window"
+                        f.Program.name)))
+            p.Program.funcs)
+        !backedges
+    end;
     (* Pass 3 (only when elisions are present): rerun the interval
        analysis over the instrumented code and require every claimed
        elision to be independently re-derivable — derived address

@@ -10,4 +10,12 @@
     masking sequence; r0 is never written; all branch and call targets
     are in range. One pass, O(1) work per instruction. *)
 
-val verify : Program.t -> (unit, string) result
+val verify : ?bounded:bool -> Program.t -> (unit, string) result
+(** [verify ?bounded p] checks [p]. Externs named like typed helpers
+    ({!Graft_analysis.Helpers}) must match the table's arity. With
+    [bounded:true] (Graftgate mode) every backward branch must be the
+    backedge of a canonical counted loop: the verifier re-derives the
+    init/test/step windows, requires the step to be the loop's only
+    counter write, forbids entering the window except through its
+    initialiser, and recomputes a finite trip count — conditional or
+    non-conforming backward branches are load errors. *)

@@ -1195,6 +1195,102 @@ let ablation_metrics scale =
       ];
   }
 
+(* A11: Graftgate's stateful grafts. The connection demux keeps
+   per-connection packet counters in a 64-entry array graft map and
+   scans the payload for a marker under a load-time trip-count
+   certificate — the first graft in the suite whose state outlives an
+   invocation and whose loop runs with no per-iteration fuel check on
+   any tier. The hot-set tracker puts the *policy* in the kernel
+   object: an LRU map evicts for it, so the graft is loop-free. *)
+let ablation_gate scale =
+  let protocol = Graft_kernel.Netpkt.proto_tcp in
+  let marker = 0x42 in
+  let rng = Prng.create 0xA11L in
+  let traffic =
+    Array.init 256 (fun i ->
+        let payload = Bytes.make 32 '\000' in
+        if i land 3 <> 0 then
+          Bytes.set payload (16 + (i land 15)) (Char.chr marker);
+        Graft_kernel.Netpkt.make ~protocol
+          ~src_port:(Prng.int rng 4096)
+          ~dst_port:80 ~payload ())
+  in
+  let techs =
+    [
+      Technology.Specialized_vm; Technology.Jit; Technology.Bytecode_opt;
+      Technology.Bytecode_vm; Technology.Sfi_full; Technology.Ast_interp;
+    ]
+  in
+  (* Verified before timed: every tier must classify the traffic (and
+     leave the connection map) identically. *)
+  let classify tech =
+    let d = Runners.demux tech ~protocol ~marker in
+    (Array.map d.Runners.demux traffic,
+     Graft_kernel.Graftmap.entries d.Runners.d_conn)
+  in
+  let reference = classify Technology.Ast_interp in
+  List.iter
+    (fun tech ->
+      if classify tech <> reference then
+        failwith ("A11: " ^ Technology.name tech ^ " diverges on demux"))
+    techs;
+  let data =
+    List.map
+      (fun tech ->
+        let d = Runners.demux tech ~protocol ~marker in
+        let i = ref 0 in
+        let op () =
+          i := (!i + 1) land 255;
+          ignore (d.Runners.demux traffic.(!i))
+        in
+        let touch =
+          match tech with
+          | Technology.Specialized_vm -> None (* inexpressible: no LRU *)
+          | _ ->
+              let h = Runners.hotset tech ~capacity:64 in
+              let j = ref 0 in
+              let op () =
+                j := !j + 1;
+                ignore (h.Runners.touch (!j land 255))
+              in
+              Some (time_op scale op)
+        in
+        (tech, time_op scale op, touch))
+      techs
+  in
+  let base = med (match data with (_, m, _) :: _ -> m | [] -> assert false) in
+  let t =
+    Tablefmt.create [| "Technology"; "demux/pkt"; "vs filter VM"; "touch/op" |]
+  in
+  List.iter
+    (fun (tech, m, touch) ->
+      Tablefmt.add_row t
+        [|
+          Technology.paper_name tech;
+          fmt_meas m;
+          fmt_norm (med m /. base);
+          (match touch with Some h -> fmt_meas h | None -> "n/a");
+        |])
+    data;
+  {
+    id = "Ablation A11";
+    title = "Stateful grafts over graft maps (Graftgate: demux + hot set)";
+    body = Tablefmt.render t;
+    notes =
+      [
+        "demux: per-connection counters in a 64-entry array map keyed by \
+         src port, marker scan certified to 16 trips at load — the \
+         backward jump runs with no fuel check on any tier, and every \
+         verifier re-derives the bound independently";
+        "the filter VM's counted Jloop budget is the same certificate in \
+         specialized clothing; its map opcodes are range-checked at load \
+         where the key is static, per packet where it is not";
+        "touch: hot-set tracking with eviction owned by the kernel's LRU \
+         map object — inexpressible on the filter VM (no LRU), loop-free \
+         everywhere else";
+      ];
+  }
+
 (* ------------------------------------------------------------------ *)
 
 let all scale =
@@ -1216,4 +1312,5 @@ let all scale =
     ablation_trace scale;
     ablation_supervision scale;
     ablation_metrics scale;
+    ablation_gate scale;
   ]

@@ -41,6 +41,14 @@ type ctx = {
           compiler's emission order; [None] compiles fully checked *)
   mutable fact_i : int;  (** cursor into [facts] *)
   mutable proofs_rev : (int * Graft_analysis.Interval.t) list;
+  lower_maps : bool;
+      (** lower [map_lookup]/[map_update] helper calls with constant
+          map ids to the dedicated map opcodes *)
+  bounds : bool;  (** derive a loop-bound certificate per loop *)
+  mutable prev : Ir.stmt option;
+      (** statement lexically preceding the one being compiled, for
+          the certificate's initialiser window *)
+  mutable bounds_rev : (int * Graft_analysis.Loopbound.cert) list;
 }
 
 (* The analyzer emits exactly one fact per array access and per
@@ -126,9 +134,30 @@ let rec compile_expr ctx (e : Ir.expr) =
   | Ir.Call (fidx, args) ->
       Array.iter (compile_expr ctx) args;
       emit em (Opcode.Call fidx)
-  | Ir.CallExt (eidx, args) ->
-      Array.iter (compile_expr ctx) args;
-      emit em (Opcode.Callext eidx)
+  | Ir.CallExt (eidx, args) -> (
+      let site =
+        if ctx.lower_maps then
+          Graft_analysis.Helpers.site_of_callext
+            ctx.image.Link.prog.Ir.externs eidx args
+        else None
+      in
+      (* Lowered helper calls skip the constant map-id argument: the id
+         travels in the opcode. [Analyze] walks the same shapes through
+         the same [site_of_callext] predicate, keeping the fact stream
+         in sync. *)
+      match site with
+      | Some (Graft_analysis.Helpers.Lookup m) ->
+          compile_expr ctx args.(1);
+          emit_site ctx ~checked:(Opcode.Mlookup m)
+            ~unchecked:(Opcode.Mlookup_u m)
+      | Some (Graft_analysis.Helpers.Update m) ->
+          compile_expr ctx args.(1);
+          compile_expr ctx args.(2);
+          emit_site ctx ~checked:(Opcode.Mupdate m)
+            ~unchecked:(Opcode.Mupdate_u m)
+      | None ->
+          Array.iter (compile_expr ctx) args;
+          emit em (Opcode.Callext eidx))
   | Ir.ToWord a ->
       compile_expr ctx a;
       emit em Opcode.Wmask
@@ -173,25 +202,31 @@ let rec compile_stmt ctx (s : Ir.stmt) =
   | Ir.If (cond, t, f) ->
       compile_expr ctx cond;
       let jz = emit_patch em in
-      List.iter (compile_stmt ctx) t;
+      compile_block ctx t;
       if f = [] then em.code.(jz) <- Opcode.Jz em.len
       else begin
         let jend = emit_patch em in
         em.code.(jz) <- Opcode.Jz em.len;
-        List.iter (compile_stmt ctx) f;
+        compile_block ctx f;
         em.code.(jend) <- Opcode.Jmp em.len
       end
   | Ir.While (cond, body, step) ->
+      let prev = ctx.prev in
       let top = em.len in
       compile_expr ctx cond;
       let jexit = emit_patch em in
       let loop = { breaks = []; continues = [] } in
       ctx.loops <- loop :: ctx.loops;
-      List.iter (compile_stmt ctx) body;
+      compile_block ctx body;
       ctx.loops <- List.tl ctx.loops;
       let step_target = em.len in
-      List.iter (compile_stmt ctx) step;
+      compile_block ctx step;
       emit em (Opcode.Jmp top);
+      if ctx.bounds then begin
+        match Graft_analysis.Loopbound.derive ~prev cond body step with
+        | Ok c -> ctx.bounds_rev <- (em.len - 1, c) :: ctx.bounds_rev
+        | Error msg -> invalid_arg ("Compile: unbounded loop: " ^ msg)
+      end;
       let exit_target = em.len in
       em.code.(jexit) <- Opcode.Jz exit_target;
       List.iter (fun i -> em.code.(i) <- Opcode.Jmp exit_target) loop.breaks;
@@ -218,19 +253,43 @@ let rec compile_stmt ctx (s : Ir.stmt) =
       compile_expr ctx e;
       emit em Opcode.Pop
 
+(* Compile a statement list, tracking the lexically-previous statement
+   for the loop-bound initialiser window. *)
+and compile_block ctx stmts =
+  let prev = ref None in
+  List.iter
+    (fun s ->
+      ctx.prev <- !prev;
+      compile_stmt ctx s;
+      prev := Some s)
+    stmts
+
 (** Compile a linked image to an executable stack-VM program. When
     [facts] (from [Analyze.facts_for_image] on the same image) is
     given, provably safe sites compile to unchecked opcodes and the
     claimed intervals are recorded in the program's proof manifest. *)
-let compile ?facts (image : Link.image) : Program.t =
+let compile ?facts ?maps ?(bounds = false) (image : Link.image) : Program.t =
   let prog = image.Link.prog in
   let em = { code = Array.make 256 Opcode.Halt; len = 0 } in
-  let ctx = { em; image; loops = []; facts; fact_i = 0; proofs_rev = [] } in
+  let ctx =
+    {
+      em;
+      image;
+      loops = [];
+      facts;
+      fact_i = 0;
+      proofs_rev = [];
+      lower_maps = maps <> None;
+      bounds;
+      prev = None;
+      bounds_rev = [];
+    }
+  in
   let funcs =
     Array.map
       (fun (f : Ir.func) ->
         let entry = em.len in
-        List.iter (compile_stmt ctx) f.Ir.body;
+        compile_block ctx f.Ir.body;
         (* Fall-off-the-end safety net: void functions return 0; the
            typechecker guarantees value functions never reach it. *)
         emit em (Opcode.Const 0);
@@ -261,6 +320,9 @@ let compile ?facts (image : Link.image) : Program.t =
     host = image.Link.host;
     ext_arity =
       Array.map (fun (e : Ir.ext) -> List.length e.Ir.eparams) prog.Ir.externs;
+    ext_names = Array.map (fun (e : Ir.ext) -> e.Ir.ename) prog.Ir.externs;
     cells = Graft_mem.Memory.cells image.Link.mem;
+    maps = (match maps with Some m -> m | None -> [||]);
     proofs = Array.of_list (List.rev ctx.proofs_rev);
+    loop_bounds = Array.of_list (List.rev ctx.bounds_rev);
   }

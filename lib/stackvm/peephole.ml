@@ -244,4 +244,8 @@ let optimize (p : Program.t) : Program.t =
   let proofs =
     Array.map (fun (pc, claim) -> (remap pc, claim)) p.Program.proofs
   in
-  { p with Program.code = code'; funcs; proofs }
+  (* Loop-bound certificates are keyed to the unfused instruction
+     windows and do not survive fusion; bounded loaders run the
+     certificate pass before this one, so dropping them here loses no
+     guarantee (see [Stackvm.load_opt]). *)
+  { p with Program.code = code'; funcs; proofs; loop_bounds = [||] }

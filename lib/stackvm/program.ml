@@ -18,14 +18,24 @@ type t = {
   arrays : arrdesc array;
   host : (int array -> int) array;
   ext_arity : int array;  (** argument count per extern, for the verifier *)
+  ext_names : string array;
+      (** extern names, so the verifier can hold helper-named externs
+          to the typed helper table's signatures *)
   cells : int array;  (** the graft address space backing store *)
+  maps : Graft_kernel.Graftmap.t array;
+      (** graft maps addressed by [Mlookup]/[Mupdate] map ids *)
   proofs : (int * Graft_analysis.Interval.t) array;
       (** proof manifest for unchecked instructions: [(pc, claim)]
           pairs, sorted by pc. For [Aload_u]/[Astore_u] the claim is
-          the index interval, for [Div_u]/[Mod_u] the divisor interval.
-          The claims are untrusted compiler output; [Verify] re-derives
-          its own intervals and admits an unchecked instruction only if
+          the index interval, for [Div_u]/[Mod_u] the divisor interval,
+          for [Mlookup_u]/[Mupdate_u] the key interval. The claims are
+          untrusted compiler output; [Verify] re-derives its own
+          intervals and admits an unchecked instruction only if
           derived ⊆ claim ⊆ legal. *)
+  loop_bounds : (int * Graft_analysis.Loopbound.cert) array;
+      (** loop-bound certificates keyed by the pc of the backward
+          [Jmp] closing each loop; untrusted like [proofs], re-derived
+          by [Verify ~bounded] before a backward jump is admitted *)
 }
 
 let find_func p name =

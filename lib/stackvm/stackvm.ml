@@ -15,28 +15,62 @@ module Verify = Verify
 module Vm = Vm
 module Disasm = Disasm
 
-(** Compile and verify a linked image; refuses unverifiable code as the
-    kernel's loader would. *)
-let load (image : Graft_gel.Link.image) : (Program.t, string) result =
-  let p = Compile.compile image in
-  match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg
+(* Graftgate front checks shared by every loader: helper-named externs
+   must match the typed helper table before anything is compiled, and
+   bounded loading refuses loops the certificate derivation cannot
+   cover (raised as [Invalid_argument] by [Compile ~bounds]). *)
+let gate ~bounded image k =
+  match Graft_analysis.Helpers.check_externs image.Graft_gel.Link.prog with
+  | Error msg -> Error msg
+  | Ok () -> (
+      match k () with
+      | p -> (
+          match Verify.verify ~bounded p with
+          | Ok () -> Ok p
+          | Error msg -> Error msg)
+      | exception Invalid_argument msg -> Error msg)
 
-let load_exn image =
-  match load image with Ok p -> p | Error msg -> failwith msg
+(** Compile and verify a linked image; refuses unverifiable code as the
+    kernel's loader would. [maps] attaches graft maps (and lowers
+    helper calls with constant map ids to map opcodes); [bounded]
+    switches on Graftgate loading, where every loop needs a
+    re-derivable bound certificate. *)
+let load ?maps ?(bounded = false) (image : Graft_gel.Link.image) :
+    (Program.t, string) result =
+  gate ~bounded image (fun () -> Compile.compile ?maps ~bounds:bounded image)
+
+let load_exn ?maps ?bounded image =
+  match load ?maps ?bounded image with
+  | Ok p -> p
+  | Error msg -> failwith msg
 
 (** The optimizing tier's loader: compile, fuse superinstructions
     ({!Peephole}), then re-verify the fused code — the safety claim
     still rests on load-time verification, not on trusting the
-    optimizer. Run the result with {!Vm.run_session_opt} for the
-    top-of-stack-cached dispatch loop. *)
-let load_opt (image : Graft_gel.Link.image) : (Program.t, string) result =
-  match Peephole.optimize (Compile.compile image) with
-  | p -> (
-      match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg)
-  | exception Invalid_argument msg -> Error msg
+    optimizer. Under [bounded], the certificate pass runs on the
+    *unfused* code (certificates are keyed by pc and do not survive
+    remapping); fusion preserves semantics, so the bound established
+    there covers the fused program the plain re-verification admits. *)
+let load_opt ?maps ?(bounded = false) (image : Graft_gel.Link.image) :
+    (Program.t, string) result =
+  match Graft_analysis.Helpers.check_externs image.Graft_gel.Link.prog with
+  | Error msg -> Error msg
+  | Ok () -> (
+      match
+        let p0 = Compile.compile ?maps ~bounds:bounded image in
+        match if bounded then Verify.verify ~bounded:true p0 else Ok () with
+        | Error msg -> Error msg
+        | Ok () -> (
+            let p = Peephole.optimize p0 in
+            match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg)
+      with
+      | r -> r
+      | exception Invalid_argument msg -> Error msg)
 
-let load_opt_exn image =
-  match load_opt image with Ok p -> p | Error msg -> failwith msg
+let load_opt_exn ?maps ?bounded image =
+  match load_opt ?maps ?bounded image with
+  | Ok p -> p
+  | Error msg -> failwith msg
 
 (** The statically-checked tier's loader (the paper's "Modula-3 + static
     checks" column): run the abstract interpretation over the image's
@@ -45,28 +79,41 @@ let load_opt_exn image =
     attached, then re-verify — the verifier derives its own intervals
     from the bytecode and rejects any elision it cannot re-establish,
     so the analysis never joins the trusted base. *)
-let load_static (image : Graft_gel.Link.image) : (Program.t, string) result =
+let load_static ?maps ?(bounded = false) (image : Graft_gel.Link.image) :
+    (Program.t, string) result =
+  let metas =
+    Option.map
+      (Array.map (fun m ->
+           {
+             Graft_analysis.Helpers.mm_array = Graft_kernel.Graftmap.is_array m;
+             mm_max = Graft_kernel.Graftmap.max_entries m;
+           }))
+      maps
+  in
   let facts =
-    Graft_analysis.Analyze.facts_for_image image.Graft_gel.Link.prog
+    Graft_analysis.Analyze.facts_for_image ?maps:metas image.Graft_gel.Link.prog
       ~arr_len:image.Graft_gel.Link.arr_len
       ~arr_writable:image.Graft_gel.Link.arr_writable
   in
-  let p = Compile.compile ~facts image in
-  match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg
+  gate ~bounded image (fun () -> Compile.compile ~facts ?maps ~bounds:bounded image)
 
-let load_static_exn image =
-  match load_static image with Ok p -> p | Error msg -> failwith msg
+let load_static_exn ?maps ?bounded image =
+  match load_static ?maps ?bounded image with
+  | Ok p -> p
+  | Error msg -> failwith msg
 
-(** (elided, total) counts of check sites — array accesses plus
-    divisions — in a program, for the [-O]/[--dump] report and the
-    elision-rate experiments. *)
+(** (elided, total) counts of check sites — array accesses, divisions,
+    and map accesses — in a program, for the [-O]/[--dump] report and
+    the elision-rate experiments. *)
 let elision_stats (p : Program.t) : int * int =
   Array.fold_left
     (fun (elided, total) op ->
       match op with
-      | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u ->
+      | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u
+      | Opcode.Mlookup_u _ | Opcode.Mupdate_u _ ->
           (elided + 1, total + 1)
-      | Opcode.Aload _ | Opcode.Astore _ | Opcode.Div | Opcode.Mod ->
+      | Opcode.Aload _ | Opcode.Astore _ | Opcode.Div | Opcode.Mod
+      | Opcode.Mlookup _ | Opcode.Mupdate _ ->
           (elided, total + 1)
       | _ -> (elided, total))
     (0, 0) p.Program.code

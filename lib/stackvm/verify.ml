@@ -79,7 +79,9 @@ let rec refine_sym locals sym truth =
       end
 
 let is_unchecked = function
-  | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u -> true
+  | Opcode.Aload_u _ | Opcode.Astore_u _ | Opcode.Div_u | Opcode.Mod_u
+  | Opcode.Mlookup_u _ | Opcode.Mupdate_u _ ->
+      true
   | _ -> false
 
 (* Joins at a program point widen only after the point has been visited
@@ -110,6 +112,16 @@ let check_elisions (p : Program.t) : (unit, string) result =
     | Opcode.Div_u | Opcode.Mod_u ->
         if I.contains claim 0 then
           bad "claimed divisor %s at %d admits zero" (I.to_string claim) pc
+    | Opcode.Mlookup_u m | Opcode.Mupdate_u m -> (
+        if m < 0 || m >= Array.length p.maps then
+          bad "map id %d out of range at %d" m pc;
+        match Graft_kernel.Graftmap.backing p.maps.(m) with
+        | None -> bad "unchecked access to non-array map %d at %d" m pc
+        | Some _ ->
+            let cap = Graft_kernel.Graftmap.max_entries p.maps.(m) in
+            if not (I.leq claim (I.range 0 (cap - 1))) then
+              bad "claim %s at %d exceeds the bounds of map %d"
+                (I.to_string claim) pc m)
     | _ -> bad "proof attached to a checked instruction at %d" pc
   in
   let setup () =
@@ -286,6 +298,28 @@ let check_elisions (p : Program.t) : (unit, string) result =
           require_sub iv claim "index";
           post_refine si a;
           next ()
+      | Opcode.Mlookup _ ->
+          ignore (pop ());
+          push I.top Snone;
+          next ()
+      | Opcode.Mupdate _ ->
+          ignore (pop ());
+          ignore (pop ());
+          push I.top Snone;
+          next ()
+      | Opcode.Mlookup_u _ ->
+          let claim = claim_of () in
+          let iv, _ = pop () in
+          require_sub iv claim "map key";
+          push I.top Snone;
+          next ()
+      | Opcode.Mupdate_u _ ->
+          let claim = claim_of () in
+          ignore (pop ());
+          let iv, _ = pop () in
+          require_sub iv claim "map key";
+          push I.top Snone;
+          next ()
       | Opcode.Div_u ->
           let claim = claim_of () in
           let ib, _ = pop () in
@@ -416,7 +450,198 @@ let check_elisions (p : Program.t) : (unit, string) result =
       Ok ()
     with Bad msg -> Error msg
 
-let verify (p : Program.t) : (unit, string) result =
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3 (bounded loading only): backward jumps are admitted only     *)
+(* under a loop-bound certificate the verifier re-derives itself.      *)
+(*                                                                     *)
+(* The certificate names a counter, its constant initialiser, limit    *)
+(* and step, and a trip count. None of that is trusted: the pass       *)
+(* re-reads the canonical counted-loop windows straight from the       *)
+(* bytecode — init [Const v; Store_local c] immediately before the     *)
+(* head, head [Load_local c; Const k; CMP; Jz exit], step              *)
+(* [Load_local c; Const s; Add/Sub; Store_local c] immediately before  *)
+(* the backward Jmp — recomputes the closed-form trip count, and       *)
+(* requires exact agreement with the claim. It further checks that     *)
+(* nothing else in the loop writes the counter and that no jump from   *)
+(* outside enters the loop past the initialiser, so the re-derived     *)
+(* bound covers every execution that can reach the back edge.          *)
+(* ------------------------------------------------------------------ *)
+
+let check_bounds (p : Program.t) : (unit, string) result =
+  let ncode = Array.length p.code in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  let disasm pc = Opcode.to_string p.code.(pc) in
+  let writes_local n = function
+    | Opcode.Store_local m
+    | Opcode.Local_addk (m, _)
+    | Opcode.Move_local (m, _)
+    | Opcode.Store_localk (m, _)
+    | Opcode.Bin_store (_, m)
+    | Opcode.Bink_store (_, _, m)
+    | Opcode.Aload_local_store (_, _, m) ->
+        m = n
+    | Opcode.Move_local2 (d1, _, d2, _) -> d1 = n || d2 = n
+    | _ -> false
+  in
+  let targets = function
+    | Opcode.Jmp t | Opcode.Jz t | Opcode.Jnz t
+    | Opcode.Jcmp (_, _, t)
+    | Opcode.Jcmpk (_, _, _, t)
+    | Opcode.Jcmpk_local (_, _, _, _, t) ->
+        [ t ]
+    | _ -> []
+  in
+  let cmp_of pc =
+    match p.code.(pc) with
+    | Opcode.Lt -> Some Ir.Lt
+    | Opcode.Le -> Some Ir.Le
+    | Opcode.Gt -> Some Ir.Gt
+    | Opcode.Ge -> Some Ir.Ge
+    | _ -> None
+  in
+  (* Re-derive the loop windows for a backward [Jmp t] at [b] and check
+     them against certificate [c]. *)
+  let check_window b t (c : Graft_analysis.Loopbound.cert) =
+    let fail reason = bad "backward jump at %d (%s): %s" b (disasm b) reason in
+    (* The whole loop, initialiser included, must sit inside one
+       function so the windows cannot straddle an entry point. *)
+    let in_one_func =
+      Array.exists
+        (fun (f : Program.funcdesc) ->
+          t - 2 >= f.Program.entry && b < f.Program.code_end)
+        p.funcs
+    in
+    if t < 2 || b - 4 < t + 4 || not in_one_func then
+      fail "loop too small to carry the certified windows";
+    (* Head: Load_local c; Const k; CMP; Jz exit, with exit past b. *)
+    let counter =
+      match p.code.(t) with
+      | Opcode.Load_local n -> n
+      | _ -> fail "loop head does not read a counter local"
+    in
+    let limit =
+      match p.code.(t + 1) with
+      | Opcode.Const k -> k
+      | _ -> fail "loop head has no constant limit"
+    in
+    let cmp =
+      match cmp_of (t + 2) with
+      | Some cm -> cm
+      | None -> fail "loop head comparison is not Lt/Le/Gt/Ge"
+    in
+    (match p.code.(t + 3) with
+    | Opcode.Jz e when e > b -> ()
+    | _ -> fail "loop head does not exit past the back edge");
+    (* Initialiser: Const v; Store_local c immediately before the head. *)
+    let init =
+      match (p.code.(t - 2), p.code.(t - 1)) with
+      | Opcode.Const v, Opcode.Store_local n when n = counter -> v
+      | _ -> fail "counter has no constant initialiser before the loop"
+    in
+    (* Step: Load_local c; Const s; Add/Sub; Store_local c just before
+       the back edge. *)
+    let step, down =
+      match
+        (p.code.(b - 4), p.code.(b - 3), p.code.(b - 2), p.code.(b - 1))
+      with
+      | ( Opcode.Load_local n,
+          Opcode.Const s,
+          (Opcode.Add | Opcode.Sub),
+          Opcode.Store_local n' )
+        when n = counter && n' = counter ->
+          (s, p.code.(b - 2) = Opcode.Sub)
+      | _ -> fail "back edge is not preceded by a constant counter step"
+    in
+    if step < 1 then fail "counter step is not positive";
+    (match (cmp, down) with
+    | (Ir.Lt | Ir.Le), false | (Ir.Gt | Ir.Ge), true -> ()
+    | _ -> fail "counter step does not advance toward the limit");
+    (* The step window is the only counter write inside the loop. *)
+    for pc = t to b do
+      if pc <> b - 1 && writes_local counter p.code.(pc) then
+        fail
+          (Printf.sprintf "counter is also written at %d (%s)" pc (disasm pc))
+    done;
+    (* No jump from outside may enter past the initialiser: an entry
+       that skips [Const v; Store_local c] would start the counter at
+       an unproven value. *)
+    for pc = 0 to ncode - 1 do
+      if pc < t - 2 || pc > b then
+        List.iter
+          (fun u ->
+            if u >= t && u <= b then
+              bad "jump at %d (%s) enters a certified loop at %d" pc
+                (disasm pc) u)
+          (targets p.code.(pc))
+    done;
+    (* Nor may any jump — even from inside the body — land past the
+       step window's start: reaching the back edge must mean the whole
+       [Load_local; Const; Add; Store_local] step just ran, or a body
+       jump straight to the back edge would iterate without ever
+       advancing the counter and the certified bound would not cover
+       that path. (A jump to b-4, the step's first instruction, is the
+       compiled [continue] and runs the full step.) *)
+    for pc = 0 to ncode - 1 do
+      List.iter
+        (fun u ->
+          if u > b - 4 && u <= b then
+            bad "jump at %d (%s) enters a certified loop's step window at %d"
+              pc (disasm pc) u)
+        (targets p.code.(pc))
+    done;
+    (* Recompute the closed form and require exact agreement. *)
+    match Graft_analysis.Loopbound.trips ~init ~limit ~cmp ~step with
+    | None -> fail "re-derived trip count diverges or exceeds the ceiling"
+    | Some n ->
+        if
+          c.Graft_analysis.Loopbound.c_counter <> counter
+          || c.Graft_analysis.Loopbound.c_init <> init
+          || c.Graft_analysis.Loopbound.c_limit <> limit
+          || c.Graft_analysis.Loopbound.c_cmp <> cmp
+          || c.Graft_analysis.Loopbound.c_step <> step
+          || c.Graft_analysis.Loopbound.c_trips <> n
+        then
+          fail
+            (Printf.sprintf "certificate (%s) does not match the re-derived bound"
+               (Graft_analysis.Loopbound.to_string c))
+  in
+  let certs = Hashtbl.create 8 in
+  try
+    Array.iter
+      (fun (pc, c) ->
+        if pc < 0 || pc >= ncode then bad "loop certificate at invalid pc %d" pc;
+        (match p.code.(pc) with
+        | Opcode.Jmp t when t <= pc -> ()
+        | _ ->
+            bad "loop certificate at %d (%s) is not a backward jmp" pc
+              (disasm pc));
+        if Hashtbl.mem certs pc then bad "duplicate loop certificate at %d" pc;
+        Hashtbl.add certs pc c)
+      p.loop_bounds;
+    Array.iteri
+      (fun pc instr ->
+        match instr with
+        | Opcode.Jz t | Opcode.Jnz t when t <= pc ->
+            bad "conditional backward jump at %d (%s)" pc (disasm pc)
+        | Opcode.Jcmp (_, _, t)
+        | Opcode.Jcmpk (_, _, _, t)
+        | Opcode.Jcmpk_local (_, _, _, _, t)
+          when t <= pc ->
+            bad "fused backward jump at %d (%s)" pc (disasm pc)
+        | Opcode.Jmp t when t <= pc -> (
+            match Hashtbl.find_opt certs pc with
+            | Some c -> check_window pc t c
+            | None ->
+                bad "backward jump at %d (%s) without a loop-bound certificate"
+                  pc (disasm pc))
+        | _ -> ())
+      p.code;
+    Ok ()
+  with Bad msg -> Error msg
+
+let verify ?(bounded = false) (p : Program.t) : (unit, string) result =
   let ncode = Array.length p.code in
   let nfuncs = Array.length p.funcs in
   let narrays = Array.length p.arrays in
@@ -427,6 +652,18 @@ let verify (p : Program.t) : (unit, string) result =
   let check_tables () =
     if Array.length p.ext_arity <> nexterns then
       bad "extern arity table length mismatch";
+    if Array.length p.ext_names <> nexterns then
+      bad "extern name table length mismatch";
+    (* Helper-named externs must match the typed helper table: every
+       verifier holds grafts to the same helper ABI. *)
+    Array.iteri
+      (fun i name ->
+        match Graft_analysis.Helpers.find name with
+        | Some h when p.ext_arity.(i) <> h.Graft_analysis.Helpers.h_arity ->
+            bad "extern %d (%s): arity %d does not match helper signature %d" i
+              name p.ext_arity.(i) h.Graft_analysis.Helpers.h_arity
+        | _ -> ())
+      p.ext_names;
     Array.iteri
       (fun i (f : Program.funcdesc) ->
         if f.Program.entry < 0 || f.Program.entry > f.Program.code_end
@@ -558,6 +795,11 @@ let verify (p : Program.t) : (unit, string) result =
                 bad "function %d (%s): local %d out of range at %d" fi
                   f.Program.name n pc)
             [ n; dst ]
+      | Opcode.Mlookup m | Opcode.Mupdate m | Opcode.Mlookup_u m
+      | Opcode.Mupdate_u m ->
+          if m < 0 || m >= Array.length p.maps then
+            bad "function %d (%s): map id %d out of range at %d (%s)" fi
+              f.Program.name m pc (Opcode.to_string instr)
       | Opcode.Halt ->
           bad "function %d (%s): reachable halt at %d (unpatched jump?)" fi
             f.Program.name pc
@@ -585,5 +827,8 @@ let verify (p : Program.t) : (unit, string) result =
     with Bad msg -> Error msg
   with
   | Error _ as e -> e
-  | Ok () -> check_elisions p
+  | Ok () -> (
+      match if bounded then check_bounds p else Ok () with
+      | Error _ as e -> e
+      | Ok () -> check_elisions p)
 

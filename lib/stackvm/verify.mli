@@ -11,4 +11,9 @@
 val max_stack : int
 val max_locals : int
 
-val verify : Program.t -> (unit, string) result
+val verify : ?bounded:bool -> Program.t -> (unit, string) result
+(** [verify ?bounded p] checks [p]. With [bounded:true] (Graftgate
+    mode), every backward jump must additionally be covered by a
+    loop-bound certificate from [p]'s manifest, which this pass
+    re-derives from the bytecode windows and matches exactly; any
+    conditional or uncertified backward jump is rejected. *)

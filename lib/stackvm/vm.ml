@@ -188,6 +188,20 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
               let v = pop () in
               let i = pop () in
               Array.unsafe_set cells (d.Program.base + i) v
+          | Opcode.Mlookup m ->
+              let k = pop () in
+              push (Graft_kernel.Graftmap.lookup p.Program.maps.(m) k)
+          | Opcode.Mupdate m ->
+              let v = pop () in
+              let k = pop () in
+              push (Graft_kernel.Graftmap.update p.Program.maps.(m) k v)
+          | Opcode.Mlookup_u m ->
+              push (Graft_kernel.Graftmap.unsafe_get p.Program.maps.(m) (pop ()))
+          | Opcode.Mupdate_u m ->
+              let v = pop () in
+              let k = pop () in
+              Graft_kernel.Graftmap.unsafe_set p.Program.maps.(m) k v;
+              push 1
           | Opcode.Div_u -> binop ( / )
           | Opcode.Mod_u -> binop (fun a b -> a mod b)
           | Opcode.Add -> binop ( + )
@@ -542,6 +556,25 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
               let i = under () in
               shrink2 ();
               Array.unsafe_set cells (d.Program.base + i) v
+          | Opcode.Mlookup m ->
+              if !h < 1 then underflow ();
+              tos := Graft_kernel.Graftmap.lookup p.Program.maps.(m) !tos
+          | Opcode.Mupdate m ->
+              if !h < 2 then underflow ();
+              let v = !tos in
+              let k = under () in
+              decr h;
+              tos := Graft_kernel.Graftmap.update p.Program.maps.(m) k v
+          | Opcode.Mlookup_u m ->
+              if !h < 1 then underflow ();
+              tos := Graft_kernel.Graftmap.unsafe_get p.Program.maps.(m) !tos
+          | Opcode.Mupdate_u m ->
+              if !h < 2 then underflow ();
+              let v = !tos in
+              let k = under () in
+              decr h;
+              Graft_kernel.Graftmap.unsafe_set p.Program.maps.(m) k v;
+              tos := 1
           | Opcode.Div_u -> binop ( / )
           | Opcode.Mod_u -> binop (fun a b -> a mod b)
           (* The arithmetic core is written out rather than routed

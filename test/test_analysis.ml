@@ -342,6 +342,7 @@ let test_regvm_bogus_claims () =
         |];
       host = [||];
       ext_arity = [||];
+      ext_names = [||];
       cells = Array.make 1024 0;
       segment = seg;
       protection = Rprogram.Write_jump;

@@ -1,11 +1,15 @@
 (* Cross-engine differential fuzzing: generate random well-typed GEL
    programs and require the reference AST interpreter, the stack
    bytecode VM, and the register VM (both SFI protection levels) to
-   agree on the result and on the final global/array state.
+   agree on the result and on the final global/array/graft-map state.
 
-   Programs are generated so they cannot fault (array indices masked,
-   divisors forced nonzero, loops bounded), so any divergence is a
-   compiler or interpreter bug. *)
+   Programs are generated so they cannot fault (array indices and map
+   keys masked, divisors forced nonzero, loops bounded), so any
+   divergence is a compiler or interpreter bug. Since every generated
+   loop is the canonical counted shape, the statically checked stack
+   tier, the JIT and the non-elided register VMs all load with
+   [~bounded:true]: the loop-bound gate must admit everything the
+   generator emits, and certification must not change semantics. *)
 
 open Graft_util
 open Graft_gel
@@ -39,8 +43,13 @@ let rec gen_expr g depth =
   in
   if depth <= 0 then atom ()
   else
-    match Prng.int g.rng 10 with
+    match Prng.int g.rng 11 with
     | 0 | 1 | 2 -> atom ()
+    | 7 ->
+        (* graft-map read with masked key: in range by construction *)
+        p g "map_lookup(0, (";
+        gen_expr g (depth - 1);
+        p g ") & 7)"
     | 3 ->
         (* array read with masked index *)
         p g "arr[(";
@@ -83,11 +92,19 @@ let gen_cond g depth =
   p g ")"
 
 let rec gen_stmt g depth =
-  match Prng.int g.rng 6 with
+  match Prng.int g.rng 7 with
   | 0 ->
       p g "g = ";
       gen_expr g depth;
       p g ";\n"
+  | 5 ->
+      (* graft-map write with masked key; update returns 1 on array
+         maps, so fold it into [g] to keep the value observable *)
+      p g "g = g + map_update(0, (";
+      gen_expr g (depth - 1);
+      p g ") & 7, ";
+      gen_expr g depth;
+      p g ");\n"
   | 1 ->
       p g "arr[(";
       gen_expr g (depth - 1);
@@ -142,6 +159,8 @@ let gen_program seed =
       fresh = 0;
     }
   in
+  p g "extern fn map_lookup(int, int) : int;\n";
+  p g "extern fn map_update(int, int, int) : int;\n";
   p g "var g : int = %d;\narray arr[8];\n" (Prng.int g.rng 100);
   p g "fn main(a : int, b : int) : int {\n";
   let nlocals = 1 + Prng.int g.rng 3 in
@@ -174,31 +193,47 @@ type engine = {
 
 let fuel = 50_000_000
 
-let build_image ?(optimize = false) src =
+(* Graftgate dimension: every generated program declares the map
+   helpers and works over an 8-entry array map (map 0), keys masked
+   & 7 so access never faults. Each engine run gets a fresh map, and
+   the map's final contents join the global/array state in the
+   differential comparison — so the helper-call door (AST interpreter,
+   register VM) and the lowered map-opcode door (stack tiers, JIT)
+   must leave byte-identical kernel state. *)
+let fuzz_maps () = [| Graft_kernel.Graftmap.create_array ~name:"fuzz" 8 |]
+
+let map_hosts maps =
+  List.map
+    (fun (hname, hfn) -> { Link.hname; hfn })
+    (Graft_kernel.Graftmap.hosts maps)
+
+let build_image ?(optimize = false) ?(hosts = []) src =
   let prog =
     match Gel.compile ~optimize src with
     | Ok p -> p
     | Error e -> failwith ("fuzz program does not compile: " ^ Srcloc.to_string e)
   in
   let mem = Memory.create 1024 in
-  match Link.link prog ~mem ~shared:[] ~hosts:[] with
+  match Link.link prog ~mem ~shared:[] ~hosts with
   | Ok image -> image
   | Error m -> failwith ("fuzz program does not link: " ^ m)
 
-let final_state (image : Link.image) =
+let final_state maps (image : Link.image) =
   let cells = Memory.cells image.Link.mem in
   let g = cells.(image.Link.global_base) in
   let arr = Array.init 8 (fun i -> cells.(image.Link.arr_base.(0) + i)) in
-  Array.append [| g |] arr
+  let map = Array.init 8 (fun k -> Graft_kernel.Graftmap.lookup maps.(0) k) in
+  Array.concat [ [| g |]; arr; map ]
 
 let interp_engine ?(optimize = false) name =
   {
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image ~optimize src in
+        let maps = fuzz_maps () in
+        let image = build_image ~optimize ~hosts:(map_hosts maps) src in
         match Interp.run image ~entry:"main" ~args ~fuel with
-        | Ok v -> Ok (v, final_state image)
+        | Ok v -> Ok (v, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
@@ -208,10 +243,11 @@ let stackvm_engine ?(optimize = false) name =
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image ~optimize src in
+        let maps = fuzz_maps () in
+        let image = build_image ~optimize ~hosts:(map_hosts maps) src in
         let prog = Graft_stackvm.Stackvm.load_exn image in
         match Graft_stackvm.Vm.run prog ~entry:"main" ~args ~fuel with
-        | Ok v -> Ok (v, final_state image)
+        | Ok v -> Ok (v, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
@@ -224,10 +260,11 @@ let stackvm_opt_engine ?(optimize = false) name =
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image ~optimize src in
-        let prog = Graft_stackvm.Stackvm.load_opt_exn image in
+        let maps = fuzz_maps () in
+        let image = build_image ~optimize ~hosts:(map_hosts maps) src in
+        let prog = Graft_stackvm.Stackvm.load_opt_exn ~maps image in
         match Graft_stackvm.Vm.run_opt prog ~entry:"main" ~args ~fuel with
-        | Ok v -> Ok (v, final_state image)
+        | Ok v -> Ok (v, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
@@ -240,10 +277,11 @@ let stackvm_static_engine name =
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image src in
-        let prog = Graft_stackvm.Stackvm.load_static_exn image in
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
+        let prog = Graft_stackvm.Stackvm.load_static_exn ~maps ~bounded:true image in
         match Graft_stackvm.Vm.run prog ~entry:"main" ~args ~fuel with
-        | Ok v -> Ok (v, final_state image)
+        | Ok v -> Ok (v, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
@@ -256,23 +294,25 @@ let jit_engine name =
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image src in
-        let t = Graft_jit.Jit.load_exn image in
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
+        let t = Graft_jit.Jit.load_exn ~maps ~bounded:true image in
         match Graft_jit.Jit.run t ~entry:"main" ~args ~fuel with
-        | Ok v -> Ok (v, final_state image)
+        | Ok v -> Ok (v, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
 
-let regvm_engine ?elide ~protection name =
+let regvm_engine ?elide ?bounded ~protection name =
   {
     ename = name;
     run =
       (fun src ~args ->
-        let image = build_image src in
-        let prog = Graft_regvm.Regvm.load_exn ~protection ?elide image in
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
+        let prog = Graft_regvm.Regvm.load_exn ~protection ?elide ?bounded image in
         match Graft_regvm.Machine.run prog ~entry:"main" ~args ~fuel with
-        | Ok o -> Ok (o.Graft_regvm.Machine.value, final_state image)
+        | Ok o -> Ok (o.Graft_regvm.Machine.value, final_state maps image)
         | Error (`Fault f) -> Error (Fault.to_string f)
         | Error (`Bad_entry m) -> Error m);
   }
@@ -287,8 +327,10 @@ let engines =
     stackvm_opt_engine ~optimize:true "bytecode-peep+opt";
     stackvm_static_engine "bytecode-static";
     jit_engine "jit";
-    regvm_engine ~protection:Graft_regvm.Program.Write_jump "regvm-wj";
-    regvm_engine ~protection:Graft_regvm.Program.Full "regvm-full";
+    regvm_engine ~bounded:true ~protection:Graft_regvm.Program.Write_jump
+      "regvm-wj";
+    regvm_engine ~bounded:true ~protection:Graft_regvm.Program.Full
+      "regvm-full";
     regvm_engine ~elide:true ~protection:Graft_regvm.Program.Write_jump
       "regvm-wj-elided";
     regvm_engine ~elide:true ~protection:Graft_regvm.Program.Full
@@ -317,7 +359,16 @@ let fault_stmt = function
   | "oob-read" -> "g = arr[zz - 3];\n"
   | "div-zero" -> "g = 17 / zz;\n"
   | "fuel" -> "while (zz == 0) { g = g + 1; }\n"
+  | "map-oob-read" -> "g = map_lookup(0, zz + 99);\n"
+  | "map-oob-write" -> "g = map_update(0, zz - 5, 1);\n"
   | c -> failwith ("unknown fault class " ^ c)
+
+(* Map misuse surfaces as the kernel object's own out-of-bounds fault,
+   whichever door (helper call or map opcode) committed it. *)
+let fault_name_of_class = function
+  | "map-oob-read" -> "oob-read"
+  | "map-oob-write" -> "oob-write"
+  | c -> c
 
 (* Returns the program and the class of the fault that must fire
    first: site 1 runs before site 2 within an iteration, so on equal
@@ -331,6 +382,8 @@ let gen_faulty_program seed classes =
   let g =
     { rng; buf = Buffer.create 512; locals = []; assignable = []; fresh = 0 }
   in
+  p g "extern fn map_lookup(int, int) : int;\n";
+  p g "extern fn map_update(int, int, int) : int;\n";
   p g "var g : int = %d;\narray arr[8];\n" (Prng.int rng 100);
   p g "fn main(a : int, b : int) : int {\n";
   p g "var zz = a - a;\nvar inj1 = 0;\nvar inj2 = 0;\n";
@@ -359,25 +412,34 @@ let fault_result = function
 (* Engines that trap every fault class with a checked fault: the AST
    interpreter and all three stack-bytecode tiers. *)
 let checked_fault_engines =
+  (* A mix of doors: the interpreter and peephole tier reach the map
+     through helper host calls, the other stack tiers and the JIT
+     through lowered map opcodes — the injected misuse must class
+     identically either way. *)
   let stack load run name =
     ( name,
       fun src args ->
-        let image = build_image src in
-        let r = run (load image) ~entry:"main" ~args ~fuel:fault_fuel in
-        (fault_result r, final_state image) )
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
+        let r = run (load maps image) ~entry:"main" ~args ~fuel:fault_fuel in
+        (fault_result r, final_state maps image) )
   in
   [
     ( "ast-interp",
       fun src args ->
-        let image = build_image src in
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
         let r = Interp.run image ~entry:"main" ~args ~fuel:fault_fuel in
-        (fault_result r, final_state image) );
-    stack Graft_stackvm.Stackvm.load_exn Graft_stackvm.Vm.run "bytecode-vm";
-    stack Graft_stackvm.Stackvm.load_opt_exn Graft_stackvm.Vm.run_opt
-      "bytecode-peep";
-    stack Graft_stackvm.Stackvm.load_static_exn Graft_stackvm.Vm.run
-      "bytecode-static";
-    stack Graft_jit.Jit.load_exn Graft_jit.Jit.run "jit";
+        (fault_result r, final_state maps image) );
+    stack (fun _ image -> Graft_stackvm.Stackvm.load_exn image)
+      Graft_stackvm.Vm.run "bytecode-vm";
+    stack (fun _ image -> Graft_stackvm.Stackvm.load_opt_exn image)
+      Graft_stackvm.Vm.run_opt "bytecode-peep";
+    stack (fun maps image ->
+        Graft_stackvm.Stackvm.load_static_exn ~maps image)
+      Graft_stackvm.Vm.run "bytecode-static";
+    stack (fun maps image -> Graft_jit.Jit.load_exn ~maps image)
+      Graft_jit.Jit.run "jit";
   ]
 
 (* The register VMs mask out-of-bounds accesses instead of trapping
@@ -387,13 +449,14 @@ let all_fault_engines =
   let reg protection name =
     ( name,
       fun src args ->
-        let image = build_image src in
+        let maps = fuzz_maps () in
+        let image = build_image ~hosts:(map_hosts maps) src in
         let prog = Graft_regvm.Regvm.load_exn ~protection image in
         match Graft_regvm.Machine.run prog ~entry:"main" ~args ~fuel:fault_fuel with
         | Ok o ->
             (Printf.sprintf "ok:%d" o.Graft_regvm.Machine.value,
-             final_state image)
-        | Error (`Fault f) -> (Fault.class_name f, final_state image)
+             final_state maps image)
+        | Error (`Fault f) -> (Fault.class_name f, final_state maps image)
         | Error (`Bad_entry m) -> failwith m )
   in
   checked_fault_engines
@@ -405,6 +468,7 @@ let all_fault_engines =
 let run_fault_plan ~engines ~classes seed a =
   let src, expected = gen_faulty_program seed classes in
   let args = [| a; a + 1 |] in
+  let expected = fault_name_of_class expected in
   let results = List.map (fun (n, run) -> (n, run src args)) engines in
   List.iter
     (fun (n, (cls, _)) ->
@@ -433,8 +497,13 @@ let run_fault_plan ~engines ~classes seed a =
           rest
     | [] -> assert false
 
-let trapped_classes = [| "div-zero"; "fuel" |]
-let checked_classes = [| "oob-write"; "oob-read"; "div-zero" |]
+(* Every engine — including the masking register VMs — traps map
+   misuse: the kernel's map object checks the key, so an SFI store
+   mask never sees it. *)
+let trapped_classes = [| "div-zero"; "fuel"; "map-oob-read"; "map-oob-write" |]
+
+let checked_classes =
+  [| "oob-write"; "oob-read"; "div-zero"; "map-oob-read"; "map-oob-write" |]
 
 let test_fault_plan_corpus () =
   for i = 1 to 40 do

@@ -200,15 +200,18 @@ let test_readonly_store_faults () =
 let trivial_arrays = [||]
 
 let mkprog ?(funcs = [||]) ?(arrays = trivial_arrays) ?(ext_arity = [||])
-    ?(ncells = 16) ?(proofs = [||]) code =
+    ?(ncells = 16) ?(proofs = [||]) ?(maps = [||]) ?(loop_bounds = [||]) code =
   {
     Program.code;
     funcs;
     arrays;
     host = Array.map (fun _ -> fun _ -> 0) ext_arity;
     ext_arity;
+    ext_names = Array.map (fun _ -> "") ext_arity;
     cells = Array.make ncells 0;
+    maps;
     proofs;
+    loop_bounds;
   }
 
 let fdesc ?(nargs = 0) ?(nlocals = 1) ~entry ~code_end name =
@@ -538,8 +541,11 @@ let prop_verifier_total_and_safe =
           arrays = [||];
           host = [||];
           ext_arity = [||];
+          ext_names = [||];
           cells = Array.make 16 0;
+          maps = [||];
           proofs = [||];
+          loop_bounds = [||];
         }
       in
       match Verify.verify p with
