@@ -97,9 +97,9 @@ let max_budget = 1_000_000
     range; [Jloop] is the only backward form and must carry a positive
     bound, with the whole program's loop budget under {!max_budget};
     map instructions name one of the [nmaps] maps the kernel will
-    attach (default 0: any map access is rejected); no instruction
-    falls off the end. Linear time. Every rejection names the
-    offending instruction by disassembly. *)
+    attach (default 0: any map access is rejected); shift counts stay
+    in [0, 62]; no instruction falls off the end. Linear time. Every
+    rejection names the offending instruction by disassembly. *)
 let verify ?(nmaps = 0) (p : program) : (unit, string) result =
   let n = Array.length p in
   let exception Bad of string in
@@ -137,9 +137,9 @@ let verify ?(nmaps = 0) (p : program) : (unit, string) result =
         | Mstk (m, k) | Addm (m, k) ->
             check_map m;
             if k < 0 then bad i instr "negative map key"
-        | Ret _ | Reta | Ldlen | Tax | Txa | Add _ | And _ | Or _ | Rsh _
-        | Lsh _ ->
-            ());
+        | Rsh k | Lsh k ->
+            if k < 0 || k > 62 then bad i instr "shift count out of range"
+        | Ret _ | Reta | Ldlen | Tax | Txa | Add _ | And _ | Or _ -> ());
         (* A non-return final instruction falls off the end; jumps are
            covered by check_target above (and a final Jloop falls
            through once its bound is spent). *)
@@ -203,8 +203,11 @@ let run ?(maps = [||]) (p : program) (pkt : Netpkt.t) : int =
        | Add k -> acc := !acc + k
        | And k -> acc := !acc land k
        | Or k -> acc := !acc lor k
-       | Rsh k -> acc := !acc lsr (k land 62)
-       | Lsh k -> acc := !acc lsl (k land 62)
+       (* [verify] rejects counts outside [0, 62]; the clamp here only
+          keeps an unverified program's shift defined, it never alters a
+          verified one. *)
+       | Rsh k -> acc := !acc lsr (max 0 (min k 62))
+       | Lsh k -> acc := !acc lsl (max 0 (min k 62))
        | Jeq (k, t, f) -> pc := !pc + (if !acc = k then t else f)
        | Jgt (k, t, f) -> pc := !pc + (if !acc > k then t else f)
        | Jset (k, t, f) -> pc := !pc + (if !acc land k <> 0 then t else f)

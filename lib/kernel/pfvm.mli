@@ -50,8 +50,9 @@ val max_budget : int
 (** Load-time verification: forward jumps in range, non-negative load
     offsets, [Jloop] backward with a positive bound and the program's
     loop budget under {!max_budget}, map ids below [nmaps] (default 0),
-    no fall-through off the end. Linear time; every rejection message
-    carries the offending instruction's disassembly. *)
+    shift counts in [0, 62], no fall-through off the end. Linear time;
+    every rejection message carries the offending instruction's
+    disassembly. *)
 val verify : ?nmaps:int -> program -> (unit, string) result
 
 (** Accept value (0 = reject). Terminates without fuel: [Jloop]

@@ -45,7 +45,16 @@
       code than about plain code.
 
     The output is re-verified by {!Stackvm.load_opt}; every jump target
-    and function extent is remapped onto the shortened code array. *)
+    and function extent is remapped onto the shortened code array.
+
+    Loop-bound certificates survive the pass: the certified windows —
+    initialiser, head, and step, the instruction patterns
+    {!Verify.check_bounds} re-derives the trip count from — are pinned
+    unfused, and each certificate's backedge pc is remapped like any
+    other position. The loop {e body} between the windows still fuses.
+    The bounded loader then re-runs the certificate check on the fused
+    program, so the termination bound holds of the code that actually
+    executes and never rests on trusting this pass. *)
 
 (* Code positions control flow can enter: jump targets and function
    entries. A fused pattern must not swallow one as an interior
@@ -194,6 +203,27 @@ let optimize (p : Program.t) : Program.t =
   let code = p.code in
   let ncode = Array.length code in
   let is_entry = entry_points p in
+  (* Certified loop windows must reach the bounded verifier byte for
+     byte: [Verify.check_bounds] re-derives the trip count from the
+     exact [Const; Store_local] initialiser, [Load_local; Const; CMP;
+     Jz] head and [Load_local; Const; Add/Sub; Store_local] step, so
+     none of those positions may head or be swallowed by a fusion
+     pattern. The body between them is fair game. *)
+  let no_fuse = Array.make (max 1 ncode) false in
+  Array.iter
+    (fun (b, _) ->
+      if b >= 0 && b < ncode then
+        match code.(b) with
+        | Opcode.Jmp t when t <= b ->
+            let pin lo hi =
+              for pc = max 0 lo to min (ncode - 1) hi do
+                no_fuse.(pc) <- true
+              done
+            in
+            pin (t - 2) (t + 3);
+            pin (b - 4) b
+        | _ -> ())
+    p.loop_bounds;
   (* map.(old_pc) = new_pc for every pattern head; interior positions
      keep -1 and are provably never referenced. *)
   let map = Array.make (ncode + 1) (-1) in
@@ -203,9 +233,11 @@ let optimize (p : Program.t) : Program.t =
   while !i < ncode do
     let at = !i in
     map.(at) <- !olen;
-    let free k = at + k < ncode && not is_entry.(at + k) in
+    let free k =
+      at + k < ncode && (not is_entry.(at + k)) && not no_fuse.(at + k)
+    in
     let op, consumed =
-      match match_at code free at with
+      match if no_fuse.(at) then None else match_at code free at with
       | Some (fused, w) -> (fused, w)
       | None -> (code.(at), 1)
     in
@@ -244,8 +276,10 @@ let optimize (p : Program.t) : Program.t =
   let proofs =
     Array.map (fun (pc, claim) -> (remap pc, claim)) p.Program.proofs
   in
-  (* Loop-bound certificates are keyed to the unfused instruction
-     windows and do not survive fusion; bounded loaders run the
-     certificate pass before this one, so dropping them here loses no
-     guarantee (see [Stackvm.load_opt]). *)
-  { p with Program.code = code'; funcs; proofs; loop_bounds = [||] }
+  (* Certificate backedges are pinned unfused above, so each one is a
+     pattern head and remaps cleanly; the windows around them are
+     intact and the bounded verifier re-checks them on this output. *)
+  let loop_bounds =
+    Array.map (fun (pc, c) -> (remap pc, c)) p.Program.loop_bounds
+  in
+  { p with Program.code = code'; funcs; proofs; loop_bounds }

@@ -45,27 +45,16 @@ let load_exn ?maps ?bounded image =
   | Error msg -> failwith msg
 
 (** The optimizing tier's loader: compile, fuse superinstructions
-    ({!Peephole}), then re-verify the fused code — the safety claim
-    still rests on load-time verification, not on trusting the
-    optimizer. Under [bounded], the certificate pass runs on the
-    *unfused* code (certificates are keyed by pc and do not survive
-    remapping); fusion preserves semantics, so the bound established
-    there covers the fused program the plain re-verification admits. *)
+    ({!Peephole}), then verify the fused code — the safety claim rests
+    on load-time verification of the program that actually runs, not on
+    trusting the optimizer. That includes [bounded]: {!Peephole} pins
+    the certified loop windows unfused and remaps each certificate's
+    backedge pc, so the certificate re-derivation runs on the shipped
+    code like every other check. *)
 let load_opt ?maps ?(bounded = false) (image : Graft_gel.Link.image) :
     (Program.t, string) result =
-  match Graft_analysis.Helpers.check_externs image.Graft_gel.Link.prog with
-  | Error msg -> Error msg
-  | Ok () -> (
-      match
-        let p0 = Compile.compile ?maps ~bounds:bounded image in
-        match if bounded then Verify.verify ~bounded:true p0 else Ok () with
-        | Error msg -> Error msg
-        | Ok () -> (
-            let p = Peephole.optimize p0 in
-            match Verify.verify p with Ok () -> Ok p | Error msg -> Error msg)
-      with
-      | r -> r
-      | exception Invalid_argument msg -> Error msg)
+  gate ~bounded image (fun () ->
+      Peephole.optimize (Compile.compile ?maps ~bounds:bounded image))
 
 let load_opt_exn ?maps ?bounded image =
   match load_opt ?maps ?bounded image with

@@ -565,13 +565,15 @@ let check_bounds (p : Program.t) : (unit, string) result =
           (Printf.sprintf "counter is also written at %d (%s)" pc (disasm pc))
     done;
     (* No jump from outside may enter past the initialiser: an entry
-       that skips [Const v; Store_local c] would start the counter at
-       an unproven value. *)
+       that skips [Const v; Store_local c] — even one landing on the
+       [Store_local] alone, which would seed the counter from an
+       arbitrary stack value — would start the counter at an unproven
+       value. Only [t - 2], the initialiser's [Const], is a legal entry. *)
     for pc = 0 to ncode - 1 do
       if pc < t - 2 || pc > b then
         List.iter
           (fun u ->
-            if u >= t && u <= b then
+            if u >= t - 1 && u <= b then
               bad "jump at %d (%s) enters a certified loop at %d" pc
                 (disasm pc) u)
           (targets p.code.(pc))

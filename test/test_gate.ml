@@ -440,7 +440,30 @@ let test_pfvm_verifier () =
   reject "a runaway loop budget"
     [| K.Pfvm.Ldlen; K.Pfvm.Jloop (-1, K.Pfvm.max_budget); K.Pfvm.Ret 1 |]
     "jloop";
-  reject "a jump past the end" [| K.Pfvm.Jeq (0, 40, 0); K.Pfvm.Ret 1 |] "jeq"
+  reject "a jump past the end" [| K.Pfvm.Jeq (0, 40, 0); K.Pfvm.Ret 1 |] "jeq";
+  reject "an oversized shift"
+    [| K.Pfvm.Ldlen; K.Pfvm.Lsh 63; K.Pfvm.Reta |]
+    "lsh #63";
+  reject "a negative shift"
+    [| K.Pfvm.Ldlen; K.Pfvm.Rsh (-1); K.Pfvm.Reta |]
+    "rsh #-1"
+
+(* Shift counts are honoured exactly, odd ones included — the verifier
+   bounds them to [0, 62] at load, so the runtime never masks or
+   quietly rewrites a count. *)
+let test_pfvm_shifts () =
+  let run prog =
+    (match K.Pfvm.verify prog with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "pfvm rejected a legal shift: %s" m);
+    K.Pfvm.run prog (packet ())
+  in
+  check_int "odd left shift" 8
+    (run [| K.Pfvm.Ldx 1; K.Pfvm.Txa; K.Pfvm.Lsh 3; K.Pfvm.Reta |]);
+  check_int "odd right shift" 2
+    (run [| K.Pfvm.Ldx 16; K.Pfvm.Txa; K.Pfvm.Rsh 3; K.Pfvm.Reta |]);
+  check_int "shift by one" 10
+    (run [| K.Pfvm.Ldx 5; K.Pfvm.Txa; K.Pfvm.Lsh 1; K.Pfvm.Reta |])
 
 (* ------------------------------------------------------------------ *)
 (* Fuel parity: the certified demux cuts at the same instruction on    *)
@@ -590,6 +613,7 @@ let () =
             test_tampered_cert_rejected;
           Alcotest.test_case "map key out of range" `Quick test_map_oob_faults;
           Alcotest.test_case "pfvm verifier" `Quick test_pfvm_verifier;
+          Alcotest.test_case "pfvm shift semantics" `Quick test_pfvm_shifts;
         ] );
       ("soundness", qc [ prop_trips_sound; prop_demux_scan_bounded ]);
     ]

@@ -708,6 +708,104 @@ let test_peephole_verifier_roundtrip () =
     Alcotest.failf "fused constructors never emitted by the corpus: %s"
       (String.concat ", " !missing)
 
+(* ---------- bounded loading: certificates under the optimizer ---------- *)
+
+let expect_reject_bounded p fragment =
+  match Verify.verify ~bounded:true p with
+  | Ok () -> Alcotest.fail "bounded verifier accepted bad code"
+  | Error msg ->
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+
+(* A certified loop may be entered from outside only through its
+   initialiser's first instruction (the [Const]). A jump that lands one
+   instruction later — on the [Store_local] — would seed the counter
+   from whatever the jumper left on the stack, and the certificate's
+   closed-form trip count would not cover that path. *)
+let bounds_entry_program ~outside_target =
+  let code =
+    [|
+      (* 0 *) Opcode.Const 7;
+      (* 1 *) Opcode.Jmp outside_target;
+      (* 2 *) Opcode.Const 0 (* t-2: initialiser *);
+      (* 3 *) Opcode.Store_local 0 (* t-1 *);
+      (* 4 *) Opcode.Load_local 0 (* t: head *);
+      (* 5 *) Opcode.Const 4;
+      (* 6 *) Opcode.Lt;
+      (* 7 *) Opcode.Jz 13;
+      (* 8 *) Opcode.Load_local 0 (* b-4: step *);
+      (* 9 *) Opcode.Const 1;
+      (* 10 *) Opcode.Add;
+      (* 11 *) Opcode.Store_local 0;
+      (* 12 *) Opcode.Jmp 4 (* b: certified backedge *);
+      (* 13 *) Opcode.Const 0;
+      (* 14 *) Opcode.Ret;
+    |]
+  in
+  let cert =
+    {
+      Graft_analysis.Loopbound.c_counter = 0;
+      c_init = 0;
+      c_limit = 4;
+      c_cmp = Ir.Lt;
+      c_step = 1;
+      c_trips = 4;
+    }
+  in
+  mkprog
+    ~funcs:[| fdesc ~nlocals:1 ~entry:0 ~code_end:15 "main" |]
+    ~loop_bounds:[| (12, cert) |]
+    code
+
+let test_bounds_entry_discipline () =
+  (* Entering at the initialiser's Const re-initialises the counter:
+     legal. *)
+  (match Verify.verify ~bounded:true (bounds_entry_program ~outside_target:2) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "entry through the initialiser rejected: %s" m);
+  (* Entering at the Store_local skips the Const and seeds the counter
+     from the jumper's stack: must be rejected... *)
+  expect_reject_bounded
+    (bounds_entry_program ~outside_target:3)
+    "enters a certified loop";
+  (* ...as must entering at the loop head, past the whole initialiser. *)
+  expect_reject_bounded
+    (bounds_entry_program ~outside_target:4)
+    "enters a certified loop"
+
+(* Under bounded loading the optimizer must neither drop certificates
+   nor break their windows: load_opt fuses the loop body, remaps the
+   certificate to the fused backedge, and the bounded verifier
+   re-derives the bound from the fused code it ships. *)
+let test_bounded_opt_certified () =
+  let plain = Stackvm.load_exn ~bounded:true (fresh_image loopy_src) in
+  let opt = Stackvm.load_opt_exn ~bounded:true (fresh_image loopy_src) in
+  Alcotest.(check bool) "certificate survives fusion" true
+    (Array.length opt.Program.loop_bounds = Array.length plain.Program.loop_bounds
+    && Array.length opt.Program.loop_bounds > 0);
+  Alcotest.(check bool) "fusion still shortens certified code" true
+    (Array.length opt.Program.code < Array.length plain.Program.code);
+  (match Verify.verify ~bounded:true opt with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fused certified program fails re-verify: %s" m);
+  (* The remapped backedge still points at the backward jump. *)
+  Array.iter
+    (fun (pc, _) ->
+      match opt.Program.code.(pc) with
+      | Opcode.Jmp t when t <= pc -> ()
+      | op ->
+          Alcotest.failf "certificate pc %d is %s, not a backward jmp" pc
+            (Opcode.to_string op))
+    opt.Program.loop_bounds;
+  List.iter
+    (fun n ->
+      let base = Vm.run plain ~entry:"main" ~args:[| n |] ~fuel:1_000_000 in
+      let fused = Vm.run_opt opt ~entry:"main" ~args:[| n |] ~fuel:1_000_000 in
+      if base <> fused then
+        Alcotest.failf "bounded tiers disagree on n=%d: %s vs %s" n
+          (show_tier base) (show_tier fused))
+    [ 0; 3; -7 ]
+
 (* Graftjail's fuel-parity guarantee, session edition: sweep EVERY
    fuel budget from 0 until past completion and require the optimized
    tier to agree with the plain tier not just on the result but on the
@@ -846,4 +944,11 @@ let () =
             test_fuel_parity_sessions;
         ]
         @ qc [ prop_tiers_agree_any_fuel ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "initialiser entry discipline" `Quick
+            test_bounds_entry_discipline;
+          Alcotest.test_case "certificates survive fusion" `Quick
+            test_bounded_opt_certified;
+        ] );
     ]
