@@ -939,6 +939,155 @@ let metrics_cmd =
              JSON")
     Term.(const run $ scenario $ format $ out)
 
+(* ---------- serve (Graftwatch) ---------- *)
+
+let serve_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI-sized run: 8 tenants, 8 simulated seconds.")
+  in
+  let tenants =
+    Arg.(value & opt (some int) None
+         & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count (4 grafts each).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Simulated seconds of traffic.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"OPS"
+             ~doc:"Mean per-tenant arrival rate before Zipf skew.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Workload seed; the whole report is a function of it.")
+  in
+  let window =
+    Arg.(value & opt (some float) None
+         & info [ "window" ] ~docv:"SECONDS" ~doc:"SLO window width.")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some float) None
+         & info [ "snapshot-every" ] ~docv:"SECONDS"
+             ~doc:"Simulated seconds between OpenMetrics snapshots.")
+  in
+  let faults =
+    Arg.(value & opt (some int) None
+         & info [ "faults" ] ~docv:"N" ~doc:"Seeded fault arms to inject.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the full report as enveloped JSON.")
+  in
+  let snapshots_out =
+    Arg.(value & opt (some string) None
+         & info [ "snapshots" ] ~docv:"FILE"
+             ~doc:"Write the periodic snapshot series as JSON to $(docv).")
+  in
+  let openmetrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "openmetrics" ] ~docv:"FILE"
+             ~doc:"Write the final OpenMetrics exposition to $(docv).")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"BENCH_serve.json baseline to compare against.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit nonzero if any gated metric regressed vs the \
+                   baseline.")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save-baseline" ] ~docv:"FILE"
+             ~doc:"Write the fresh results as a serve baseline to $(docv).")
+  in
+  let threshold =
+    Arg.(value & opt (some float) None
+         & info [ "threshold" ] ~docv:"FRAC"
+             ~doc:"Override the 0.10 default regression threshold.")
+  in
+  let run smoke tenants duration rate seed window snapshot_every faults json
+      snapshots_out openmetrics_out baseline check save threshold =
+    let base = if smoke then Graft_slo.Serve.smoke else Graft_slo.Serve.default in
+    let cfg =
+      Graft_slo.Serve.
+        {
+          base with
+          tenants = Option.value ~default:base.tenants tenants;
+          duration_s = Option.value ~default:base.duration_s duration;
+          base_rate = Option.value ~default:base.base_rate rate;
+          seed = Option.value ~default:base.seed seed;
+          window_s = Option.value ~default:base.window_s window;
+          snapshot_every_s =
+            Option.value ~default:base.snapshot_every_s snapshot_every;
+          narms = Option.value ~default:base.narms faults;
+        }
+    in
+    let r = Graft_slo.Serve.run cfg in
+    if json then print_string (Graft_slo.Serve.to_json r ^ "\n")
+    else print_string (Graft_slo.Serve.render r);
+    (match snapshots_out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Graft_slo.Serve.snapshots_json r ^ "\n"))
+    | None -> ());
+    (match openmetrics_out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Graft_metrics.to_openmetrics ()))
+    | None -> ());
+    (match save with
+    | Some path ->
+        Graft_slo.Servegate.save ~path r;
+        Printf.printf "serve baseline written to %s\n" path
+    | None -> ());
+    match baseline with
+    | None ->
+        if check then begin
+          prerr_endline "serve: --check requires --baseline FILE";
+          exit 2
+        end
+    | Some path -> (
+        match Graft_slo.Servegate.load_baseline path with
+        | Error msg ->
+            prerr_endline ("serve: " ^ msg);
+            exit 2
+        | Ok base -> (
+            match Graft_slo.Servegate.gate ?threshold ~baseline:base r with
+            | Error msg ->
+                prerr_endline ("serve: " ^ msg);
+                exit 2
+            | Ok checks ->
+                print_string (Graft_slo.Servegate.render_checks checks);
+                if Graft_slo.Servegate.passed checks then
+                  print_endline "serve: no regressions"
+                else begin
+                  prerr_endline "serve: REGRESSION detected";
+                  if check then exit 1
+                end))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Graftwatch: replay a skewed multi-tenant workload across \
+             hundreds of supervised grafts under simulated time, with \
+             injected faults, and report time-series SLO telemetry — \
+             per-tenant latency percentiles, fairness, error-budget burn, \
+             and MTTR. Deterministic in --seed; optionally gate against \
+             BENCH_serve.json")
+    Term.(
+      const run $ smoke $ tenants $ duration $ rate $ seed $ window
+      $ snapshot_every $ faults $ json $ snapshots_out $ openmetrics_out
+      $ baseline $ check $ save $ threshold)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -951,5 +1100,5 @@ let () =
           [
             tables_cmd; gel_cmd; check_cmd; script_cmd; tech_cmd; measure_cmd;
             trace_cmd; profile_cmd; protect_cmd; bench_cmd; metrics_cmd;
-            jit_cmd;
+            jit_cmd; serve_cmd;
           ]))

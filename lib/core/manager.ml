@@ -115,6 +115,33 @@ let state_name = function
   | Disabled f -> "disabled: " ^ Fault.to_string f
   | Quarantined f -> "quarantined: " ^ Fault.to_string f
 
+let state_code = function
+  | Loaded -> 0
+  | Attached -> 1
+  | Disabled _ -> 2
+  | Quarantined _ -> 3
+
+(* Supervision state as gauges, published on demand (rather than on
+   every transition — callers outside the manager flip [state] directly
+   in tests and saboteurs, so only a snapshot-time read is guaranteed
+   accurate). [graftkit serve] calls this at each telemetry snapshot so
+   the time series shows when each graft was disabled, re-enabled, or
+   quarantined. *)
+let publish_state_gauges t =
+  Hashtbl.iter
+    (fun _ g ->
+      let labels = [ ("graft", g.g_name) ] in
+      Graft_metrics.set
+        (Graft_metrics.gauge "graftkit_manager_state"
+           ~help:"Supervision state: 0 loaded, 1 attached, 2 disabled, \
+                  3 quarantined" labels)
+        (float_of_int (state_code g.state));
+      Graft_metrics.set
+        (Graft_metrics.gauge "graftkit_manager_strikes"
+           ~help:"Strikes accumulated toward permanent quarantine" labels)
+        (float_of_int g.strikes))
+    t.grafts
+
 (* The supervision state machine obeys these at every step; the qcheck
    properties drive random fault plans against them. *)
 let invariants_ok g =

@@ -74,6 +74,16 @@ val grafts : t -> graft list
 val max_faults : graft -> int
 val state_name : state -> string
 
+(** Numeric encoding for the state gauge: 0 loaded, 1 attached,
+    2 disabled, 3 quarantined. *)
+val state_code : state -> int
+
+(** Publish every registered graft's supervision state and strike
+    count as [graftkit_manager_state]/[graftkit_manager_strikes]
+    gauges — called at snapshot time so [graftkit serve] time series
+    capture disable/re-enable/quarantine transitions. *)
+val publish_state_gauges : t -> unit
+
 (** Supervision state-machine invariants, checked by property tests:
     budgets and strikes within policy bounds, cooldown positive iff
     disabled, quarantine exactly at [max_strikes]. *)

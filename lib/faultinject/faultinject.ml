@@ -82,17 +82,28 @@ let make specs =
 
 let arms t = List.map (fun a -> (a.site, a.fault, a.trigger)) t.arms
 
+(** Classes a running graft can commit mid-flight — excludes
+    {!Runaway_loop}, which only exists at load time (a bounded loader
+    rejects it before the graft ever runs), and {!Server_death}, which
+    needs an upcall domain to kill. The serve harness derives its
+    sustained-load plans from this list. *)
+let runtime_classes =
+  [ Wild_store; Nil_deref; Div_zero; Infinite_loop; Io_error; Map_misuse ]
+
 (** Derive a plan from a seed: [narms] arms over [sites], triggers in
-    [1..max_trigger]. Deterministic in (seed, sites, narms). *)
-let of_seed ?(narms = 3) ?(max_trigger = 16) ~sites seed =
+    [1..max_trigger], classes drawn from [classes] (default: all).
+    Deterministic in (seed, sites, narms, classes). *)
+let of_seed ?(narms = 3) ?(max_trigger = 16) ?(classes = all_classes) ~sites
+    seed =
   if sites = [] then invalid_arg "Faultinject.of_seed: no sites";
+  if classes = [] then invalid_arg "Faultinject.of_seed: no classes";
   let rng = Graft_util.Prng.create seed in
   let nsites = List.length sites in
-  let nclasses = List.length all_classes in
+  let nclasses = List.length classes in
   let specs =
     List.init narms (fun _ ->
         let site = List.nth sites (Graft_util.Prng.int rng nsites) in
-        let fault = List.nth all_classes (Graft_util.Prng.int rng nclasses) in
+        let fault = List.nth classes (Graft_util.Prng.int rng nclasses) in
         let trigger = 1 + Graft_util.Prng.int rng max_trigger in
         (site, fault, trigger))
   in

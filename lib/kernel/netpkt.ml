@@ -76,6 +76,33 @@ let random_traffic rng ~count =
             [| 53; 80; 2049; 7777; 123 |].(Graft_util.Prng.int rng 5)
           ())
 
+(** Storm traffic for the Graftwatch harness: every packet matches
+    [protocol], sources concentrate on a small connection pool (so the
+    demux graft's per-connection counters see reuse), and payload
+    lengths follow the classic bimodal internet mix — mostly small
+    control packets with a heavy tail of near-MTU data packets, drawn
+    through a bounded Pareto so the size distribution has a real tail
+    without unbounded outliers. *)
+let random_sized_traffic rng ~count ~protocol ~port =
+  Array.init count (fun _ ->
+      let size =
+        if Graft_util.Prng.int rng 100 < 60 then
+          (* control/ack-sized: 0..80 payload bytes *)
+          Graft_util.Prng.int rng 81
+        else
+          (* bounded Pareto (alpha ~1.2) over [120, 1400] *)
+          let u = max 1e-9 (Graft_util.Prng.float rng) in
+          let v = 120.0 /. (u ** (1.0 /. 1.2)) in
+          min 1400 (int_of_float v)
+      in
+      make ~protocol
+        ~src_ip:(0x0A000000 lor Graft_util.Prng.int rng 8)
+        ~dst_ip:0x0A000101
+        ~src_port:(40000 + Graft_util.Prng.int rng 8)
+        ~dst_port:port
+        ~payload:(Graft_util.Prng.bytes rng size)
+        ())
+
 (* ------------------------------------------------------------------ *)
 (* Demultiplexer.                                                      *)
 (* ------------------------------------------------------------------ *)

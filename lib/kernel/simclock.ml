@@ -23,6 +23,12 @@ let charge t label dt =
   Graft_trace.Trace.counter Graft_trace.Trace.Clock label
     (int_of_float (dt *. 1e9))
 
+(** [advance_to t target] moves the clock forward to absolute time
+    [target] without recording a charge — idle time between arrivals in
+    an open-loop workload, as opposed to work someone pays for. A
+    target in the past is a no-op (the clock never runs backwards). *)
+let advance_to t target = if target > t.now_s then t.now_s <- target
+
 (** Total time charged under [label]. *)
 let charged t label =
   List.fold_left

@@ -18,6 +18,11 @@ val now : t -> float
     negative charge. *)
 val charge : t -> string -> float -> unit
 
+(** [advance_to t target] moves the clock forward to absolute time
+    [target] without recording a charge (idle time between arrivals).
+    A target in the past is a no-op. *)
+val advance_to : t -> float -> unit
+
 (** Total time charged under [label]. *)
 val charged : t -> string -> float
 

@@ -76,9 +76,9 @@ let gauge ?(help = "") name labels =
     (fun () -> Gauge { g = 0.0 })
     (function Gauge g -> g | _ -> kind_clash name)
 
-let histogram ?(help = "") name labels =
+let histogram ?(help = "") ?(subbits = 0) name labels =
   register name help Khistogram labels
-    (fun () -> Histogram (Graft_trace.Histo.create ()))
+    (fun () -> Histogram (Graft_trace.Histo.create ~subbits ()))
     (function Histogram h -> h | _ -> kind_clash name)
 
 (* The hot-path operations. Disabled cost: one global load, one
@@ -91,6 +91,21 @@ let set g v = g.g <- v
 
 let counter_value c = c.c
 let gauge_value g = g.g
+
+(* Graftscope ring health, published as gauges so periodic snapshots
+   (graftkit serve) record trace loss over time: a tail-latency number
+   from a ring that silently dropped events is not trustworthy, so the
+   drop counter travels with the data. Gauges, not counters: the ring's
+   own counter is authoritative and resets with it. *)
+let publish_trace_gauges () =
+  set
+    (gauge "graftkit_trace_dropped_events"
+       ~help:"Graftscope ring events overwritten before export" [])
+    (float_of_int (Graft_trace.Trace.dropped ()));
+  set
+    (gauge "graftkit_trace_recorded_events"
+       ~help:"Graftscope events recorded since enable/clear" [])
+    (float_of_int (Graft_trace.Trace.total_recorded ()))
 
 let reset () =
   Hashtbl.iter

@@ -37,10 +37,20 @@ val gauge : ?help:string -> string -> labels -> gauge
 val set : gauge -> float -> unit
 
 val gauge_value : gauge -> float
-val histogram : ?help:string -> string -> labels -> Graft_trace.Histo.t
+
+(** [histogram name labels] registers (or retrieves) a histogram
+    series. [subbits] (default 0: the log2 layout) selects the
+    log-linear resolution of a {e fresh} series; an existing series
+    keeps the layout it was created with. *)
+val histogram : ?help:string -> ?subbits:int -> string -> labels -> Graft_trace.Histo.t
 
 (** Record one value into a histogram when metrics are enabled. *)
 val observe : Graft_trace.Histo.t -> int -> unit
+
+(** Publish the Graftscope ring's health (events recorded, events
+    dropped by overwrite) as [graftkit_trace_*] gauges, so periodic
+    snapshots capture trace loss alongside the data it would taint. *)
+val publish_trace_gauges : unit -> unit
 
 (** OpenMetrics text exposition: sorted, [# TYPE]/[# HELP] headers,
     cumulative [le] buckets for histograms, terminated by [# EOF]. *)

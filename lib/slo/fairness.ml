@@ -1,0 +1,48 @@
+(** Multi-tenant fairness indices.
+
+    Graftwatch normalizes each tenant's {e goodput share} by its
+    {e demand share} before scoring: a tenant that asked for 30% of
+    the load and got 30% of the completed work scores 1.0 regardless
+    of skew. A misbehaving graft that burns its tenant's requests on
+    faults (or a harness that starves small tenants) pulls the
+    normalized shares apart, and both indices show it. *)
+
+(** Jain's fairness index: [(Σx)² / (n·Σx²)]. 1.0 when all [x] are
+    equal, 1/n when one tenant takes everything. Conventionally 1.0
+    for empty or all-zero inputs (nothing to be unfair about). *)
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if s2 <= 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+
+(** Min/max ratio of the shares: 1.0 is perfectly fair, 0.0 means some
+    tenant got nothing. 1.0 on empty or all-zero inputs. *)
+let max_min xs =
+  if Array.length xs = 0 then 1.0
+  else
+    let mx = Array.fold_left max xs.(0) xs in
+    let mn = Array.fold_left min xs.(0) xs in
+    if mx <= 0.0 then 1.0 else mn /. mx
+
+(** Demand-normalized goodput shares:
+    [(goodput_i / Σgoodput) / (demand_i / Σdemand)].
+    Tenants with zero demand are excluded (nothing was asked, nothing
+    can be unfair); returns [[||]] when nothing was demanded or
+    completed anywhere. *)
+let shares ~demand ~goodput =
+  if Array.length demand <> Array.length goodput then
+    invalid_arg "Fairness.shares: length mismatch";
+  let fd = Array.map float_of_int demand
+  and fg = Array.map float_of_int goodput in
+  let sd = Array.fold_left ( +. ) 0.0 fd
+  and sg = Array.fold_left ( +. ) 0.0 fg in
+  if sd <= 0.0 || sg <= 0.0 then [||]
+  else
+    let xs = ref [] in
+    Array.iteri
+      (fun i d -> if d > 0.0 then xs := (fg.(i) /. sg) /. (d /. sd) :: !xs)
+      fd;
+    Array.of_list (List.rev !xs)

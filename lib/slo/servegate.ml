@@ -1,0 +1,207 @@
+(** The serve-suite regression gate: BENCH_serve.json.
+
+    Unlike BENCH_stackvm.json (wall-clock medians with bootstrap CIs),
+    every number the serve harness reports is a pure function of
+    (seed, config) — queueing on a simulated clock, seeded arrivals,
+    seeded faults. So the baseline stores plain values and the gate is
+    a plain relative-threshold comparison: any drift at all means the
+    {e code} changed behaviour, and drift beyond the threshold means
+    it changed enough to care. Thresholds can therefore be much
+    tighter than the wall-clock gate's. *)
+
+type metric = {
+  g_metric : string;
+  g_value : float;
+  g_higher_better : bool;
+}
+
+let schema_version = 1
+
+(** The gated metrics, extracted from a run. Throughput and fairness
+    must not fall; latency tails, burn, and MTTR must not grow.
+    Wall-clock time is deliberately not here. *)
+let metrics (r : Serve.result) =
+  [
+    { g_metric = "throughput_ops_per_s"; g_value = r.Serve.r_throughput;
+      g_higher_better = true };
+    { g_metric = "p50_us"; g_value = float_of_int r.Serve.r_p50_us;
+      g_higher_better = false };
+    { g_metric = "p95_us"; g_value = float_of_int r.Serve.r_p95_us;
+      g_higher_better = false };
+    { g_metric = "p99_us"; g_value = float_of_int r.Serve.r_p99_us;
+      g_higher_better = false };
+    { g_metric = "p999_us"; g_value = float_of_int r.Serve.r_p999_us;
+      g_higher_better = false };
+    { g_metric = "jain"; g_value = r.Serve.r_jain; g_higher_better = true };
+    { g_metric = "burn"; g_value = r.Serve.r_burn; g_higher_better = false };
+    { g_metric = "mttr_mean_s"; g_value = r.Serve.r_mttr.Mttr.m_mean_s;
+      g_higher_better = false };
+    { g_metric = "error_rate"; g_value = r.Serve.r_bad_frac;
+      g_higher_better = false };
+  ]
+
+let metric_json m =
+  Printf.sprintf
+    "  { \"metric\": %S, \"value\": %.6f, \"higher_better\": %b }" m.g_metric
+    m.g_value m.g_higher_better
+
+let to_json (r : Serve.result) =
+  let cfg = r.Serve.r_config in
+  Graft_report.Envelope.wrap ~schema_version
+    (Printf.sprintf
+       "\n  \"suite\": \"serve\", \"seed\": %d, \"tenants\": %d, \
+        \"duration_s\": %.2f, \"base_rate\": %.2f,\n\
+       \  \"metrics\": [\n%s\n  ]\n"
+       cfg.Serve.seed cfg.Serve.tenants cfg.Serve.duration_s
+       cfg.Serve.base_rate
+       (String.concat ",\n" (List.map metric_json (metrics r))))
+
+let save ~path r =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  output_string oc "\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Baseline parsing.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type baseline = {
+  b_seed : int;
+  b_tenants : int;
+  b_duration_s : float;
+  b_metrics : (string * float * bool) list;  (** name, value, higher_better *)
+}
+
+let parse_baseline text =
+  let open Graft_util.Minijson in
+  match parse text with
+  | Error msg -> Error ("serve baseline: " ^ msg)
+  | Ok doc -> (
+      let num key =
+        Option.bind (member key doc) to_float |> Option.map Float.to_int
+      in
+      match
+        ( num "seed",
+          num "tenants",
+          Option.bind (member "duration_s" doc) to_float,
+          Option.bind (member "metrics" doc) to_list )
+      with
+      | Some seed, Some tenants, Some dur, Some rows ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | obj :: rest -> (
+                match
+                  ( Option.bind (member "metric" obj) to_string,
+                    Option.bind (member "value" obj) to_float,
+                    member "higher_better" obj )
+                with
+                | Some name, Some v, Some (Bool hb) ->
+                    go ((name, v, hb) :: acc) rest
+                | _ -> Error "serve baseline: malformed metric row")
+          in
+          Result.map
+            (fun ms ->
+              {
+                b_seed = seed;
+                b_tenants = tenants;
+                b_duration_s = dur;
+                b_metrics = ms;
+              })
+            (go [] rows)
+      | _ -> Error "serve baseline: missing seed/tenants/duration_s/metrics")
+
+let load_baseline path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | text -> parse_baseline text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* The gate.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type check = {
+  c_metric : string;
+  c_base : float;
+  c_cur : float;
+  c_verdict : Graft_report.Benchgate.verdict;
+}
+
+(* Relative move in the harmful direction beyond [threshold] fails;
+   the same move in the helpful direction reports an improvement. A
+   zero baseline compares absolutely (any nonzero current value is a
+   full-threshold move). *)
+let compare_metric ~threshold ~higher_better ~base ~cur =
+  let denom = max (abs_float base) 1e-9 in
+  let rel = (cur -. base) /. denom in
+  let worse = if higher_better then -.rel else rel in
+  if worse > threshold then Graft_report.Benchgate.Regression
+  else if worse < -.threshold then Graft_report.Benchgate.Improvement
+  else Graft_report.Benchgate.Pass
+
+(** Gate a fresh result against a parsed baseline. The run config must
+    match the baseline's (seed, tenants, duration) — gating different
+    experiments against each other is an error, not a regression.
+    [threshold] defaults to 0.10: deterministic numbers move only when
+    code does, but scheduling-free refactors (e.g. a histogram layout
+    change) may legitimately shift tails a little. *)
+let gate ?(threshold = 0.10) ~baseline (r : Serve.result) =
+  let cfg = r.Serve.r_config in
+  if
+    baseline.b_seed <> cfg.Serve.seed
+    || baseline.b_tenants <> cfg.Serve.tenants
+    || baseline.b_duration_s <> cfg.Serve.duration_s
+  then
+    Error
+      (Printf.sprintf
+         "config mismatch: baseline (seed %d, %d tenants, %.0fs) vs run (seed \
+          %d, %d tenants, %.0fs) — regenerate with --save-baseline"
+         baseline.b_seed baseline.b_tenants baseline.b_duration_s
+         cfg.Serve.seed cfg.Serve.tenants cfg.Serve.duration_s)
+  else
+    Ok
+      (List.filter_map
+         (fun m ->
+           List.find_opt (fun (n, _, _) -> n = m.g_metric) baseline.b_metrics
+           |> Option.map (fun (_, base, hb) ->
+                  {
+                    c_metric = m.g_metric;
+                    c_base = base;
+                    c_cur = m.g_value;
+                    c_verdict =
+                      compare_metric ~threshold ~higher_better:hb ~base
+                        ~cur:m.g_value;
+                  }))
+         (metrics r))
+
+let passed checks =
+  not
+    (List.exists
+       (fun c -> c.c_verdict = Graft_report.Benchgate.Regression)
+       checks)
+
+let render_checks checks =
+  let t =
+    Graft_util.Tablefmt.create
+      ~aligns:Graft_util.Tablefmt.[| Left; Right; Right; Right; Left |]
+      [| "metric"; "baseline"; "current"; "move"; "verdict" |]
+  in
+  List.iter
+    (fun c ->
+      let denom = max (abs_float c.c_base) 1e-9 in
+      Graft_util.Tablefmt.add_row t
+        [|
+          c.c_metric;
+          Printf.sprintf "%.4f" c.c_base;
+          Printf.sprintf "%.4f" c.c_cur;
+          Printf.sprintf "%+.1f%%" (100.0 *. (c.c_cur -. c.c_base) /. denom);
+          Graft_report.Benchgate.verdict_name c.c_verdict;
+        |])
+    checks;
+  Graft_util.Tablefmt.render t

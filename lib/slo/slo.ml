@@ -1,0 +1,88 @@
+(** Service-level objectives over {!Window} data.
+
+    An objective names a latency threshold and a success target; an
+    assessment over a window classifies every operation as good (it
+    completed, at or under the threshold) or bad (it errored, or it
+    completed late), and expresses the result as an {e error-budget
+    burn rate}: bad fraction divided by the budget fraction
+    [1 - target]. Burn 1.0 consumes the budget exactly as fast as the
+    objective allows; sustained burn above 1.0 exhausts it early.
+
+    Alerting follows the multi-window discipline (Beyer et al., SRE
+    workbook ch. 5): page on a short window burning fast, ticket on a
+    long window burning slow — both windows must show the burn, so a
+    single stray spike neither pages nor hides. *)
+
+type objective = {
+  o_name : string;
+  latency_us : int;  (** good ops complete at or under this *)
+  target : float;  (** success target in (0, 1), e.g. 0.995 *)
+}
+
+let objective ~name ~latency_us ~target =
+  if not (target > 0.0 && target < 1.0) then
+    invalid_arg "Slo.objective: target must be in (0, 1)";
+  if latency_us < 0 then invalid_arg "Slo.objective: negative threshold";
+  { o_name = name; latency_us; target }
+
+type assessment = {
+  a_total : int;
+  a_good : int;  (** completed at or under the threshold *)
+  a_bad : int;  (** errors plus late completions *)
+  a_bad_frac : float;  (** 0 when the window is empty *)
+  a_burn : float;  (** bad_frac / (1 - target) *)
+  a_budget_left : float;  (** 1 - burn; negative when overspent *)
+}
+
+let assess o w =
+  let total = Window.total w in
+  let good = Window.count_le w o.latency_us in
+  let bad = total - good in
+  let bad_frac =
+    if total = 0 then 0.0 else float_of_int bad /. float_of_int total
+  in
+  let burn = bad_frac /. (1.0 -. o.target) in
+  {
+    a_total = total;
+    a_good = good;
+    a_bad = bad;
+    a_bad_frac = bad_frac;
+    a_burn = burn;
+    a_budget_left = 1.0 -. burn;
+  }
+
+type severity = Page | Ticket
+
+let severity_name = function Page -> "page" | Ticket -> "ticket"
+
+type alert = {
+  al_severity : severity;
+  al_window : Window.t;  (** the short window that fired *)
+  al_burn : float;
+}
+
+(** Multi-window burn-rate alerts. [windows] is the chronological
+    short-window series; each candidate short window is paired with
+    the long window ending at the same time ([long_of] short windows,
+    merged). Page when both burn at [page_burn] (default 14.4 — a 30d
+    budget gone in 2d); ticket at [ticket_burn] (default 6). *)
+let burn_alerts ?(page_burn = 14.4) ?(ticket_burn = 6.0) ?(long_of = 6) o
+    windows =
+  let arr = Array.of_list windows in
+  let n = Array.length arr in
+  let alerts = ref [] in
+  for i = 0 to n - 1 do
+    let w = arr.(i) in
+    let lo = max 0 (i - long_of + 1) in
+    let long = Window.merge_all (Array.to_list (Array.sub arr lo (i - lo + 1))) in
+    let short_burn = (assess o w).a_burn in
+    let long_burn = (assess o long).a_burn in
+    let fired = min short_burn long_burn in
+    if short_burn >= page_burn && long_burn >= page_burn then
+      alerts :=
+        { al_severity = Page; al_window = w; al_burn = fired } :: !alerts
+    else if short_burn >= ticket_burn && long_burn >= ticket_burn then
+      alerts :=
+        { al_severity = Ticket; al_window = w; al_burn = fired } :: !alerts
+  done;
+  List.rev !alerts

@@ -1,0 +1,108 @@
+(** Time-windowed latency accounting for Graftwatch.
+
+    A window is a latency histogram plus an error count over a
+    [start, stop) span of simulated time. Successful operations record
+    their latency; failed ones count as errors and record nothing —
+    an op that never completed has no latency, only badness.
+
+    Windows over the same histogram layout merge associatively
+    (bucket-wise sums, span union), so per-tenant windows roll up into
+    global ones and adjacent spans coalesce into coarser series — the
+    property test checks associativity directly. *)
+
+type t = {
+  start_s : float;
+  stop_s : float;
+  histo : Graft_trace.Histo.t;  (** latencies of successful ops, µs *)
+  mutable errors : int;  (** ops that failed outright *)
+}
+
+let make ?(subbits = 3) ~start_s ~stop_s () =
+  if stop_s < start_s then invalid_arg "Window.make: stop < start";
+  { start_s; stop_s; histo = Graft_trace.Histo.create ~subbits (); errors = 0 }
+
+let observe t ~latency_us = Graft_trace.Histo.add t.histo latency_us
+let error t = t.errors <- t.errors + 1
+
+(** Successful ops recorded in this window. *)
+let good_count t = Graft_trace.Histo.count t.histo
+
+(** All ops: successes plus errors. *)
+let total t = good_count t + t.errors
+
+let percentile t p = Graft_trace.Histo.percentile t.histo p
+
+(** Successful ops at or under [latency_us] (bucket granularity). *)
+let count_le t latency_us = Graft_trace.Histo.count_le t.histo latency_us
+
+(** Span-union, bucket-sum merge. Associative and commutative up to
+    float addition on the span bounds (which min/max keep exact).
+    Raises [Invalid_argument] when histogram layouts differ. *)
+let merge a b =
+  {
+    start_s = min a.start_s b.start_s;
+    stop_s = max a.stop_s b.stop_s;
+    histo = Graft_trace.Histo.merge a.histo b.histo;
+    errors = a.errors + b.errors;
+  }
+
+let merge_all = function
+  | [] -> invalid_arg "Window.merge_all: empty"
+  | w :: ws -> List.fold_left merge w ws
+
+(* ------------------------------------------------------------------ *)
+(* Rolling recorder: fixed-width windows aligned to multiples of the   *)
+(* width, so two recorders over the same clock produce windows that    *)
+(* merge span-for-span.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type recorder = {
+  width_s : float;
+  subbits : int;
+  mutable current : (int * t) option;  (** (window index, open window) *)
+  mutable closed : t list;  (** newest first *)
+}
+
+let recorder ?(subbits = 3) ~width_s () =
+  if width_s <= 0.0 then invalid_arg "Window.recorder: width <= 0";
+  { width_s; subbits; current = None; closed = [] }
+
+let index_of r t = int_of_float (floor (t /. r.width_s))
+
+(* Close the open window if [t] has moved past it, and open the window
+   covering [t]. *)
+let window_at r ~t =
+  let idx = index_of r t in
+  match r.current with
+  | Some (i, w) when i = idx -> w
+  | cur ->
+      (match cur with
+      | Some (_, w) -> r.closed <- w :: r.closed
+      | None -> ());
+      let w =
+        make ~subbits:r.subbits
+          ~start_s:(float_of_int idx *. r.width_s)
+          ~stop_s:(float_of_int (idx + 1) *. r.width_s)
+          ()
+      in
+      r.current <- Some (idx, w);
+      w
+
+let record r ~t ~latency_us = observe (window_at r ~t) ~latency_us
+let record_error r ~t = error (window_at r ~t)
+
+(** All windows so far, oldest first, including the open one. *)
+let windows r =
+  let all =
+    match r.current with
+    | Some (_, w) -> w :: r.closed
+    | None -> r.closed
+  in
+  List.rev all
+
+(** Everything recorded so far, as one window (empty span on a fresh
+    recorder). *)
+let overall r =
+  match windows r with
+  | [] -> make ~subbits:r.subbits ~start_s:0.0 ~stop_s:0.0 ()
+  | ws -> merge_all ws

@@ -1,44 +1,118 @@
-(** Log2-bucketed histograms for latency and fuel distributions.
+(** Log-linear bucketed histograms for latency and fuel distributions.
 
-    Bucket 0 holds zero; bucket [b >= 1] holds values in
+    The default layout ([subbits = 0]) is the original log2 one:
+    bucket 0 holds zero; bucket [b >= 1] holds values in
     [[2^(b-1), 2^b)]. Adding is two increments and a handful of shifts
     — cheap enough for per-run VM accounting — and percentile queries
     answer with the bucket's inclusive upper bound, which is the right
-    precision for order-of-magnitude latency reporting. *)
+    precision for order-of-magnitude latency reporting.
 
-let nbuckets = 64
+    Graftwatch's tail-latency windows need better than a factor of two
+    at p999, so [create ~subbits:s ()] splits every power-of-two range
+    into [2^s] linear sub-buckets (the HDR-histogram trick): relative
+    quantization error drops to [2^-s] while adds stay two increments
+    and a few shifts. Values below [2^s] are recorded exactly. *)
 
-type t = { mutable n : int; mutable sum : int; buckets : int array }
+type t = {
+  subbits : int;
+  nbuckets : int;
+  mutable n : int;
+  mutable sum : int;
+  buckets : int array;
+}
 
-let create () = { n = 0; sum = 0; buckets = Array.make nbuckets 0 }
+(* With [s] sub-bucket bits the largest index is [(63-s) * 2^s - 1]
+   (OCaml ints top out below 2^62), so [(63-s) * 2^s] buckets cover
+   every representable value. For s = 0 that is 63 buckets — one more
+   than the old fixed 64, and the old indices are unchanged. *)
+let nbuckets_for subbits = (63 - subbits) lsl subbits
+
+let create ?(subbits = 0) () =
+  if subbits < 0 || subbits > 6 then
+    invalid_arg "Histo.create: subbits must be in [0, 6]";
+  let nbuckets = nbuckets_for subbits in
+  { subbits; nbuckets; n = 0; sum = 0; buckets = Array.make nbuckets 0 }
+
+let subbits t = t.subbits
 
 let reset t =
   t.n <- 0;
   t.sum <- 0;
-  Array.fill t.buckets 0 nbuckets 0
+  Array.fill t.buckets 0 t.nbuckets 0
 
-let bucket_of v =
-  if v <= 0 then 0
-  else begin
-    let b = ref 0 in
-    let x = ref v in
-    while !x > 0 do
-      incr b;
-      x := !x lsr 1
-    done;
-    !b
-  end
+(* Position of the most significant set bit (0-based); -1 for 0. *)
+let msb v =
+  let b = ref (-1) in
+  let x = ref v in
+  while !x > 0 do
+    incr b;
+    x := !x lsr 1
+  done;
+  !b
+
+(* Index of the bucket holding [v >= 0]. Values below [2^s] map to
+   themselves (exact); above, the top [s+1] bits select a sub-bucket
+   within the value's octave. For s = 0 this reduces to the original
+   log2 rule: bucket [msb v + 1]. *)
+let bucket_of t v =
+  let s = t.subbits in
+  if v < 1 lsl s then v
+  else
+    let m = msb v in
+    let shift = m - s in
+    ((shift + 1) lsl s) + ((v lsr shift) - (1 lsl s))
+
+(** Inclusive upper bound of bucket [b] under [t]'s layout. *)
+let bound_of_bucket t b =
+  let s = t.subbits in
+  if b < 1 lsl s then b
+  else
+    let shift = (b lsr s) - 1 in
+    let sub = b land ((1 lsl s) - 1) in
+    ((((1 lsl s) + sub) lsl shift) + (1 lsl shift)) - 1
+
+(* Inclusive lower bound of bucket [b] (for range labels). *)
+let lower_of_bucket t b =
+  let s = t.subbits in
+  if b < 1 lsl s then b
+  else
+    let shift = (b lsr s) - 1 in
+    let sub = b land ((1 lsl s) - 1) in
+    ((1 lsl s) + sub) lsl shift
 
 let add t v =
   let v = max 0 v in
   t.n <- t.n + 1;
   t.sum <- t.sum + v;
-  let b = bucket_of v in
+  let b = bucket_of t v in
   t.buckets.(b) <- t.buckets.(b) + 1
 
 let count t = t.n
 let sum t = t.sum
 let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+(** Merge [src] into [dst] (bucket-wise; both must share a layout).
+    Raises [Invalid_argument] on a subbits mismatch. *)
+let merge_into ~dst src =
+  if dst.subbits <> src.subbits then
+    invalid_arg "Histo.merge_into: subbits mismatch";
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  for b = 0 to src.nbuckets - 1 do
+    dst.buckets.(b) <- dst.buckets.(b) + src.buckets.(b)
+  done
+
+(** A fresh histogram holding both arguments' observations. *)
+let merge a b =
+  let t = create ~subbits:a.subbits () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let copy t =
+  let c = create ~subbits:t.subbits () in
+  merge_into ~dst:c t;
+  c
 
 (** Inclusive upper bound of the bucket where the [p]-quantile lands
     ([p] in [0,1]); 0 on an empty histogram. *)
@@ -47,26 +121,37 @@ let percentile t p =
   else begin
     let target = max 1 (int_of_float (ceil (p *. float_of_int t.n))) in
     let rec go b acc =
-      if b >= nbuckets then max_int
+      if b >= t.nbuckets then max_int
       else
         let acc = acc + t.buckets.(b) in
-        if acc >= target then (if b = 0 then 0 else (1 lsl b) - 1)
+        if acc >= target then bound_of_bucket t b
         else go (b + 1) acc
     in
     go 0 0
   end
 
+(** Observations recorded in buckets whose inclusive upper bound is
+    [<= v] — the "good events" count for a latency SLO threshold at
+    bucket granularity. Monotone in [v]; [count_le t max_int = count t]. *)
+let count_le t v =
+  let acc = ref 0 in
+  (try
+     for b = 0 to t.nbuckets - 1 do
+       if bound_of_bucket t b > v then raise Exit;
+       acc := !acc + t.buckets.(b)
+     done
+   with Exit -> ());
+  !acc
+
 (** Non-empty buckets as (inclusive upper bound, cumulative count),
-    smallest bound first — the shape OpenMetrics [le] buckets take.
-    Bucket 0's bound is 0; bucket [b]'s is [2^b - 1]. *)
+    smallest bound first — the shape OpenMetrics [le] buckets take. *)
 let cumulative t =
   let out = ref [] in
   let acc = ref 0 in
-  for b = 0 to nbuckets - 1 do
+  for b = 0 to t.nbuckets - 1 do
     if t.buckets.(b) > 0 then begin
       acc := !acc + t.buckets.(b);
-      let bound = if b = 0 then 0 else (1 lsl b) - 1 in
-      out := (bound, !acc) :: !out
+      out := (bound_of_bucket t b, !acc) :: !out
     end
   done;
   List.rev !out
@@ -74,11 +159,12 @@ let cumulative t =
 (** Non-empty buckets as (range label, count), smallest range first. *)
 let rows t =
   let out = ref [] in
-  for b = nbuckets - 1 downto 0 do
+  for b = t.nbuckets - 1 downto 0 do
     if t.buckets.(b) > 0 then
+      let lo = lower_of_bucket t b and hi = bound_of_bucket t b in
       let label =
-        if b = 0 then "0"
-        else Printf.sprintf "[%d,%d)" (1 lsl (b - 1)) (1 lsl b)
+        if lo = hi then string_of_int lo
+        else Printf.sprintf "[%d,%d)" lo (hi + 1)
       in
       out := (label, t.buckets.(b)) :: !out
   done;

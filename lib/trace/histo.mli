@@ -1,9 +1,19 @@
-(** Log2-bucketed histograms for latency and fuel distributions:
-    bucket 0 holds zero, bucket [b >= 1] holds [[2^(b-1), 2^b)]. *)
+(** Log-linear bucketed histograms for latency and fuel distributions.
+
+    With the default [subbits = 0] this is the original log2 layout:
+    bucket 0 holds zero, bucket [b >= 1] holds [[2^(b-1), 2^b)].
+    [create ~subbits:s ()] splits each power-of-two range into [2^s]
+    linear sub-buckets, bounding relative quantization error by [2^-s]
+    — fine enough that p999 is meaningful. *)
 
 type t
 
-val create : unit -> t
+(** [create ?subbits ()] — [subbits] in [0, 6], default 0. *)
+val create : ?subbits:int -> unit -> t
+
+(** The resolution this histogram was created with. *)
+val subbits : t -> int
+
 val reset : t -> unit
 
 (** Record one value (negative values clamp to 0). *)
@@ -13,9 +23,27 @@ val count : t -> int
 val sum : t -> int
 val mean : t -> float
 
+(** Merge [src] into [dst] bucket-wise. Raises [Invalid_argument] when
+    the layouts ([subbits]) differ. *)
+val merge_into : dst:t -> t -> unit
+
+(** A fresh histogram holding both arguments' observations; layouts
+    must match. *)
+val merge : t -> t -> t
+
+val copy : t -> t
+
 (** Inclusive upper bound of the bucket where the [p]-quantile lands
     ([p] in [0,1]); 0 on an empty histogram. *)
 val percentile : t -> float -> int
+
+(** Observations in buckets with inclusive upper bound [<= v] — the
+    "good events" count for a latency threshold, at bucket
+    granularity. Monotone in [v]. *)
+val count_le : t -> int -> int
+
+(** Inclusive upper bound of bucket [b] under this layout. *)
+val bound_of_bucket : t -> int -> int
 
 (** Non-empty buckets as (inclusive upper bound, cumulative count),
     smallest bound first — the shape OpenMetrics [le] buckets take. *)

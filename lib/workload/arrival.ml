@@ -1,0 +1,59 @@
+(** Arrival-process and size distributions for sustained-load
+    harnesses (Graftwatch): Poisson arrivals, bounded-Pareto sizes,
+    log-normal service jitter, and Markov-style on/off burst intervals.
+    Everything draws through {!Graft_util.Prng}, so a (seed, params)
+    pair reproduces the exact workload. *)
+
+(** One exponential inter-arrival gap at [rate] events/s. *)
+let exp_gap rng ~rate =
+  if rate <= 0.0 then invalid_arg "Arrival.exp_gap: rate <= 0";
+  -.log (max 1e-12 (1.0 -. Graft_util.Prng.float rng)) /. rate
+
+(** Poisson arrival times in [0, until), ascending. *)
+let poisson_times rng ~rate ~until =
+  let rec go t acc =
+    let t = t +. exp_gap rng ~rate in
+    if t >= until then List.rev acc else go t (t :: acc)
+  in
+  go 0.0 []
+
+(** Bounded Pareto draw in [lo, hi] with tail exponent [alpha] — a
+    heavy-tailed size with a hard ceiling, the classic model for
+    packet and request sizes. *)
+let bounded_pareto rng ~alpha ~lo ~hi =
+  if not (lo > 0.0 && hi > lo && alpha > 0.0) then
+    invalid_arg "Arrival.bounded_pareto: need 0 < lo < hi, alpha > 0";
+  let u = min (1.0 -. 1e-12) (Graft_util.Prng.float rng) in
+  (* Inverse CDF of the truncated Pareto. *)
+  let la = lo ** alpha and ha = hi ** alpha in
+  (-.((u *. ((1.0 /. ha) -. (1.0 /. la))) -. (1.0 /. la))) ** (-1.0 /. alpha)
+
+(** Log-normal multiplicative jitter with median 1 and shape [sigma]
+    (Box–Muller over two uniforms). *)
+let lognormal rng ~sigma =
+  let u1 = max 1e-12 (Graft_util.Prng.float rng) in
+  let u2 = Graft_util.Prng.float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (sigma *. z)
+
+(** Alternating on/off burst intervals covering [0, until): returns the
+    ON intervals as (start, stop) pairs, ascending. Durations are
+    exponential with means [on_mean]/[off_mean]; the process starts
+    OFF. *)
+let bursts rng ~until ~on_mean ~off_mean =
+  if on_mean <= 0.0 || off_mean <= 0.0 then
+    invalid_arg "Arrival.bursts: means must be > 0";
+  let rec go t acc =
+    if t >= until then List.rev acc
+    else
+      let t_on = t +. exp_gap rng ~rate:(1.0 /. off_mean) in
+      if t_on >= until then List.rev acc
+      else
+        let t_off = min until (t_on +. exp_gap rng ~rate:(1.0 /. on_mean)) in
+        go t_off ((t_on, t_off) :: acc)
+  in
+  go 0.0 []
+
+(** Is [t] inside any (ascending, disjoint) interval? *)
+let in_intervals t intervals =
+  List.exists (fun (a, b) -> t >= a && t < b) intervals
