@@ -979,6 +979,30 @@ let serve_cmd =
     Arg.(value & opt (some int) None
          & info [ "faults" ] ~docv:"N" ~doc:"Seeded fault arms to inject.")
   in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains; tenants are partitioned round-robin by \
+                   Zipf rank. The merged report is identical for every N \
+                   (except this field itself and trace-ring drop counts).")
+  in
+  let throughput =
+    Arg.(value & flag
+         & info [ "throughput" ]
+             ~doc:"Scaling mode: run the workload repeatedly at each \
+                   --domain-counts value and report ops per wall-second \
+                   with robust CIs instead of the SLO report.")
+  in
+  let domain_counts =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "domain-counts" ] ~docv:"N,N,..."
+             ~doc:"Domain counts to sweep in --throughput mode.")
+  in
+  let reps =
+    Arg.(value & opt int 5
+         & info [ "reps" ] ~docv:"N"
+             ~doc:"Repetitions per domain count in --throughput mode.")
+  in
   let json =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the full report as enveloped JSON.")
@@ -1014,8 +1038,9 @@ let serve_cmd =
          & info [ "threshold" ] ~docv:"FRAC"
              ~doc:"Override the 0.10 default regression threshold.")
   in
-  let run smoke tenants duration rate seed window snapshot_every faults json
-      snapshots_out openmetrics_out baseline check save threshold =
+  let run smoke tenants duration rate seed window snapshot_every faults
+      domains throughput domain_counts reps json snapshots_out
+      openmetrics_out baseline check save threshold =
     let base = if smoke then Graft_slo.Serve.smoke else Graft_slo.Serve.default in
     let cfg =
       Graft_slo.Serve.
@@ -1029,8 +1054,53 @@ let serve_cmd =
           snapshot_every_s =
             Option.value ~default:base.snapshot_every_s snapshot_every;
           narms = Option.value ~default:base.narms faults;
+          domains = Option.value ~default:base.domains domains;
         }
     in
+    if throughput then begin
+      (* Scaling mode: ops per wall-second vs domain count; --baseline /
+         --save-baseline refer to BENCH_throughput.json here. *)
+      let report =
+        Graft_slo.Throughput.run ~reps ~domain_counts:domain_counts cfg
+      in
+      if json then print_string (Graft_slo.Throughput.to_json report ^ "\n")
+      else print_string (Graft_slo.Throughput.render report);
+      (match save with
+      | Some path ->
+          Graft_slo.Throughput.save ~path report;
+          Printf.printf "throughput baseline written to %s\n" path
+      | None -> ());
+      (match baseline with
+      | None ->
+          if check then begin
+            prerr_endline "serve: --check requires --baseline FILE";
+            exit 2
+          end
+      | Some path -> (
+          match Graft_slo.Throughput.load_baseline path with
+          | Error msg ->
+              prerr_endline ("serve: " ^ msg);
+              exit 2
+          | Ok b -> (
+              match
+                Graft_slo.Throughput.gate ?threshold ~baseline:b report
+              with
+              | Error msg ->
+                  prerr_endline ("serve: " ^ msg);
+                  exit 2
+              | Ok checks ->
+                  List.iter
+                    (fun c ->
+                      print_endline (Graft_slo.Throughput.pp_check c))
+                    checks;
+                  if Graft_slo.Throughput.passed checks then
+                    print_endline "serve: no throughput regressions"
+                  else begin
+                    prerr_endline "serve: throughput REGRESSION detected";
+                    if check then exit 1
+                  end)));
+      exit 0
+    end;
     let r = Graft_slo.Serve.run cfg in
     if json then print_string (Graft_slo.Serve.to_json r ^ "\n")
     else print_string (Graft_slo.Serve.render r);
@@ -1085,8 +1155,9 @@ let serve_cmd =
              BENCH_serve.json")
     Term.(
       const run $ smoke $ tenants $ duration $ rate $ seed $ window
-      $ snapshot_every $ faults $ json $ snapshots_out $ openmetrics_out
-      $ baseline $ check $ save $ threshold)
+      $ snapshot_every $ faults $ domains $ throughput $ domain_counts
+      $ reps $ json $ snapshots_out $ openmetrics_out $ baseline $ check
+      $ save $ threshold)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

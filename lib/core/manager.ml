@@ -50,8 +50,12 @@ type graft = {
   mutable faults : int;  (** faults in the current enabled window *)
   mutable total_faults : int;
   mutable strikes : int;
+      (** mirror of [jail]'s count, kept for cheap single-domain reads *)
   mutable cooldown : int;  (** fallback invocations left while disabled *)
   mutable fallbacks : int;  (** invocations answered by the kernel default *)
+  jail : Strikes.t;
+      (** the lock-free strike ledger: strikes are claimed atomically
+          and the quarantine transition is won by exactly one caller *)
   m_invocations : Graft_metrics.counter;  (** Graftmeter series, per graft *)
   m_faults : Graft_metrics.counter;
   m_fallbacks : Graft_metrics.counter;
@@ -87,6 +91,7 @@ let register t ~name ~tech ~structure ~motivation ?max_faults
       strikes = 0;
       cooldown = 0;
       fallbacks = 0;
+      jail = Strikes.create ~max_strikes:policy.max_strikes;
       m_invocations =
         Graft_metrics.counter "graftkit_manager_invocations"
           ~help:"Graft invocations run under the supervision barrier" labels;
@@ -186,27 +191,39 @@ let record_fault g fault =
             g.g_name (Fault.to_string fault)))
   end;
   if g.faults >= g.policy.max_faults then begin
-    g.strikes <- g.strikes + 1;
-    if g.strikes >= g.policy.max_strikes then begin
-      g.state <- Quarantined fault;
-      g.cooldown <- 0;
-      Graft_metrics.inc g.m_quarantines;
-      Graft_trace.Trace.instant ~arg:g.strikes Graft_trace.Trace.Manager
-        ("quarantine:" ^ g.g_name)
-    end
-    else begin
-      let backoff =
-        let b = ref g.policy.backoff_base in
-        for _ = 2 to g.strikes do
-          b := !b * g.policy.backoff_factor
-        done;
-        !b
-      in
-      g.state <- Disabled fault;
-      g.cooldown <- backoff;
-      Graft_trace.Trace.instant ~arg:backoff Graft_trace.Trace.Manager
-        ("disable:" ^ g.g_name)
-    end
+    (* Claim the strike through the lock-free ledger: [fetch_and_add]
+       means a concurrent strike from another domain can't be lost,
+       and the CAS inside [Strikes.strike] hands the quarantine
+       transition to exactly one caller. [g.strikes] stays a mirror of
+       the ledger so snapshot gauges and tests read it without an
+       atomic. *)
+    match Strikes.strike g.jail with
+    | Strikes.Quarantine ->
+        g.strikes <- g.policy.max_strikes;
+        g.state <- Quarantined fault;
+        g.cooldown <- 0;
+        Graft_metrics.inc g.m_quarantines;
+        Graft_trace.Trace.instant ~arg:g.strikes Graft_trace.Trace.Manager
+          ("quarantine:" ^ g.g_name)
+    | Strikes.Already_quarantined ->
+        (* Another caller performed the transition; converge the local
+           view without double-counting the quarantine. *)
+        g.strikes <- g.policy.max_strikes;
+        g.state <- Quarantined fault;
+        g.cooldown <- 0
+    | Strikes.Struck n ->
+        g.strikes <- n;
+        let backoff =
+          let b = ref g.policy.backoff_base in
+          for _ = 2 to n do
+            b := !b * g.policy.backoff_factor
+          done;
+          !b
+        in
+        g.state <- Disabled fault;
+        g.cooldown <- backoff;
+        Graft_trace.Trace.instant ~arg:backoff Graft_trace.Trace.Manager
+          ("disable:" ^ g.g_name)
   end
 
 let fallback g =

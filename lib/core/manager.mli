@@ -43,8 +43,12 @@ type graft = {
   mutable faults : int;  (** faults in the current enabled window *)
   mutable total_faults : int;
   mutable strikes : int;
+      (** mirror of [jail]'s count, kept for cheap single-domain reads *)
   mutable cooldown : int;  (** fallback invocations left while disabled *)
   mutable fallbacks : int;  (** invocations answered by the kernel default *)
+  jail : Strikes.t;
+      (** the lock-free strike ledger: strikes are claimed atomically
+          and the quarantine transition is won by exactly one caller *)
   m_invocations : Graft_metrics.counter;  (** Graftmeter series, per graft *)
   m_faults : Graft_metrics.counter;
   m_fallbacks : Graft_metrics.counter;

@@ -1,0 +1,87 @@
+(* Graftjail's strike ledger, as a lock-free protocol.
+
+   Before Graftswarm, strike accounting was a plain [mutable strikes]
+   field — correct when one domain owns the manager, silently racy the
+   moment two domains invoke grafts that share supervision state (two
+   concurrent strikes could both read [n], both write [n+1], and a
+   graft due for quarantine would keep running: a lost strike is a
+   containment hole, not a counting bug).
+
+   The protocol is two atomics and no locks:
+
+   - [count]: strikes are claimed with [fetch_and_add], so every
+     strike gets a unique sequence number and none is lost;
+   - [quarantine]: the strike that reaches [max_strikes] (or finds it
+     already passed) races a single [compare_and_set 0 1]; exactly one
+     caller wins and performs the quarantine transition, everyone else
+     is told it already happened.
+
+   The module is a functor over the atomic operations so the
+   interleaving test in test_swarm can substitute simulated atomics
+   and enumerate every schedule of two domains striking concurrently;
+   the default instance at the bottom uses [Stdlib.Atomic] and is what
+   the manager links against. *)
+
+module type ATOMICS = sig
+  type t
+
+  val make : int -> t
+  val get : t -> int
+
+  (** Returns the value {e before} the addition. *)
+  val fetch_and_add : t -> int -> int
+
+  (** [compare_and_set a seen v] — true iff the swap happened. *)
+  val compare_and_set : t -> int -> int -> bool
+end
+
+type verdict =
+  | Struck of int  (** strike number [n], with [n < max_strikes] *)
+  | Quarantine  (** this caller crossed the line: do the transition *)
+  | Already_quarantined  (** another caller won the quarantine race *)
+
+module type S = sig
+  type t
+
+  val create : max_strikes:int -> t
+
+  (** Claim one strike. Exactly one caller over the ledger's lifetime
+      receives [Quarantine], no matter how many domains strike
+      concurrently. *)
+  val strike : t -> verdict
+
+  (** Strikes claimed so far, capped at [max_strikes]. *)
+  val strikes : t -> int
+
+  val quarantined : t -> bool
+  val max_strikes : t -> int
+end
+
+module Make (A : ATOMICS) : S = struct
+  type t = { count : A.t; quar : A.t; max : int }
+
+  let create ~max_strikes =
+    if max_strikes < 1 then invalid_arg "Strikes.create: max_strikes < 1";
+    { count = A.make 0; quar = A.make 0; max = max_strikes }
+
+  let strike t =
+    let n = A.fetch_and_add t.count 1 + 1 in
+    if n < t.max then Struck n
+    else if A.compare_and_set t.quar 0 1 then Quarantine
+    else Already_quarantined
+
+  let strikes t = min (A.get t.count) t.max
+  let quarantined t = A.get t.quar <> 0
+  let max_strikes t = t.max
+end
+
+module Stdlib_atomics : ATOMICS with type t = int Atomic.t = struct
+  type t = int Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let fetch_and_add = Atomic.fetch_and_add
+  let compare_and_set = Atomic.compare_and_set
+end
+
+include Make (Stdlib_atomics)

@@ -1,0 +1,47 @@
+(** Graftjail's strike ledger as a lock-free protocol: strikes are
+    claimed with [fetch_and_add] (none can be lost to a read-modify-
+    write race) and the quarantine transition is handed to exactly one
+    caller by a [compare_and_set] (no double-quarantine). Functorized
+    over the atomic primitives so the test suite can substitute
+    simulated atomics and exhaustively enumerate interleavings; the
+    toplevel instance uses [Stdlib.Atomic]. *)
+
+module type ATOMICS = sig
+  type t
+
+  val make : int -> t
+  val get : t -> int
+
+  (** Returns the value {e before} the addition. *)
+  val fetch_and_add : t -> int -> int
+
+  (** [compare_and_set a seen v] — true iff the swap happened. *)
+  val compare_and_set : t -> int -> int -> bool
+end
+
+type verdict =
+  | Struck of int  (** strike number [n], with [n < max_strikes] *)
+  | Quarantine  (** this caller crossed the line: do the transition *)
+  | Already_quarantined  (** another caller won the quarantine race *)
+
+module type S = sig
+  type t
+
+  val create : max_strikes:int -> t
+
+  (** Claim one strike. Exactly one caller over the ledger's lifetime
+      receives [Quarantine], no matter how many domains strike
+      concurrently. *)
+  val strike : t -> verdict
+
+  (** Strikes claimed so far, capped at [max_strikes]. *)
+  val strikes : t -> int
+
+  val quarantined : t -> bool
+  val max_strikes : t -> int
+end
+
+module Make (_ : ATOMICS) : S
+module Stdlib_atomics : ATOMICS with type t = int Atomic.t
+
+include S

@@ -43,8 +43,17 @@ type func_meta = {
 
 type program_meta = { fmeta : func_meta array }
 
-let located = ref false
-let locals_acc : (int * string * Srcloc.pos) list ref = ref []
+(* Compilation-scoped accumulators. Domain-local (not plain refs) so
+   two domains can type-check programs concurrently — sharded serve
+   builds each shard's tenant grafts inside its own domain. *)
+let located_key = Domain.DLS.new_key (fun () -> ref false)
+let located () = Domain.DLS.get located_key
+
+let locals_acc_key :
+    (int * string * Srcloc.pos) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let locals_acc () = Domain.DLS.get locals_acc_key
 
 let kind_of = function
   | Ast.Tint -> Ir.Kint
@@ -308,12 +317,13 @@ let declare_local env pos name ty =
   (match env.scopes with
   | scope :: _ -> Hashtbl.replace scope name (slot, ty)
   | [] -> assert false);
-  locals_acc := (slot, name, pos) :: !locals_acc;
+  let acc = locals_acc () in
+  acc := (slot, name, pos) :: !acc;
   slot
 
 let rec check_stmt env (s : Ast.stmt) : Ir.stmt list =
   let out = check_stmt_desc env s in
-  if !located then
+  if !(located ()) then
     (* [For] lowering concatenates already-wrapped init statements; do
        not re-wrap those. *)
     List.map (function Ir.At _ as st -> st | st -> Ir.At (s.spos, st)) out
@@ -545,7 +555,7 @@ let check_program_meta (prog : Ast.program) : Ir.program * program_meta =
           let env =
             { genv; scopes = []; nlocals = 0; in_loop = false; fret = ret }
           in
-          locals_acc := [];
+          (locals_acc ()) := [];
           push_scope env;
           List.iter
             (fun p -> ignore (declare_local env gpos p.Ast.pname p.Ast.pty))
@@ -557,7 +567,7 @@ let check_program_meta (prog : Ast.program) : Ir.program * program_meta =
           let mlocals = Array.make env.nlocals ("", Srcloc.pos0) in
           List.iter
             (fun (slot, lname, lpos) -> mlocals.(slot) <- (lname, lpos))
-            !locals_acc;
+            !(locals_acc ());
           metas :=
             {
               mfname = name;
@@ -589,7 +599,7 @@ let check_program (prog : Ast.program) : Ir.program =
   fst (check_program_meta prog)
 
 let check_program_located (prog : Ast.program) : Ir.program * program_meta =
-  located := true;
+  (located ()) := true;
   Fun.protect
-    ~finally:(fun () -> located := false)
+    ~finally:(fun () -> (located ()) := false)
     (fun () -> check_program_meta prog)

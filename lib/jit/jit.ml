@@ -49,12 +49,12 @@ let stack_size = 4096
    per-session fuel histogram is shared with the other tiers (the
    registry dedups by family + labels). *)
 let m_sessions_jit =
-  Graft_metrics.counter "graftkit_vm_sessions" [ ("tier", "jit") ]
+  Graft_metrics.domain_counter "graftkit_vm_sessions" [ ("tier", "jit") ]
 
-let m_fuel_jit = Graft_metrics.counter "graftkit_vm_fuel" [ ("tier", "jit") ]
+let m_fuel_jit = Graft_metrics.domain_counter "graftkit_vm_fuel" [ ("tier", "jit") ]
 
 let m_fuel_hist =
-  Graft_metrics.histogram "graftkit_vm_fuel_per_session" []
+  Graft_metrics.domain_histogram "graftkit_vm_fuel_per_session" []
 
 (* ------------------------------------------------------------------ *)
 (* Block plan: basic blocks + per-pc stack heights.                    *)
@@ -1318,9 +1318,9 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
       | None -> ()
       | Some pr ->
           Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 st.fuel));
-      Graft_metrics.inc m_sessions_jit;
-      Graft_metrics.inc m_fuel_jit ~by:(fuel0 - max 0 st.fuel);
-      Graft_metrics.observe m_fuel_hist (fuel0 - max 0 st.fuel);
+      Graft_metrics.inc (m_sessions_jit ());
+      Graft_metrics.inc (m_fuel_jit ()) ~by:(fuel0 - max 0 st.fuel);
+      Graft_metrics.observe (m_fuel_hist ()) (fuel0 - max 0 st.fuel);
       Graft_trace.Trace.span_end Graft_trace.Trace.Vm_stack "stackvm.jit" tok;
       outcome)
 

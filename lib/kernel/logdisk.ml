@@ -29,15 +29,15 @@ let paper_config =
    the segment-fill distribution (how full segments were when they
    flushed — a policy-quality signal). *)
 let m_map_writes =
-  Graft_metrics.counter "graftkit_logdisk_map_writes"
+  Graft_metrics.domain_counter "graftkit_logdisk_map_writes"
     ~help:"Logical block writes mapped by the policy graft" []
 
 let m_segment_flushes =
-  Graft_metrics.counter "graftkit_logdisk_segment_flushes"
+  Graft_metrics.domain_counter "graftkit_logdisk_segment_flushes"
     ~help:"Segments flushed to the log-structured disk" []
 
 let m_segment_fill =
-  Graft_metrics.histogram "graftkit_logdisk_segment_fill"
+  Graft_metrics.domain_histogram "graftkit_logdisk_segment_fill"
     ~help:"Blocks per flushed segment (log2 buckets)" []
 
 type result = {
@@ -80,8 +80,8 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) ?lsd_disk
         !lsd_time
         +. write_retrying lsd_disk ~block:!seg_start_phys ~count:!seg_fill;
       incr segments;
-      Graft_metrics.inc m_segment_flushes;
-      Graft_metrics.observe m_segment_fill !seg_fill;
+      Graft_metrics.inc (m_segment_flushes ());
+      Graft_metrics.observe (m_segment_fill ()) !seg_fill;
       Graft_trace.Trace.instant ~arg:!seg_fill Graft_trace.Trace.Logdisk
         "segment-flush";
       seg_fill := 0;
@@ -94,7 +94,7 @@ let run ?(disk_params = Diskmodel.params_of_bandwidth_kbs 3126.0) ?lsd_disk
       if logical < 0 || logical >= config.nblocks then
         invalid_arg "Logdisk.run: logical block out of range";
       let phys = policy.map_write logical in
-      Graft_metrics.inc m_map_writes;
+      Graft_metrics.inc (m_map_writes ());
       shadow.(logical) <- phys;
       (* Batch into the current segment; a discontinuity forces a
          flush (policies that allocate sequentially never force one

@@ -23,23 +23,23 @@ let empty = Bytes.create 0
 
 (* Graftmeter counters for the stream data path. *)
 let m_pushes =
-  Graft_metrics.counter "graftkit_streams_pushes"
+  Graft_metrics.domain_counter "graftkit_streams_pushes"
     ~help:"Chunks pushed through a filter (per-filter stage count)" []
 
 let m_flushes =
-  Graft_metrics.counter "graftkit_streams_flushes"
+  Graft_metrics.domain_counter "graftkit_streams_flushes"
     ~help:"Filter flushes at end of stream" []
 
 let m_bytes =
-  Graft_metrics.counter "graftkit_streams_bytes"
+  Graft_metrics.domain_counter "graftkit_streams_bytes"
     ~help:"Bytes entering filter stages" []
 
 (* Each filter's push/flush runs under a span on the Streams track
    named after the filter, with the chunk length as the argument. A
    filter that faults loses its span — the chain is unwinding anyway. *)
 let traced_push f data =
-  Graft_metrics.inc m_pushes;
-  Graft_metrics.inc m_bytes ~by:(Bytes.length data);
+  Graft_metrics.inc (m_pushes ());
+  Graft_metrics.inc (m_bytes ()) ~by:(Bytes.length data);
   let tok = Graft_trace.Trace.span_begin () in
   let out = f.push data in
   Graft_trace.Trace.span_end ~arg:(Bytes.length data) Graft_trace.Trace.Streams
@@ -60,7 +60,7 @@ let finish chain =
   let rec flush_from = function
     | [] -> ()
     | f :: rest ->
-        Graft_metrics.inc m_flushes;
+        Graft_metrics.inc (m_flushes ());
         let tok = Graft_trace.Trace.span_begin () in
         let residue = f.flush () in
         Graft_trace.Trace.span_end ~arg:(Bytes.length residue)

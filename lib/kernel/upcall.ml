@@ -22,11 +22,11 @@ type domain = {
 
 (* Graftmeter counters for the protection boundary. *)
 let m_crossings =
-  Graft_metrics.counter "graftkit_upcall_crossings"
+  Graft_metrics.domain_counter "graftkit_upcall_crossings"
     ~help:"Kernel<->user domain crossings (two per upcall)" []
 
 let m_restarts =
-  Graft_metrics.counter "graftkit_upcall_restarts"
+  Graft_metrics.domain_counter "graftkit_upcall_restarts"
     ~help:"User-level server restarts after a death" []
 
 let create ?(per_word_s = 10e-9) ~name ~clock ~switch_s () =
@@ -54,7 +54,7 @@ let kill_server domain =
 let restart_server domain =
   domain.alive <- true;
   domain.restarts <- domain.restarts + 1;
-  Graft_metrics.inc m_restarts;
+  Graft_metrics.inc (m_restarts ());
   (* Process creation dwarfs a domain switch; charge a round number of
      switches for exec + address-space setup. *)
   Simclock.charge domain.clock
@@ -74,7 +74,7 @@ let cost domain ~words =
 let upcall domain ?(extra_words = 0) (handler : int array -> int)
     (args : int array) : int =
   domain.upcalls <- domain.upcalls + 1;
-  Graft_metrics.inc m_crossings ~by:2;
+  Graft_metrics.inc (m_crossings ()) ~by:2;
   let words = Array.length args + 1 + extra_words in
   Simclock.charge domain.clock
     (Printf.sprintf "upcall:%s" domain.name)

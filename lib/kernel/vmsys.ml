@@ -16,18 +16,19 @@ type config = {
   pages_per_fault : int;  (** read-ahead, paper Table 3 "Num Pages" *)
 }
 
-(* Graftmeter counters (process-wide, across all Vmsys instances; the
-   per-instance [stats] record stays the per-run source of truth). *)
+(* Graftmeter counters (domain-cached, across all Vmsys instances in a
+   domain; the per-instance [stats] record stays the per-run source of
+   truth). *)
 let m_faults =
-  Graft_metrics.counter "graftkit_vmsys_page_faults"
+  Graft_metrics.domain_counter "graftkit_vmsys_page_faults"
     ~help:"Page faults taken by the simulated VM subsystem" []
 
 let m_evictions =
-  Graft_metrics.counter "graftkit_vmsys_evictions"
+  Graft_metrics.domain_counter "graftkit_vmsys_evictions"
     ~help:"Pages evicted to satisfy a fault" []
 
 let m_hook_invalid =
-  Graft_metrics.counter "graftkit_vmsys_hook_invalid"
+  Graft_metrics.domain_counter "graftkit_vmsys_hook_invalid"
     ~help:"Eviction-hook proposals rejected by kernel validation" []
 
 (** The eviction hook: given the kernel's default candidate page and
@@ -117,7 +118,7 @@ let choose_victim t =
       else begin
         (* Reject: not one of the application's resident pages. *)
         t.stats.hook_invalid <- t.stats.hook_invalid + 1;
-        Graft_metrics.inc m_hook_invalid;
+        Graft_metrics.inc (m_hook_invalid ());
         Graft_trace.Trace.instant ~arg:proposal Graft_trace.Trace.Vmsys
           "hook-invalid";
         candidate
@@ -131,7 +132,7 @@ let evict t page =
   t.frame_page.(frame) <- -1;
   t.free_frames <- frame :: t.free_frames;
   t.stats.evictions <- t.stats.evictions + 1;
-  Graft_metrics.inc m_evictions
+  Graft_metrics.inc (m_evictions ())
 
 let load t page =
   let frame =
@@ -175,7 +176,7 @@ let access t page =
   end
   else begin
     t.stats.faults <- t.stats.faults + 1;
-    Graft_metrics.inc m_faults;
+    Graft_metrics.inc (m_faults ());
     Graft_trace.Trace.instant ~arg:page Graft_trace.Trace.Vmsys "page-fault";
     let evicted =
       if t.free_frames = [] then begin

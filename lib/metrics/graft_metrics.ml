@@ -1,15 +1,25 @@
-(* Graftmeter: the process-wide metrics registry.
+(* Graftmeter: the metrics registry, sharded per domain.
 
-   Counters, gauges, and log2 histograms, registered once (by family
-   name + label set) and incremented from the kernel hot paths. The
-   design constraint is the disabled cost: tracing already showed that
-   a single global [bool ref] load plus a branch is unobservable in
-   the dispatch loops, so counter increments and histogram
+   Counters, gauges, and log-linear histograms, registered once (by
+   family name + label set) and incremented from the kernel hot paths.
+   The design constraint is the disabled cost: tracing already showed
+   that a single global [bool ref] load plus a branch is unobservable
+   in the dispatch loops, so counter increments and histogram
    observations gate on {!on} exactly the way [Graft_trace.Trace]
    gates its hot path. Gauges are NOT gated — they record
    configuration facts (was the platform profile measured or assumed?)
    that must survive whether or not someone enabled metrics before the
    fact was observed.
+
+   Graftswarm makes the registry domain-local: each domain owns a
+   private registry (no locks on the increment path — the hot-path
+   cost is identical to the single-domain design), and export merges
+   all shards on read. Merge laws: counters sum, gauges take the max
+   (shard-distinguishing gauges should carry a ["domain"] label
+   instead), histograms merge bucketwise. The main domain's registry
+   is the legacy process-wide one, so single-domain behaviour — and
+   the exported bytes — are unchanged when no worker domain ever
+   touched a metric.
 
    Export is deterministic: families sorted by name, series within a
    family sorted by their canonical (sorted) label list. Two formats:
@@ -41,8 +51,50 @@ type family = { fname : string; help : string; fkind : kind }
 (* Registry: families in a table for help/type metadata, series in a
    table keyed by (family, canonical labels) for dedupe. Insertion
    order is irrelevant — export sorts. *)
-let families : (string, family) Hashtbl.t = Hashtbl.create 32
-let series : (string * labels, series) Hashtbl.t = Hashtbl.create 64
+type registry = {
+  families : (string, family) Hashtbl.t;
+  series : (string * labels, series) Hashtbl.t;
+}
+
+let create_registry () =
+  { families = Hashtbl.create 32; series = Hashtbl.create 64 }
+
+(* The main domain keeps the legacy process-wide registry; every other
+   domain lazily gets a fresh shard on first use, parked on the shard
+   list so merge-on-read can find it after the domain has been joined.
+   Only the shard list itself is behind a lock — it is touched once
+   per domain, never on the increment path. *)
+let main = create_registry ()
+let main_domain = Domain.self ()
+let shards_lock = Mutex.create ()
+let shards : registry list ref = ref []
+
+let current_key =
+  Domain.DLS.new_key (fun () ->
+      if Domain.self () = main_domain then main
+      else begin
+        let r = create_registry () in
+        Mutex.protect shards_lock (fun () -> shards := r :: !shards);
+        r
+      end)
+
+let current () = Domain.DLS.get current_key
+
+(* [with_registry r f] routes every registration/export inside [f] to
+   [r] instead of the calling domain's registry — the merge-law tests
+   build scenario shards this way without spawning domains. *)
+let with_registry r f =
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+
+let shard_registries () =
+  Mutex.protect shards_lock (fun () -> !shards)
+
+(* Drop all worker-domain shards from the merged view. Call between
+   serve runs: a joined domain's registry would otherwise keep
+   contributing stale counts to the next export. *)
+let reset_shards () = Mutex.protect shards_lock (fun () -> shards := [])
 
 let canon labels =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
@@ -51,19 +103,20 @@ let kind_clash name =
   invalid_arg
     (Printf.sprintf "Metrics: family %s re-registered with another kind" name)
 
-let register_family name help kind =
-  match Hashtbl.find_opt families name with
+let register_family_in reg name help kind =
+  match Hashtbl.find_opt reg.families name with
   | Some f -> if f.fkind <> kind then kind_clash name
-  | None -> Hashtbl.add families name { fname = name; help; fkind = kind }
+  | None -> Hashtbl.add reg.families name { fname = name; help; fkind = kind }
 
 let register name help kind labels fresh unwrap =
+  let reg = current () in
   let labels = canon labels in
-  register_family name help kind;
-  match Hashtbl.find_opt series (name, labels) with
+  register_family_in reg name help kind;
+  match Hashtbl.find_opt reg.series (name, labels) with
   | Some s -> unwrap s.cell
   | None ->
       let cell = fresh () in
-      Hashtbl.add series (name, labels) { family = name; labels; cell };
+      Hashtbl.add reg.series (name, labels) { family = name; labels; cell };
       unwrap cell
 
 let counter ?(help = "") name labels =
@@ -81,6 +134,23 @@ let histogram ?(help = "") ?(subbits = 0) name labels =
     (fun () -> Histogram (Graft_trace.Histo.create ~subbits ()))
     (function Histogram h -> h | _ -> kind_clash name)
 
+(* Domain-cached cells: instrumentation sites that used to hook a cell
+   at module initialisation (main domain, forever) instead hold a
+   thunk that resolves the cell once per domain. The per-call cost
+   after the first hit is a DLS load — comparable to the [!on] gate
+   that already guards the increment. *)
+let domain_counter ?help name labels =
+  let key = Domain.DLS.new_key (fun () -> counter ?help name labels) in
+  fun () -> Domain.DLS.get key
+
+let domain_gauge ?help name labels =
+  let key = Domain.DLS.new_key (fun () -> gauge ?help name labels) in
+  fun () -> Domain.DLS.get key
+
+let domain_histogram ?help ?subbits name labels =
+  let key = Domain.DLS.new_key (fun () -> histogram ?help ?subbits name labels) in
+  fun () -> Domain.DLS.get key
+
 (* The hot-path operations. Disabled cost: one global load, one
    branch. *)
 let inc ?(by = 1) c = if !on then c.c <- c.c + by
@@ -96,30 +166,83 @@ let gauge_value g = g.g
    (graftkit serve) record trace loss over time: a tail-latency number
    from a ring that silently dropped events is not trustworthy, so the
    drop counter travels with the data. Gauges, not counters: the ring's
-   own counter is authoritative and resets with it. *)
-let publish_trace_gauges () =
+   own counter is authoritative and resets with it. Sharded serve
+   passes a ["domain"] label so each ring keeps its own series — ring
+   occupancy is per-domain state, and max-merging two rings' drop
+   counts would lie about both. *)
+let publish_trace_gauges ?(labels = []) () =
   set
     (gauge "graftkit_trace_dropped_events"
-       ~help:"Graftscope ring events overwritten before export" [])
+       ~help:"Graftscope ring events overwritten before export" labels)
     (float_of_int (Graft_trace.Trace.dropped ()));
   set
     (gauge "graftkit_trace_recorded_events"
-       ~help:"Graftscope events recorded since enable/clear" [])
+       ~help:"Graftscope events recorded since enable/clear" labels)
     (float_of_int (Graft_trace.Trace.total_recorded ()))
 
-let reset () =
+let reset_registry reg =
   Hashtbl.iter
     (fun _ s ->
       match s.cell with
       | Counter c -> c.c <- 0
       | Gauge g -> g.g <- 0.0
       | Histogram h -> Graft_trace.Histo.reset h)
-    series
+    reg.series
+
+let reset () =
+  reset_registry main;
+  List.iter reset_registry (shard_registries ())
+
+(* ---------- merge ---------- *)
+
+(* Merge [src] into [dst]: counters sum, gauges max, histograms merge
+   bucketwise (fresh destination cells are copies, so layouts carry
+   over). Commutative and associative in every observable (export
+   sorts; a family's help string is taken from whichever shard
+   registered it first, and every call site uses one help text per
+   family), with the empty registry as identity — the qcheck laws in
+   test_swarm pin this down. *)
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun name (f : family) -> register_family_in dst name f.help f.fkind)
+    src.families;
+  Hashtbl.iter
+    (fun key (s : series) ->
+      match Hashtbl.find_opt dst.series key with
+      | None ->
+          let cell =
+            match s.cell with
+            | Counter c -> Counter { c = c.c }
+            | Gauge g -> Gauge { g = g.g }
+            | Histogram h -> Histogram (Graft_trace.Histo.copy h)
+          in
+          Hashtbl.add dst.series key { s with cell }
+      | Some d -> (
+          match (d.cell, s.cell) with
+          | Counter dc, Counter sc -> dc.c <- dc.c + sc.c
+          | Gauge dg, Gauge sg -> dg.g <- Float.max dg.g sg.g
+          | Histogram dh, Histogram sh ->
+              Graft_trace.Histo.merge_into ~dst:dh sh
+          | _ -> kind_clash s.family))
+    src.series
+
+let merge_registries regs =
+  let dst = create_registry () in
+  List.iter (fun r -> merge_into ~dst r) regs;
+  dst
+
+(* The exported view: the main registry alone while no worker domain
+   has registered anything (bit-identical to the single-domain
+   design), otherwise main merged with every shard. *)
+let merged_view () =
+  match shard_registries () with
+  | [] -> main
+  | shards -> merge_registries (main :: shards)
 
 (* ---------- export ---------- *)
 
-let sorted_series () =
-  let all = Hashtbl.fold (fun _ s acc -> s :: acc) series [] in
+let sorted_series reg =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) reg.series [] in
   List.sort
     (fun a b ->
       match String.compare a.family b.family with
@@ -127,8 +250,8 @@ let sorted_series () =
       | c -> c)
     all
 
-let sorted_families () =
-  let all = Hashtbl.fold (fun _ f acc -> f :: acc) families [] in
+let sorted_families reg =
+  let all = Hashtbl.fold (fun _ f acc -> f :: acc) reg.families [] in
   List.sort (fun a b -> String.compare a.fname b.fname) all
 
 let escape_label v =
@@ -165,9 +288,9 @@ let kind_str = function
   | Kgauge -> "gauge"
   | Khistogram -> "histogram"
 
-let to_openmetrics () =
+let registry_openmetrics reg =
   let buf = Buffer.create 4096 in
-  let all = sorted_series () in
+  let all = sorted_series reg in
   List.iter
     (fun f ->
       Buffer.add_string buf
@@ -207,9 +330,11 @@ let to_openmetrics () =
                   (Printf.sprintf "%s_count%s %d\n" f.fname
                      (render_labels s.labels) (Histo.count h)))
         all)
-    (sorted_families ());
+    (sorted_families reg);
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
+
+let to_openmetrics () = registry_openmetrics (merged_view ())
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -237,7 +362,7 @@ let json_labels labels =
 
 (* The JSON mirror of the exposition: a flat series list, one object
    per series, embeddable under a "metrics" key. *)
-let to_json () =
+let registry_json reg =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"series\":[";
   let first = ref true in
@@ -268,6 +393,8 @@ let to_json () =
                      (fun (bound, cum) ->
                        Printf.sprintf "{\"le\":%d,\"count\":%d}" bound cum)
                      (Histo.cumulative h))))))
-    (sorted_series ());
+    (sorted_series reg);
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+let to_json () = registry_json (merged_view ())

@@ -1,12 +1,19 @@
-(** Graftmeter: the process-wide metrics registry.
+(** Graftmeter: the metrics registry, sharded per domain.
 
-    Counters, gauges, and log2 histograms registered by (family name,
-    label set) — re-registering the same pair returns the same cell,
-    so instrumentation sites can call {!counter} at module
+    Counters, gauges, and log-linear histograms registered by (family
+    name, label set) — re-registering the same pair returns the same
+    cell, so instrumentation sites can call {!counter} at module
     initialisation without coordinating. Counter increments and
     histogram observations gate on a single global flag (one load and
     one branch when disabled); gauges always record, since they hold
-    configuration facts rather than event counts. *)
+    configuration facts rather than event counts.
+
+    Each domain owns a private registry — registrations and increments
+    never take a lock — and {!to_openmetrics}/{!to_json} merge every
+    shard on read: counters sum, gauges take the max (use a ["domain"]
+    label for per-shard gauges), histograms merge bucketwise. On the
+    main domain, with no worker shards, behaviour and exported bytes
+    are identical to the historical process-wide registry. *)
 
 type labels = (string * string) list
 
@@ -14,7 +21,7 @@ val enable : unit -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
-(** Zero every value; registrations survive. *)
+(** Zero every value in every registry; registrations survive. *)
 val reset : unit -> unit
 
 type counter
@@ -47,10 +54,65 @@ val histogram : ?help:string -> ?subbits:int -> string -> labels -> Graft_trace.
 (** Record one value into a histogram when metrics are enabled. *)
 val observe : Graft_trace.Histo.t -> int -> unit
 
+(** {2 Domain-cached cells}
+
+    Instrumentation sites that used to bind a cell at module
+    initialisation (pinning it to the main domain's registry forever)
+    bind one of these thunks instead: the cell is resolved once per
+    domain, in that domain's registry, and cached in domain-local
+    storage. *)
+
+val domain_counter : ?help:string -> string -> labels -> unit -> counter
+val domain_gauge : ?help:string -> string -> labels -> unit -> gauge
+
+val domain_histogram :
+  ?help:string -> ?subbits:int -> string -> labels -> unit -> Graft_trace.Histo.t
+
+(** {2 Registries and merge}
+
+    The registry type is exposed for the merge-law tests and for the
+    sharded serve harness; ordinary instrumentation never mentions
+    it. *)
+
+type registry
+
+(** A fresh, empty registry (not attached to any domain). *)
+val create_registry : unit -> registry
+
+(** [with_registry r f] routes registrations, increments, and exports
+    performed inside [f] to [r] instead of the calling domain's
+    registry. Restores the previous routing on exit, including on
+    exceptions. *)
+val with_registry : registry -> (unit -> 'a) -> 'a
+
+(** Merge a list of registries into a fresh one: counters sum, gauges
+    take the max, histograms merge bucketwise. Associative and
+    commutative with the empty registry as identity; raises
+    [Invalid_argument] if the same family name appears with two
+    different kinds. *)
+val merge_registries : registry list -> registry
+
+(** Registries created implicitly by worker domains (newest first). *)
+val shard_registries : unit -> registry list
+
+(** Drop all worker-domain registries from the merged view. Call
+    between serve runs so a joined domain's counts don't leak into the
+    next export. *)
+val reset_shards : unit -> unit
+
+(** OpenMetrics exposition of one registry, ignoring every other
+    shard. *)
+val registry_openmetrics : registry -> string
+
+(** JSON mirror of one registry. *)
+val registry_json : registry -> string
+
 (** Publish the Graftscope ring's health (events recorded, events
     dropped by overwrite) as [graftkit_trace_*] gauges, so periodic
-    snapshots capture trace loss alongside the data it would taint. *)
-val publish_trace_gauges : unit -> unit
+    snapshots capture trace loss alongside the data it would taint.
+    The ring is domain-local; sharded callers pass a ["domain"] label
+    so each ring keeps its own series. *)
+val publish_trace_gauges : ?labels:labels -> unit -> unit
 
 (** OpenMetrics text exposition: sorted, [# TYPE]/[# HELP] headers,
     cumulative [le] buckets for histograms, terminated by [# EOF]. *)

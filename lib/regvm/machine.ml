@@ -13,9 +13,9 @@ let max_frames = 256
 (* Graftmeter counters: the regvm tier's series in the shared
    graftkit_vm_* families (the stack tiers register the family help). *)
 let m_sessions =
-  Graft_metrics.counter "graftkit_vm_sessions" [ ("tier", "regvm") ]
+  Graft_metrics.domain_counter "graftkit_vm_sessions" [ ("tier", "regvm") ]
 
-let m_fuel = Graft_metrics.counter "graftkit_vm_fuel" [ ("tier", "regvm") ]
+let m_fuel = Graft_metrics.domain_counter "graftkit_vm_fuel" [ ("tier", "regvm") ]
 
 type outcome = { value : int; instructions : int }
 
@@ -160,8 +160,8 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
       (match prof with
       | None -> ()
       | Some pr -> Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
-      Graft_metrics.inc m_sessions;
-      Graft_metrics.inc m_fuel ~by:(fuel0 - max 0 !fuel);
+      Graft_metrics.inc (m_sessions ());
+      Graft_metrics.inc (m_fuel ()) ~by:(fuel0 - max 0 !fuel);
       Graft_trace.Trace.span_end Graft_trace.Trace.Vm_reg "regvm.run" tok;
       outcome)
 

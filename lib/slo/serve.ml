@@ -1,4 +1,5 @@
-(** Graftwatch: the sustained-load serving harness.
+(** Graftwatch: the sustained-load serving harness — sharded across
+    OCaml 5 domains by Graftswarm.
 
     [graftkit serve] replays a skewed multi-tenant workload — TPC-B
     page lookups, packet storms through the stateful demux graft,
@@ -8,18 +9,35 @@
     percentiles, fairness indices, error-budget burn, and MTTR under
     an injected fault plan.
 
-    The model is an open-loop single-server FIFO queue over
+    The model is an open-loop FIFO queue {e per tenant} over
     {!Graft_kernel.Simclock}: arrivals are per-tenant Poisson
     processes (rates Zipf-skewed across tenants), each operation
     {e really executes} its graft through {!Graft_core.Manager.invoke}
     (so supervision, metrics, and injected faults are genuine), and a
     synthetic service time — calibrated per class and technology tier,
-    with log-normal jitter — is charged to the simulated clock.
-    Latency is completion minus arrival, so queueing delay during
-    packet storms produces real tails. Every number derives from
-    [Prng(seed)] and the simulated clock: the same seed reproduces the
-    same report bit-for-bit (wall-clock cost is reported separately
-    and never compared). *)
+    with log-normal jitter — is charged to the tenant's simulated
+    clock. Latency is completion minus arrival, so queueing delay
+    during packet storms produces real tails.
+
+    {b Sharding and the merge laws.} With [domains = N], tenants are
+    partitioned round-robin by Zipf rank (shard [k] owns ranks [k],
+    [k+N], ... — every shard gets a slice of the skew) and each shard
+    runs on its own domain with fully private state: its own manager,
+    fault plan, metrics registry, and Graftscope ring. Every random
+    stream is derived from [(seed, tenant index)] — never from a
+    shared generator — and every tenant owns its clock, so a tenant's
+    entire history is a pure function of (seed, config) {e independent
+    of the partition}. Merge-on-read (windows group by aligned start
+    and merge bucketwise; snapshot partials, fault totals, and fired
+    arms combine order-invariantly) therefore reproduces the
+    single-domain report exactly: the JSON differs across [N] only in
+    the ["domains"] field itself and the per-domain trace-ring drop
+    counts (rings of fixed capacity see different event subsets). The
+    differential tests in test_swarm pin both claims down.
+
+    Every number derives from [Prng(seed)] and the simulated clocks:
+    the same (seed, config) reproduces the same report bit-for-bit
+    (wall-clock cost is reported separately and never compared). *)
 
 open Graft_core
 
@@ -34,6 +52,7 @@ type config = {
   subbits : int;  (** latency histogram resolution *)
   latency_slo_us : int;
   slo_target : float;
+  domains : int;  (** worker domains; 1 = run inline on this domain *)
 }
 
 (** 56 tenants x 4 graft classes = 224 supervised grafts, 30 simulated
@@ -50,6 +69,7 @@ let default =
     subbits = 3;
     latency_slo_us = 5000;
     slo_target = 0.99;
+    domains = 1;
   }
 
 (** A seconds-scale run for CI. *)
@@ -127,6 +147,22 @@ let serve_policy =
     { max_faults = 1; backoff_base = 32; backoff_factor = 4; max_strikes = 2 }
 
 (* ------------------------------------------------------------------ *)
+(* Seed derivation.                                                    *)
+(*                                                                     *)
+(* Every random stream is keyed by (config seed, tenant index) via a   *)
+(* golden-ratio stride — never split sequentially from one master      *)
+(* generator, which would make a tenant's stream depend on how many    *)
+(* tenants were built before it on the same domain (i.e. on the        *)
+(* partition). This is what makes the merged report independent of     *)
+(* [domains].                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let golden = 0x9E3779B97F4A7C15L
+let sub_seed cfg tag = Int64.(add (of_int cfg.seed) (mul golden (of_int tag)))
+let storm_seed cfg = sub_seed cfg 1
+let tenant_seed cfg i = sub_seed cfg (i + 2)
+
+(* ------------------------------------------------------------------ *)
 (* Per-tenant state.                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,6 +183,9 @@ type tenant = {
   chunks : bytes array;
   btree : Graft_workload.Tpcb.t;
   refresh_rng : Graft_util.Prng.t;
+  t_arrival : Graft_util.Prng.t;  (** arrival times and op specs *)
+  t_svc : Graft_util.Prng.t;  (** service-time jitter *)
+  t_clock : Graft_kernel.Simclock.t;  (** this tenant's FIFO server *)
   recorder : Window.recorder;
   mutable demand : int;  (** ops issued *)
   mutable good : int;  (** ops completed (graft or fallback) *)
@@ -170,16 +209,24 @@ let tenant_weights n =
   Array.map (fun w -> w *. float_of_int n /. total) raw
 
 let graft_port i = 4000 + i
+let graft_name i cls = Printf.sprintf "t%02d_%s" i (class_name cls)
 
-let make_tenant mgr cfg master i =
+let make_tenant mgr cfg i =
   let tech = tech_rotation.(i mod Array.length tech_rotation) in
   let name = Printf.sprintf "t%02d" i in
-  let rng = Graft_util.Prng.split master in
+  let master = Graft_util.Prng.create (tenant_seed cfg i) in
+  (* Fixed split order: each stream is a deterministic function of the
+     tenant seed alone. *)
+  let chunks_rng = Graft_util.Prng.split master in
+  let evict_rng = Graft_util.Prng.split master in
+  let packets_rng = Graft_util.Prng.split master in
+  let refresh_rng = Graft_util.Prng.split master in
+  let arrival_rng = Graft_util.Prng.split master in
+  let svc_rng = Graft_util.Prng.split master in
   let register cls =
     let g =
-      Manager.register mgr
-        ~name:(Printf.sprintf "%s_%s" name (class_name cls))
-        ~tech ~structure:Taxonomy.Stream ~motivation:Taxonomy.Performance
+      Manager.register mgr ~name:(graft_name i cls) ~tech
+        ~structure:Taxonomy.Stream ~motivation:Taxonomy.Performance
         ~policy:serve_policy ()
     in
     g.Manager.state <- Manager.Attached;
@@ -199,18 +246,16 @@ let make_tenant mgr cfg master i =
     stream_g = register Stream;
     stream_r = Runners.md5 tech ~capacity:md5_capacity;
     evict_g = register Evict;
-    evict_r =
-      Runners.evict ~rng:(Graft_util.Prng.split master) tech
-        ~capacity_nodes:128 ();
+    evict_r = Runners.evict ~rng:evict_rng tech ~capacity_nodes:128 ();
     packets =
-      Graft_kernel.Netpkt.random_sized_traffic
-        (Graft_util.Prng.split master)
-        ~count:256 ~protocol:Graft_kernel.Netpkt.proto_udp
-        ~port:(graft_port i);
-    chunks =
-      Array.init 8 (fun _ -> Graft_util.Prng.bytes rng stream_chunk);
+      Graft_kernel.Netpkt.random_sized_traffic packets_rng ~count:256
+        ~protocol:Graft_kernel.Netpkt.proto_udp ~port:(graft_port i);
+    chunks = Array.init 8 (fun _ -> Graft_util.Prng.bytes chunks_rng stream_chunk);
     btree = Graft_workload.Tpcb.create ~l3_pages:64 ~children_per_l3:32 ();
-    refresh_rng = Graft_util.Prng.split master;
+    refresh_rng;
+    t_arrival = arrival_rng;
+    t_svc = svc_rng;
+    t_clock = Graft_kernel.Simclock.create ();
     recorder = Window.recorder ~subbits:cfg.subbits ~width_s:cfg.window_s ();
     demand = 0;
     good = 0;
@@ -218,44 +263,87 @@ let make_tenant mgr cfg master i =
     evict_ops = 0;
   }
 
-(* Pre-generate every tenant's arrival stream and op specs, then sort
-   into one global timeline. The (time, seq) pair gives a total order,
-   so the sort is deterministic. *)
-let build_events cfg master tenants =
+(* One tenant's arrival stream and op specs, in time order. [ev_seq]
+   is tenant-local, so the (time, tenant, seq) sort key is a total
+   order that no partition can disturb. *)
+let tenant_events cfg t =
+  let rng = t.t_arrival in
+  let times =
+    Graft_workload.Arrival.poisson_times rng ~rate:t.t_rate
+      ~until:cfg.duration_s
+  in
   let seq = ref 0 in
-  let events = ref [] in
-  Array.iter
-    (fun t ->
-      let rng = Graft_util.Prng.split master in
-      let times =
-        Graft_workload.Arrival.poisson_times rng ~rate:t.t_rate
-          ~until:cfg.duration_s
+  List.map
+    (fun time ->
+      let spec =
+        match class_of_draw (Graft_util.Prng.int rng 100) with
+        | Demux -> Op_demux (Graft_util.Prng.int rng 256)
+        | Hotset ->
+            Op_hotset
+              (Graft_util.Prng.int rng 64, Graft_util.Prng.int rng 32)
+        | Stream -> Op_stream (Graft_util.Prng.int rng 8)
+        | Evict ->
+            Op_evict
+              (Graft_util.Prng.int rng t.btree.Graft_workload.Tpcb.npages)
       in
-      List.iter
-        (fun time ->
-          let spec =
-            match class_of_draw (Graft_util.Prng.int rng 100) with
-            | Demux -> Op_demux (Graft_util.Prng.int rng 256)
-            | Hotset ->
-                Op_hotset
-                  ( Graft_util.Prng.int rng 64,
-                    Graft_util.Prng.int rng 32 )
-            | Stream -> Op_stream (Graft_util.Prng.int rng 8)
-            | Evict ->
-                Op_evict (Graft_util.Prng.int rng t.btree.Graft_workload.Tpcb.npages)
-          in
-          incr seq;
-          events :=
-            { ev_t = time; ev_seq = !seq; ev_tenant = t.t_idx; ev_spec = spec }
-            :: !events)
-        times)
-    tenants;
-  let arr = Array.of_list !events in
+      incr seq;
+      { ev_t = time; ev_seq = !seq; ev_tenant = t.t_idx; ev_spec = spec })
+    times
+
+let sort_events arr =
   Array.sort
     (fun a b ->
-      match compare a.ev_t b.ev_t with 0 -> compare a.ev_seq b.ev_seq | c -> c)
+      match compare a.ev_t b.ev_t with
+      | 0 -> (
+          match compare a.ev_tenant b.ev_tenant with
+          | 0 -> compare a.ev_seq b.ev_seq
+          | c -> c)
+      | c -> c)
     arr;
   arr
+
+(* ------------------------------------------------------------------ *)
+(* The fault plan, as partition-independent arm specs.                 *)
+(*                                                                     *)
+(* Arms are derived once from (seed, config) — the site list and the   *)
+(* forced-strike triggers need only graft names and Zipf rates, both   *)
+(* pure functions of the config — and each shard instantiates the      *)
+(* subset whose sites it owns. Triggers are per-site tick counts, so   *)
+(* the restriction fires identically to the global plan.               *)
+(* ------------------------------------------------------------------ *)
+
+let fault_arm_specs cfg =
+  (* Seeded arms over the busiest third of the fleet (so triggers
+     actually fire), plus two deterministic strikes against tenant 0's
+     demux graft — the second exhausts [max_strikes], so every run
+     demonstrates the quarantine-then-fallback recovery. *)
+  let busy = max 1 (cfg.tenants / 3) in
+  let sites =
+    List.concat_map
+      (fun i -> List.map (graft_name i) [ Demux; Hotset; Stream; Evict ])
+      (List.init busy (fun i -> i))
+  in
+  let seeded =
+    Graft_faultinject.Faultinject.of_seed ~narms:cfg.narms ~max_trigger:30
+      ~classes:Graft_faultinject.Faultinject.runtime_classes ~sites
+      (Int64.of_int (cfg.seed + 0x5109))
+  in
+  let strikes_site = graft_name 0 Demux in
+  (* Triggers scale with the expected tick count (rate x duration x
+     demux share) so the second strike lands — and leaves room for
+     the 32-invocation backoff plus a post-quarantine fallback —
+     at every config size. Deterministic: the rate is. *)
+  let expect =
+    let weights = tenant_weights cfg.tenants in
+    cfg.base_rate *. weights.(0) *. cfg.duration_s *. 0.45 |> int_of_float
+  in
+  let t1 = max 5 (expect / 8) in
+  let t2 = max (t1 + 5) (expect / 4) in
+  Graft_faultinject.Faultinject.arms seeded
+  @ [
+      (strikes_site, Graft_faultinject.Faultinject.Div_zero, t1);
+      (strikes_site, Graft_faultinject.Faultinject.Io_error, t2);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Results.                                                            *)
@@ -318,6 +406,9 @@ type result = {
   r_windows : window_stat list;
   r_snapshots : snapshot list;
   r_wall_s : float;  (** real cost; excluded from JSON and gating *)
+  r_par_wall_s : float;
+      (** wall-clock of the sharded section alone (spawn to join) —
+          what the throughput harness measures; excluded from JSON *)
 }
 
 let objective cfg =
@@ -325,7 +416,7 @@ let objective cfg =
     ~target:cfg.slo_target
 
 (* ------------------------------------------------------------------ *)
-(* The run.                                                            *)
+(* The per-shard run.                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let count_states tenants =
@@ -348,62 +439,68 @@ let class_name_of_spec = function
   | Op_stream _ -> "serve:stream"
   | Op_evict _ -> "serve:evict"
 
-let run cfg =
-  if cfg.tenants < 1 then invalid_arg "Serve.run: tenants < 1";
-  let wall0 = Unix.gettimeofday () in
-  Graft_metrics.enable ();
+(* A shard's contribution to one snapshot: plain sums plus a frozen
+   copy of the run-so-far latency histogram (merged bucketwise on
+   assembly, so the merged p99 equals the single-domain value). *)
+type snap_part = {
+  sp_t : float;
+  sp_ops : int;
+  sp_errors : int;
+  sp_quar : int;
+  sp_dis : int;
+  sp_dropped : int;
+  sp_histo : Graft_trace.Histo.t;
+}
+
+type shard_out = {
+  so_tenants : tenant array;
+  so_ops : int;
+  so_good : int;
+  so_errors : int;
+  so_recorder : Window.recorder;  (** shard-global windows *)
+  so_snaps : snap_part list;  (** oldest first; same times in every shard *)
+  so_trackers : (string * Mttr.t) list;  (** per-graft MTTR, by name *)
+  so_fired :
+    (string * Graft_faultinject.Faultinject.fault_class * int) list;
+}
+
+(* Run shard [k]'s slice of the workload. Called on a worker domain
+   when [cfg.domains > 1] (its metrics registry and trace ring are
+   domain-local), or inline on the calling domain when [domains = 1] —
+   which reproduces the pre-Graftswarm single-domain behaviour
+   exactly. *)
+let run_shard cfg ~specs ~storms k =
   Graft_trace.Trace.enable ~capacity:4096 ();
   let mgr = Manager.create () in
-  let master = Graft_util.Prng.create (Int64.of_int cfg.seed) in
-  let tenants = Array.init cfg.tenants (make_tenant mgr cfg master) in
-  let events = build_events cfg master tenants in
-  (* Packet storms: global on/off intervals; demux ops inside a storm
-     deliver a batch, overloading the server and building real queues. *)
-  let storms =
-    Graft_workload.Arrival.bursts
-      (Graft_util.Prng.split master)
-      ~until:cfg.duration_s ~on_mean:0.6 ~off_mean:9.0
+  let tenants =
+    Array.of_list
+      (List.filter_map
+         (fun i ->
+           if i mod cfg.domains = k then Some (make_tenant mgr cfg i) else None)
+         (List.init cfg.tenants (fun i -> i)))
   in
-  (* Fault plan: seeded arms over the busiest third of the fleet (so
-     triggers actually fire), plus two deterministic strikes against
-     tenant 0's demux graft — the second exhausts [max_strikes], so
-     every run demonstrates the quarantine-then-fallback recovery. *)
-  let busy = max 1 (cfg.tenants / 3) in
-  let sites =
-    List.concat_map
-      (fun i ->
-        let t = tenants.(i) in
-        List.map
-          (fun g -> g.Manager.g_name)
-          [ t.demux_g; t.hotset_g; t.stream_g; t.evict_g ])
-      (List.init busy (fun i -> i))
+  let events =
+    sort_events
+      (Array.of_list
+         (List.concat_map (tenant_events cfg) (Array.to_list tenants)))
   in
+  let my_sites = Hashtbl.create 32 in
+  Array.iter
+    (fun t ->
+      List.iter
+        (fun g -> Hashtbl.replace my_sites g.Manager.g_name ())
+        [ t.demux_g; t.hotset_g; t.stream_g; t.evict_g ])
+    tenants;
   let plan =
-    let seeded =
-      Graft_faultinject.Faultinject.of_seed ~narms:cfg.narms ~max_trigger:30
-        ~classes:Graft_faultinject.Faultinject.runtime_classes ~sites
-        (Int64.of_int (cfg.seed + 0x5109))
-    in
-    let strikes_site = tenants.(0).demux_g.Manager.g_name in
-    (* Triggers scale with the expected tick count (rate x duration x
-       demux share) so the second strike lands — and leaves room for
-       the 32-invocation backoff plus a post-quarantine fallback —
-       at every config size. Deterministic: the rate is. *)
-    let expect =
-      tenants.(0).t_rate *. cfg.duration_s *. 0.45 |> int_of_float
-    in
-    let t1 = max 5 (expect / 8) in
-    let t2 = max (t1 + 5) (expect / 4) in
     Graft_faultinject.Faultinject.make
-      (Graft_faultinject.Faultinject.arms seeded
-      @ [
-          (strikes_site, Graft_faultinject.Faultinject.Div_zero, t1);
-          (strikes_site, Graft_faultinject.Faultinject.Io_error, t2);
-        ])
+      (List.filter (fun (site, _, _) -> Hashtbl.mem my_sites site) specs)
   in
-  let clock = Graft_kernel.Simclock.create () in
-  let service_rng = Graft_util.Prng.split master in
+  let by_idx = Hashtbl.create 16 in
+  Array.iter (fun t -> Hashtbl.replace by_idx t.t_idx t) tenants;
   let global = Window.recorder ~subbits:cfg.subbits ~width_s:cfg.window_s () in
+  (* Run-so-far latencies, for snapshot percentiles: a plain histogram
+     is cheaper to copy at snapshot time than re-merging windows. *)
+  let all_lat = Graft_trace.Histo.create ~subbits:cfg.subbits () in
   let trackers : (string, Mttr.t) Hashtbl.t = Hashtbl.create 64 in
   let tracker g =
     match Hashtbl.find_opt trackers g.Manager.g_name with
@@ -413,23 +510,26 @@ let run cfg =
         Hashtbl.add trackers g.Manager.g_name m;
         m
   in
-  let snapshots = ref [] in
+  let dlabel =
+    if cfg.domains = 1 then [] else [ ("domain", string_of_int k) ]
+  in
+  let snaps = ref [] in
   let ops = ref 0 and good = ref 0 and errors = ref 0 in
   let take_snapshot t_now =
     Manager.publish_state_gauges mgr;
-    Graft_metrics.publish_trace_gauges ();
+    Graft_metrics.publish_trace_gauges ~labels:dlabel ();
     let q, d = count_states tenants in
-    snapshots :=
+    snaps :=
       {
-        s_t = t_now;
-        s_ops = !ops;
-        s_errors = !errors;
-        s_p99_us = Window.percentile (Window.overall global) 0.99;
-        s_quarantined = q;
-        s_disabled = d;
-        s_trace_dropped = Graft_trace.Trace.dropped ();
+        sp_t = t_now;
+        sp_ops = !ops;
+        sp_errors = !errors;
+        sp_quar = q;
+        sp_dis = d;
+        sp_dropped = Graft_trace.Trace.dropped ();
+        sp_histo = Graft_trace.Histo.copy all_lat;
       }
-      :: !snapshots
+      :: !snaps
   in
   let next_snapshot = ref cfg.snapshot_every_s in
   Array.iter
@@ -438,7 +538,7 @@ let run cfg =
         take_snapshot !next_snapshot;
         next_snapshot := !next_snapshot +. cfg.snapshot_every_s
       done;
-      let t = tenants.(ev.ev_tenant) in
+      let t = Hashtbl.find by_idx ev.ev_tenant in
       let in_storm = Graft_workload.Arrival.in_intervals ev.ev_t storms in
       let g, thunk, svc =
         match ev.ev_spec with
@@ -486,7 +586,7 @@ let run cfg =
               (fun () -> if t.evict_r.Runners.contains page then 1 else 0),
               base_us Evict ~size:0 )
       in
-      Graft_kernel.Simclock.advance_to clock ev.ev_t;
+      Graft_kernel.Simclock.advance_to t.t_clock ev.ev_t;
       let tf_before = g.Manager.total_faults in
       let result =
         Manager.invoke g (fun () ->
@@ -503,7 +603,7 @@ let run cfg =
           match result with Some _ -> Mttr.Graft_ok | None -> Mttr.Fallback_ok
       in
       Mttr.observe (tracker g) ~now:ev.ev_t ~quarantined outcome;
-      let jitter = Graft_workload.Arrival.lognormal service_rng ~sigma:0.3 in
+      let jitter = Graft_workload.Arrival.lognormal t.t_svc ~sigma:0.3 in
       let svc_us =
         (match outcome with
         | Mttr.Graft_ok -> svc *. tech_mult t.t_tech
@@ -511,11 +611,11 @@ let run cfg =
         | Mttr.Faulted -> (svc *. tech_mult t.t_tech /. 2.0) +. fault_penalty_us)
         *. jitter
       in
-      Graft_kernel.Simclock.charge clock (class_name_of_spec ev.ev_spec)
+      Graft_kernel.Simclock.charge t.t_clock (class_name_of_spec ev.ev_spec)
         (svc_us *. 1e-6);
       let latency_us =
         int_of_float
-          (Float.round ((Graft_kernel.Simclock.now clock -. ev.ev_t) *. 1e6))
+          (Float.round ((Graft_kernel.Simclock.now t.t_clock -. ev.ev_t) *. 1e6))
       in
       incr ops;
       t.demand <- t.demand + 1;
@@ -528,16 +628,128 @@ let run cfg =
       else begin
         incr good;
         t.good <- t.good + 1;
+        Graft_trace.Histo.add all_lat latency_us;
         Window.record t.recorder ~t:ev.ev_t ~latency_us;
         Window.record global ~t:ev.ev_t ~latency_us
       end)
     events;
+  (* Drain the snapshot schedule: every shard snapshots at the same
+     times — multiples of the period below [duration_s], plus the
+     final one — whether or not it had late events, so partials zip
+     index-for-index at assembly. *)
+  while !next_snapshot < cfg.duration_s do
+    take_snapshot !next_snapshot;
+    next_snapshot := !next_snapshot +. cfg.snapshot_every_s
+  done;
   take_snapshot cfg.duration_s;
-  (* Assemble the report. *)
-  let overall = Window.overall global in
+  {
+    so_tenants = tenants;
+    so_ops = !ops;
+    so_good = !good;
+    so_errors = !errors;
+    so_recorder = global;
+    so_snaps = List.rev !snaps;
+    so_trackers = Hashtbl.fold (fun n m acc -> (n, m) :: acc) trackers [];
+    so_fired = Graft_faultinject.Faultinject.fired plan;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The run: fan out, join, merge.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Group every shard's aligned windows by start time and merge each
+   group bucketwise. Recorder windows are aligned to multiples of the
+   width, so same-start groups cover the same span; a shard with no
+   traffic in a slot simply contributes nothing to that group. *)
+let merge_windows shards =
+  let tbl : (float, Window.t list) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun so ->
+      List.iter
+        (fun w ->
+          let key = w.Window.start_s in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (w :: prev))
+        (Window.windows so.so_recorder))
+    shards;
+  Hashtbl.fold (fun _ ws acc -> Window.merge_all ws :: acc) tbl []
+  |> List.sort (fun a b -> compare a.Window.start_s b.Window.start_s)
+
+(* Zip the shards' snapshot partials index-by-index (every shard
+   snapshots at the same times): sums for counts, bucketwise histogram
+   merge for the run-so-far percentile. *)
+let merge_snapshots cfg shards =
+  let parts = Array.map (fun so -> Array.of_list so.so_snaps) shards in
+  let n = Array.length parts.(0) in
+  Array.iter
+    (fun p -> assert (Array.length p = n))
+    parts;
+  List.init n (fun j ->
+      let at = Array.map (fun p -> p.(j)) parts in
+      let histo = Graft_trace.Histo.create ~subbits:cfg.subbits () in
+      Array.iter
+        (fun sp -> Graft_trace.Histo.merge_into ~dst:histo sp.sp_histo)
+        at;
+      let sum f = Array.fold_left (fun acc sp -> acc + f sp) 0 at in
+      {
+        s_t = at.(0).sp_t;
+        s_ops = sum (fun sp -> sp.sp_ops);
+        s_errors = sum (fun sp -> sp.sp_errors);
+        s_p99_us = Graft_trace.Histo.percentile histo 0.99;
+        s_quarantined = sum (fun sp -> sp.sp_quar);
+        s_disabled = sum (fun sp -> sp.sp_dis);
+        s_trace_dropped = sum (fun sp -> sp.sp_dropped);
+      })
+
+let run cfg =
+  if cfg.tenants < 1 then invalid_arg "Serve.run: tenants < 1";
+  if cfg.domains < 1 then invalid_arg "Serve.run: domains < 1";
+  if cfg.domains > cfg.tenants then
+    invalid_arg "Serve.run: more domains than tenants";
+  let wall0 = Unix.gettimeofday () in
+  Graft_metrics.enable ();
+  (* Joined worker domains from a previous run must not leak counts
+     into this run's exports. *)
+  Graft_metrics.reset_shards ();
+  let specs = fault_arm_specs cfg in
+  (* Packet storms: global on/off intervals; demux ops inside a storm
+     deliver a batch, overloading the server and building real queues.
+     Derived from its own sub-seed so every shard computes the same
+     intervals without sharing a generator. *)
+  let storms =
+    Graft_workload.Arrival.bursts
+      (Graft_util.Prng.create (storm_seed cfg))
+      ~until:cfg.duration_s ~on_mean:0.6 ~off_mean:9.0
+  in
+  let par0 = Unix.gettimeofday () in
+  let shards =
+    if cfg.domains = 1 then [| run_shard cfg ~specs ~storms 0 |]
+    else
+      Array.init cfg.domains (fun k ->
+          Domain.spawn (fun () -> run_shard cfg ~specs ~storms k))
+      |> Array.map Domain.join
+  in
+  let par_wall = Unix.gettimeofday () -. par0 in
+  (* Assemble the merged report. *)
+  let tenants =
+    let all =
+      Array.concat (Array.to_list (Array.map (fun so -> so.so_tenants) shards))
+    in
+    Array.sort (fun a b -> compare a.t_idx b.t_idx) all;
+    all
+  in
+  let ops = Array.fold_left (fun acc so -> acc + so.so_ops) 0 shards in
+  let good = Array.fold_left (fun acc so -> acc + so.so_good) 0 shards in
+  let errors = Array.fold_left (fun acc so -> acc + so.so_errors) 0 shards in
+  let merged_windows = merge_windows shards in
+  let overall =
+    match merged_windows with
+    | [] -> Window.make ~subbits:cfg.subbits ~start_s:0.0 ~stop_s:0.0 ()
+    | ws -> Window.merge_all ws
+  in
   let o = objective cfg in
   let a = Slo.assess o overall in
-  let alerts = Slo.burn_alerts o (Window.windows global) in
+  let alerts = Slo.burn_alerts o merged_windows in
   let pages =
     List.length (List.filter (fun al -> al.Slo.al_severity = Slo.Page) alerts)
   in
@@ -590,14 +802,29 @@ let run cfg =
           ws_burn = (Slo.assess o w).Slo.a_burn;
           ws_alert = alert;
         })
-      (Window.windows global)
+      merged_windows
+  in
+  (* MTTR trackers and fired arms are combined in a canonical order
+     (graft name; site/tick) so float folds and report lists cannot
+     depend on shard count or hash-table iteration. *)
+  let trackers =
+    Array.to_list shards
+    |> List.concat_map (fun so -> so.so_trackers)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let fired =
+    Array.to_list shards
+    |> List.concat_map (fun so -> so.so_fired)
+    |> List.map (fun (site, cls, tick) ->
+           (site, Graft_faultinject.Faultinject.class_name cls, tick))
+    |> List.sort compare
   in
   {
     r_config = cfg;
-    r_ops = !ops;
-    r_good = !good;
-    r_errors = !errors;
-    r_throughput = float_of_int !good /. cfg.duration_s;
+    r_ops = ops;
+    r_good = good;
+    r_errors = errors;
+    r_throughput = float_of_int good /. cfg.duration_s;
     r_p50_us = Window.percentile overall 0.50;
     r_p95_us = Window.percentile overall 0.95;
     r_p99_us = Window.percentile overall 0.99;
@@ -609,26 +836,22 @@ let run cfg =
     r_budget_left = a.Slo.a_budget_left;
     r_alerts_page = pages;
     r_alerts_ticket = tickets;
-    r_mttr =
-      Mttr.summarize_all (Hashtbl.fold (fun _ m acc -> m :: acc) trackers []);
+    r_mttr = Mttr.summarize_all (List.map snd trackers);
     r_faults = faults;
     r_quarantined = q;
-    r_fired =
-      List.map
-        (fun (site, cls, tick) ->
-          (site, Graft_faultinject.Faultinject.class_name cls, tick))
-        (Graft_faultinject.Faultinject.fired plan);
+    r_fired = fired;
     r_tenants = tenant_stats;
     r_windows = window_stats;
-    r_snapshots = List.rev !snapshots;
+    r_snapshots = merge_snapshots cfg shards;
     r_wall_s = Unix.gettimeofday () -. wall0;
+    r_par_wall_s = par_wall;
   }
 
 (* ------------------------------------------------------------------ *)
 (* JSON and text reports.                                              *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 1
+let schema_version = 2
 
 let snapshot_json s =
   Printf.sprintf
@@ -656,12 +879,15 @@ let fired_json (site, cls, tick) =
 
 (* Wall-clock cost is deliberately absent: everything in this document
    is a pure function of (seed, config), so two runs of the same build
-   must produce byte-identical JSON. *)
+   must produce byte-identical JSON — and, except for the "domains"
+   field and per-domain trace-ring drop counts, runs at different
+   domain counts must too. *)
 let to_json r =
   let cfg = r.r_config in
   Graft_report.Envelope.wrap ~schema_version
     (Printf.sprintf
-       "\"suite\":\"serve\",\"seed\":%d,\"tenants\":%d,\"grafts\":%d,\
+       "\"suite\":\"serve\",\"seed\":%d,\"tenants\":%d,\"domains\":%d,\
+        \"grafts\":%d,\
         \"duration_s\":%.2f,\"base_rate\":%.2f,\"window_s\":%.2f,\
         \"subbits\":%d,\"slo_latency_us\":%d,\"slo_target\":%.4f,\
         \"ops\":%d,\"good\":%d,\"errors\":%d,\"throughput_ops_per_s\":%.2f,\
@@ -671,13 +897,13 @@ let to_json r =
         \"mttr_incidents\":%d,\"mttr_open\":%d,\"mttr_mean_s\":%.4f,\
         \"mttr_max_s\":%.4f,\"faults\":%d,\"quarantined\":%d,\
         \"fired\":[%s],\"windows\":[%s],\"tenants\":[%s],\"snapshots\":[%s]"
-       cfg.seed cfg.tenants (4 * cfg.tenants) cfg.duration_s cfg.base_rate
-       cfg.window_s cfg.subbits cfg.latency_slo_us cfg.slo_target r.r_ops
-       r.r_good r.r_errors r.r_throughput r.r_p50_us r.r_p95_us r.r_p99_us
-       r.r_p999_us r.r_jain r.r_max_min r.r_bad_frac r.r_burn r.r_budget_left
-       r.r_alerts_page r.r_alerts_ticket r.r_mttr.Mttr.m_incidents
-       r.r_mttr.Mttr.m_open r.r_mttr.Mttr.m_mean_s r.r_mttr.Mttr.m_max_s
-       r.r_faults r.r_quarantined
+       cfg.seed cfg.tenants cfg.domains (4 * cfg.tenants) cfg.duration_s
+       cfg.base_rate cfg.window_s cfg.subbits cfg.latency_slo_us cfg.slo_target
+       r.r_ops r.r_good r.r_errors r.r_throughput r.r_p50_us r.r_p95_us
+       r.r_p99_us r.r_p999_us r.r_jain r.r_max_min r.r_bad_frac r.r_burn
+       r.r_budget_left r.r_alerts_page r.r_alerts_ticket
+       r.r_mttr.Mttr.m_incidents r.r_mttr.Mttr.m_open r.r_mttr.Mttr.m_mean_s
+       r.r_mttr.Mttr.m_max_s r.r_faults r.r_quarantined
        (String.concat "," (List.map fired_json r.r_fired))
        (String.concat "," (List.map window_json r.r_windows))
        (String.concat "," (List.map tenant_json r.r_tenants))
@@ -696,9 +922,11 @@ let render r =
   let cfg = r.r_config in
   Buffer.add_string buf
     (Printf.sprintf
-       "graftwatch serve: %d tenants, %d grafts, %.0fs simulated (seed %d, \
-        wall %.2fs)\n\n"
-       cfg.tenants (4 * cfg.tenants) cfg.duration_s cfg.seed r.r_wall_s);
+       "graftwatch serve: %d tenants, %d grafts, %.0fs simulated, %d domain%s \
+        (seed %d, wall %.2fs)\n\n"
+       cfg.tenants (4 * cfg.tenants) cfg.duration_s cfg.domains
+       (if cfg.domains = 1 then "" else "s")
+       cfg.seed r.r_wall_s);
   Buffer.add_string buf
     (Printf.sprintf
        "  ops %d  good %d  errors %d  throughput %.1f ops/s\n\

@@ -1,0 +1,255 @@
+(** Graftswarm's scaling harness: ops/s of the sharded serve section
+    versus worker-domain count, with {!Graft_stats.Robust} medians and
+    bootstrap CIs over repeated runs.
+
+    Unlike every other number serve emits, throughput is {e wall-clock}
+    — it measures how fast this machine chews through the simulated
+    workload, specifically the parallel section alone (domain spawn to
+    join), so setup and merge cost do not dilute the scaling signal.
+    The simulated results themselves are independent of the domain
+    count (that is Graftswarm's merge-equivalence guarantee, pinned by
+    test_swarm), so every row of this table recomputes the {e same}
+    report; only the wall-clock differs.
+
+    Scaling is bounded by the cores actually available: the artifact
+    records [Domain.recommended_domain_count ()] so a reader (or the
+    CI gate) can tell a scheduler problem from a one-core container.
+    The regression gate mirrors Benchgate's noise-aware rule with the
+    sign flipped — throughput is higher-better: a row regresses only
+    when its CI is disjoint below the baseline's AND the median fell
+    beyond the threshold. *)
+
+type row = {
+  tp_domains : int;
+  tp_ops : int;  (** simulated ops per run (identical across rows) *)
+  tp_est : Graft_stats.Robust.estimate;  (** ops per wall-second *)
+}
+
+type report = {
+  tr_config : Serve.config;  (** the serve config each rep ran *)
+  tr_reps : int;
+  tr_cores : int;  (** [Domain.recommended_domain_count ()] here *)
+  tr_rows : row list;  (** ascending domain count *)
+}
+
+(** Run the serve workload [reps] times at each domain count and
+    estimate ops per wall-second of the parallel section. Raises
+    [Invalid_argument] on an empty count list or [reps < 1]. *)
+let run ?(reps = 5) ~domain_counts cfg =
+  if domain_counts = [] then invalid_arg "Throughput.run: no domain counts";
+  if reps < 1 then invalid_arg "Throughput.run: reps < 1";
+  let counts = List.sort_uniq compare domain_counts in
+  let rows =
+    List.map
+      (fun d ->
+        let cfg = { cfg with Serve.domains = d } in
+        let ops = ref 0 in
+        let samples =
+          Array.init reps (fun _ ->
+              let r = Serve.run cfg in
+              ops := r.Serve.r_ops;
+              float_of_int r.Serve.r_ops /. r.Serve.r_par_wall_s)
+        in
+        { tp_domains = d; tp_ops = !ops;
+          tp_est = Graft_stats.Robust.estimate samples })
+      counts
+  in
+  {
+    tr_config = cfg;
+    tr_reps = reps;
+    tr_cores = Domain.recommended_domain_count ();
+    tr_rows = rows;
+  }
+
+let speedup report row =
+  match report.tr_rows with
+  | first :: _ when first.tp_est.Graft_stats.Robust.median > 0.0 ->
+      row.tp_est.Graft_stats.Robust.median
+      /. first.tp_est.Graft_stats.Robust.median
+  | _ -> 1.0
+
+(* ------------------------------------------------------------------ *)
+(* The BENCH_throughput.json artifact.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = 1
+
+let row_json report r =
+  let open Graft_stats.Robust in
+  Printf.sprintf
+    "{\"domains\":%d,\"ops\":%d,\"ops_per_s\":%.1f,\"ci95_lo\":%.1f,\
+     \"ci95_hi\":%.1f,\"cv\":%.4f,\"speedup_vs_first\":%.3f}"
+    r.tp_domains r.tp_ops r.tp_est.median r.tp_est.ci95_lo r.tp_est.ci95_hi
+    r.tp_est.cv (speedup report r)
+
+let to_json report =
+  let cfg = report.tr_config in
+  Graft_report.Envelope.wrap ~schema_version
+    (Printf.sprintf
+       "\"suite\":\"serve-throughput\",\"seed\":%d,\"tenants\":%d,\
+        \"duration_s\":%.2f,\"base_rate\":%.2f,\"reps\":%d,\"cores\":%d,\
+        \"rows\":[%s]"
+       cfg.Serve.seed cfg.Serve.tenants cfg.Serve.duration_s
+       cfg.Serve.base_rate report.tr_reps report.tr_cores
+       (String.concat "," (List.map (row_json report) report.tr_rows)))
+
+let save ~path report =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json report);
+      Out_channel.output_string oc "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Baseline parsing and the higher-better gate.                        *)
+(* ------------------------------------------------------------------ *)
+
+type baseline_row = { b_domains : int; b_ops_per_s : float; b_lo : float;
+                      b_hi : float }
+
+type baseline = {
+  bl_seed : int;
+  bl_tenants : int;
+  bl_duration_s : float;
+  bl_rows : baseline_row list;
+}
+
+let parse_baseline text =
+  let open Graft_util.Minijson in
+  match parse text with
+  | Error msg -> Error ("throughput baseline: " ^ msg)
+  | Ok doc -> (
+      let num key obj = Option.bind (member key obj) to_float in
+      match (num "seed" doc, num "tenants" doc, num "duration_s" doc,
+             Option.bind (member "rows" doc) to_list)
+      with
+      | Some seed, Some tenants, Some dur, Some rows ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | obj :: rest -> (
+                match
+                  (num "domains" obj, num "ops_per_s" obj, num "ci95_lo" obj,
+                   num "ci95_hi" obj)
+                with
+                | Some d, Some v, Some lo, Some hi ->
+                    go
+                      ({ b_domains = int_of_float d; b_ops_per_s = v;
+                         b_lo = lo; b_hi = hi }
+                      :: acc)
+                      rest
+                | _ -> Error "throughput baseline: malformed row")
+          in
+          Result.map
+            (fun rows ->
+              {
+                bl_seed = int_of_float seed;
+                bl_tenants = int_of_float tenants;
+                bl_duration_s = dur;
+                bl_rows = rows;
+              })
+            (go [] rows)
+      | _ -> Error "throughput baseline: missing seed/tenants/duration_s/rows")
+
+let load_baseline path =
+  match
+    In_channel.with_open_bin path In_channel.input_all
+  with
+  | text -> parse_baseline text
+  | exception Sys_error msg -> Error msg
+
+type check = {
+  c_domains : int;
+  c_base : float;
+  c_cur : float;
+  c_verdict : Graft_report.Benchgate.verdict;
+}
+
+(** Compare a fresh report to a baseline. Wall-clock throughput is
+    higher-better, so Benchgate's noise-aware rule runs mirrored: a
+    row regresses only when the fresh CI sits wholly {e below} the
+    baseline CI and the median fell more than [threshold]. Domain
+    counts present on only one side are skipped. Errors when the
+    baseline was recorded for a different workload. *)
+let gate ?(threshold = 0.30) ~baseline report =
+  let cfg = report.tr_config in
+  if
+    baseline.bl_seed <> cfg.Serve.seed
+    || baseline.bl_tenants <> cfg.Serve.tenants
+    || baseline.bl_duration_s <> cfg.Serve.duration_s
+  then
+    Error
+      (Printf.sprintf
+         "baseline is for seed %d / %d tenants / %.2fs, run was seed %d / %d \
+          tenants / %.2fs"
+         baseline.bl_seed baseline.bl_tenants baseline.bl_duration_s
+         cfg.Serve.seed cfg.Serve.tenants cfg.Serve.duration_s)
+  else
+    Ok
+      (List.filter_map
+         (fun r ->
+           List.find_opt (fun b -> b.b_domains = r.tp_domains)
+             baseline.bl_rows
+           |> Option.map (fun b ->
+                  let open Graft_stats.Robust in
+                  let cur = r.tp_est.median in
+                  let verdict =
+                    (* Mirror of Benchgate.compare_ci for a
+                       higher-better metric. *)
+                    if
+                      r.tp_est.ci95_hi < b.b_lo
+                      && cur < b.b_ops_per_s *. (1.0 -. threshold)
+                    then Graft_report.Benchgate.Regression
+                    else if
+                      r.tp_est.ci95_lo > b.b_hi
+                      && cur > b.b_ops_per_s *. (1.0 +. threshold)
+                    then Graft_report.Benchgate.Improvement
+                    else Graft_report.Benchgate.Pass
+                  in
+                  {
+                    c_domains = r.tp_domains;
+                    c_base = b.b_ops_per_s;
+                    c_cur = cur;
+                    c_verdict = verdict;
+                  }))
+         report.tr_rows)
+
+let passed checks =
+  not
+    (List.exists
+       (fun c -> c.c_verdict = Graft_report.Benchgate.Regression)
+       checks)
+
+let pp_check c =
+  Printf.sprintf
+    "domains %-2d  base %10.1f ops/s   now %10.1f ops/s   %+6.1f%%  %s"
+    c.c_domains c.c_base c.c_cur
+    (if c.c_base = 0.0 then 0.0
+     else (c.c_cur -. c.c_base) /. c.c_base *. 100.0)
+    (Graft_report.Benchgate.verdict_name c.c_verdict)
+
+let render report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "graftswarm throughput: %d tenants, %.0fs simulated, %d reps \
+        (seed %d, %d core%s available)\n\n"
+       report.tr_config.Serve.tenants report.tr_config.Serve.duration_s
+       report.tr_reps report.tr_config.Serve.seed report.tr_cores
+       (if report.tr_cores = 1 then "" else "s"));
+  let t =
+    Graft_util.Tablefmt.create
+      ~aligns:Graft_util.Tablefmt.[| Right; Right; Right; Right; Right |]
+      [| "domains"; "ops"; "ops/s"; "ci95"; "speedup" |]
+  in
+  List.iter
+    (fun r ->
+      let open Graft_stats.Robust in
+      Graft_util.Tablefmt.add_row t
+        [|
+          string_of_int r.tp_domains;
+          string_of_int r.tp_ops;
+          Printf.sprintf "%.0f" r.tp_est.median;
+          Printf.sprintf "[%.0f, %.0f]" r.tp_est.ci95_lo r.tp_est.ci95_hi;
+          Printf.sprintf "%.2fx" (speedup report r);
+        |])
+    report.tr_rows;
+  Buffer.add_string buf (Graft_util.Tablefmt.render t);
+  Buffer.contents buf

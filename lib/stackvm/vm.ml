@@ -17,22 +17,22 @@ let stack_size = 4096
 (* Graftmeter counters, one series per tier; incremented once per
    session exit so the dispatch loops themselves stay untouched. *)
 let m_sessions_interp =
-  Graft_metrics.counter "graftkit_vm_sessions"
+  Graft_metrics.domain_counter "graftkit_vm_sessions"
     ~help:"VM sessions run, by tier"
     [ ("tier", "interp") ]
 
 let m_sessions_opt =
-  Graft_metrics.counter "graftkit_vm_sessions" [ ("tier", "opt") ]
+  Graft_metrics.domain_counter "graftkit_vm_sessions" [ ("tier", "opt") ]
 
 let m_fuel_interp =
-  Graft_metrics.counter "graftkit_vm_fuel"
+  Graft_metrics.domain_counter "graftkit_vm_fuel"
     ~help:"Fuel (instruction budget) consumed, by tier"
     [ ("tier", "interp") ]
 
-let m_fuel_opt = Graft_metrics.counter "graftkit_vm_fuel" [ ("tier", "opt") ]
+let m_fuel_opt = Graft_metrics.domain_counter "graftkit_vm_fuel" [ ("tier", "opt") ]
 
 let m_fuel_hist =
-  Graft_metrics.histogram "graftkit_vm_fuel_per_session"
+  Graft_metrics.domain_histogram "graftkit_vm_fuel_per_session"
     ~help:"Fuel consumed per session (log2 buckets)" []
 
 type frame = { mutable ret_pc : int; mutable locals : int array }
@@ -371,9 +371,9 @@ let run_session (s : session) ~entry ~(args : int array) ~fuel :
           (* Fuel consumed = fuel charged: on exhaustion [!fuel] is
              negative and the whole budget was burned. *)
           Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
-      Graft_metrics.inc m_sessions_interp;
-      Graft_metrics.inc m_fuel_interp ~by:(fuel0 - max 0 !fuel);
-      Graft_metrics.observe m_fuel_hist (fuel0 - max 0 !fuel);
+      Graft_metrics.inc (m_sessions_interp ());
+      Graft_metrics.inc (m_fuel_interp ()) ~by:(fuel0 - max 0 !fuel);
+      Graft_metrics.observe (m_fuel_hist ()) (fuel0 - max 0 !fuel);
       Graft_trace.Trace.span_end Graft_trace.Trace.Vm_stack "stackvm.run" tok;
       outcome)
 
@@ -791,9 +791,9 @@ let run_session_opt (s : session) ~entry ~(args : int array) ~fuel :
       (match prof with
       | None -> ()
       | Some pr -> Graft_trace.Opprof.run_done pr ~fuel:(fuel0 - max 0 !fuel));
-      Graft_metrics.inc m_sessions_opt;
-      Graft_metrics.inc m_fuel_opt ~by:(fuel0 - max 0 !fuel);
-      Graft_metrics.observe m_fuel_hist (fuel0 - max 0 !fuel);
+      Graft_metrics.inc (m_sessions_opt ());
+      Graft_metrics.inc (m_fuel_opt ()) ~by:(fuel0 - max 0 !fuel);
+      Graft_metrics.observe (m_fuel_hist ()) (fuel0 - max 0 !fuel);
       Graft_trace.Trace.span_end Graft_trace.Trace.Vm_stack "stackvm.opt" tok;
       outcome)
 

@@ -1,6 +1,6 @@
 (** Graftscope: the event collector.
 
-    A single global sink records typed events from every instrumented
+    A domain-local sink records typed events from every instrumented
     layer — kernel hooks, the graft manager, both VM dispatch loops,
     and the simulated clock. Two states:
 
@@ -87,12 +87,21 @@ type ring = {
 
 type sink = Null | Ring of ring
 
-let sink = ref Null
+(* The sink is domain-local: each domain enables (and owns) its own
+   ring, so hot-path recording never synchronises — the same striping
+   real per-CPU trace buffers use. [DLS.get] on an already-initialised
+   key is an array load off the domain structure, so the disabled cost
+   stays one load and one branch. The merge story lives upstream:
+   sharded serve snapshots sum each domain's {!dropped} count and
+   publish per-domain gauges. *)
+let sink_key = Domain.DLS.new_key (fun () -> Null)
+let get_sink () = Domain.DLS.get sink_key
+let set_sink s = Domain.DLS.set sink_key s
 
 (** Token returned by a skipped or disabled span begin. *)
 let nil_token = min_int
 
-let enabled () = match !sink with Null -> false | Ring _ -> true
+let enabled () = match get_sink () with Null -> false | Ring _ -> true
 
 let rec pow2_at_least n acc =
   if acc >= n then acc else pow2_at_least n (acc * 2)
@@ -100,8 +109,8 @@ let rec pow2_at_least n acc =
 let enable ?(capacity = 65536) ?(sample = 32) () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity <= 0";
   if sample <= 0 then invalid_arg "Trace.enable: sample <= 0";
-  sink :=
-    Ring
+  set_sink
+    (Ring
       {
         slots =
           Array.init capacity (fun _ ->
@@ -118,12 +127,12 @@ let enable ?(capacity = 65536) ?(sample = 32) () =
         next = 0;
         total = 0;
         tick = 0;
-      }
+      })
 
-let disable () = sink := Null
+let disable () = set_sink Null
 
 let clear () =
-  match !sink with
+  match get_sink () with
   | Null -> ()
   | Ring r ->
       r.next <- 0;
@@ -131,10 +140,10 @@ let clear () =
       r.tick <- 0
 
 let dropped () =
-  match !sink with Null -> 0 | Ring r -> max 0 (r.total - r.capacity)
+  match get_sink () with Null -> 0 | Ring r -> max 0 (r.total - r.capacity)
 
 (** Events ever written since enable/clear, including dropped ones. *)
-let total_recorded () = match !sink with Null -> 0 | Ring r -> r.total
+let total_recorded () = match get_sink () with Null -> 0 | Ring r -> r.total
 
 let write r ts dur track kind name arg =
   let s = Array.unsafe_get r.slots r.next in
@@ -149,22 +158,22 @@ let write r ts dur track kind name arg =
   r.total <- r.total + 1
 
 let instant ?(arg = 0) track name =
-  match !sink with
+  match get_sink () with
   | Null -> ()
   | Ring r -> write r (Graft_util.Timer.now_ns_int ()) (-1) track 1 name arg
 
 let counter track name value =
-  match !sink with
+  match get_sink () with
   | Null -> ()
   | Ring r -> write r (Graft_util.Timer.now_ns_int ()) value track 2 name 0
 
 let span_begin () =
-  match !sink with
+  match get_sink () with
   | Null -> nil_token
   | Ring _ -> Graft_util.Timer.now_ns_int ()
 
 let hot_begin () =
-  match !sink with
+  match get_sink () with
   | Null -> nil_token
   | Ring r ->
       let t = r.tick in
@@ -174,7 +183,7 @@ let hot_begin () =
 
 let span_end ?(arg = 0) track name token =
   if token <> nil_token then
-    match !sink with
+    match get_sink () with
     | Null -> ()
     | Ring r ->
         write r token (Graft_util.Timer.now_ns_int () - token) track 0 name arg
@@ -197,7 +206,7 @@ let kind_of_int = function 0 -> Span | 1 -> Instant | _ -> Counter
 (** Recorded events, oldest first (record order — spans are recorded
     when they end). *)
 let events () =
-  match !sink with
+  match get_sink () with
   | Null -> [||]
   | Ring r ->
       let n = min r.total r.capacity in
