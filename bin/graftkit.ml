@@ -51,6 +51,9 @@ let known_tables scale =
     ("a8", fun () -> ablation_trace scale);
     ("a9", fun () -> ablation_supervision scale);
     ("a10", fun () -> ablation_metrics scale);
+    (* A14 lives in graft_slo (the serve harness depends on the report
+       library, so the report library can't call serve). *)
+    ("a14", fun () -> Graft_slo.Flight.ablation scale);
   ]
 
 let tables_cmd =
@@ -61,7 +64,7 @@ let tables_cmd =
   let only =
     Arg.(value & pos_all string []
          & info [] ~docv:"TABLE"
-             ~doc:"Tables to run (table1..table6, figure1, a1..a5); all when omitted.")
+             ~doc:"Tables to run (table1..table6, figure1, a1..a14); all when omitted.")
   in
   let run scale only =
     let available = known_tables scale in
@@ -492,7 +495,22 @@ let measure_cmd =
 let trace_cmd =
   let graft =
     Arg.(value & pos 0 string "all"
-         & info [] ~docv:"GRAFT" ~doc:"Scenario to trace: md5 | evict | logdisk | all.")
+         & info [] ~docv:"GRAFT"
+             ~doc:"Scenario to trace: md5 | evict | logdisk | demux | \
+                   hotset | all.")
+  in
+  let serve =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"Trace a smoke-sized Graftwatch serve run with Graftlens \
+                   causal ids instead of a canned scenario: the Chrome \
+                   export carries one process per domain and a trace_id \
+                   arg on every span an op touched.")
+  in
+  let serve_domains =
+    Arg.(value & opt int 2
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for --serve (one Chrome process each).")
   in
   let format =
     Arg.(value
@@ -516,39 +534,73 @@ let trace_cmd =
     Arg.(value & opt int 65536
          & info [ "capacity" ] ~doc:"Ring-buffer capacity (events).")
   in
-  let run graft format out capacity =
-    let scenario =
-      match List.assoc_opt graft Graft_report.Scenarios.by_name with
-      | Some f -> f
-      | None ->
-          prerr_endline
-            ("unknown trace scenario: " ^ graft ^ " (md5|evict|logdisk|all)");
-          exit 2
+  let run graft serve serve_domains format out capacity =
+    let emit body =
+      match out with
+      | None -> print_string body
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc body)
     in
-    (* sample=1: a one-shot scenario wants every span, not the
-       steady-state sampling the overhead bench uses. *)
-    Graft_trace.Trace.enable ~capacity ~sample:1 ();
-    scenario ();
-    let extra = Graft_report.Envelope.fields ~schema_version:3 in
-    let body =
-      match format with
-      | `Chrome -> Graft_trace.Export.chrome_json ~extra ()
-      | `Folded -> Graft_trace.Export.folded ()
-      | `Summary -> Graft_trace.Export.summary ()
-      | `Summary_json -> Graft_trace.Export.summary_json ~extra ()
-    in
-    Graft_trace.Trace.disable ();
-    match out with
-    | None -> print_string body
-    | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc body)
+    if serve then begin
+      (* Graftlens end to end: a smoke serve run with causal tracing,
+         exported as one Chrome process per domain. *)
+      if format <> `Chrome then begin
+        prerr_endline "trace: --serve supports only --format=chrome";
+        exit 2
+      end;
+      let r =
+        Graft_slo.Serve.run
+          { Graft_slo.Serve.smoke with lens = true; domains = serve_domains }
+      in
+      match r.Graft_slo.Serve.r_lens with
+      | None -> assert false
+      | Some lo ->
+          emit
+            (Graft_trace.Export.chrome_json_of
+               ~extra:(Graft_report.Envelope.fields ~schema_version:3)
+               (List.map
+                  (fun (k, evs, dropped) ->
+                    Graft_trace.Export.
+                      {
+                        p_pid = k + 1;
+                        p_name = Printf.sprintf "domain-%d" k;
+                        p_events = evs;
+                        p_dropped = dropped;
+                      })
+                  lo.Graft_slo.Serve.lo_shards))
+    end
+    else begin
+      let scenario =
+        match List.assoc_opt graft Graft_report.Scenarios.by_name with
+        | Some f -> f
+        | None ->
+            prerr_endline
+              ("unknown trace scenario: " ^ graft
+             ^ " (md5|evict|logdisk|demux|hotset|all)");
+            exit 2
+      in
+      (* sample=1: a one-shot scenario wants every span, not the
+         steady-state sampling the overhead bench uses. *)
+      Graft_trace.Trace.enable ~capacity ~sample:1 ();
+      scenario ();
+      let extra = Graft_report.Envelope.fields ~schema_version:3 in
+      let body =
+        match format with
+        | `Chrome -> Graft_trace.Export.chrome_json ~extra ()
+        | `Folded -> Graft_trace.Export.folded ()
+        | `Summary -> Graft_trace.Export.summary ()
+        | `Summary_json -> Graft_trace.Export.summary_json ~extra ()
+      in
+      Graft_trace.Trace.disable ();
+      emit body
+    end
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a canned kernel scenario under the Graftscope tracer and \
-             export the trace")
-    Term.(const run $ graft $ format $ out $ capacity)
+       ~doc:"Run a canned kernel scenario (or, with --serve, a Graftlens \
+             serve run) under the Graftscope tracer and export the trace")
+    Term.(const run $ graft $ serve $ serve_domains $ format $ out $ capacity)
 
 (* ---------- protect ---------- *)
 
@@ -891,7 +943,7 @@ let metrics_cmd =
     Arg.(value & pos 0 string "all"
          & info [] ~docv:"SCENARIO"
              ~doc:"Scenario to run with metrics enabled: md5 | evict | \
-                   logdisk | all.")
+                   logdisk | demux | hotset | all.")
   in
   let format =
     Arg.(value
@@ -911,7 +963,8 @@ let metrics_cmd =
       | Some f -> f
       | None ->
           prerr_endline
-            ("unknown metrics scenario: " ^ scenario ^ " (md5|evict|logdisk|all)");
+            ("unknown metrics scenario: " ^ scenario
+           ^ " (md5|evict|logdisk|demux|hotset|all)");
           exit 2
     in
     Graft_metrics.enable ();
@@ -1003,6 +1056,29 @@ let serve_cmd =
          & info [ "reps" ] ~docv:"N"
              ~doc:"Repetitions per domain count in --throughput mode.")
   in
+  let lens =
+    Arg.(value & flag
+         & info [ "lens" ]
+             ~doc:"Enable Graftlens causal tracing: every op gets a trace \
+                   id propagated through manager, VM, map, and fallback \
+                   spans, with tail-based retention and OpenMetrics \
+                   exemplars on the latency histogram.")
+  in
+  let lens_threshold =
+    Arg.(value & opt (some int) None
+         & info [ "lens-threshold" ] ~docv:"US"
+             ~doc:"Tail-retention latency bar in microseconds (default: \
+                   the latency SLO). Ops slower than this, or faulted, \
+                   keep their full span sets.")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Flight recorder (implies --lens): if the run pages or \
+                   quarantines a graft, dump a deterministic post-mortem \
+                   bundle (Chrome trace of retained spans, offending \
+                   windows, fault plan, strike ledger) under $(docv).")
+  in
   let json =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the full report as enveloped JSON.")
@@ -1039,8 +1115,8 @@ let serve_cmd =
              ~doc:"Override the 0.10 default regression threshold.")
   in
   let run smoke tenants duration rate seed window snapshot_every faults
-      domains throughput domain_counts reps json snapshots_out
-      openmetrics_out baseline check save threshold =
+      domains throughput domain_counts reps lens lens_thr flight_dir
+      json snapshots_out openmetrics_out baseline check save threshold =
     let base = if smoke then Graft_slo.Serve.smoke else Graft_slo.Serve.default in
     let cfg =
       Graft_slo.Serve.
@@ -1055,6 +1131,8 @@ let serve_cmd =
             Option.value ~default:base.snapshot_every_s snapshot_every;
           narms = Option.value ~default:base.narms faults;
           domains = Option.value ~default:base.domains domains;
+          lens = lens || flight_dir <> None;
+          lens_threshold_us = Option.value ~default:0 lens_thr;
         }
     in
     if throughput then begin
@@ -1104,6 +1182,17 @@ let serve_cmd =
     let r = Graft_slo.Serve.run cfg in
     if json then print_string (Graft_slo.Serve.to_json r ^ "\n")
     else print_string (Graft_slo.Serve.render r);
+    (match flight_dir with
+    | Some dir -> (
+        match Graft_slo.Flight.write ~dir r with
+        | [] ->
+            prerr_endline
+              "serve: flight recorder armed but no trigger (no page alert, \
+               nothing quarantined) — no bundle written"
+        | files ->
+            Printf.eprintf "serve: flight bundle written to %s (%s)\n" dir
+              (String.concat ", " files))
+    | None -> ());
     (match snapshots_out with
     | Some path ->
         Out_channel.with_open_text path (fun oc ->
@@ -1156,8 +1245,8 @@ let serve_cmd =
     Term.(
       const run $ smoke $ tenants $ duration $ rate $ seed $ window
       $ snapshot_every $ faults $ domains $ throughput $ domain_counts
-      $ reps $ json $ snapshots_out $ openmetrics_out $ baseline $ check
-      $ save $ threshold)
+      $ reps $ lens $ lens_threshold $ flight_dir $ json $ snapshots_out
+      $ openmetrics_out $ baseline $ check $ save $ threshold)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

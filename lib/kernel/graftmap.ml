@@ -106,60 +106,84 @@ let evict_lru t =
       Hashtbl.remove t.recency k;
       Graft_metrics.inc t.m_evictions
 
+(* Graftscope span names for the hot ops, preallocated: the tracer
+   stores the pointer. On the fault paths the span is abandoned (the
+   token is never closed) — the op-scoped retention in Graftlens still
+   attributes the fault to the op via the Manager span. *)
+let n_lookup = "map:lookup"
+and n_update = "map:update"
+and n_delete = "map:delete"
+
 let lookup t k =
   Graft_metrics.inc t.m_lookups;
-  match t.kind with
-  | Array_map -> if in_range t k then t.arr.(k) else oob Fault.Read k
-  | Hash_map -> ( match Hashtbl.find_opt t.tbl k with Some v -> v | None -> 0)
-  | Lru_map -> (
-      match Hashtbl.find_opt t.tbl k with
-      | Some v ->
-          touch t k;
-          v
-      | None -> 0)
+  let tok = Graft_trace.Trace.hot_begin () in
+  let v =
+    match t.kind with
+    | Array_map -> if in_range t k then t.arr.(k) else oob Fault.Read k
+    | Hash_map -> (
+        match Hashtbl.find_opt t.tbl k with Some v -> v | None -> 0)
+    | Lru_map -> (
+        match Hashtbl.find_opt t.tbl k with
+        | Some v ->
+            touch t k;
+            v
+        | None -> 0)
+  in
+  Graft_trace.Trace.span_end ~arg:k Graft_trace.Trace.Map n_lookup tok;
+  v
 
 (** [update t k v] stores and returns 1 on success. Array maps fault
     on out-of-range keys; hash maps return 0 when full and the key is
     absent; LRU maps evict to make room. *)
 let update t k v =
   Graft_metrics.inc t.m_updates;
-  match t.kind with
-  | Array_map ->
-      if in_range t k then (
-        t.arr.(k) <- v;
-        1)
-      else oob Fault.Write k
-  | Hash_map ->
-      if Hashtbl.mem t.tbl k then (
+  let tok = Graft_trace.Trace.hot_begin () in
+  let r =
+    match t.kind with
+    | Array_map ->
+        if in_range t k then (
+          t.arr.(k) <- v;
+          1)
+        else oob Fault.Write k
+    | Hash_map ->
+        if Hashtbl.mem t.tbl k then (
+          Hashtbl.replace t.tbl k v;
+          1)
+        else if Hashtbl.length t.tbl >= t.max_entries then 0
+        else (
+          Hashtbl.replace t.tbl k v;
+          1)
+    | Lru_map ->
+        if not (Hashtbl.mem t.tbl k) && Hashtbl.length t.tbl >= t.max_entries
+        then evict_lru t;
         Hashtbl.replace t.tbl k v;
-        1)
-      else if Hashtbl.length t.tbl >= t.max_entries then 0
-      else (
-        Hashtbl.replace t.tbl k v;
-        1)
-  | Lru_map ->
-      if not (Hashtbl.mem t.tbl k) && Hashtbl.length t.tbl >= t.max_entries
-      then evict_lru t;
-      Hashtbl.replace t.tbl k v;
-      touch t k;
-      1
+        touch t k;
+        1
+  in
+  Graft_trace.Trace.span_end ~arg:k Graft_trace.Trace.Map n_update tok;
+  r
 
 (** [delete t k] returns 1 if the key was present (array maps: in
     range — the slot is zeroed), 0 otherwise. Array maps fault on
     out-of-range keys, like any other array write. *)
 let delete t k =
-  match t.kind with
-  | Array_map ->
-      if in_range t k then (
-        t.arr.(k) <- 0;
-        1)
-      else oob Fault.Write k
-  | Hash_map | Lru_map ->
-      if Hashtbl.mem t.tbl k then (
-        Hashtbl.remove t.tbl k;
-        Hashtbl.remove t.recency k;
-        1)
-      else 0
+  let tok = Graft_trace.Trace.hot_begin () in
+  let r =
+    match t.kind with
+    | Array_map ->
+        if in_range t k then (
+          t.arr.(k) <- 0;
+          1)
+        else oob Fault.Write k
+    | Hash_map | Lru_map ->
+        if Hashtbl.mem t.tbl k then (
+          Hashtbl.remove t.tbl k;
+          Hashtbl.remove t.recency k;
+          1)
+        else 0
+  in
+  Graft_trace.Trace.span_end ~arg:k Graft_trace.Trace.Map n_delete tok;
+  r
 
 (** Pure membership query: never faults (it is the guard a graft would
     use *before* an access, so it must be safe on any key). *)

@@ -48,16 +48,29 @@ type kind = Kcounter | Kgauge | Khistogram
 type series = { family : string; labels : labels; cell : cell }
 type family = { fname : string; help : string; fkind : kind }
 
+(* Graftlens exemplar: the trace id of the worst retained op that
+   landed in a histogram bucket, attached to the bucket's [le] bound.
+   [ex_value] is the op's observed value (latency), used both as the
+   exemplar payload and as the merge tie-breaker. *)
+type exemplar = { ex_le : int; ex_trace : string; ex_value : int }
+
 (* Registry: families in a table for help/type metadata, series in a
    table keyed by (family, canonical labels) for dedupe. Insertion
-   order is irrelevant — export sorts. *)
+   order is irrelevant — export sorts. Exemplars ride in a side table
+   keyed like series: they annotate histogram buckets at export time
+   without touching the cell layout or the increment path. *)
 type registry = {
   families : (string, family) Hashtbl.t;
   series : (string * labels, series) Hashtbl.t;
+  exemplars : (string * labels, exemplar list) Hashtbl.t;
 }
 
 let create_registry () =
-  { families = Hashtbl.create 32; series = Hashtbl.create 64 }
+  {
+    families = Hashtbl.create 32;
+    series = Hashtbl.create 64;
+    exemplars = Hashtbl.create 8;
+  }
 
 (* The main domain keeps the legacy process-wide registry; every other
    domain lazily gets a fresh shard on first use, parked on the shard
@@ -151,6 +164,13 @@ let domain_histogram ?help ?subbits name labels =
   let key = Domain.DLS.new_key (fun () -> histogram ?help ?subbits name labels) in
   fun () -> Domain.DLS.get key
 
+(* Replace the exemplar set of one histogram series (Graftlens feeds
+   this after a serve run: at most one exemplar per [le] bound, the
+   worst retained op in that bucket). Not a hot-path operation. *)
+let set_exemplars name labels exs =
+  let reg = current () in
+  Hashtbl.replace reg.exemplars (name, canon labels) exs
+
 (* The hot-path operations. Disabled cost: one global load, one
    branch. *)
 let inc ?(by = 1) c = if !on then c.c <- c.c + by
@@ -187,7 +207,8 @@ let reset_registry reg =
       | Counter c -> c.c <- 0
       | Gauge g -> g.g <- 0.0
       | Histogram h -> Graft_trace.Histo.reset h)
-    reg.series
+    reg.series;
+  Hashtbl.reset reg.exemplars
 
 let reset () =
   reset_registry main;
@@ -224,7 +245,27 @@ let merge_into ~dst src =
           | Histogram dh, Histogram sh ->
               Graft_trace.Histo.merge_into ~dst:dh sh
           | _ -> kind_clash s.family))
-    src.series
+    src.series;
+  (* Exemplar merge law: per [le] bound keep the worse (larger-valued)
+     exemplar — commutative, associative, empty-identity like the cell
+     merges. *)
+  Hashtbl.iter
+    (fun key src_exs ->
+      let dst_exs =
+        Option.value ~default:[] (Hashtbl.find_opt dst.exemplars key)
+      in
+      let merged =
+        List.fold_left
+          (fun acc (ex : exemplar) ->
+            match List.find_opt (fun e -> e.ex_le = ex.ex_le) acc with
+            | Some e when e.ex_value >= ex.ex_value -> acc
+            | Some e -> ex :: List.filter (fun x -> x != e) acc
+            | None -> ex :: acc)
+          dst_exs src_exs
+      in
+      Hashtbl.replace dst.exemplars key
+        (List.sort (fun a b -> compare a.ex_le b.ex_le) merged))
+    src.exemplars
 
 let merge_registries regs =
   let dst = create_registry () in
@@ -311,13 +352,29 @@ let registry_openmetrics reg =
                      (float_str g.g))
             | Histogram h ->
                 let open Graft_trace in
+                let exs =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt reg.exemplars (s.family, s.labels))
+                in
                 List.iter
                   (fun (bound, cum) ->
+                    (* OpenMetrics exemplar: `# {trace_id="..."} value`
+                       appended to the bucket sample carrying the worst
+                       retained op that landed in this bucket. *)
+                    let ex_suffix =
+                      match
+                        List.find_opt (fun e -> e.ex_le = bound) exs
+                      with
+                      | Some e ->
+                          Printf.sprintf " # {trace_id=\"%s\"} %d"
+                            (escape_label e.ex_trace) e.ex_value
+                      | None -> ""
+                    in
                     Buffer.add_string buf
-                      (Printf.sprintf "%s_bucket%s %d\n" f.fname
+                      (Printf.sprintf "%s_bucket%s %d%s\n" f.fname
                          (render_labels s.labels
                             ~extra:("le", string_of_int bound))
-                         cum))
+                         cum ex_suffix))
                   (Histo.cumulative h);
                 Buffer.add_string buf
                   (Printf.sprintf "%s_bucket%s %d\n" f.fname

@@ -54,6 +54,24 @@ val histogram : ?help:string -> ?subbits:int -> string -> labels -> Graft_trace.
 (** Record one value into a histogram when metrics are enabled. *)
 val observe : Graft_trace.Histo.t -> int -> unit
 
+(** {2 Exemplars}
+
+    Graftlens links SLO histograms back to traces: each hot bucket can
+    carry the trace id of the worst retained op that landed in it,
+    emitted in OpenMetrics [# {trace_id="..."} value] exemplar
+    syntax. *)
+
+type exemplar = {
+  ex_le : int;  (** the bucket's inclusive [le] bound *)
+  ex_trace : string;  (** rendered trace id ({!Graft_trace.Trace.id_string}) *)
+  ex_value : int;  (** the op's observed value (latency) *)
+}
+
+(** Replace the exemplar set of one histogram series in the calling
+    domain's registry — at most one exemplar per [le] bound. Merging
+    registries keeps the larger-valued exemplar per bound. *)
+val set_exemplars : string -> labels -> exemplar list -> unit
+
 (** {2 Domain-cached cells}
 
     Instrumentation sites that used to bind a cell at module

@@ -114,14 +114,78 @@ let logdisk_run () =
   let workload = Array.init 2000 (fun _ -> Prng.int rng nblocks) in
   ignore (K.Logdisk.run config policy workload)
 
+(* ------------------------------------------------------------------ *)
+(* Graftgate stateful grafts (PR 7): connection demux and hot-set      *)
+(* tracking, both backed by graft maps — these populate the graftmap   *)
+(* track alongside manager and VM spans.                               *)
+(* ------------------------------------------------------------------ *)
+
+let demux_storm () =
+  List.iter
+    (fun tech ->
+      let clock = K.Simclock.create () in
+      let manager = Manager.create () in
+      let g =
+        Manager.register manager ~name:"demux" ~tech
+          ~structure:Taxonomy.Stream ~motivation:Taxonomy.Performance ()
+      in
+      g.Manager.state <- Manager.Attached;
+      let runner =
+        Runners.demux tech ~protocol:K.Netpkt.proto_udp ~marker:0x7F
+      in
+      let rng = Prng.create 0xDE11L in
+      let packets =
+        K.Netpkt.random_sized_traffic rng ~count:128
+          ~protocol:K.Netpkt.proto_udp ~port:4242
+      in
+      Array.iter
+        (fun pkt ->
+          K.Simclock.charge clock "demux-rx"
+            (1e-7 *. float_of_int (K.Netpkt.length pkt));
+          ignore (Manager.invoke g (fun () -> runner.Runners.demux pkt)))
+        packets)
+    [ Technology.Bytecode_vm; Technology.Bytecode_opt ]
+
+let hotset_run () =
+  List.iter
+    (fun tech ->
+      let clock = K.Simclock.create () in
+      let manager = Manager.create () in
+      let g =
+        Manager.register manager ~name:"hotset" ~tech
+          ~structure:Taxonomy.Stream ~motivation:Taxonomy.Policy ()
+      in
+      g.Manager.state <- Manager.Attached;
+      let runner = Runners.hotset tech ~capacity:64 in
+      let btree =
+        Graft_workload.Tpcb.create ~l3_pages:32 ~children_per_l3:16 ()
+      in
+      let rng = Prng.create 0x407L in
+      for _ = 1 to 400 do
+        let path =
+          Graft_workload.Tpcb.lookup_path btree
+            ~l3_index:(Prng.int rng 32) ~child_index:(Prng.int rng 16)
+        in
+        K.Simclock.charge clock "hotset-touch" 1e-6;
+        ignore
+          (Manager.invoke g (fun () ->
+               Array.fold_left
+                 (fun _ page -> runner.Runners.touch page)
+                 0 path));
+        ignore (runner.Runners.hot (Prng.int rng btree.Graft_workload.Tpcb.npages))
+      done)
+    [ Technology.Bytecode_vm; Technology.Jit ]
+
 let all () =
   md5_stream ();
   evict_db ();
-  logdisk_run ()
+  logdisk_run ();
+  demux_storm ();
+  hotset_run ()
 
 (** Scenario registry for the CLI: name -> generator. *)
 let by_name =
   [
     ("md5", md5_stream); ("evict", evict_db); ("logdisk", logdisk_run);
-    ("all", all);
+    ("demux", demux_storm); ("hotset", hotset_run); ("all", all);
   ]

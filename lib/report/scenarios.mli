@@ -16,9 +16,19 @@ val evict_db : unit -> unit
     manager tracks). *)
 val logdisk_run : unit -> unit
 
-(** All three scenarios in sequence. *)
+(** Stateful connection demux over a graft map: a 128-packet storm
+    through the bounded-scan demux graft under two bytecode tiers
+    (graftmap, manager, simclock, stackvm tracks). *)
+val demux_storm : unit -> unit
+
+(** Hot-set tracking over an LRU graft map: 400 TPC-B lookup paths
+    through the loop-free hot-set graft under bytecode-VM and JIT
+    (graftmap, manager, simclock, stackvm tracks). *)
+val hotset_run : unit -> unit
+
+(** All scenarios in sequence. *)
 val all : unit -> unit
 
 (** Scenario registry for the CLI: name -> generator
-    (md5 | evict | logdisk | all). *)
+    (md5 | evict | logdisk | demux | hotset | all). *)
 val by_name : (string * (unit -> unit)) list

@@ -1,0 +1,70 @@
+(** Graftlens: causal trace ids over the serve path.
+
+    Serve allocates one id per op and opens a {!Graft_trace.Trace}
+    op scope around the op's whole journey — Manager invocation, VM
+    session, graft-map helper calls, kernel fallback, strike and
+    quarantine transitions — so every span the op touches shares its
+    id. This module owns the id encoding and the export-time analyses
+    over the ring: finding retention markers and electing OpenMetrics
+    exemplars.
+
+    Id encoding: [(tenant + 1) << 24 | (tenant-local seq & 0xFFFFFF)].
+    Both components are partition-invariant (the event stream assigns
+    tenant-local sequence numbers before sharding), so the same op
+    gets the same id whatever [--domains N] is — which is what lets
+    flight bundles stay byte-deterministic across domain counts. *)
+
+let tid_of ~tenant ~seq = ((tenant + 1) lsl 24) lor (seq land 0xFFFFFF)
+let tenant_of_tid tid = (tid lsr 24) - 1
+let tid_string = Graft_trace.Trace.id_string
+
+(* Retention markers are App-track instants named "op:<class>" — the
+   single event kind [Trace.op_end ~retain:true] stamps. *)
+let marker_prefix = "op:"
+
+let is_marker name =
+  String.length name >= 3 && String.sub name 0 3 = marker_prefix
+
+(** One retained op, as recovered from its retention marker: the
+    causal id, the op class ("op:demux", ...), and the op's latency
+    (the marker's [arg]). *)
+type op_mark = { om_tid : int; om_class : string; om_latency_us : int }
+
+(** Retention markers still present in an event buffer, oldest first.
+    Only retained ops have markers, and drop-oldest evicts markers
+    like any other event — so everything returned here is retained
+    {e and} still resolvable in the ring, which is exactly the
+    soundness condition exemplars need. *)
+let markers (evs : Graft_trace.Trace.event array) =
+  Array.to_list evs
+  |> List.filter_map (fun (e : Graft_trace.Trace.event) ->
+         if
+           e.Graft_trace.Trace.kind = Graft_trace.Trace.Instant
+           && e.Graft_trace.Trace.track = Graft_trace.Trace.App
+           && e.Graft_trace.Trace.tid <> 0
+           && is_marker e.Graft_trace.Trace.name
+         then
+           Some
+             {
+               om_tid = e.Graft_trace.Trace.tid;
+               om_class = e.Graft_trace.Trace.name;
+               om_latency_us = e.Graft_trace.Trace.arg;
+             }
+         else None)
+
+(** Elect one exemplar per histogram bucket: bucket each retained op's
+    latency under the SLO histogram's layout ([subbits]) and keep the
+    worst (highest-latency; first seen on ties) op per [le] bound.
+    Returned sorted by bound, the order buckets render in. *)
+let exemplars ~subbits marks =
+  let layout = Graft_trace.Histo.create ~subbits () in
+  let best : (int, op_mark) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let le = Graft_trace.Histo.bound_of layout m.om_latency_us in
+      match Hashtbl.find_opt best le with
+      | Some b when b.om_latency_us >= m.om_latency_us -> ()
+      | _ -> Hashtbl.replace best le m)
+    marks;
+  Hashtbl.fold (fun le m acc -> (le, m) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -53,6 +53,8 @@ type config = {
   latency_slo_us : int;
   slo_target : float;
   domains : int;  (** worker domains; 1 = run inline on this domain *)
+  lens : bool;  (** Graftlens causal tracing (off by default) *)
+  lens_threshold_us : int;  (** tail-retention latency bar; 0 = the SLO *)
 }
 
 (** 56 tenants x 4 graft classes = 224 supervised grafts, 30 simulated
@@ -70,7 +72,15 @@ let default =
     latency_slo_us = 5000;
     slo_target = 0.99;
     domains = 1;
+    lens = false;
+    lens_threshold_us = 0;
   }
+
+(** The tail-retention bar: ops slower than this (or faulted) keep
+    their full span set. Defaults to the latency SLO itself. *)
+let lens_threshold cfg =
+  if cfg.lens_threshold_us > 0 then cfg.lens_threshold_us
+  else cfg.latency_slo_us
 
 (** A seconds-scale run for CI. *)
 let smoke =
@@ -381,6 +391,19 @@ type window_stat = {
   ws_alert : string;  (** "page", "ticket", or "" (multi-window rule) *)
 }
 
+(** What a Graftlens run carries beyond the SLO report: the retained
+    rings (one per domain, for the flight recorder's Chrome trace) and
+    a strike-ledger snapshot taken at run end. *)
+type lens_out = {
+  lo_threshold_us : int;
+  lo_retained : int;  (** ops whose full span set was kept *)
+  lo_spilled : int;  (** events lost to pending-buffer overflow *)
+  lo_shards : (int * Graft_trace.Trace.event array * int) list;
+      (** (domain id, ring events, dropped count), domain order *)
+  lo_strikes : (string * string * int * int * int) list;
+      (** (graft, state, strikes, faults, fallbacks), sorted by name *)
+}
+
 type result = {
   r_config : config;
   r_ops : int;
@@ -405,6 +428,7 @@ type result = {
   r_tenants : tenant_stat list;
   r_windows : window_stat list;
   r_snapshots : snapshot list;
+  r_lens : lens_out option;  (** [Some] iff the config enabled the lens *)
   r_wall_s : float;  (** real cost; excluded from JSON and gating *)
   r_par_wall_s : float;
       (** wall-clock of the sharded section alone (spawn to join) —
@@ -439,6 +463,14 @@ let class_name_of_spec = function
   | Op_stream _ -> "serve:stream"
   | Op_evict _ -> "serve:evict"
 
+(* Retention-marker names ({!Lens.markers} recovers retained ops by
+   this prefix). Preallocated: the tracer stores the pointer. *)
+let op_marker_of_spec = function
+  | Op_demux _ -> "op:demux"
+  | Op_hotset _ -> "op:hotset"
+  | Op_stream _ -> "op:stream"
+  | Op_evict _ -> "op:evict"
+
 (* A shard's contribution to one snapshot: plain sums plus a frozen
    copy of the run-so-far latency histogram (merged bucketwise on
    assembly, so the merged p99 equals the single-domain value). *)
@@ -462,6 +494,12 @@ type shard_out = {
   so_trackers : (string * Mttr.t) list;  (** per-graft MTTR, by name *)
   so_fired :
     (string * Graft_faultinject.Faultinject.fault_class * int) list;
+  so_events : Graft_trace.Trace.event array;
+      (** the shard's ring at run end (Graftlens only, else [||]) —
+          captured before the worker domain is joined *)
+  so_trace_dropped : int;
+  so_retained : int;
+  so_spilled : int;
 }
 
 (* Run shard [k]'s slice of the workload. Called on a worker domain
@@ -470,7 +508,12 @@ type shard_out = {
    which reproduces the pre-Graftswarm single-domain behaviour
    exactly. *)
 let run_shard cfg ~specs ~storms k =
-  Graft_trace.Trace.enable ~capacity:4096 ();
+  (* Graftlens runs need a deeper ring (retained ops commit whole span
+     sets) and the logical clock, so ring contents — and the flight
+     bundle rendered from them — are a pure function of (seed,
+     config). The lens-off ring is untouched: byte-identity. *)
+  if cfg.lens then Graft_trace.Trace.enable ~capacity:8192 ~logical:true ()
+  else Graft_trace.Trace.enable ~capacity:4096 ();
   let mgr = Manager.create () in
   let tenants =
     Array.of_list
@@ -539,6 +582,12 @@ let run_shard cfg ~specs ~storms k =
         next_snapshot := !next_snapshot +. cfg.snapshot_every_s
       done;
       let t = Hashtbl.find by_idx ev.ev_tenant in
+      (* Causal scope: everything the op touches from here to op_end —
+         Manager invocation, VM session, map helpers, kernel fallback,
+         strike transitions — records under its trace id. *)
+      if cfg.lens then
+        Graft_trace.Trace.op_begin
+          (Lens.tid_of ~tenant:ev.ev_tenant ~seq:ev.ev_seq);
       let in_storm = Graft_workload.Arrival.in_intervals ev.ev_t storms in
       let g, thunk, svc =
         match ev.ev_spec with
@@ -631,7 +680,14 @@ let run_shard cfg ~specs ~storms k =
         Graft_trace.Histo.add all_lat latency_us;
         Window.record t.recorder ~t:ev.ev_t ~latency_us;
         Window.record global ~t:ev.ev_t ~latency_us
-      end)
+      end;
+      (* Tail-based retention: faulted or over-threshold ops keep
+         every span they touched (and stamp a retention marker); the
+         rest fall back to 1-in-N sampling. *)
+      if cfg.lens then
+        Graft_trace.Trace.op_end ~arg:latency_us
+          ~retain:(outcome = Mttr.Faulted || latency_us > lens_threshold cfg)
+          (op_marker_of_spec ev.ev_spec))
     events;
   (* Drain the snapshot schedule: every shard snapshots at the same
      times — multiples of the period below [duration_s], plus the
@@ -651,6 +707,12 @@ let run_shard cfg ~specs ~storms k =
     so_snaps = List.rev !snaps;
     so_trackers = Hashtbl.fold (fun n m acc -> (n, m) :: acc) trackers [];
     so_fired = Graft_faultinject.Faultinject.fired plan;
+    (* The ring is domain-local: snapshot it now, before this worker
+       domain is joined and its DLS becomes unreachable. *)
+    so_events = (if cfg.lens then Graft_trace.Trace.events () else [||]);
+    so_trace_dropped = Graft_trace.Trace.dropped ();
+    so_retained = Graft_trace.Trace.retained_ops ();
+    so_spilled = Graft_trace.Trace.op_spilled ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -819,6 +881,63 @@ let run cfg =
            (site, Graft_faultinject.Faultinject.class_name cls, tick))
     |> List.sort compare
   in
+  let lens_out =
+    if not cfg.lens then None
+    else begin
+      let lo_shards =
+        Array.to_list (Array.mapi (fun k so -> (k, so.so_events, so.so_trace_dropped)) shards)
+      in
+      let strikes =
+        Array.to_list tenants
+        |> List.concat_map (fun t ->
+               List.map
+                 (fun g ->
+                   ( g.Manager.g_name,
+                     Manager.state_name g.Manager.state,
+                     g.Manager.strikes,
+                     g.Manager.total_faults,
+                     g.Manager.fallbacks ))
+                 [ t.demux_g; t.hotset_g; t.stream_g; t.evict_g ])
+        |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) ->
+               String.compare a b)
+      in
+      (* Exemplar feed: publish the overall latency histogram as an
+         OpenMetrics series and link each hot bucket to the trace id
+         of its worst retained op. Markers are elected from the rings
+         as they stand now, so every emitted id resolves to retained
+         spans still present at export time. *)
+      let marks =
+        List.concat_map (fun (_, evs, _) -> Lens.markers evs) lo_shards
+      in
+      let h =
+        Graft_metrics.histogram "graftkit_serve_latency_us"
+          ~subbits:cfg.subbits []
+          ~help:"Serve op latency with Graftlens trace-id exemplars"
+      in
+      Graft_trace.Histo.reset h;
+      Graft_trace.Histo.merge_into ~dst:h overall.Window.histo;
+      Graft_metrics.set_exemplars "graftkit_serve_latency_us" []
+        (List.map
+           (fun (le, (m : Lens.op_mark)) ->
+             Graft_metrics.
+               {
+                 ex_le = le;
+                 ex_trace = Lens.tid_string m.Lens.om_tid;
+                 ex_value = m.Lens.om_latency_us;
+               })
+           (Lens.exemplars ~subbits:cfg.subbits marks));
+      Some
+        {
+          lo_threshold_us = lens_threshold cfg;
+          lo_retained =
+            Array.fold_left (fun acc so -> acc + so.so_retained) 0 shards;
+          lo_spilled =
+            Array.fold_left (fun acc so -> acc + so.so_spilled) 0 shards;
+          lo_shards;
+          lo_strikes = strikes;
+        }
+    end
+  in
   {
     r_config = cfg;
     r_ops = ops;
@@ -843,6 +962,7 @@ let run cfg =
     r_tenants = tenant_stats;
     r_windows = window_stats;
     r_snapshots = merge_snapshots cfg shards;
+    r_lens = lens_out;
     r_wall_s = Unix.gettimeofday () -. wall0;
     r_par_wall_s = par_wall;
   }
@@ -884,6 +1004,17 @@ let fired_json (site, cls, tick) =
    domain counts must too. *)
 let to_json r =
   let cfg = r.r_config in
+  (* Only partition-invariant lens facts go in the report (retained-op
+     counts are; pending-buffer spill depends on ring locality, so it
+     stays out). Lens off appends nothing: byte-identity with the
+     pre-Graftlens document. *)
+  let lens_json =
+    match r.r_lens with
+    | None -> ""
+    | Some lo ->
+        Printf.sprintf ",\"lens\":{\"threshold_us\":%d,\"retained_ops\":%d}"
+          lo.lo_threshold_us lo.lo_retained
+  in
   Graft_report.Envelope.wrap ~schema_version
     (Printf.sprintf
        "\"suite\":\"serve\",\"seed\":%d,\"tenants\":%d,\"domains\":%d,\
@@ -907,7 +1038,8 @@ let to_json r =
        (String.concat "," (List.map fired_json r.r_fired))
        (String.concat "," (List.map window_json r.r_windows))
        (String.concat "," (List.map tenant_json r.r_tenants))
-       (String.concat "," (List.map snapshot_json r.r_snapshots)))
+       (String.concat "," (List.map snapshot_json r.r_snapshots))
+    ^ lens_json)
 
 (** The periodic snapshot series as its own enveloped document, for
     [--snapshots FILE]. *)
@@ -942,6 +1074,17 @@ let render r =
        r.r_alerts_page r.r_alerts_ticket r.r_faults r.r_quarantined
        r.r_mttr.Mttr.m_incidents r.r_mttr.Mttr.m_open r.r_mttr.Mttr.m_mean_s
        r.r_mttr.Mttr.m_max_s);
+  (match r.r_lens with
+  | None -> ()
+  | Some lo ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  graftlens: %d retained op%s (tail threshold %dµs)%s\n\n"
+           lo.lo_retained
+           (if lo.lo_retained = 1 then "" else "s")
+           lo.lo_threshold_us
+           (if lo.lo_spilled = 0 then ""
+            else Printf.sprintf ", %d spilled" lo.lo_spilled)));
   let wt =
     Graft_util.Tablefmt.create
       ~aligns:

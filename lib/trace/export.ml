@@ -38,67 +38,118 @@ let extra_members extra =
   String.concat ""
     (List.map (fun (k, v) -> Printf.sprintf ",%s:%s" (quote k) v) extra)
 
-(** Chrome trace-event JSON over the current buffer. Timestamps are
-    microseconds relative to the earliest event; each subsystem track
-    becomes thread [track_index + 1] of process 1. *)
-let chrome_json ?(extra = []) () =
-  let evs = Trace.events () in
+(** One Chrome process worth of events — a domain's ring. Sharded
+    serve exports one per domain ([p_pid] = domain id + 1) so traces
+    from [--domains N] don't interleave under a single process. *)
+type process = {
+  p_pid : int;
+  p_name : string;
+  p_events : Trace.event array;
+  p_dropped : int;
+}
+
+(* Span/instant args: the integer payload, plus the causal trace id
+   when the event was recorded inside a Graftlens op scope. *)
+let args_json (e : Trace.event) =
+  if e.Trace.tid = 0 then Printf.sprintf "{\"arg\":%d}" e.Trace.arg
+  else
+    Printf.sprintf "{\"arg\":%d,\"trace_id\":\"%s\"}" e.Trace.arg
+      (Trace.id_string e.Trace.tid)
+
+(** Chrome trace-event JSON over explicit (process, events) groups.
+    Timestamps are microseconds relative to the earliest event across
+    every group; each subsystem track becomes thread [track_index + 1]
+    of its group's process. *)
+let chrome_json_of ?(extra = []) processes =
   let t0 =
-    Array.fold_left (fun acc (e : Trace.event) -> min acc e.Trace.ts_ns)
-      max_int evs
+    List.fold_left
+      (fun acc p ->
+        Array.fold_left
+          (fun acc (e : Trace.event) -> min acc e.Trace.ts_ns)
+          acc p.p_events)
+      max_int processes
   in
   let t0 = if t0 = max_int then 0 else t0 in
   let us ns = float_of_int ns /. 1e3 in
-  let buf = Buffer.create (4096 + (Array.length evs * 96)) in
+  let nevents =
+    List.fold_left (fun acc p -> acc + Array.length p.p_events) 0 processes
+  in
+  let buf = Buffer.create (4096 + (nevents * 96)) in
   Buffer.add_string buf "{\"traceEvents\":[";
-  Buffer.add_string buf
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"graftkit\"}}";
-  let present = Array.make Trace.ntracks false in
-  Array.iter
-    (fun (e : Trace.event) ->
-      present.(Trace.track_index e.Trace.track) <- true)
-    evs;
-  Array.iteri
-    (fun i p ->
-      if p then
-        Buffer.add_string buf
-          (Printf.sprintf
-             ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}"
-             (i + 1)
-             (quote (Trace.track_name Trace.tracks.(i)))))
-    present;
-  Array.iter
-    (fun (e : Trace.event) ->
-      let tid = Trace.track_index e.Trace.track + 1 in
-      let ts = us (e.Trace.ts_ns - t0) in
-      match e.Trace.kind with
-      | Trace.Span ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"arg\":%d}}"
-               (quote e.Trace.name)
-               (quote (Trace.track_name e.Trace.track))
-               tid ts
-               (us e.Trace.dur_ns)
-               e.Trace.arg)
-      | Trace.Instant ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"arg\":%d}}"
-               (quote e.Trace.name)
-               (quote (Trace.track_name e.Trace.track))
-               tid ts e.Trace.arg)
-      | Trace.Counter ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",{\"name\":%s,\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%d}}"
-               (quote e.Trace.name) tid ts e.Trace.arg))
-    evs;
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun p ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+           p.p_pid (quote p.p_name));
+      let present = Array.make Trace.ntracks false in
+      Array.iter
+        (fun (e : Trace.event) ->
+          present.(Trace.track_index e.Trace.track) <- true)
+        p.p_events;
+      Array.iteri
+        (fun i pr ->
+          if pr then
+            add
+              (Printf.sprintf
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+                 p.p_pid (i + 1)
+                 (quote (Trace.track_name Trace.tracks.(i)))))
+        present;
+      Array.iter
+        (fun (e : Trace.event) ->
+          let tid = Trace.track_index e.Trace.track + 1 in
+          let ts = us (e.Trace.ts_ns - t0) in
+          match e.Trace.kind with
+          | Trace.Span ->
+              add
+                (Printf.sprintf
+                   "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+                   (quote e.Trace.name)
+                   (quote (Trace.track_name e.Trace.track))
+                   p.p_pid tid ts
+                   (us e.Trace.dur_ns)
+                   (args_json e))
+          | Trace.Instant ->
+              add
+                (Printf.sprintf
+                   "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":%s}"
+                   (quote e.Trace.name)
+                   (quote (Trace.track_name e.Trace.track))
+                   p.p_pid tid ts (args_json e))
+          | Trace.Counter ->
+              add
+                (Printf.sprintf
+                   "{\"name\":%s,\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%d}}"
+                   (quote e.Trace.name) p.p_pid tid ts e.Trace.arg))
+        p.p_events)
+    processes;
+  let dropped =
+    List.fold_left (fun acc p -> acc + p.p_dropped) 0 processes
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}%s}"
-       (Trace.dropped ()) (extra_members extra));
+       dropped (extra_members extra));
   Buffer.contents buf
+
+(** Chrome trace-event JSON over the current (calling domain's)
+    buffer, as a single process [pid 1]. *)
+let chrome_json ?(extra = []) () =
+  chrome_json_of ~extra
+    [
+      {
+        p_pid = 1;
+        p_name = "graftkit";
+        p_events = Trace.events ();
+        p_dropped = Trace.dropped ();
+      };
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Folded stacks (flamegraph input).                                   *)

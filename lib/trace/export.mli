@@ -1,11 +1,29 @@
 (** Exporters over the recorded event buffer. All run at reporting
     time; recording stays allocation-free. *)
 
-(** Chrome trace-event JSON (load in Perfetto or [chrome://tracing]):
-    one named thread per subsystem track, timestamps in microseconds
-    relative to the earliest event, dropped-event count in
-    [otherData]. [extra] is (key, rendered JSON value) pairs spliced
-    into the top-level object — the shared envelope. *)
+(** One Chrome process worth of events — a domain's ring. Sharded
+    serve exports one per domain ([p_pid] = domain id + 1, with
+    [process_name] metadata) so [--domains N] traces don't interleave
+    under a single process. *)
+type process = {
+  p_pid : int;
+  p_name : string;
+  p_events : Trace.event array;
+  p_dropped : int;
+}
+
+(** Chrome trace-event JSON over explicit process groups: per-process
+    [process_name]/[thread_name] metadata, one named thread per
+    subsystem track, timestamps in microseconds relative to the
+    earliest event across all groups, summed dropped-event count in
+    [otherData]. Span/instant args carry a [trace_id] member when the
+    event was recorded inside a Graftlens op scope. [extra] is
+    (key, rendered JSON value) pairs spliced into the top-level
+    object — the shared envelope. *)
+val chrome_json_of : ?extra:(string * string) list -> process list -> string
+
+(** {!chrome_json_of} over the current (calling domain's) buffer as a
+    single process [pid 1] named ["graftkit"]. *)
 val chrome_json : ?extra:(string * string) list -> unit -> string
 
 (** Folded-stacks text ([track;parent;child self_ns] lines) for

@@ -71,6 +71,10 @@ let bound_of_bucket t b =
     let sub = b land ((1 lsl s) - 1) in
     ((((1 lsl s) + sub) lsl shift) + (1 lsl shift)) - 1
 
+(** Inclusive upper bound of the bucket value [v] lands in — which
+    OpenMetrics [le] bound an observation of [v] is counted under. *)
+let bound_of t v = bound_of_bucket t (bucket_of t (max 0 v))
+
 (* Inclusive lower bound of bucket [b] (for range labels). *)
 let lower_of_bucket t b =
   let s = t.subbits in

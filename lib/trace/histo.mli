@@ -45,6 +45,10 @@ val count_le : t -> int -> int
 (** Inclusive upper bound of bucket [b] under this layout. *)
 val bound_of_bucket : t -> int -> int
 
+(** Inclusive upper bound of the bucket value [v] lands in — which
+    OpenMetrics [le] bound an observation of [v] is counted under. *)
+val bound_of : t -> int -> int
+
 (** Non-empty buckets as (inclusive upper bound, cumulative count),
     smallest bound first — the shape OpenMetrics [le] buckets take. *)
 val cumulative : t -> (int * int) list

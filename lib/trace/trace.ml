@@ -16,11 +16,29 @@
 
     Span timing costs two clock reads, which is real money next to a
     sub-microsecond graft operation, so high-frequency sites (VM
-    entries, manager invocations) use {!hot_begin}: a sampled begin
-    that records every [sample]-th occurrence and skips the rest for
-    the price of one increment and one mask. Low-frequency sites
-    (faults, lifecycle transitions, filter pushes, segment flushes)
-    record unconditionally via {!span_begin}/{!instant}/{!counter}. *)
+    entries, manager invocations, map helper calls) use {!hot_begin}:
+    a sampled begin that records every [sample]-th occurrence and
+    skips the rest for the price of one increment and one mask.
+    Low-frequency sites (faults, lifecycle transitions, filter pushes,
+    segment flushes) record unconditionally via
+    {!span_begin}/{!instant}/{!counter}.
+
+    {b Graftlens: causal ids and tail-based retention.} A serving loop
+    can declare the operation it is about to execute with
+    {!op_begin}[ tid]: until the matching {!op_end}, every event
+    recorded on this domain — whatever layer records it — carries
+    [tid], so all spans an op touches share its id without any layer
+    threading identifiers explicitly. While an op is open, events land
+    in a pending scratch buffer; {!op_end}[ ~retain] then either
+    commits the whole set to the ring (the op breached its latency
+    threshold or faulted — tail-based retention) or only the events
+    the 1-in-[sample] policy would have kept anyway, and stamps a
+    retention-marker instant carrying the id. Rings can also run on a
+    {e logical} clock ([enable ~logical:true]): timestamps become a
+    per-ring counter, making ring contents — and every export — a
+    pure function of the recorded operations, which is what lets the
+    flight recorder promise byte-identical bundles for one (seed,
+    config). *)
 
 (** One trace track per instrumented subsystem; the Chrome exporter
     renders each as its own named thread. *)
@@ -34,8 +52,9 @@ type track =
   | Vm_reg  (** register VM entries *)
   | Clock  (** simulated-time charges *)
   | App  (** workload-level marks (ablation A8, CLI scenarios) *)
+  | Map  (** graft-map helper calls (lookup/update/delete) *)
 
-let ntracks = 9
+let ntracks = 10
 
 let track_index = function
   | Vmsys -> 0
@@ -47,9 +66,13 @@ let track_index = function
   | Vm_reg -> 6
   | Clock -> 7
   | App -> 8
+  | Map -> 9
 
 let tracks =
-  [| Vmsys; Streams; Logdisk; Upcall; Manager; Vm_stack; Vm_reg; Clock; App |]
+  [|
+    Vmsys; Streams; Logdisk; Upcall; Manager; Vm_stack; Vm_reg; Clock; App;
+    Map;
+  |]
 
 let track_name = function
   | Vmsys -> "vmsys"
@@ -61,12 +84,14 @@ let track_name = function
   | Vm_reg -> "regvm"
   | Clock -> "simclock"
   | App -> "workload"
+  | Map -> "graftmap"
 
 type kind = Span | Instant | Counter
 
 (* All-int slot (plus an immutable name pointer): writing one never
    allocates. [s_dur] is the duration for spans, -1 for instants, and
-   the sampled value for counters. *)
+   the sampled value for counters. [s_tid] is the causal trace id of
+   the op that recorded the event, 0 when none was open. *)
 type slot = {
   mutable s_ts : int;
   mutable s_dur : int;
@@ -74,15 +99,30 @@ type slot = {
   mutable s_kind : int;  (** 0 span, 1 instant, 2 counter *)
   mutable s_name : string;
   mutable s_arg : int;
+  mutable s_tid : int;
 }
+
+(* Events recorded while an op is open are parked here until the
+   retention decision; sized for one op's worth of spans, not a
+   ring's. Overflow is counted, never reallocated. *)
+let pending_capacity = 256
 
 type ring = {
   slots : slot array;
   capacity : int;
   sample_mask : int;  (** hot-span period - 1; period is a power of 2 *)
+  logical : bool;  (** deterministic per-ring clock instead of wall ns *)
+  mutable lclock : int;  (** logical clock value (when [logical]) *)
   mutable next : int;  (** write cursor *)
   mutable total : int;  (** events ever written (drop-oldest counter) *)
   mutable tick : int;  (** hot-span sampling counter *)
+  mutable cur_tid : int;  (** ambient causal id; 0 = none *)
+  mutable op_open : bool;
+  pend : slot array;
+  pend_keep : bool array;  (** sampled-in flag per pending slot *)
+  mutable pend_n : int;
+  mutable spilled : int;  (** pending-overflow events discarded *)
+  mutable retained : int;  (** ops committed in full by {!op_end} *)
 }
 
 type sink = Null | Ring of ring
@@ -106,27 +146,31 @@ let enabled () = match get_sink () with Null -> false | Ring _ -> true
 let rec pow2_at_least n acc =
   if acc >= n then acc else pow2_at_least n (acc * 2)
 
-let enable ?(capacity = 65536) ?(sample = 32) () =
+let fresh_slot _ =
+  { s_ts = 0; s_dur = 0; s_track = 0; s_kind = 0; s_name = ""; s_arg = 0;
+    s_tid = 0 }
+
+let enable ?(capacity = 65536) ?(sample = 32) ?(logical = false) () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity <= 0";
   if sample <= 0 then invalid_arg "Trace.enable: sample <= 0";
   set_sink
     (Ring
       {
-        slots =
-          Array.init capacity (fun _ ->
-              {
-                s_ts = 0;
-                s_dur = 0;
-                s_track = 0;
-                s_kind = 0;
-                s_name = "";
-                s_arg = 0;
-              });
+        slots = Array.init capacity fresh_slot;
         capacity;
         sample_mask = pow2_at_least sample 1 - 1;
+        logical;
+        lclock = 0;
         next = 0;
         total = 0;
         tick = 0;
+        cur_tid = 0;
+        op_open = false;
+        pend = Array.init pending_capacity fresh_slot;
+        pend_keep = Array.make pending_capacity false;
+        pend_n = 0;
+        spilled = 0;
+        retained = 0;
       })
 
 let disable () = set_sink Null
@@ -137,7 +181,13 @@ let clear () =
   | Ring r ->
       r.next <- 0;
       r.total <- 0;
-      r.tick <- 0
+      r.tick <- 0;
+      r.lclock <- 0;
+      r.cur_tid <- 0;
+      r.op_open <- false;
+      r.pend_n <- 0;
+      r.spilled <- 0;
+      r.retained <- 0
 
 let dropped () =
   match get_sink () with Null -> 0 | Ring r -> max 0 (r.total - r.capacity)
@@ -145,32 +195,98 @@ let dropped () =
 (** Events ever written since enable/clear, including dropped ones. *)
 let total_recorded () = match get_sink () with Null -> 0 | Ring r -> r.total
 
-let write r ts dur track kind name arg =
+(** Ops committed in full by {!op_end} since enable/clear. *)
+let retained_ops () =
+  match get_sink () with Null -> 0 | Ring r -> r.retained
+
+(** Events lost to pending-buffer overflow while an op was open. *)
+let op_spilled () =
+  match get_sink () with Null -> 0 | Ring r -> r.spilled
+
+(** The causal id events currently record under (0 when no op is
+    open). *)
+let current_tid () =
+  match get_sink () with Null -> 0 | Ring r -> r.cur_tid
+
+(** Canonical rendering of a trace id — what OpenMetrics exemplars and
+    Chrome [trace_id] args carry. *)
+let id_string tid = Printf.sprintf "%08x" tid
+
+(* Clock read: one increment under a logical ring, the wall clock
+   otherwise. Logical durations count clock reads between begin and
+   end — deterministic, which is the point. *)
+let now r =
+  if r.logical then begin
+    let t = r.lclock + 1 in
+    r.lclock <- t;
+    t
+  end
+  else Graft_util.Timer.now_ns_int ()
+
+(* Span tokens carry the timestamp in the upper bits and the
+   sampled-in flag in bit 0, so a hot span recorded while an op is
+   open (every one is, for the retention decision) still remembers
+   whether the 1-in-[sample] policy would have kept it. Monotonic ns
+   fit in 62 bits with room to spare. *)
+let token ts keep = (ts lsl 1) lor (if keep then 1 else 0)
+
+let commit r (p : slot) =
   let s = Array.unsafe_get r.slots r.next in
-  s.s_ts <- ts;
-  s.s_dur <- dur;
-  s.s_track <- track_index track;
-  s.s_kind <- kind;
-  s.s_name <- name;
-  s.s_arg <- arg;
+  s.s_ts <- p.s_ts;
+  s.s_dur <- p.s_dur;
+  s.s_track <- p.s_track;
+  s.s_kind <- p.s_kind;
+  s.s_name <- p.s_name;
+  s.s_arg <- p.s_arg;
+  s.s_tid <- p.s_tid;
   let n = r.next + 1 in
   r.next <- (if n = r.capacity then 0 else n);
   r.total <- r.total + 1
 
+let write ?(keep = true) r ts dur track kind name arg =
+  if r.op_open then begin
+    if r.pend_n < pending_capacity then begin
+      let s = Array.unsafe_get r.pend r.pend_n in
+      s.s_ts <- ts;
+      s.s_dur <- dur;
+      s.s_track <- track_index track;
+      s.s_kind <- kind;
+      s.s_name <- name;
+      s.s_arg <- arg;
+      s.s_tid <- r.cur_tid;
+      Array.unsafe_set r.pend_keep r.pend_n keep;
+      r.pend_n <- r.pend_n + 1
+    end
+    else r.spilled <- r.spilled + 1
+  end
+  else begin
+    let s = Array.unsafe_get r.slots r.next in
+    s.s_ts <- ts;
+    s.s_dur <- dur;
+    s.s_track <- track_index track;
+    s.s_kind <- kind;
+    s.s_name <- name;
+    s.s_arg <- arg;
+    s.s_tid <- r.cur_tid;
+    let n = r.next + 1 in
+    r.next <- (if n = r.capacity then 0 else n);
+    r.total <- r.total + 1
+  end
+
 let instant ?(arg = 0) track name =
   match get_sink () with
   | Null -> ()
-  | Ring r -> write r (Graft_util.Timer.now_ns_int ()) (-1) track 1 name arg
+  | Ring r -> write r (now r) (-1) track 1 name arg
 
 let counter track name value =
   match get_sink () with
   | Null -> ()
-  | Ring r -> write r (Graft_util.Timer.now_ns_int ()) value track 2 name 0
+  | Ring r -> write r (now r) value track 2 name 0
 
 let span_begin () =
   match get_sink () with
   | Null -> nil_token
-  | Ring _ -> Graft_util.Timer.now_ns_int ()
+  | Ring r -> token (now r) true
 
 let hot_begin () =
   match get_sink () with
@@ -178,15 +294,66 @@ let hot_begin () =
   | Ring r ->
       let t = r.tick in
       r.tick <- t + 1;
-      if t land r.sample_mask = 0 then Graft_util.Timer.now_ns_int ()
+      let sampled = t land r.sample_mask = 0 in
+      (* With an op open every hot span records (into pending, for the
+         retention decision); the sampled bit decides whether it
+         survives a non-retained op. *)
+      if r.op_open then token (now r) sampled
+      else if sampled then token (now r) true
       else nil_token
 
-let span_end ?(arg = 0) track name token =
-  if token <> nil_token then
+let span_end ?(arg = 0) track name tok =
+  if tok <> nil_token then
     match get_sink () with
     | Null -> ()
     | Ring r ->
-        write r token (Graft_util.Timer.now_ns_int () - token) track 0 name arg
+        let ts = tok asr 1 in
+        write ~keep:(tok land 1 = 1) r ts (now r - ts) track 0 name arg
+
+(* ------------------------------------------------------------------ *)
+(* Graftlens op scoping.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let op_flush r ~retain =
+  r.op_open <- false;
+  for i = 0 to r.pend_n - 1 do
+    if retain || Array.unsafe_get r.pend_keep i then
+      commit r (Array.unsafe_get r.pend i)
+  done;
+  r.pend_n <- 0
+
+(** Open an op scope with causal id [tid] (nonzero). Until the
+    matching {!op_end}, every event recorded on this domain carries
+    [tid] and is parked pending the retention decision. A still-open
+    scope is flushed as non-retained first — scopes never nest. *)
+let op_begin tid =
+  match get_sink () with
+  | Null -> ()
+  | Ring r ->
+      if r.op_open then op_flush r ~retain:false;
+      r.cur_tid <- tid;
+      r.op_open <- true
+
+(** Close the op scope. [retain = true] (the op faulted or breached
+    its latency threshold) commits every pending event to the ring and
+    stamps a retention-marker instant [name] (App track, [arg] —
+    conventionally the op's latency — and the op's id); [retain =
+    false] commits only the events the 1-in-[sample] policy kept.
+    [name] must be preallocated, like every event name. *)
+let op_end ?(arg = 0) ~retain name =
+  match get_sink () with
+  | Null -> ()
+  | Ring r ->
+      if r.op_open then begin
+        op_flush r ~retain;
+        if retain then begin
+          r.retained <- r.retained + 1;
+          (* After the flush [op_open] is false, so the marker lands in
+             the ring directly — still stamped with the op's id. *)
+          write r (now r) (-1) App 1 name arg
+        end;
+        r.cur_tid <- 0
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Introspection (exporters and tests; not a hot path).                *)
@@ -199,6 +366,7 @@ type event = {
   kind : kind;
   name : string;
   arg : int;  (** span/instant argument, or the counter value *)
+  tid : int;  (** causal trace id; 0 = none *)
 }
 
 let kind_of_int = function 0 -> Span | 1 -> Instant | _ -> Counter
@@ -220,4 +388,5 @@ let events () =
             kind = kind_of_int s.s_kind;
             name = s.s_name;
             arg = (if s.s_kind = 2 then s.s_dur else s.s_arg);
+            tid = s.s_tid;
           })

@@ -186,6 +186,68 @@ let test_sampling =
       check_int "span_begin never sampled" 16 (Array.length (Trace.events ())))
 
 (* ------------------------------------------------------------------ *)
+(* Graftlens op scoping: tail-based retention.                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_op_retention =
+  with_tracer ~capacity:256 ~sample:4 (fun () ->
+      Trace.disable ();
+      Trace.enable ~capacity:256 ~sample:4 ~logical:true ();
+      (* Non-retained op: of 8 hot spans only the 1-in-4 sampled subset
+         survives, and no retention marker is stamped. *)
+      Trace.op_begin 0x1000001;
+      check_int "tid ambient inside op" 0x1000001 (Trace.current_tid ());
+      for _ = 1 to 8 do
+        let tok = Trace.hot_begin () in
+        Trace.span_end Trace.Map "map:lookup" tok
+      done;
+      Trace.op_end ~arg:17 ~retain:false "op:demux";
+      check_int "tid cleared after op" 0 (Trace.current_tid ());
+      let evs = Trace.events () in
+      check_int "sampled subset survives" 2 (Array.length evs);
+      Array.iter
+        (fun (e : Trace.event) ->
+          check_int "survivors carry the op id" 0x1000001 e.Trace.tid)
+        evs;
+      check_bool "no marker for a non-retained op" false
+        (Array.exists (fun (e : Trace.event) -> e.Trace.name = "op:demux") evs);
+      check_int "nothing retained yet" 0 (Trace.retained_ops ());
+      (* Retained op: every span commits, plus a marker instant carrying
+         the id and the latency argument. *)
+      Trace.clear ();
+      Trace.op_begin 0x2000005;
+      for _ = 1 to 8 do
+        let tok = Trace.hot_begin () in
+        Trace.span_end Trace.Map "map:update" tok
+      done;
+      Trace.op_end ~arg:9999 ~retain:true "op:hotset";
+      let evs = Trace.events () in
+      check_int "whole span set retained (+ marker)" 9 (Array.length evs);
+      check_int "one retained op" 1 (Trace.retained_ops ());
+      let marker =
+        Array.to_list evs
+        |> List.find (fun (e : Trace.event) -> e.Trace.name = "op:hotset")
+      in
+      check_int "marker carries the id" 0x2000005 marker.Trace.tid;
+      check_int "marker carries the latency" 9999 marker.Trace.arg;
+      check_bool "marker is an App instant" true
+        (marker.Trace.track = Trace.App && marker.Trace.kind = Trace.Instant);
+      check_int "no spill at this op size" 0 (Trace.op_spilled ()))
+
+let test_op_spill =
+  with_tracer ~capacity:4096 (fun () ->
+      (* More spans than the pending scratch holds: the overflow is
+         counted, the first pending_capacity events still commit. *)
+      Trace.op_begin 0x42;
+      for _ = 1 to 300 do
+        Trace.instant Trace.App "burst"
+      done;
+      Trace.op_end ~retain:true "op:stream";
+      check_int "overflow counted" 44 (Trace.op_spilled ());
+      check_int "scratch-full set + marker" 257
+        (Array.length (Trace.events ())))
+
+(* ------------------------------------------------------------------ *)
 (* Exporters.                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -256,6 +318,48 @@ let test_summary_contents =
       let js = Export.summary_json () in
       check_bool "summary JSON parses" true (json_valid js);
       check_bool "counter sum in JSON" true (contains js "\"sum\":1000"))
+
+let mk_event ?(tid = 0) ?(ts = 10) name =
+  {
+    Trace.ts_ns = ts;
+    dur_ns = 5;
+    track = Trace.Map;
+    kind = Trace.Span;
+    name;
+    arg = 3;
+    tid;
+  }
+
+let test_chrome_processes () =
+  let js =
+    Export.chrome_json_of
+      [
+        {
+          Export.p_pid = 1;
+          p_name = "domain-0";
+          p_events = [| mk_event ~tid:0x100000a "map:lookup" |];
+          p_dropped = 0;
+        };
+        {
+          Export.p_pid = 2;
+          p_name = "domain-1";
+          p_events = [| mk_event ~ts:25 "map:update" |];
+          p_dropped = 3;
+        };
+      ]
+  in
+  check_bool "chrome JSON parses" true (json_valid js);
+  (* One named process per domain... *)
+  check_int "two process_name records" 2 (count_substring js "process_name");
+  check_bool "domain names present" true
+    (contains js "domain-0" && contains js "domain-1");
+  check_bool "second process has pid 2" true (contains js "\"pid\":2");
+  (* ...trace ids surface as an exemplar-resolvable arg... *)
+  check_bool "trace_id arg rendered" true
+    (contains js "\"trace_id\":\"0100000a\"");
+  check_int "absent on id-less events" 1 (count_substring js "trace_id");
+  (* ...and drops are summed across processes. *)
+  check_bool "drops summed" true (contains js "\"droppedEvents\":3")
 
 (* ------------------------------------------------------------------ *)
 (* Per-opcode profiling: tier parity.                                  *)
@@ -409,6 +513,8 @@ let () =
           Alcotest.test_case "drop-oldest" `Quick test_ring_drop_oldest;
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "sampling" `Quick test_sampling;
+          Alcotest.test_case "op retention" `Quick test_op_retention;
+          Alcotest.test_case "op pending spill" `Quick test_op_spill;
         ] );
       ( "export",
         [
@@ -418,6 +524,8 @@ let () =
             (scenario_chrome "evict" 4);
           Alcotest.test_case "folded nesting" `Quick test_folded_nesting;
           Alcotest.test_case "summary" `Quick test_summary_contents;
+          Alcotest.test_case "per-domain processes" `Quick
+            test_chrome_processes;
         ] );
       ( "opprof",
         [
